@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench binary reads RCACHE_INSTS (instructions per simulated
+ * run; default 800000) and RCACHE_APPS (comma-separated subset of
+ * profile names) from the environment so the full suite can be scaled
+ * to the machine at hand. The paper ran 2 billion instructions per
+ * data point on SimpleScalar; the shapes reported in EXPERIMENTS.md
+ * are stable from a few hundred thousand instructions up.
+ */
+
+#ifndef RCACHE_BENCH_COMMON_HH
+#define RCACHE_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/table.hh"
+
+namespace rcache::bench
+{
+
+/** Instructions per run (RCACHE_INSTS, default 400k). */
+inline std::uint64_t
+runInsts()
+{
+    if (const char *env = std::getenv("RCACHE_INSTS"))
+        return std::strtoull(env, nullptr, 10);
+    return 400000;
+}
+
+/** Profiles to run (RCACHE_APPS=ammp,gcc,... or the full suite). */
+inline std::vector<BenchmarkProfile>
+suite()
+{
+    const char *env = std::getenv("RCACHE_APPS");
+    if (!env)
+        return spec2000Suite();
+    std::vector<BenchmarkProfile> out;
+    std::stringstream ss(env);
+    std::string name;
+    while (std::getline(ss, name, ','))
+        out.push_back(profileByName(name));
+    return out;
+}
+
+/** Base config with the L1 associativity swapped (32K total kept). */
+inline SystemConfig
+baseWithAssoc(unsigned assoc)
+{
+    SystemConfig cfg = SystemConfig::base();
+    cfg.il1.assoc = assoc;
+    cfg.dl1.assoc = assoc;
+    return cfg;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "=== " << what << " ===\n"
+              << "reproduces: " << paper_ref << "\n"
+              << "instructions/run: " << runInsts() << "\n\n";
+}
+
+} // namespace rcache::bench
+
+#endif // RCACHE_BENCH_COMMON_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Figure 5: per-application comparison of static
+ * selective-ways vs selective-sets for 32K 4-way d- and i-caches —
+ * average cache-size reduction and processor energy-delay reduction.
+ */
+
+#include "bench/common.hh"
+
+using namespace rcache;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 5: selective-ways vs selective-sets, 4-way 32K",
+        "Fig 5 (per-application size & energy-delay reductions)");
+
+    const auto apps = bench::suite();
+    Experiment exp(bench::baseWithAssoc(4), bench::runInsts());
+
+    for (auto side : {CacheSide::DCache, CacheSide::ICache}) {
+        std::cout << (side == CacheSide::DCache ? "(a) D-Cache"
+                                                : "(b) I-Cache")
+                  << "\n\n";
+        TextTable t({"app", "ways size-red", "sets size-red",
+                     "ways E*D-red", "sets E*D-red", "ways perf",
+                     "sets perf"});
+        double wsz = 0, ssz = 0, wed = 0, sed = 0;
+        for (const auto &p : apps) {
+            auto w = exp.staticSearch(p, side,
+                                      Organization::SelectiveWays);
+            auto s = exp.staticSearch(p, side,
+                                      Organization::SelectiveSets);
+            wsz += w.sizeReductionPct(side);
+            ssz += s.sizeReductionPct(side);
+            wed += w.edReductionPct();
+            sed += s.edReductionPct();
+            t.addRow({p.name,
+                      TextTable::pct(w.sizeReductionPct(side)),
+                      TextTable::pct(s.sizeReductionPct(side)),
+                      TextTable::pct(w.edReductionPct()),
+                      TextTable::pct(s.edReductionPct()),
+                      TextTable::pct(w.perfDegradationPct()),
+                      TextTable::pct(s.perfDegradationPct())});
+        }
+        const double n = static_cast<double>(apps.size());
+        t.addRow({"AVG", TextTable::pct(wsz / n),
+                  TextTable::pct(ssz / n), TextTable::pct(wed / n),
+                  TextTable::pct(sed / n), "-", "-"});
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Figure 6: average processor energy-delay reduction of
+ * the hybrid selective-sets-and-ways organization against both pure
+ * organizations, 2..16-way 32K caches.
+ *
+ * Paper shape to verify: hybrid >= max(selective-ways,
+ * selective-sets) at every associativity.
+ */
+
+#include "bench/common.hh"
+
+using namespace rcache;
+
+int
+main()
+{
+    bench::banner("Figure 6: hybrid organization effectiveness",
+                  "Fig 6 (hybrid vs selective-ways/sets, 2..16-way)");
+
+    const auto apps = bench::suite();
+    const std::uint64_t insts = bench::runInsts();
+    const double n = static_cast<double>(apps.size());
+
+    for (auto side : {CacheSide::DCache, CacheSide::ICache}) {
+        std::cout << (side == CacheSide::DCache ? "(a) D-Cache"
+                                                : "(b) I-Cache")
+                  << " — avg reduction (%) in processor "
+                     "energy-delay\n\n";
+        TextTable t({"assoc", "hybrid", "selective-ways",
+                     "selective-sets", "hybrid>=both?"});
+        for (unsigned assoc : {2u, 4u, 8u, 16u}) {
+            Experiment exp(bench::baseWithAssoc(assoc), insts);
+            double hyb = 0, ways = 0, sets = 0;
+            for (const auto &p : apps) {
+                hyb += exp.staticSearch(p, side, Organization::Hybrid)
+                           .edReductionPct();
+                ways += exp.staticSearch(p, side,
+                                         Organization::SelectiveWays)
+                            .edReductionPct();
+                sets += exp.staticSearch(p, side,
+                                         Organization::SelectiveSets)
+                            .edReductionPct();
+            }
+            const bool dominates =
+                hyb >= ways - 0.05 * n && hyb >= sets - 0.05 * n;
+            t.addRow({std::to_string(assoc) + "-way",
+                      TextTable::pct(hyb / n),
+                      TextTable::pct(ways / n),
+                      TextTable::pct(sets / n),
+                      dominates ? "yes" : "NO"});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "paper: hybrid d$ 9/12/13/15, i$ 11/13/14/17.\n";
+    return 0;
+}

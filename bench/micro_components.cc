@@ -1,0 +1,136 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * cache access, resize/flush, workload generation, branch prediction,
+ * and whole-core simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/inorder_core.hh"
+#include "cpu/ooo_core.hh"
+#include "sim/system.hh"
+#include "workload/profiles.hh"
+
+using namespace rcache;
+
+namespace
+{
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    Cache c("c", CacheGeometry{32 * 1024, 2, 32, 1024});
+    c.access(0x1000, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.access(0x1000, false).hit);
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessStream(benchmark::State &state)
+{
+    Cache c("c", CacheGeometry{32 * 1024, 2, 32, 1024});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a, false).hit);
+        a += 32;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessStream);
+
+void
+BM_CacheResizeFlush(benchmark::State &state)
+{
+    // Cost of a downsize+upsize round trip on a warm cache.
+    Cache c("c", CacheGeometry{32 * 1024, 4, 32, 1024});
+    for (Addr a = 0; a < 32 * 1024; a += 32)
+        c.access(a, (a & 63) != 0);
+    for (auto _ : state) {
+        c.resizeTo(128, 4);
+        c.resizeTo(256, 4);
+        // Refill a little so flushes keep doing work.
+        for (Addr a = 0; a < 8 * 1024; a += 32)
+            c.access(a, true);
+    }
+}
+BENCHMARK(BM_CacheResizeFlush);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    SyntheticWorkload wl(profileByName("gcc"));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wl.next().pc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    BranchPredictor bp;
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1;
+        benchmark::DoNotOptimize(bp.predictAndUpdate(
+            0x4000 + ((x >> 20) & 0xfff), (x >> 40) & 1, 0x8000));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void
+BM_OooCoreSimulation(benchmark::State &state)
+{
+    // End-to-end simulation throughput (instructions/second).
+    for (auto _ : state) {
+        state.PauseTiming();
+        SyntheticWorkload wl(profileByName("compress"));
+        System sys(SystemConfig::base());
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sys.run(wl, 100000).cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_OooCoreSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_InOrderCoreSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        SyntheticWorkload wl(profileByName("compress"));
+        SystemConfig cfg = SystemConfig::base();
+        cfg.coreModel = CoreModel::InOrder;
+        System sys(cfg);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sys.run(wl, 100000).cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_InOrderCoreSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_DynamicControllerOverhead(benchmark::State &state)
+{
+    // Controller bookkeeping per access.
+    SelectiveSetsCache c("dl1", CacheGeometry{32 * 1024, 2, 32, 1024});
+    DynamicParams dyn;
+    dyn.intervalAccesses = 4096;
+    dyn.missBound = 64;
+    DynamicMissRatioController ctl(c, {}, dyn);
+    std::uint64_t cycle = 0;
+    std::uint64_t x = 9;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1;
+        ctl.onAccess((x >> 40) % 50 == 0, ++cycle);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicControllerOverhead);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Energy breakdown: run every profile on the base system (and
+ * optionally the in-order variant) and print the per-structure
+ * processor energy breakdown — the numbers behind the paper's
+ * Section 4 claim that the L1s dissipate ~18.5% (d) and ~17.5% (i)
+ * of total energy.
+ *
+ * Usage: energy_breakdown [inorder] [instructions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/table.hh"
+
+using namespace rcache;
+
+int
+main(int argc, char **argv)
+{
+    const bool inorder =
+        argc > 1 && std::string(argv[1]) == "inorder";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500000;
+
+    SystemConfig cfg = SystemConfig::base();
+    if (inorder)
+        cfg.coreModel = CoreModel::InOrder;
+
+    std::cout << "energy breakdown, " << coreModelName(cfg.coreModel)
+              << " core, " << insts << " instructions per app\n\n";
+
+    TextTable t({"app", "IPC", "i$", "d$", "L2", "mem", "core",
+                 "clock"});
+    double i = 0, d = 0, l2 = 0, mem = 0, core = 0, clk = 0, ipc = 0;
+    auto suite = spec2000Suite();
+    for (const auto &p : suite) {
+        SyntheticWorkload wl(p);
+        System sys(cfg);
+        RunResult r = sys.run(wl, insts);
+        const double tot = r.energy.total();
+        i += r.energy.icache / tot;
+        d += r.energy.dcache / tot;
+        l2 += r.energy.l2 / tot;
+        mem += r.energy.memory / tot;
+        core += r.energy.core / tot;
+        clk += r.energy.clock / tot;
+        ipc += r.ipc();
+        t.addRow({p.name, TextTable::num(r.ipc()),
+                  TextTable::pct(100 * r.energy.icache / tot),
+                  TextTable::pct(100 * r.energy.dcache / tot),
+                  TextTable::pct(100 * r.energy.l2 / tot),
+                  TextTable::pct(100 * r.energy.memory / tot),
+                  TextTable::pct(100 * r.energy.core / tot),
+                  TextTable::pct(100 * r.energy.clock / tot)});
+    }
+    const double n = static_cast<double>(suite.size());
+    t.addRow({"AVG", TextTable::num(ipc / n),
+              TextTable::pct(100 * i / n), TextTable::pct(100 * d / n),
+              TextTable::pct(100 * l2 / n),
+              TextTable::pct(100 * mem / n),
+              TextTable::pct(100 * core / n),
+              TextTable::pct(100 * clk / n)});
+    t.print(std::cout);
+
+    std::cout << "\npaper (Section 4): d-cache 18.5%, i-cache 17.5% "
+                 "of total processor energy on the base OoO system; "
+                 "the in-order processor's i-cache share is ~4% "
+                 "higher (21.5%).\n";
+    return 0;
+}

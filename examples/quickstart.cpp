@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: build the paper's base system (Table 2), run one
+ * workload three ways — non-resizable, static selective-sets, dynamic
+ * selective-sets — and print the energy-delay comparison.
+ *
+ * Usage: quickstart [profile-name] [instructions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/table.hh"
+
+using namespace rcache;
+
+int
+main(int argc, char **argv)
+{
+    const std::string profile_name = argc > 1 ? argv[1] : "compress";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1000000;
+
+    BenchmarkProfile profile = profileByName(profile_name);
+
+    // The paper's base system: 4-wide OoO, 32K 2-way L1s, 512K L2.
+    SystemConfig cfg = SystemConfig::base();
+    Experiment exp(cfg, insts);
+
+    std::cout << "rcache quickstart: " << profile_name << ", " << insts
+              << " instructions, base system ("
+              << coreModelName(cfg.coreModel) << ")\n\n";
+
+    RunResult base = exp.baseline(profile);
+    std::cout << "baseline (non-resizable 32K 2-way d-cache):\n"
+              << "  cycles " << base.cycles << "  IPC "
+              << TextTable::num(base.ipc()) << "  d-miss "
+              << TextTable::pct(100 * base.dl1MissRatio) << "\n"
+              << base.energy << '\n';
+
+    SearchOutcome st = exp.staticSearch(profile, CacheSide::DCache,
+                                        Organization::SelectiveSets);
+    SearchOutcome dy = exp.dynamicSearch(profile, CacheSide::DCache,
+                                         Organization::SelectiveSets);
+
+    TextTable t({"d-cache setup", "avg size", "miss ratio",
+                 "perf loss", "E*D reduction"});
+    t.addRow({"non-resizable", TextTable::bytesKb(base.avgDl1Bytes),
+              TextTable::pct(100 * base.dl1MissRatio), "-", "-"});
+    t.addRow({"static selective-sets",
+              TextTable::bytesKb(st.best.avgDl1Bytes),
+              TextTable::pct(100 * st.best.dl1MissRatio),
+              TextTable::pct(st.perfDegradationPct()),
+              TextTable::pct(st.edReductionPct())});
+    t.addRow({"dynamic selective-sets",
+              TextTable::bytesKb(dy.best.avgDl1Bytes),
+              TextTable::pct(100 * dy.best.dl1MissRatio),
+              TextTable::pct(dy.perfDegradationPct()),
+              TextTable::pct(dy.edReductionPct())});
+    t.print(std::cout);
+
+    std::cout << "\nstatic best level: " << st.bestLevel << " ("
+              << TextTable::bytesKb(static_cast<double>(
+                     st.best.avgDl1Bytes))
+              << "), dynamic miss-bound " << dy.bestParams.missBound
+              << "/interval\n";
+    return 0;
+}

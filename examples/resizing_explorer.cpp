@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Resizing explorer: sweep every offered configuration of an
+ * organization for one application and print the full
+ * size/miss/performance/energy-delay trade-off curve — the raw data
+ * behind the paper's static profiling methodology.
+ *
+ * Usage: resizing_explorer [profile] [org: ways|sets|hybrid]
+ *                          [side: d|i] [assoc] [instructions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "sim/table.hh"
+
+using namespace rcache;
+
+namespace
+{
+
+Organization
+parseOrg(const std::string &s)
+{
+    if (s == "ways")
+        return Organization::SelectiveWays;
+    if (s == "sets")
+        return Organization::SelectiveSets;
+    if (s == "hybrid")
+        return Organization::Hybrid;
+    rc_fatal("unknown organization '" + s +
+             "' (expected ways|sets|hybrid)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string profile_name = argc > 1 ? argv[1] : "compress";
+    const Organization org =
+        parseOrg(argc > 2 ? argv[2] : "hybrid");
+    const bool dcache = (argc > 3 ? std::string(argv[3]) : "d") == "d";
+    const unsigned assoc =
+        argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 4;
+    const std::uint64_t insts =
+        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 800000;
+
+    BenchmarkProfile profile = profileByName(profile_name);
+    SystemConfig cfg = SystemConfig::base();
+    cfg.il1.assoc = assoc;
+    cfg.dl1.assoc = assoc;
+    if (dcache)
+        cfg.dl1Org = org;
+    else
+        cfg.il1Org = org;
+
+    const CacheGeometry &geom = dcache ? cfg.dl1 : cfg.il1;
+    auto schedule = buildSchedule(org, geom);
+
+    std::cout << "resizing explorer: " << profile_name << ", "
+              << organizationName(org) << " "
+              << (dcache ? "d-cache" : "i-cache") << ", " << assoc
+              << "-way 32K, " << insts << " instructions\n\n";
+
+    // Baseline: non-resizable.
+    SystemConfig base_cfg = cfg;
+    base_cfg.il1Org = Organization::None;
+    base_cfg.dl1Org = Organization::None;
+    SyntheticWorkload base_wl(profile);
+    System base_sys(base_cfg);
+    RunResult base = base_sys.run(base_wl, insts);
+
+    TextTable t({"level", "size", "config", "miss ratio", "IPC",
+                 "perf loss", "rel energy", "rel E*D"});
+    double best_edp = 0;
+    unsigned best_level = 0;
+    for (unsigned lvl = 0; lvl < schedule.size(); ++lvl) {
+        SyntheticWorkload wl(profile);
+        System sys(cfg);
+        ResizeSetup setup{Strategy::Static, lvl, {}};
+        RunResult r = dcache ? sys.run(wl, insts, {}, setup)
+                             : sys.run(wl, insts, setup, {});
+        const double miss =
+            dcache ? r.dl1MissRatio : r.il1MissRatio;
+        const double edp_rel = r.edp() / base.edp();
+        if (lvl == 0 || r.edp() < best_edp) {
+            best_edp = r.edp();
+            best_level = lvl;
+        }
+        t.addRow({std::to_string(lvl),
+                  TextTable::bytesKb(static_cast<double>(
+                      schedule[lvl].sizeBytes(geom.blockSize))),
+                  std::to_string(schedule[lvl].ways) + "-way x " +
+                      std::to_string(schedule[lvl].sets) + " sets",
+                  TextTable::pct(100 * miss),
+                  TextTable::num(r.ipc()),
+                  TextTable::pct(100.0 * (static_cast<double>(
+                                              r.cycles) /
+                                              base.cycles -
+                                          1.0)),
+                  TextTable::num(r.energy.total() /
+                                     base.energy.total(),
+                                 3),
+                  TextTable::num(edp_rel, 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nbest energy-delay at level " << best_level
+              << " ("
+              << TextTable::bytesKb(static_cast<double>(
+                     schedule[best_level].sizeBytes(geom.blockSize)))
+              << "): " << TextTable::pct(100 * (1 - best_edp /
+                                                        base.edp()))
+              << " reduction vs non-resizable.\n";
+    return 0;
+}

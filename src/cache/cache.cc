@@ -1,0 +1,266 @@
+#include "cache/cache.hh"
+
+#include <sstream>
+
+namespace rcache
+{
+
+std::string
+CacheGeometry::validate() const
+{
+    std::ostringstream err;
+    if (!isPowerOfTwo(size))
+        err << "size " << size << " not a power of two; ";
+    if (assoc == 0 || size % assoc != 0)
+        err << "assoc " << assoc << " does not divide size; ";
+    if (!isPowerOfTwo(blockSize))
+        err << "blockSize " << blockSize << " not a power of two; ";
+    if (!isPowerOfTwo(subarraySize))
+        err << "subarraySize " << subarraySize
+            << " not a power of two; ";
+    if (assoc && size % assoc == 0) {
+        if (waySize() % subarraySize != 0)
+            err << "subarraySize does not divide way size; ";
+        if (subarraySize % blockSize != 0)
+            err << "blockSize does not divide subarraySize; ";
+        if (!isPowerOfTwo(numSets()))
+            err << "numSets not a power of two; ";
+    }
+    return err.str();
+}
+
+Cache::Cache(const std::string &name, const CacheGeometry &geom,
+             std::unique_ptr<ReplacementPolicy> policy)
+    : name_(name),
+      geom_(geom),
+      policy_(policy ? std::move(policy)
+                     : std::make_unique<LruPolicy>()),
+      enabledSets_(geom.numSets()),
+      enabledWays_(geom.assoc),
+      blocks_(geom.numSets() * geom.assoc),
+      stats_(name)
+{
+    std::string err = geom_.validate();
+    if (!err.empty())
+        rc_fatal("cache " + name_ + ": invalid geometry: " + err);
+
+    stats_.addCounter("accesses", &accesses_, "total accesses");
+    stats_.addCounter("misses", &misses_, "total misses");
+    stats_.addCounter("writebacks", &writebacks_,
+                      "dirty evictions from normal fills");
+    stats_.addCounter("prechargeSubarrayEvents", &prechargeEvents_,
+                      "sum of enabled subarrays over accesses");
+    stats_.addCounter("wayReadEvents", &wayReads_,
+                      "sum of ways read over accesses");
+    stats_.addCounter("resizes", &resizes_, "resize operations");
+    stats_.addCounter("flushInvalidations", &flushInvalidations_,
+                      "blocks invalidated by resizes/flushes");
+    stats_.addCounter("flushWritebacks", &flushWritebacks_,
+                      "dirty blocks written back by resizes/flushes");
+    stats_.addFormula(
+        "missRatio", [this]() { return missRatio(); },
+        "misses / accesses");
+}
+
+unsigned
+Cache::enabledSubarrays() const
+{
+    // Each way keeps at least one subarray enabled; above that the
+    // enabled sets of a way span ceil(sets*blockSize / subarraySize)
+    // subarrays (always exact because legal set counts are powers of
+    // two >= setsPerSubarray).
+    std::uint64_t bytes_per_way = enabledSets_ * geom_.blockSize;
+    std::uint64_t per_way =
+        std::max<std::uint64_t>(1, bytes_per_way / geom_.subarraySize);
+    return static_cast<unsigned>(per_way * enabledWays_);
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    prechargeEvents_ += enabledSubarrays();
+    wayReads_ += enabledWays_;
+
+    AccessResult res;
+    const Addr block_addr = addr >> geom_.blockBits();
+    const std::uint64_t set = indexOf(block_addr);
+
+    // Hit path: search enabled ways for a tag match.
+    for (unsigned w = 0; w < enabledWays_; ++w) {
+        Block &b = blockAt(set, w);
+        if (b.valid && b.blockAddr == block_addr) {
+            b.replMeta = policy_->touch(b.replMeta);
+            b.dirty = b.dirty || is_write;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: allocate. Prefer an invalid enabled way.
+    ++misses_;
+    unsigned victim_way = enabledWays_;
+    for (unsigned w = 0; w < enabledWays_; ++w) {
+        if (!blockAt(set, w).valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == enabledWays_) {
+        std::vector<ReplChoice> choices;
+        choices.reserve(enabledWays_);
+        for (unsigned w = 0; w < enabledWays_; ++w) {
+            const Block &b = blockAt(set, w);
+            choices.push_back({b.valid, b.replMeta});
+        }
+        victim_way = policy_->victim(choices);
+        rc_assert(victim_way < enabledWays_);
+    }
+
+    Block &victim = blockAt(set, victim_way);
+    if (victim.valid && victim.dirty) {
+        ++writebacks_;
+        res.writeback = true;
+        res.writebackAddr = victim.blockAddr << geom_.blockBits();
+    }
+
+    victim.valid = true;
+    victim.dirty = is_write;
+    victim.blockAddr = block_addr;
+    victim.replMeta = policy_->touch(victim.replMeta);
+    return res;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr block_addr = addr >> geom_.blockBits();
+    const std::uint64_t set = indexOf(block_addr);
+    for (unsigned w = 0; w < enabledWays_; ++w) {
+        const Block &b = blockAt(set, w);
+        if (b.valid && b.blockAddr == block_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::evict(Block &b, const WritebackSink &sink, FlushResult &out)
+{
+    if (!b.valid)
+        return;
+    ++out.invalidated;
+    ++flushInvalidations_;
+    if (b.dirty) {
+        ++out.writebacks;
+        ++flushWritebacks_;
+        if (sink)
+            sink(b.blockAddr << geom_.blockBits());
+    }
+    b.valid = false;
+    b.dirty = false;
+}
+
+FlushResult
+Cache::resizeTo(std::uint64_t enabled_sets, unsigned enabled_ways,
+                const WritebackSink &sink)
+{
+    rc_assert(isPowerOfTwo(enabled_sets));
+    rc_assert(enabled_sets >= geom_.minSets() &&
+              enabled_sets <= geom_.numSets());
+    rc_assert(enabled_ways >= 1 && enabled_ways <= geom_.assoc);
+
+    FlushResult out;
+    if (enabled_sets == enabledSets_ && enabled_ways == enabledWays_)
+        return out;
+
+    ++resizes_;
+
+    const std::uint64_t old_sets = enabledSets_;
+    const unsigned old_ways = enabledWays_;
+
+    // 1. Ways being disabled: flush their blocks in enabled sets.
+    for (std::uint64_t s = 0; s < old_sets; ++s)
+        for (unsigned w = enabled_ways; w < old_ways; ++w)
+            evict(blockAt(s, w), sink, out);
+
+    // 2. Sets being disabled (downsizing): flush everything there.
+    for (std::uint64_t s = enabled_sets; s < old_sets; ++s)
+        for (unsigned w = 0; w < std::min(old_ways, enabled_ways); ++w)
+            evict(blockAt(s, w), sink, out);
+
+    // 3. Sets being enabled (upsizing): surviving blocks whose index
+    //    changes under the wider set mask can no longer be found;
+    //    flush them, clean or dirty, as the paper requires.
+    if (enabled_sets > old_sets) {
+        for (std::uint64_t s = 0; s < old_sets; ++s) {
+            for (unsigned w = 0; w < std::min(old_ways, enabled_ways);
+                 ++w) {
+                Block &b = blockAt(s, w);
+                if (b.valid &&
+                    (b.blockAddr & (enabled_sets - 1)) != s) {
+                    evict(b, sink, out);
+                }
+            }
+        }
+    }
+
+    enabledSets_ = enabled_sets;
+    enabledWays_ = enabled_ways;
+    return out;
+}
+
+FlushResult
+Cache::flushAll(const WritebackSink &sink)
+{
+    FlushResult out;
+    for (auto &b : blocks_)
+        evict(b, sink, out);
+    return out;
+}
+
+void
+Cache::accumulateEnabledTime(std::uint64_t now_cycle)
+{
+    // Notification cycles from an out-of-order core are only mostly
+    // monotonic; clamp instead of asserting.
+    if (now_cycle <= lastAccountedCycle_)
+        return;
+    byteCycles_ += static_cast<double>(enabledSize()) *
+                   static_cast<double>(now_cycle - lastAccountedCycle_);
+    lastAccountedCycle_ = now_cycle;
+}
+
+void
+Cache::resetStats()
+{
+    accesses_.reset();
+    misses_.reset();
+    writebacks_.reset();
+    prechargeEvents_.reset();
+    wayReads_.reset();
+    resizes_.reset();
+    flushInvalidations_.reset();
+    flushWritebacks_.reset();
+    byteCycles_ = 0;
+    lastAccountedCycle_ = 0;
+}
+
+bool
+Cache::checkInvariants() const
+{
+    for (std::uint64_t s = 0; s < geom_.numSets(); ++s) {
+        for (unsigned w = 0; w < geom_.assoc; ++w) {
+            const Block &b = blockAt(s, w);
+            if (!b.valid)
+                continue;
+            if (s >= enabledSets_ || w >= enabledWays_)
+                return false; // valid block in a disabled frame
+            if (indexOf(b.blockAddr) != s)
+                return false; // block not findable at its set
+        }
+    }
+    return true;
+}
+
+} // namespace rcache

@@ -1,0 +1,80 @@
+#include "cache/hierarchy.hh"
+
+namespace rcache
+{
+
+Hierarchy::Hierarchy(Cache *il1, Cache *dl1,
+                     const CacheGeometry &l2_geom,
+                     const HierarchyParams &params)
+    : il1_(il1), dl1_(dl1), l2_("l2", l2_geom), params_(params)
+{
+    rc_assert(il1_ && dl1_);
+}
+
+std::uint64_t
+Hierarchy::memPenalty() const
+{
+    return params_.l2Latency + params_.memBaseLatency +
+           params_.memCyclesPer8Bytes *
+               (l2_.geometry().blockSize / 8);
+}
+
+bool
+Hierarchy::l2Access(Addr addr, bool is_write)
+{
+    AccessResult r = l2_.access(addr, is_write);
+    if (!r.hit)
+        ++memReads_; // block fill from memory
+    if (r.writeback)
+        ++memWrites_; // dirty L2 victim drains to memory
+    return r.hit;
+}
+
+MemAccessResult
+Hierarchy::instAccess(Addr addr)
+{
+    MemAccessResult out;
+    AccessResult l1 = il1_->access(addr, false);
+    out.l1Hit = l1.hit;
+    out.latency = params_.l1Latency;
+    // Instruction blocks are never dirty, so no writeback possible.
+    if (!l1.hit) {
+        out.l2Hit = l2Access(addr, false);
+        out.latency += out.l2Hit ? params_.l2Latency : memPenalty();
+    }
+    return out;
+}
+
+MemAccessResult
+Hierarchy::dataAccess(Addr addr, bool is_write)
+{
+    MemAccessResult out;
+    AccessResult l1 = dl1_->access(addr, is_write);
+    out.l1Hit = l1.hit;
+    out.latency = params_.l1Latency;
+    if (!l1.hit) {
+        out.l2Hit = l2Access(addr, false);
+        out.latency += out.l2Hit ? params_.l2Latency : memPenalty();
+    }
+    if (l1.writeback) {
+        out.writeback = true;
+        l2Access(l1.writebackAddr, true);
+    }
+    return out;
+}
+
+WritebackSink
+Hierarchy::l1WritebackSink()
+{
+    return [this](Addr block_addr) { l2Access(block_addr, true); };
+}
+
+void
+Hierarchy::resetStats()
+{
+    l2_.resetStats();
+    memReads_.reset();
+    memWrites_.reset();
+}
+
+} // namespace rcache

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Two-level memory hierarchy: split L1 I/D, unified L2, flat memory.
+ *
+ * The hierarchy is purely functional-plus-latency: the CPU models ask
+ * for an access and get back the latency it would take and which level
+ * hit; structural hazards (MSHRs, writeback buffer) are applied by the
+ * CPU models using the pools in cache/mshr.hh.
+ */
+
+#ifndef RCACHE_CACHE_HIERARCHY_HH
+#define RCACHE_CACHE_HIERARCHY_HH
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "stats/stats.hh"
+
+namespace rcache
+{
+
+/** Latency parameters for the hierarchy (Table 2 defaults). */
+struct HierarchyParams
+{
+    /** L1 hit latency in cycles. */
+    unsigned l1Latency = 1;
+    /** L2 hit latency in cycles. */
+    unsigned l2Latency = 12;
+    /** Memory base latency in cycles. */
+    unsigned memBaseLatency = 80;
+    /** Additional memory cycles per 8 bytes transferred. */
+    unsigned memCyclesPer8Bytes = 5;
+};
+
+/** Result of a hierarchy access. */
+struct MemAccessResult
+{
+    /** Total latency from request to data, in cycles. */
+    std::uint64_t latency = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+    /** A dirty L1 victim was evicted (occupies the writeback buffer). */
+    bool writeback = false;
+};
+
+/**
+ * Wires two L1 caches (owned by the caller, since the resizable
+ * organizations wrap them) to an owned unified L2 and a flat memory.
+ */
+class Hierarchy
+{
+  public:
+    /**
+     * @param il1,dl1 L1 caches, owned by the caller, must outlive this
+     * @param l2_geom geometry of the owned unified L2
+     * @param params latency parameters
+     */
+    Hierarchy(Cache *il1, Cache *dl1, const CacheGeometry &l2_geom,
+              const HierarchyParams &params);
+
+    /** Instruction fetch of the block containing @p addr. */
+    MemAccessResult instAccess(Addr addr);
+
+    /** Data access; @p is_write marks stores. */
+    MemAccessResult dataAccess(Addr addr, bool is_write);
+
+    /**
+     * Sink for L1 flush/resize writebacks: drains the block into L2
+     * (and memory on an L2 miss) and counts the traffic.
+     */
+    WritebackSink l1WritebackSink();
+
+    /** Latency of a miss that hits in L2 (beyond the L1 access). */
+    std::uint64_t l2HitPenalty() const { return params_.l2Latency; }
+    /** Latency of a miss that goes to memory (beyond the L1 access). */
+    std::uint64_t memPenalty() const;
+
+    Cache &il1() { return *il1_; }
+    Cache &dl1() { return *dl1_; }
+    Cache &l2() { return l2_; }
+    const Cache &l2() const { return l2_; }
+
+    std::uint64_t memReads() const { return memReads_.value(); }
+    std::uint64_t memWrites() const { return memWrites_.value(); }
+
+    const HierarchyParams &params() const { return params_; }
+
+    void resetStats();
+
+  private:
+    /** Send one block access into L2; forwards L2 victims to memory. */
+    bool l2Access(Addr addr, bool is_write);
+
+    Cache *il1_;
+    Cache *dl1_;
+    Cache l2_;
+    HierarchyParams params_;
+
+    Counter memReads_;
+    Counter memWrites_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CACHE_HIERARCHY_HH

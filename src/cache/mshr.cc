@@ -1,0 +1,117 @@
+#include "cache/mshr.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+TimedPool::TimedPool(unsigned capacity) : capacity_(capacity)
+{
+    rc_assert(capacity >= 1);
+    busyUntil_.reserve(capacity);
+}
+
+void
+TimedPool::compact(std::uint64_t now)
+{
+    std::erase_if(busyUntil_,
+                  [now](std::uint64_t t) { return t <= now; });
+}
+
+std::uint64_t
+TimedPool::acquire(std::uint64_t now, std::uint64_t duration)
+{
+    compact(now);
+    std::uint64_t start = now;
+    if (busyUntil_.size() >= capacity_) {
+        auto it = std::min_element(busyUntil_.begin(), busyUntil_.end());
+        start = *it;
+        busyUntil_.erase(it);
+    }
+    busyUntil_.push_back(start + duration);
+    return start;
+}
+
+unsigned
+TimedPool::busyAt(std::uint64_t now) const
+{
+    unsigned n = 0;
+    for (auto t : busyUntil_)
+        if (t > now)
+            ++n;
+    return n;
+}
+
+void
+TimedPool::reset()
+{
+    busyUntil_.clear();
+}
+
+MshrFile::MshrFile(unsigned capacity) : pool_(capacity)
+{
+    entries_.reserve(capacity);
+}
+
+std::uint64_t
+MshrFile::miss(Addr block_addr, std::uint64_t now,
+               std::uint64_t fill_latency)
+{
+    // Secondary miss: merge with the in-flight primary.
+    for (const auto &e : entries_) {
+        if (e.blockAddr == block_addr && e.fillAt > now) {
+            ++secondary_;
+            return e.fillAt;
+        }
+    }
+    std::erase_if(entries_,
+                  [now](const Entry &e) { return e.fillAt <= now; });
+    const std::uint64_t start = pool_.acquire(now, fill_latency);
+    const std::uint64_t fill_at = start + fill_latency;
+    entries_.push_back({block_addr, fill_at});
+    return fill_at;
+}
+
+bool
+MshrFile::inFlight(Addr block_addr, std::uint64_t now) const
+{
+    for (const auto &e : entries_)
+        if (e.blockAddr == block_addr && e.fillAt > now)
+            return true;
+    return false;
+}
+
+void
+MshrFile::reset()
+{
+    pool_.reset();
+    entries_.clear();
+    secondary_ = 0;
+}
+
+WritebackBuffer::WritebackBuffer(unsigned capacity,
+                                 std::uint64_t drain_latency)
+    : pool_(capacity), drainLatency_(drain_latency)
+{
+}
+
+std::uint64_t
+WritebackBuffer::insert(std::uint64_t now)
+{
+    ++inserted_;
+    const std::uint64_t start = pool_.acquire(now, drainLatency_);
+    stallCycles_ += start - now;
+    return start;
+}
+
+void
+WritebackBuffer::reset()
+{
+    pool_.reset();
+    inserted_ = 0;
+    stallCycles_ = 0;
+}
+
+} // namespace rcache

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Time-based resource pools: MSHR file and writeback buffer.
+ *
+ * The CPU models in this project are instruction-driven rather than
+ * cycle-driven: each instruction's fetch/issue/complete cycles are
+ * computed from its producers and from structural resources. The two
+ * structural resources attached to the data cache — miss status
+ * holding registers (non-blocking miss parallelism) and the writeback
+ * buffer — are therefore modelled as pools of busy-until timestamps.
+ */
+
+#ifndef RCACHE_CACHE_MSHR_HH
+#define RCACHE_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hh"
+
+namespace rcache
+{
+
+/**
+ * A pool of @c capacity slots, each busy until some cycle. Shared
+ * implementation for MSHRs and writeback buffers.
+ */
+class TimedPool
+{
+  public:
+    explicit TimedPool(unsigned capacity);
+
+    /**
+     * Acquire a slot at time @p now for @p duration cycles.
+     *
+     * @return the cycle at which the slot was actually acquired: @p now
+     *         if a slot was free, else the earliest cycle one frees up
+     *         (the caller stalls until then).
+     */
+    std::uint64_t acquire(std::uint64_t now, std::uint64_t duration);
+
+    /** Number of slots busy at @p now. */
+    unsigned busyAt(std::uint64_t now) const;
+
+    /** True if no slot is free at @p now. */
+    bool fullAt(std::uint64_t now) const
+    {
+        return busyAt(now) >= capacity_;
+    }
+
+    unsigned capacity() const { return capacity_; }
+
+    /** Forget all in-flight state (start of a new run). */
+    void reset();
+
+  private:
+    unsigned capacity_;
+    /** Busy-until cycle per allocated slot; lazily compacted. */
+    std::vector<std::uint64_t> busyUntil_;
+
+    void compact(std::uint64_t now);
+};
+
+/**
+ * MSHR file: a TimedPool plus merging of secondary misses to a block
+ * already in flight (they complete with the primary miss and consume
+ * no new slot).
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned capacity);
+
+    /**
+     * Register a miss to @p block_addr discovered at @p now that will
+     * take @p fill_latency cycles to fill.
+     *
+     * @return the cycle the requested block is available. For a
+     *         secondary miss this is the primary's fill time; for a
+     *         primary miss with no free MSHR the start is delayed
+     *         until a slot frees (blocking behaviour emerges when
+     *         capacity is 1).
+     */
+    std::uint64_t miss(Addr block_addr, std::uint64_t now,
+                       std::uint64_t fill_latency);
+
+    /** True if @p block_addr has a fill in flight at @p now. */
+    bool inFlight(Addr block_addr, std::uint64_t now) const;
+
+    std::uint64_t secondaryMisses() const { return secondary_; }
+    unsigned capacity() const { return pool_.capacity(); }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Addr blockAddr;
+        std::uint64_t fillAt;
+    };
+
+    TimedPool pool_;
+    std::vector<Entry> entries_;
+    std::uint64_t secondary_ = 0;
+};
+
+/**
+ * Writeback buffer: dirty victims wait here while draining to the
+ * next level. A full buffer stalls the evicting access.
+ */
+class WritebackBuffer
+{
+  public:
+    explicit WritebackBuffer(unsigned capacity,
+                             std::uint64_t drain_latency);
+
+    /**
+     * Insert a writeback at @p now.
+     * @return the cycle the evicting access may proceed (== @p now
+     *         unless the buffer was full).
+     */
+    std::uint64_t insert(std::uint64_t now);
+
+    std::uint64_t inserted() const { return inserted_; }
+    std::uint64_t stallCycles() const { return stallCycles_; }
+
+    void reset();
+
+  private:
+    TimedPool pool_;
+    std::uint64_t drainLatency_;
+    std::uint64_t inserted_ = 0;
+    std::uint64_t stallCycles_ = 0;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CACHE_MSHR_HH

@@ -1,0 +1,53 @@
+#include "cache/replacement.hh"
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+std::uint64_t
+LruPolicy::touch(std::uint64_t)
+{
+    return ++stamp_;
+}
+
+unsigned
+LruPolicy::victim(const std::vector<ReplChoice> &ways)
+{
+    rc_assert(!ways.empty());
+    unsigned best = 0;
+    for (unsigned i = 1; i < ways.size(); ++i) {
+        if (ways[i].meta < ways[best].meta)
+            best = i;
+    }
+    return best;
+}
+
+RandomPolicy::RandomPolicy(std::uint64_t seed) : rng_(seed)
+{
+}
+
+std::uint64_t
+RandomPolicy::touch(std::uint64_t old_meta)
+{
+    return old_meta;
+}
+
+unsigned
+RandomPolicy::victim(const std::vector<ReplChoice> &ways)
+{
+    rc_assert(!ways.empty());
+    return static_cast<unsigned>(rng_.nextBelow(ways.size()));
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, std::uint64_t seed)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>();
+    if (name == "random")
+        return std::make_unique<RandomPolicy>(seed);
+    rc_panic("unknown replacement policy: " + name);
+}
+
+} // namespace rcache

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Block replacement policies.
+ *
+ * Policies operate on an opaque per-block metadata word owned by the
+ * cache; the policy decides how to update it on touch/fill and how to
+ * pick a victim among the enabled ways of a set.
+ */
+
+#ifndef RCACHE_CACHE_REPLACEMENT_HH
+#define RCACHE_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace rcache
+{
+
+/** Per-way view the policy sees when choosing a victim. */
+struct ReplChoice
+{
+    bool valid;
+    std::uint64_t meta;
+};
+
+/** Abstract replacement policy. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Metadata for a block just touched (hit) or filled. */
+    virtual std::uint64_t touch(std::uint64_t old_meta) = 0;
+
+    /**
+     * Pick a victim way among @p ways (already restricted to enabled
+     * ways). Invalid ways are preferred by the cache before this is
+     * consulted, so all entries are valid when called.
+     */
+    virtual unsigned victim(const std::vector<ReplChoice> &ways) = 0;
+
+    /** Human-readable policy name. */
+    virtual std::string name() const = 0;
+};
+
+/** True LRU via a global access stamp. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    std::uint64_t touch(std::uint64_t old_meta) override;
+    unsigned victim(const std::vector<ReplChoice> &ways) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::uint64_t stamp_ = 0;
+};
+
+/** Uniform random victim selection (deterministic seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 1);
+
+    std::uint64_t touch(std::uint64_t old_meta) override;
+    unsigned victim(const std::vector<ReplChoice> &ways) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng_;
+};
+
+/** Factory by name ("lru" or "random"); panics on unknown name. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    const std::string &name, std::uint64_t seed = 1);
+
+} // namespace rcache
+
+#endif // RCACHE_CACHE_REPLACEMENT_HH

@@ -1,0 +1,53 @@
+#include "core/dynamic_controller.hh"
+
+namespace rcache
+{
+
+DynamicMissRatioController::DynamicMissRatioController(
+    ResizableCache &cache, WritebackSink sink,
+    const DynamicParams &params)
+    : ResizePolicy(cache, std::move(sink)), params_(params)
+{
+    rc_assert(params_.intervalAccesses > 0);
+    sizeBoundLevel_ =
+        params_.sizeBoundBytes == 0
+            ? cache_.levels() - 1
+            : cache_.levelForMinSize(params_.sizeBoundBytes);
+}
+
+void
+DynamicMissRatioController::onAccess(bool miss, std::uint64_t now_cycle)
+{
+    ++accessesInInterval_;
+    if (miss)
+        ++missesInInterval_;
+
+    if (accessesInInterval_ < params_.intervalAccesses)
+        return;
+
+    ++intervals_;
+
+    // Account elapsed enabled-size time before any resize so the
+    // leakage/average-size integral sees the old size.
+    cache_.cache().accumulateEnabledTime(now_cycle);
+
+    if (missesInInterval_ > params_.missBound) {
+        if (cache_.canUpsize()) {
+            cache_.upsize(sink_);
+            ++upsizes_;
+        }
+    } else if (static_cast<double>(missesInInterval_) <
+               params_.missBound * params_.downsizeFraction) {
+        if (cache_.canDownsize() &&
+            cache_.currentLevel() < sizeBoundLevel_) {
+            cache_.downsize(sink_);
+            ++downsizes_;
+        }
+    }
+
+    levelTrace_.push_back(cache_.currentLevel());
+    accessesInInterval_ = 0;
+    missesInInterval_ = 0;
+}
+
+} // namespace rcache

@@ -1,0 +1,91 @@
+#include "core/resizable_cache.hh"
+
+namespace rcache
+{
+
+ResizableCache::ResizableCache(const std::string &name,
+                               const CacheGeometry &geom,
+                               Organization org)
+    : org_(org),
+      schedule_(buildSchedule(org, geom)),
+      extraTagBits_(rcache::extraTagBits(org, geom)),
+      cache_(name, geom)
+{
+    rc_assert(!schedule_.empty());
+    rc_assert(schedule_.front().sets == geom.numSets() &&
+              schedule_.front().ways == geom.assoc);
+}
+
+FlushResult
+ResizableCache::setLevel(unsigned level, const WritebackSink &sink)
+{
+    rc_assert(level < levels());
+    FlushResult out =
+        cache_.resizeTo(schedule_[level].sets, schedule_[level].ways,
+                        sink);
+    level_ = level;
+    return out;
+}
+
+FlushResult
+ResizableCache::upsize(const WritebackSink &sink)
+{
+    if (!canUpsize())
+        return {};
+    return setLevel(level_ - 1, sink);
+}
+
+FlushResult
+ResizableCache::downsize(const WritebackSink &sink)
+{
+    if (!canDownsize())
+        return {};
+    return setLevel(level_ + 1, sink);
+}
+
+std::uint64_t
+ResizableCache::minSizeBytes() const
+{
+    return schedule_.back().sizeBytes(cache_.geometry().blockSize);
+}
+
+std::uint64_t
+ResizableCache::maxSizeBytes() const
+{
+    return schedule_.front().sizeBytes(cache_.geometry().blockSize);
+}
+
+unsigned
+ResizableCache::levelForMinSize(std::uint64_t bytes) const
+{
+    unsigned best = 0;
+    for (unsigned i = 0; i < levels(); ++i) {
+        if (schedule_[i].sizeBytes(cache_.geometry().blockSize) >=
+            bytes) {
+            best = i;
+        } else {
+            break;
+        }
+    }
+    return best;
+}
+
+SelectiveWaysCache::SelectiveWaysCache(const std::string &name,
+                                       const CacheGeometry &geom)
+    : ResizableCache(name, geom, Organization::SelectiveWays)
+{
+}
+
+SelectiveSetsCache::SelectiveSetsCache(const std::string &name,
+                                       const CacheGeometry &geom)
+    : ResizableCache(name, geom, Organization::SelectiveSets)
+{
+}
+
+HybridCache::HybridCache(const std::string &name,
+                         const CacheGeometry &geom)
+    : ResizableCache(name, geom, Organization::Hybrid)
+{
+}
+
+} // namespace rcache

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * ResizableCache: a cache plus an organization's offered-size schedule
+ * and the mask state ("level") selecting the current configuration.
+ *
+ * Levels index the schedule: level 0 is full size, higher levels are
+ * smaller. upsize()/downsize() move one level at a time (the paper's
+ * dynamic controller steps one size per interval); setLevel() jumps,
+ * which static resizing uses once before the run.
+ */
+
+#ifndef RCACHE_CORE_RESIZABLE_CACHE_HH
+#define RCACHE_CORE_RESIZABLE_CACHE_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/cache.hh"
+#include "core/size_schedule.hh"
+
+namespace rcache
+{
+
+/**
+ * Owns a Cache and drives its resizing according to one organization's
+ * schedule.
+ */
+class ResizableCache
+{
+  public:
+    /**
+     * @param name cache/stat name (e.g. "dl1")
+     * @param geom full-size geometry
+     * @param org which organization's schedule to offer
+     */
+    ResizableCache(const std::string &name, const CacheGeometry &geom,
+                   Organization org);
+    virtual ~ResizableCache() = default;
+
+    /** The wrapped cache (the hierarchy and CPU access through this). */
+    Cache &cache() { return cache_; }
+    const Cache &cache() const { return cache_; }
+
+    Organization organization() const { return org_; }
+    const std::vector<ResizeConfig> &schedule() const
+    {
+        return schedule_;
+    }
+
+    /** Number of offered configurations. */
+    unsigned levels() const
+    {
+        return static_cast<unsigned>(schedule_.size());
+    }
+    unsigned currentLevel() const { return level_; }
+    const ResizeConfig &currentConfig() const
+    {
+        return schedule_[level_];
+    }
+
+    /**
+     * Jump to schedule index @p level, flushing per the semantics in
+     * Cache::resizeTo. @p sink receives dirty writebacks.
+     */
+    FlushResult setLevel(unsigned level, const WritebackSink &sink = {});
+
+    /** One step larger (toward level 0). No-op result at full size. */
+    FlushResult upsize(const WritebackSink &sink = {});
+    /** One step smaller. No-op result at the minimum size. */
+    FlushResult downsize(const WritebackSink &sink = {});
+
+    bool canUpsize() const { return level_ > 0; }
+    bool canDownsize() const { return level_ + 1 < levels(); }
+
+    /** Extra tag bits this organization carries (energy overhead). */
+    unsigned extraTagBits() const { return extraTagBits_; }
+
+    /** Smallest offered size in bytes. */
+    std::uint64_t minSizeBytes() const;
+    /** Full size in bytes. */
+    std::uint64_t maxSizeBytes() const;
+
+    /**
+     * Schedule index of the smallest offered size that is >= @p bytes
+     * (clamped to the smallest size if nothing is that small). Used to
+     * express dynamic resizing's size-bound.
+     */
+    unsigned levelForMinSize(std::uint64_t bytes) const;
+
+  private:
+    Organization org_;
+    std::vector<ResizeConfig> schedule_;
+    unsigned extraTagBits_;
+    Cache cache_;
+    unsigned level_ = 0;
+};
+
+/**
+ * Convenience subclasses naming each organization; they add no state
+ * but give call sites and tests a vocabulary matching the paper.
+ */
+class SelectiveWaysCache : public ResizableCache
+{
+  public:
+    SelectiveWaysCache(const std::string &name,
+                       const CacheGeometry &geom);
+};
+
+class SelectiveSetsCache : public ResizableCache
+{
+  public:
+    SelectiveSetsCache(const std::string &name,
+                       const CacheGeometry &geom);
+};
+
+class HybridCache : public ResizableCache
+{
+  public:
+    HybridCache(const std::string &name, const CacheGeometry &geom);
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CORE_RESIZABLE_CACHE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Resizing strategy interface: "when" to resize (paper Section 2.2).
+ *
+ * A policy observes every access to its cache (hit/miss plus the cycle
+ * it happened at) and may resize the cache in response. Static
+ * resizing configures once and never reacts; dynamic resizing is the
+ * paper's miss-ratio-based interval controller.
+ */
+
+#ifndef RCACHE_CORE_RESIZE_POLICY_HH
+#define RCACHE_CORE_RESIZE_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hh"
+#include "core/resizable_cache.hh"
+
+namespace rcache
+{
+
+/** The resizing strategies compared by the paper. */
+enum class Strategy
+{
+    /** Non-resizable (baseline). */
+    None,
+    /** One profiled size per application (Albonesi). */
+    Static,
+    /** Miss-ratio-based interval controller (Yang et al.). */
+    Dynamic,
+};
+
+/** Printable strategy name. */
+std::string strategyName(Strategy s);
+
+/** Abstract resizing strategy attached to one ResizableCache. */
+class ResizePolicy
+{
+  public:
+    /**
+     * @param cache the resizable cache this policy controls
+     * @param sink where flush writebacks go (normally into L2)
+     */
+    ResizePolicy(ResizableCache &cache, WritebackSink sink)
+        : cache_(cache), sink_(std::move(sink))
+    {
+    }
+    virtual ~ResizePolicy() = default;
+
+    /**
+     * Observe one access to the controlled cache.
+     * @param miss whether the access missed
+     * @param now_cycle current simulated cycle
+     */
+    virtual void onAccess(bool miss, std::uint64_t now_cycle) = 0;
+
+    virtual Strategy strategy() const = 0;
+
+    ResizableCache &cache() { return cache_; }
+
+  protected:
+    ResizableCache &cache_;
+    WritebackSink sink_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CORE_RESIZE_POLICY_HH

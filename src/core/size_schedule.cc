@@ -1,0 +1,109 @@
+#include "core/size_schedule.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+std::string
+organizationName(Organization org)
+{
+    switch (org) {
+      case Organization::None:
+        return "none";
+      case Organization::SelectiveWays:
+        return "selective-ways";
+      case Organization::SelectiveSets:
+        return "selective-sets";
+      case Organization::Hybrid:
+        return "hybrid";
+    }
+    rc_panic("bad organization");
+}
+
+namespace
+{
+
+std::vector<ResizeConfig>
+waysSchedule(const CacheGeometry &geom)
+{
+    std::vector<ResizeConfig> out;
+    for (unsigned w = geom.assoc; w >= 1; --w)
+        out.push_back({geom.numSets(), w});
+    return out;
+}
+
+std::vector<ResizeConfig>
+setsSchedule(const CacheGeometry &geom)
+{
+    std::vector<ResizeConfig> out;
+    for (std::uint64_t s = geom.numSets(); s >= geom.minSets(); s /= 2)
+        out.push_back({s, geom.assoc});
+    return out;
+}
+
+std::vector<ResizeConfig>
+hybridSchedule(const CacheGeometry &geom)
+{
+    // The full cross product of way-size levels (set counts) and way
+    // counts. After the redundant-size rule below this reproduces the
+    // paper's Table 1 exactly for the 32K 4-way example, and unlike a
+    // literal A/(A-1) alternation it stays a superset of both pure
+    // spectra at high associativity (required for the Fig 6 dominance
+    // property).
+    std::vector<ResizeConfig> candidates;
+    for (std::uint64_t s = geom.numSets(); s >= geom.minSets();
+         s /= 2)
+        for (unsigned w = geom.assoc; w >= 1; --w)
+            candidates.push_back({s, w});
+
+    // Redundant sizes resolve to the highest associativity (paper:
+    // minimizes miss ratio and optimizes block-frame utilization).
+    std::map<std::uint64_t, ResizeConfig> by_size;
+    for (const auto &c : candidates) {
+        auto size = c.sizeBytes(geom.blockSize);
+        auto it = by_size.find(size);
+        if (it == by_size.end() || c.ways > it->second.ways)
+            by_size[size] = c;
+    }
+
+    std::vector<ResizeConfig> out;
+    out.reserve(by_size.size());
+    for (auto it = by_size.rbegin(); it != by_size.rend(); ++it)
+        out.push_back(it->second);
+    return out;
+}
+
+} // namespace
+
+std::vector<ResizeConfig>
+buildSchedule(Organization org, const CacheGeometry &geom)
+{
+    rc_assert(geom.validate().empty());
+    switch (org) {
+      case Organization::None:
+        return {{geom.numSets(), geom.assoc}};
+      case Organization::SelectiveWays:
+        return waysSchedule(geom);
+      case Organization::SelectiveSets:
+        return setsSchedule(geom);
+      case Organization::Hybrid:
+        return hybridSchedule(geom);
+    }
+    rc_panic("bad organization");
+}
+
+unsigned
+extraTagBits(Organization org, const CacheGeometry &geom)
+{
+    if (org != Organization::SelectiveSets && org != Organization::Hybrid)
+        return 0;
+    // Tags must cover index bits down to the smallest offered set
+    // count: log2(numSets / minSets) extra bits.
+    return exactLog2(geom.numSets()) - exactLog2(geom.minSets());
+}
+
+} // namespace rcache

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Offered-size schedules for the three resizable cache organizations.
+ *
+ * A schedule is the ordered list of (sets, ways) configurations an
+ * organization can switch between, largest first. This captures the
+ * paper's central comparison:
+ *
+ *  - selective-ways: ways from assoc down to 1 at full sets — sizes are
+ *    multiples of the way size (constant granularity, associativity
+ *    shrinks with size);
+ *  - selective-sets: power-of-two set counts from full down to one
+ *    subarray per way at full associativity — fine granularity only at
+ *    small sizes, associativity preserved;
+ *  - hybrid (the paper's proposal, Table 1): at every way-size level
+ *    offer both A-way and (A-1)-way; at the minimum way size offer the
+ *    whole associativity range; redundant sizes resolve to the highest
+ *    associativity.
+ */
+
+#ifndef RCACHE_CORE_SIZE_SCHEDULE_HH
+#define RCACHE_CORE_SIZE_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hh"
+
+namespace rcache
+{
+
+/** The resizable-cache organizations compared by the paper. */
+enum class Organization
+{
+    /** Conventional non-resizable cache. */
+    None,
+    /** Albonesi: enable/disable associative ways. */
+    SelectiveWays,
+    /** Yang et al.: enable/disable sets. */
+    SelectiveSets,
+    /** This paper: union of both spectra (Table 1). */
+    Hybrid,
+};
+
+/** Printable organization name. */
+std::string organizationName(Organization org);
+
+/** One offered configuration. */
+struct ResizeConfig
+{
+    std::uint64_t sets;
+    unsigned ways;
+
+    std::uint64_t sizeBytes(unsigned block_size) const
+    {
+        return sets * ways * block_size;
+    }
+
+    bool operator==(const ResizeConfig &o) const = default;
+};
+
+/**
+ * Build the offered-size schedule of @p org for geometry @p geom,
+ * sorted by decreasing size. Index 0 is always the full-size
+ * configuration. Organization::None yields just the full size.
+ */
+std::vector<ResizeConfig> buildSchedule(Organization org,
+                                        const CacheGeometry &geom);
+
+/**
+ * Number of extra tag bits the organization needs relative to a
+ * conventional cache of full size: selective-sets (and hybrid) must
+ * size tags for the smallest offered set count (paper Section 2.1),
+ * selective-ways needs none.
+ */
+unsigned extraTagBits(Organization org, const CacheGeometry &geom);
+
+} // namespace rcache
+
+#endif // RCACHE_CORE_SIZE_SCHEDULE_HH

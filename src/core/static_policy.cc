@@ -1,0 +1,35 @@
+#include "core/static_policy.hh"
+
+namespace rcache
+{
+
+std::string
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::None:
+        return "none";
+      case Strategy::Static:
+        return "static";
+      case Strategy::Dynamic:
+        return "dynamic";
+    }
+    rc_panic("bad strategy");
+}
+
+StaticPolicy::StaticPolicy(ResizableCache &cache, WritebackSink sink,
+                           unsigned level)
+    : ResizePolicy(cache, std::move(sink)), level_(level)
+{
+    // Applied before execution: the cache starts empty, so the flush
+    // is vacuous, but accounting still records the resize.
+    cache_.setLevel(level_, sink_);
+}
+
+void
+StaticPolicy::onAccess(bool, std::uint64_t)
+{
+    // Static resizing never reacts at runtime.
+}
+
+} // namespace rcache

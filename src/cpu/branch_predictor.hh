@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Combination branch predictor (Table 2: "combination").
+ *
+ * Bimodal + gshare components with a chooser, plus a small BTB. A
+ * taken branch whose target misses in the BTB counts as a
+ * misprediction (the frontend cannot redirect without the target).
+ */
+
+#ifndef RCACHE_CPU_BRANCH_PREDICTOR_HH
+#define RCACHE_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hh"
+
+namespace rcache
+{
+
+/** Configuration for the combination predictor. */
+struct BranchPredictorParams
+{
+    unsigned bimodalEntries = 2048;
+    unsigned gshareEntries = 2048;
+    unsigned chooserEntries = 2048;
+    unsigned historyBits = 8;
+    unsigned btbEntries = 512;
+};
+
+/** See file comment. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(
+        const BranchPredictorParams &params = {});
+
+    /**
+     * Predict the branch at @p pc, then update with the actual
+     * outcome.
+     *
+     * @param taken actual direction
+     * @param target actual target (used for the BTB)
+     * @return true iff the prediction (direction and, if taken,
+     *         target) was correct
+     */
+    bool predictAndUpdate(Addr pc, bool taken, Addr target);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    double mispredictRate() const
+    {
+        return lookups_ ? static_cast<double>(mispredicts_) / lookups_
+                        : 0.0;
+    }
+
+    void reset();
+
+  private:
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static void bump(std::uint8_t &c, bool taken);
+
+    BranchPredictorParams params_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> chooser_;
+    struct BtbEntry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb_;
+    std::uint64_t history_ = 0;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CPU_BRANCH_PREDICTOR_HH

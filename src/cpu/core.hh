@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared machinery for the instruction-driven CPU timing models.
+ *
+ * Both cores process the dynamic instruction stream once, computing
+ * each instruction's fetch/issue/complete/commit cycles from its
+ * producers and from structural resources (widths, ROB/LSQ occupancy,
+ * MSHRs, writeback buffer). This reproduces the timing phenomena the
+ * paper's strategy comparison rests on — miss-latency exposure and
+ * overlap — at a small fraction of the cost of a cycle-driven model.
+ *
+ * Known simplifications (documented in DESIGN.md): issue bandwidth is
+ * enforced at dispatch rather than separately at the scheduler, and
+ * wrong-path fetch is not simulated.
+ */
+
+#ifndef RCACHE_CPU_CORE_HH
+#define RCACHE_CPU_CORE_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "cache/mshr.hh"
+#include "core/resize_policy.hh"
+#include "cpu/branch_predictor.hh"
+#include "energy/energy_model.hh"
+#include "workload/workload.hh"
+
+namespace rcache
+{
+
+/** Pipeline configuration (Table 2 defaults). */
+struct CoreParams
+{
+    unsigned fetchWidth = 4;
+    unsigned dispatchWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned robSize = 64;
+    unsigned lsqSize = 32;
+    /** Fetch-to-dispatch depth (mispredict refill penalty source). */
+    unsigned frontendDepth = 3;
+    unsigned mshrs = 8;
+    unsigned wbEntries = 8;
+    /** Cycles to drain one writeback into L2. */
+    unsigned wbDrainLatency = 12;
+    BranchPredictorParams bpred;
+};
+
+/**
+ * Bandwidth limiter for a pipeline stage: at most @c width events per
+ * cycle, requests arriving in (mostly) non-decreasing time order.
+ * A request earlier than the allocator's current cycle is served at
+ * the current cycle, which is the conservative choice.
+ */
+class SlotAllocator
+{
+  public:
+    explicit SlotAllocator(unsigned width) : width_(width) {}
+
+    std::uint64_t
+    alloc(std::uint64_t t)
+    {
+        if (t > cycle_) {
+            cycle_ = t;
+            used_ = 1;
+            return t;
+        }
+        if (used_ < width_) {
+            ++used_;
+            return cycle_;
+        }
+        ++cycle_;
+        used_ = 1;
+        return cycle_;
+    }
+
+    void
+    reset()
+    {
+        cycle_ = 0;
+        used_ = 0;
+    }
+
+  private:
+    unsigned width_;
+    std::uint64_t cycle_ = 0;
+    unsigned used_ = 0;
+};
+
+/**
+ * Base class: owns the frontend (fetch through the i-cache with
+ * branch prediction) and the d-cache structural resources; subclasses
+ * implement the backend discipline.
+ */
+class Core
+{
+  public:
+    /**
+     * @param il1_policy,dl1_policy resizing policies observing the L1
+     *        accesses; either may be null (non-resizable cache)
+     */
+    Core(const CoreParams &params, Hierarchy &hier,
+         ResizePolicy *il1_policy, ResizePolicy *dl1_policy);
+    virtual ~Core() = default;
+
+    /** Run @p num_insts instructions of @p workload to completion. */
+    virtual CoreActivity run(Workload &workload,
+                             std::uint64_t num_insts) = 0;
+
+    BranchPredictor &predictor() { return bpred_; }
+    const MshrFile &mshrs() const { return mshr_; }
+    const WritebackBuffer &writebackBuffer() const { return wb_; }
+
+  protected:
+    /**
+     * Fetch one instruction: accesses the i-cache when crossing into a
+     * new block, applies fetch bandwidth, and returns the fetch cycle.
+     */
+    std::uint64_t fetchInst(const MicroInst &inst);
+
+    /** Force the next fetch to re-access the i-cache at @p cycle. */
+    void redirectFetch(std::uint64_t cycle);
+
+    /**
+     * Resolve the branch @p inst fetched at @p fetch_cycle completing
+     * at @p complete_cycle; applies prediction and redirects.
+     * @return true if mispredicted.
+     */
+    bool resolveBranch(const MicroInst &inst,
+                       std::uint64_t complete_cycle);
+
+    void notifyIl1(bool hit, std::uint64_t cycle);
+    void notifyDl1(bool hit, std::uint64_t cycle);
+
+    /** Tally @p inst into @p activity (everything except cycles). */
+    static void countInst(const MicroInst &inst, CoreActivity &activity);
+
+    CoreParams params_;
+    Hierarchy &hier_;
+    ResizePolicy *il1Policy_;
+    ResizePolicy *dl1Policy_;
+
+    BranchPredictor bpred_;
+    MshrFile mshr_;
+    WritebackBuffer wb_;
+
+    SlotAllocator fetchSlots_;
+
+    /** Fetch engine state. */
+    std::uint64_t nextFetchCycle_ = 0;
+    Addr curFetchBlock_ = ~Addr{0};
+    std::uint64_t blockReady_ = 0;
+    /** Instructions left in the current fetch group; the i-cache SRAM
+     *  is read once per group, not once per block. */
+    unsigned groupRemaining_ = 0;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CPU_CORE_HH

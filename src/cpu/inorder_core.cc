@@ -1,0 +1,88 @@
+#include "cpu/inorder_core.hh"
+
+namespace rcache
+{
+
+InOrderCore::InOrderCore(const CoreParams &params, Hierarchy &hier,
+                         ResizePolicy *il1_policy,
+                         ResizePolicy *dl1_policy)
+    : Core(params, hier, il1_policy, dl1_policy)
+{
+}
+
+CoreActivity
+InOrderCore::run(Workload &workload, std::uint64_t num_insts)
+{
+    CoreActivity activity;
+    activity.outOfOrder = false;
+
+    SlotAllocator issue_slots(params_.dispatchWidth);
+    std::vector<std::uint64_t> complete_ring(depRing, 0);
+
+    std::uint64_t last_issue = 0;
+    // Blocking d-cache: no instruction issues before this cycle.
+    std::uint64_t stall_until = 0;
+    std::uint64_t last_complete = 0;
+
+    for (std::uint64_t i = 0; i < num_insts; ++i) {
+        const MicroInst inst = workload.next();
+
+        const std::uint64_t fc = fetchInst(inst);
+
+        std::uint64_t ready =
+            std::max({fc + params_.frontendDepth, last_issue,
+                      stall_until});
+        if (inst.dep1 && inst.dep1 <= i) {
+            ready = std::max(
+                ready, complete_ring[(i - inst.dep1) % depRing]);
+        }
+        if (inst.dep2 && inst.dep2 <= i) {
+            ready = std::max(
+                ready, complete_ring[(i - inst.dep2) % depRing]);
+        }
+
+        const std::uint64_t ic = issue_slots.alloc(ready);
+        last_issue = ic;
+
+        std::uint64_t complete;
+        switch (inst.op) {
+          case OpClass::Load:
+          case OpClass::Store: {
+            const bool is_write = inst.op == OpClass::Store;
+            MemAccessResult res =
+                hier_.dataAccess(inst.effAddr, is_write);
+            notifyDl1(res.l1Hit, ic);
+            complete = ic + res.latency;
+            if (!res.l1Hit) {
+                // Blocking: the whole pipeline waits for the fill.
+                stall_until = std::max(stall_until, complete);
+            }
+            if (res.writeback) {
+                const std::uint64_t start = wb_.insert(ic);
+                stall_until = std::max(stall_until, start);
+            }
+            break;
+          }
+          default:
+            complete = ic + inst.latency;
+            break;
+        }
+
+        if (inst.op == OpClass::Branch) {
+            if (resolveBranch(inst, complete)) {
+                ++activity.mispredicts;
+                stall_until = std::max(stall_until, complete);
+            }
+        }
+
+        complete_ring[i % depRing] = complete;
+        last_complete = std::max(last_complete, complete);
+
+        countInst(inst, activity);
+    }
+
+    activity.cycles = last_complete + 1;
+    return activity;
+}
+
+} // namespace rcache

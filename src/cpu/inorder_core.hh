@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Four-wide in-order core with a blocking data cache.
+ *
+ * Instructions issue in program order once their producers complete;
+ * any data-cache miss stalls the pipeline until the fill returns
+ * (blocking cache: miss latency fully exposed, the configuration the
+ * paper uses to contrast with the out-of-order/non-blocking core).
+ */
+
+#ifndef RCACHE_CPU_INORDER_CORE_HH
+#define RCACHE_CPU_INORDER_CORE_HH
+
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace rcache
+{
+
+/** See file comment. */
+class InOrderCore : public Core
+{
+  public:
+    InOrderCore(const CoreParams &params, Hierarchy &hier,
+                ResizePolicy *il1_policy = nullptr,
+                ResizePolicy *dl1_policy = nullptr);
+
+    CoreActivity run(Workload &workload,
+                     std::uint64_t num_insts) override;
+
+  private:
+    static constexpr std::size_t depRing = 256;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CPU_INORDER_CORE_HH

@@ -1,0 +1,125 @@
+#include "cpu/ooo_core.hh"
+
+namespace rcache
+{
+
+OooCore::OooCore(const CoreParams &params, Hierarchy &hier,
+                 ResizePolicy *il1_policy, ResizePolicy *dl1_policy)
+    : Core(params, hier, il1_policy, dl1_policy)
+{
+}
+
+CoreActivity
+OooCore::run(Workload &workload, std::uint64_t num_insts)
+{
+    CoreActivity activity;
+
+    SlotAllocator dispatch_slots(params_.dispatchWidth);
+    SlotAllocator commit_slots(params_.commitWidth);
+
+    std::vector<std::uint64_t> complete_ring(depRing, 0);
+    std::vector<std::uint64_t> commit_ring(params_.robSize, 0);
+    std::vector<std::uint64_t> lsq_ring(params_.lsqSize, 0);
+
+    const unsigned dblock_bits = hier_.dl1().geometry().blockBits();
+    std::uint64_t mem_count = 0;
+    std::uint64_t last_commit = 0;
+    // Earliest cycle the next commit may happen (writeback stalls).
+    std::uint64_t commit_floor = 0;
+
+    for (std::uint64_t i = 0; i < num_insts; ++i) {
+        const MicroInst inst = workload.next();
+
+        const std::uint64_t fc = fetchInst(inst);
+
+        // Dispatch: frontend depth, bandwidth, ROB and LSQ occupancy.
+        std::uint64_t dmin = fc + params_.frontendDepth;
+        if (i >= params_.robSize) {
+            dmin = std::max(dmin,
+                            commit_ring[i % params_.robSize] + 1);
+        }
+        const bool is_mem =
+            inst.op == OpClass::Load || inst.op == OpClass::Store;
+        if (is_mem && mem_count >= params_.lsqSize) {
+            dmin = std::max(
+                dmin, lsq_ring[mem_count % params_.lsqSize] + 1);
+        }
+        const std::uint64_t dc = dispatch_slots.alloc(dmin);
+
+        // Ready when producers complete.
+        std::uint64_t ready = dc;
+        if (inst.dep1 && inst.dep1 <= i) {
+            ready = std::max(
+                ready, complete_ring[(i - inst.dep1) % depRing]);
+        }
+        if (inst.dep2 && inst.dep2 <= i) {
+            ready = std::max(
+                ready, complete_ring[(i - inst.dep2) % depRing]);
+        }
+
+        // Execute.
+        std::uint64_t complete;
+        switch (inst.op) {
+          case OpClass::Load: {
+            MemAccessResult res = hier_.dataAccess(inst.effAddr, false);
+            notifyDl1(res.l1Hit, ready);
+            if (res.l1Hit) {
+                complete = ready + res.latency;
+            } else {
+                // Non-blocking: the fill occupies an MSHR; secondary
+                // misses merge; a full MSHR file delays the fill.
+                complete = mshr_.miss(inst.effAddr >> dblock_bits,
+                                      ready, res.latency);
+            }
+            if (res.writeback)
+                complete = std::max(complete, wb_.insert(ready) + 1);
+            break;
+          }
+          case OpClass::Store:
+            // Address generation only; the cache is written at commit.
+            complete = ready + 1;
+            break;
+          default:
+            complete = ready + inst.latency;
+            break;
+        }
+
+        // Commit in order.
+        const std::uint64_t cc = commit_slots.alloc(
+            std::max({complete + 1, last_commit, commit_floor}));
+        last_commit = cc;
+
+        if (inst.op == OpClass::Store) {
+            MemAccessResult res = hier_.dataAccess(inst.effAddr, true);
+            notifyDl1(res.l1Hit, cc);
+            if (!res.l1Hit) {
+                // The fill occupies an MSHR but does not hold commit.
+                mshr_.miss(inst.effAddr >> dblock_bits, cc,
+                           res.latency);
+            }
+            if (res.writeback) {
+                const std::uint64_t start = wb_.insert(cc);
+                commit_floor = std::max(commit_floor, start);
+            }
+        }
+
+        if (inst.op == OpClass::Branch) {
+            if (resolveBranch(inst, complete))
+                ++activity.mispredicts;
+        }
+
+        complete_ring[i % depRing] = complete;
+        commit_ring[i % params_.robSize] = cc;
+        if (is_mem) {
+            lsq_ring[mem_count % params_.lsqSize] = cc;
+            ++mem_count;
+        }
+
+        countInst(inst, activity);
+    }
+
+    activity.cycles = last_commit + 1;
+    return activity;
+}
+
+} // namespace rcache

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Four-wide out-of-order core with a non-blocking data cache.
+ *
+ * Instructions dispatch into a ROB-bounded window, issue when their
+ * producers complete, and commit in order. Load misses allocate MSHRs
+ * so independent misses overlap (the paper's "miss latency taken off
+ * the critical path"); the window and MSHR count bound that overlap.
+ * Stores access the cache at commit, after which they only occupy the
+ * writeback path.
+ */
+
+#ifndef RCACHE_CPU_OOO_CORE_HH
+#define RCACHE_CPU_OOO_CORE_HH
+
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace rcache
+{
+
+/** See file comment. */
+class OooCore : public Core
+{
+  public:
+    OooCore(const CoreParams &params, Hierarchy &hier,
+            ResizePolicy *il1_policy = nullptr,
+            ResizePolicy *dl1_policy = nullptr);
+
+    CoreActivity run(Workload &workload,
+                     std::uint64_t num_insts) override;
+
+  private:
+    /** Completion-time history ring for dependence resolution. */
+    static constexpr std::size_t depRing = 256;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CPU_OOO_CORE_HH

@@ -1,0 +1,48 @@
+#include "energy/cache_energy.hh"
+
+namespace rcache
+{
+
+double
+CacheEnergyModel::l1AccessEnergy(const Cache &cache,
+                                 unsigned extra_tag_bits) const
+{
+    const auto precharges =
+        static_cast<double>(cache.prechargeSubarrayEvents());
+    const auto way_reads = static_cast<double>(cache.wayReadEvents());
+    const auto accesses = static_cast<double>(cache.accesses());
+
+    return precharges * params_.l1PrechargePerSubarray +
+           way_reads * params_.l1ReadPerWay +
+           accesses * params_.l1DecodePerAccess +
+           way_reads * extra_tag_bits * params_.l1TagBitPerWayRead;
+}
+
+double
+CacheEnergyModel::l1Energy(const Cache &cache,
+                           unsigned extra_tag_bits) const
+{
+    return l1AccessEnergy(cache, extra_tag_bits) +
+           cache.byteCycles() * params_.l1PerByteCycle;
+}
+
+double
+CacheEnergyModel::l1EnergyPerAccessNow(const Cache &cache,
+                                       unsigned extra_tag_bits) const
+{
+    return cache.enabledSubarrays() * params_.l1PrechargePerSubarray +
+           cache.enabledWays() *
+               (params_.l1ReadPerWay +
+                extra_tag_bits * params_.l1TagBitPerWayRead) +
+           params_.l1DecodePerAccess;
+}
+
+double
+CacheEnergyModel::l2Energy(const Cache &l2, std::uint64_t cycles) const
+{
+    return static_cast<double>(l2.accesses()) * params_.l2PerAccess +
+           static_cast<double>(l2.geometry().size) *
+               static_cast<double>(cycles) * params_.l2PerByteCycle;
+}
+
+} // namespace rcache

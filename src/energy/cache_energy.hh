@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cache energy accounting from a Cache's event counters.
+ */
+
+#ifndef RCACHE_ENERGY_CACHE_ENERGY_HH
+#define RCACHE_ENERGY_CACHE_ENERGY_HH
+
+#include "cache/cache.hh"
+#include "energy/energy_params.hh"
+
+namespace rcache
+{
+
+/** Computes L1/L2 energies from accumulated cache counters. */
+class CacheEnergyModel
+{
+  public:
+    explicit CacheEnergyModel(const EnergyParams &params)
+        : params_(params)
+    {
+    }
+
+    /**
+     * Total switching + size-proportional energy of an L1 cache over
+     * the run recorded in its counters.
+     *
+     * @param extra_tag_bits resizing tag bits carried by the
+     *        organization wrapping this cache (0 for conventional and
+     *        selective-ways)
+     *
+     * @pre Cache::accumulateEnabledTime(end_cycle) has been called so
+     *      byteCycles() covers the whole run.
+     */
+    double l1Energy(const Cache &cache, unsigned extra_tag_bits) const;
+
+    /** Switching component only (per-access), no byte-cycle term. */
+    double l1AccessEnergy(const Cache &cache,
+                          unsigned extra_tag_bits) const;
+
+    /**
+     * Energy of one L1 access at the cache's *current* configuration
+     * (used by examples to show per-access cost vs size).
+     */
+    double l1EnergyPerAccessNow(const Cache &cache,
+                                unsigned extra_tag_bits) const;
+
+    /** L2 energy over the run (per-access + byte-cycle terms).
+     *  @param cycles total simulated cycles (L2 is never resized). */
+    double l2Energy(const Cache &l2, std::uint64_t cycles) const;
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_ENERGY_CACHE_ENERGY_HH

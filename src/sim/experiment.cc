@@ -1,0 +1,169 @@
+#include "sim/experiment.hh"
+
+namespace rcache
+{
+
+Experiment::Experiment(const SystemConfig &cfg,
+                       std::uint64_t num_insts)
+    : cfg_(cfg), numInsts_(num_insts)
+{
+    // Experiments own the org selection; start from a clean slate.
+    cfg_.il1Org = Organization::None;
+    cfg_.dl1Org = Organization::None;
+}
+
+const std::vector<double> &
+Experiment::missBoundFractions()
+{
+    static const std::vector<double> fracs = {0.002, 0.008, 0.025,
+                                              0.07};
+    return fracs;
+}
+
+const std::vector<std::uint64_t> &
+Experiment::intervalGrid()
+{
+    static const std::vector<std::uint64_t> intervals = {1024, 8192};
+    return intervals;
+}
+
+SystemConfig
+Experiment::configFor(CacheSide side, Organization org) const
+{
+    SystemConfig cfg = cfg_;
+    if (side == CacheSide::DCache)
+        cfg.dl1Org = org;
+    else
+        cfg.il1Org = org;
+    return cfg;
+}
+
+RunResult
+Experiment::baseline(const BenchmarkProfile &profile) const
+{
+    auto it = baselineMemo_.find(profile.name);
+    if (it != baselineMemo_.end())
+        return it->second;
+
+    SyntheticWorkload wl(profile);
+    System sys(cfg_);
+    RunResult res = sys.run(wl, numInsts_);
+    baselineMemo_[profile.name] = res;
+    return res;
+}
+
+RunResult
+Experiment::runPoint(const BenchmarkProfile &profile,
+                     Organization il1_org, Organization dl1_org,
+                     const ResizeSetup &il1_setup,
+                     const ResizeSetup &dl1_setup) const
+{
+    SystemConfig cfg = cfg_;
+    cfg.il1Org = il1_org;
+    cfg.dl1Org = dl1_org;
+    SyntheticWorkload wl(profile);
+    System sys(cfg);
+    return sys.run(wl, numInsts_, il1_setup, dl1_setup);
+}
+
+SearchOutcome
+Experiment::staticSearch(const BenchmarkProfile &profile,
+                         CacheSide side, Organization org) const
+{
+    SearchOutcome out;
+    out.baseline = baseline(profile);
+
+    const SystemConfig cfg = configFor(side, org);
+    const auto schedule = buildSchedule(
+        org, side == CacheSide::DCache ? cfg.dl1 : cfg.il1);
+
+    bool first = true;
+    for (unsigned level = 0; level < schedule.size(); ++level) {
+        ResizeSetup setup{Strategy::Static, level, {}};
+        SyntheticWorkload wl(profile);
+        System sys(cfg);
+        RunResult res =
+            side == CacheSide::DCache
+                ? sys.run(wl, numInsts_, ResizeSetup{}, setup)
+                : sys.run(wl, numInsts_, setup, ResizeSetup{});
+        if (first || res.edp() < out.best.edp()) {
+            out.best = res;
+            out.bestLevel = level;
+            first = false;
+        }
+    }
+    return out;
+}
+
+SearchOutcome
+Experiment::dynamicSearch(const BenchmarkProfile &profile,
+                          CacheSide side, Organization org) const
+{
+    SearchOutcome out;
+    out.baseline = baseline(profile);
+
+    const SystemConfig cfg = configFor(side, org);
+    const CacheGeometry &geom =
+        side == CacheSide::DCache ? cfg.dl1 : cfg.il1;
+
+    // Size-bound candidates: unconstrained, quarter, half, and the
+    // full size (the last prevents any downsizing — the safe fallback
+    // the profiling pass falls back to when resizing always loses).
+    const std::vector<std::uint64_t> size_bounds = {
+        0, geom.size / 4, geom.size / 2, geom.size};
+
+    bool first = true;
+    for (std::uint64_t interval : intervalGrid()) {
+        for (double frac : missBoundFractions()) {
+            for (std::uint64_t bound : size_bounds) {
+                DynamicParams dyn;
+                dyn.intervalAccesses = interval;
+                dyn.missBound = static_cast<std::uint64_t>(
+                    frac * static_cast<double>(interval));
+                dyn.sizeBoundBytes = bound;
+                ResizeSetup setup{Strategy::Dynamic, 0, dyn};
+
+                SyntheticWorkload wl(profile);
+                System sys(cfg);
+                RunResult res =
+                    side == CacheSide::DCache
+                        ? sys.run(wl, numInsts_, ResizeSetup{}, setup)
+                        : sys.run(wl, numInsts_, setup,
+                                  ResizeSetup{});
+                if (first || res.edp() < out.best.edp()) {
+                    out.best = res;
+                    out.bestParams = dyn;
+                    first = false;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+SearchOutcome
+Experiment::staticSearchBoth(const BenchmarkProfile &profile,
+                             Organization org) const
+{
+    // Profile each side individually (the paper's decoupled
+    // methodology), then apply both chosen sizes together.
+    SearchOutcome d = staticSearch(profile, CacheSide::DCache, org);
+    SearchOutcome i = staticSearch(profile, CacheSide::ICache, org);
+
+    SearchOutcome out;
+    out.baseline = baseline(profile);
+
+    SystemConfig cfg = cfg_;
+    cfg.il1Org = org;
+    cfg.dl1Org = org;
+    SyntheticWorkload wl(profile);
+    System sys(cfg);
+    out.best = sys.run(
+        wl, numInsts_,
+        ResizeSetup{Strategy::Static, i.bestLevel, {}},
+        ResizeSetup{Strategy::Static, d.bestLevel, {}});
+    out.bestLevel = d.bestLevel;
+    return out;
+}
+
+} // namespace rcache

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Experiment driver: the paper's offline profiling methodology.
+ *
+ * Static resizing requires "profiling an application's execution with
+ * different static cache sizes to determine the cache size with
+ * minimal energy dissipation"; the dynamic controller's miss-bound and
+ * size-bound "are extracted offline through profiling". staticSearch/
+ * dynamicSearch implement exactly those sweeps and return the
+ * minimum-energy-delay point together with the non-resizable baseline
+ * it is normalized against.
+ */
+
+#ifndef RCACHE_SIM_EXPERIMENT_HH
+#define RCACHE_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+
+#include "sim/system.hh"
+#include "workload/profiles.hh"
+
+namespace rcache
+{
+
+/** Which L1 a search resizes. */
+enum class CacheSide
+{
+    ICache,
+    DCache,
+};
+
+/** Outcome of a profiling search for one (app, org, strategy). */
+struct SearchOutcome
+{
+    RunResult baseline;
+    RunResult best;
+    /** Static: chosen schedule level. */
+    unsigned bestLevel = 0;
+    /** Dynamic: chosen controller parameters. */
+    DynamicParams bestParams;
+
+    /** Paper metric: best E.D normalized to the baseline. */
+    double relativeED() const { return best.edp() / baseline.edp(); }
+    /** Reduction (%) in processor energy-delay. */
+    double edReductionPct() const
+    {
+        return 100.0 * (1.0 - relativeED());
+    }
+    /** Performance degradation (%) of the best point. */
+    double perfDegradationPct() const
+    {
+        return 100.0 * (static_cast<double>(best.cycles) /
+                            static_cast<double>(baseline.cycles) -
+                        1.0);
+    }
+    /** Reduction (%) in average enabled size of @p side. */
+    double sizeReductionPct(CacheSide side) const
+    {
+        const double full = side == CacheSide::DCache
+                                ? baseline.avgDl1Bytes
+                                : baseline.avgIl1Bytes;
+        const double got = side == CacheSide::DCache
+                               ? best.avgDl1Bytes
+                               : best.avgIl1Bytes;
+        return 100.0 * (1.0 - got / full);
+    }
+};
+
+/** See file comment. */
+class Experiment
+{
+  public:
+    /**
+     * @param cfg base configuration; the org fields are overridden
+     *            per search
+     * @param num_insts instructions simulated per run
+     */
+    Experiment(const SystemConfig &cfg, std::uint64_t num_insts);
+
+    /** Non-resizable run of @p profile (memoized). */
+    RunResult baseline(const BenchmarkProfile &profile) const;
+
+    /**
+     * Sweep every offered level of @p org on @p side statically and
+     * return the minimum-E.D point.
+     */
+    SearchOutcome staticSearch(const BenchmarkProfile &profile,
+                               CacheSide side, Organization org) const;
+
+    /**
+     * Grid-search the dynamic controller's miss-bound and size-bound
+     * on @p side and return the minimum-E.D point.
+     */
+    SearchOutcome dynamicSearch(const BenchmarkProfile &profile,
+                                CacheSide side, Organization org) const;
+
+    /**
+     * Resize both caches together using each side's individually
+     * profiled static level (the paper's Fig 9 methodology).
+     */
+    SearchOutcome staticSearchBoth(const BenchmarkProfile &profile,
+                                   Organization org) const;
+
+    /** Run one explicit design point (used by examples/ablations). */
+    RunResult runPoint(const BenchmarkProfile &profile,
+                       Organization il1_org, Organization dl1_org,
+                       const ResizeSetup &il1_setup,
+                       const ResizeSetup &dl1_setup) const;
+
+    const SystemConfig &config() const { return cfg_; }
+    std::uint64_t numInsts() const { return numInsts_; }
+
+    /** Dynamic-search grid (exposed for tests/ablations). */
+    static const std::vector<double> &missBoundFractions();
+
+    /**
+     * Interval lengths searched, in cache accesses. Short intervals
+     * amortize the controller's one-interval reaction lag when a
+     * working-set phase begins (critical when miss latency is
+     * exposed); long intervals resist noise.
+     */
+    static const std::vector<std::uint64_t> &intervalGrid();
+
+    /** Default controller interval, in cache accesses. */
+    static constexpr std::uint64_t dynIntervalAccesses = 8192;
+
+  private:
+    SystemConfig configFor(CacheSide side, Organization org) const;
+
+    SystemConfig cfg_;
+    std::uint64_t numInsts_;
+    mutable std::map<std::string, RunResult> baselineMemo_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_SIM_EXPERIMENT_HH

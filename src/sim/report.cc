@@ -1,0 +1,66 @@
+#include "sim/report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "sim/table.hh"
+
+namespace rcache
+{
+
+std::string
+formatDelta(double ratio)
+{
+    std::ostringstream ss;
+    const double pct = 100.0 * (ratio - 1.0);
+    ss << (pct >= 0 ? "+" : "") << std::fixed << std::setprecision(1)
+       << pct << '%';
+    return ss.str();
+}
+
+void
+writeRunReport(std::ostream &os, const RunResult &r)
+{
+    os << "run: " << r.workload << '\n'
+       << "  instructions " << r.insts << ", cycles " << r.cycles
+       << ", IPC " << TextTable::num(r.ipc()) << '\n'
+       << "  branches " << r.activity.branches << " ("
+       << r.activity.mispredicts << " mispredicted), loads "
+       << r.activity.loads << ", stores " << r.activity.stores
+       << '\n'
+       << "  miss ratios: i-L1 "
+       << TextTable::pct(100 * r.il1MissRatio) << ", d-L1 "
+       << TextTable::pct(100 * r.dl1MissRatio) << ", L2 "
+       << TextTable::pct(100 * r.l2MissRatio) << '\n'
+       << "  avg enabled sizes: i-L1 "
+       << TextTable::bytesKb(r.avgIl1Bytes) << " (" << r.il1Resizes
+       << " resizes), d-L1 " << TextTable::bytesKb(r.avgDl1Bytes)
+       << " (" << r.dl1Resizes << " resizes)\n"
+       << r.energy << "  energy-delay product: "
+       << TextTable::num(r.edp(), 0) << '\n';
+}
+
+void
+writeComparisonReport(std::ostream &os, const RunResult &baseline,
+                      const std::vector<ComparisonEntry> &entries)
+{
+    TextTable t({"design point", "cycles", "energy", "E*D",
+                 "avg i-L1", "avg d-L1"});
+    t.addRow({"baseline (" + baseline.workload + ")", "+0.0%",
+              "+0.0%", "+0.0%",
+              TextTable::bytesKb(baseline.avgIl1Bytes),
+              TextTable::bytesKb(baseline.avgDl1Bytes)});
+    for (const auto &e : entries) {
+        t.addRow({e.label,
+                  formatDelta(static_cast<double>(e.result.cycles) /
+                              static_cast<double>(baseline.cycles)),
+                  formatDelta(e.result.energy.total() /
+                              baseline.energy.total()),
+                  formatDelta(e.result.edp() / baseline.edp()),
+                  TextTable::bytesKb(e.result.avgIl1Bytes),
+                  TextTable::bytesKb(e.result.avgDl1Bytes)});
+    }
+    t.print(os);
+}
+
+} // namespace rcache

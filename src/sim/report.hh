@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Human-readable reports for run results: a full single-run summary
+ * and a normalized comparison of design points against a baseline
+ * (the form every figure in the paper uses).
+ */
+
+#ifndef RCACHE_SIM_REPORT_HH
+#define RCACHE_SIM_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace rcache
+{
+
+/** Write a full one-run summary (timing, misses, energy, sizes). */
+void writeRunReport(std::ostream &os, const RunResult &r);
+
+/** One labelled design point for a comparison report. */
+struct ComparisonEntry
+{
+    std::string label;
+    RunResult result;
+};
+
+/**
+ * Write a comparison table: each entry's cycles, energy and
+ * energy-delay normalized to @p baseline, plus average L1 sizes.
+ */
+void writeComparisonReport(std::ostream &os, const RunResult &baseline,
+                           const std::vector<ComparisonEntry> &entries);
+
+/** Format a relative change as "+x.x%" / "-x.x%". */
+std::string formatDelta(double ratio);
+
+} // namespace rcache
+
+#endif // RCACHE_SIM_REPORT_HH

@@ -1,0 +1,112 @@
+#include "sim/system.hh"
+
+#include "cpu/inorder_core.hh"
+#include "cpu/ooo_core.hh"
+
+namespace rcache
+{
+
+std::string
+coreModelName(CoreModel m)
+{
+    switch (m) {
+      case CoreModel::OutOfOrder:
+        return "out-of-order/non-blocking";
+      case CoreModel::InOrder:
+        return "in-order/blocking";
+    }
+    rc_panic("bad core model");
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg),
+      il1_("il1", cfg.il1, cfg.il1Org),
+      dl1_("dl1", cfg.dl1, cfg.dl1Org),
+      hier_(&il1_.cache(), &dl1_.cache(), cfg.l2, cfg.lat)
+{
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    il1_.cache().stats().dump(os);
+    dl1_.cache().stats().dump(os);
+    hier_.l2().stats().dump(os);
+}
+
+std::unique_ptr<ResizePolicy>
+System::makePolicy(ResizableCache &cache, const ResizeSetup &setup)
+{
+    switch (setup.strategy) {
+      case Strategy::None:
+        return nullptr;
+      case Strategy::Static:
+        rc_assert(cache.organization() != Organization::None ||
+                  setup.staticLevel == 0);
+        return std::make_unique<StaticPolicy>(
+            cache, hier_.l1WritebackSink(), setup.staticLevel);
+      case Strategy::Dynamic:
+        rc_assert(cache.organization() != Organization::None);
+        return std::make_unique<DynamicMissRatioController>(
+            cache, hier_.l1WritebackSink(), setup.dyn);
+    }
+    rc_panic("bad strategy");
+}
+
+RunResult
+System::run(Workload &workload, std::uint64_t num_insts,
+            const ResizeSetup &il1_setup, const ResizeSetup &dl1_setup)
+{
+    rc_assert(!ran_);
+    ran_ = true;
+
+    auto il1_policy = makePolicy(il1_, il1_setup);
+    auto dl1_policy = makePolicy(dl1_, dl1_setup);
+
+    std::unique_ptr<Core> core;
+    if (cfg_.coreModel == CoreModel::OutOfOrder) {
+        core = std::make_unique<OooCore>(cfg_.core, hier_,
+                                         il1_policy.get(),
+                                         dl1_policy.get());
+    } else {
+        core = std::make_unique<InOrderCore>(cfg_.core, hier_,
+                                             il1_policy.get(),
+                                             dl1_policy.get());
+    }
+
+    RunResult res;
+    res.workload = workload.name();
+    res.activity = core->run(workload, num_insts);
+    res.insts = res.activity.insts;
+    res.cycles = res.activity.cycles;
+
+    // Close the enabled-size integrals over the whole run.
+    il1_.cache().accumulateEnabledTime(res.cycles);
+    dl1_.cache().accumulateEnabledTime(res.cycles);
+
+    ProcessorEnergyModel energy(cfg_.energy);
+    res.energy = energy.compute(
+        res.activity, il1_.cache(), il1_.extraTagBits(), dl1_.cache(),
+        dl1_.extraTagBits(), hier_.l2(),
+        hier_.memReads() + hier_.memWrites());
+
+    res.avgIl1Bytes = il1_.cache().byteCycles() / res.cycles;
+    res.avgDl1Bytes = dl1_.cache().byteCycles() / res.cycles;
+    res.il1MissRatio = il1_.cache().missRatio();
+    res.dl1MissRatio = dl1_.cache().missRatio();
+    res.l2MissRatio = hier_.l2().missRatio();
+    res.il1Resizes = il1_.cache().resizes();
+    res.dl1Resizes = dl1_.cache().resizes();
+
+    if (auto *dyn = dynamic_cast<DynamicMissRatioController *>(
+            il1_policy.get())) {
+        res.il1LevelTrace = dyn->levelTrace();
+    }
+    if (auto *dyn = dynamic_cast<DynamicMissRatioController *>(
+            dl1_policy.get())) {
+        res.dl1LevelTrace = dyn->levelTrace();
+    }
+    return res;
+}
+
+} // namespace rcache

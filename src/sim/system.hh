@@ -1,0 +1,129 @@
+/**
+ * @file
+ * System: one simulated processor+memory configuration, run once.
+ *
+ * A System wires a core model, the two (possibly resizable) L1s, the
+ * L2, the resizing policies, and the energy model. It is single-use:
+ * construct, call run() once, read the result. The experiment driver
+ * (sim/experiment.hh) constructs one System per design point, which is
+ * how the paper's profiling methodology works anyway.
+ */
+
+#ifndef RCACHE_SIM_SYSTEM_HH
+#define RCACHE_SIM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/dynamic_controller.hh"
+#include "core/resizable_cache.hh"
+#include "core/static_policy.hh"
+#include "cpu/core.hh"
+#include "energy/energy_model.hh"
+#include "workload/workload.hh"
+
+namespace rcache
+{
+
+/** Which CPU timing model to use. */
+enum class CoreModel
+{
+    /** 4-wide OoO, non-blocking d-cache (base config, Table 2). */
+    OutOfOrder,
+    /** 4-wide in-order, blocking d-cache (Sec 4.2 contrast). */
+    InOrder,
+};
+
+/** Printable core model name. */
+std::string coreModelName(CoreModel m);
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    CoreModel coreModel = CoreModel::OutOfOrder;
+    CoreParams core;
+    CacheGeometry il1{32 * 1024, 2, 32, 1024};
+    CacheGeometry dl1{32 * 1024, 2, 32, 1024};
+    CacheGeometry l2{512 * 1024, 4, 32, 8192};
+    HierarchyParams lat;
+    Organization il1Org = Organization::None;
+    Organization dl1Org = Organization::None;
+    EnergyParams energy = EnergyParams::defaults018um();
+
+    /** The paper's Table 2 base system. */
+    static SystemConfig base() { return {}; }
+};
+
+/** Per-cache resizing strategy selection for one run. */
+struct ResizeSetup
+{
+    Strategy strategy = Strategy::None;
+    /** Schedule level for Strategy::Static. */
+    unsigned staticLevel = 0;
+    /** Controller parameters for Strategy::Dynamic. */
+    DynamicParams dyn;
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    std::string workload;
+    std::uint64_t insts = 0;
+    std::uint64_t cycles = 0;
+    CoreActivity activity;
+    EnergyBreakdown energy;
+
+    double avgIl1Bytes = 0;
+    double avgDl1Bytes = 0;
+    double il1MissRatio = 0;
+    double dl1MissRatio = 0;
+    double l2MissRatio = 0;
+    std::uint64_t il1Resizes = 0;
+    std::uint64_t dl1Resizes = 0;
+    /** Level at each dynamic interval boundary (empty if static). */
+    std::vector<unsigned> il1LevelTrace;
+    std::vector<unsigned> dl1LevelTrace;
+
+    /** The paper's metric: processor energy x delay. */
+    double edp() const { return energy.total() * cycles; }
+    double ipc() const { return activity.ipc(); }
+};
+
+/** See file comment. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /**
+     * Run @p num_insts instructions of @p workload with the given
+     * per-cache resizing setups. Single use.
+     */
+    RunResult run(Workload &workload, std::uint64_t num_insts,
+                  const ResizeSetup &il1_setup = {},
+                  const ResizeSetup &dl1_setup = {});
+
+    ResizableCache &il1() { return il1_; }
+    ResizableCache &dl1() { return dl1_; }
+    Hierarchy &hierarchy() { return hier_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Dump all cache stat groups (il1, dl1, l2) as text. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    std::unique_ptr<ResizePolicy> makePolicy(ResizableCache &cache,
+                                             const ResizeSetup &setup);
+
+    SystemConfig cfg_;
+    ResizableCache il1_;
+    ResizableCache dl1_;
+    Hierarchy hier_;
+    bool ran_ = false;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_SIM_SYSTEM_HH

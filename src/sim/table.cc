@@ -1,0 +1,76 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    rc_assert(!headers_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rc_assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total - 2, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v << '%';
+    return ss.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+TextTable::bytesKb(double bytes)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(1) << bytes / 1024.0 << 'K';
+    return ss.str();
+}
+
+} // namespace rcache

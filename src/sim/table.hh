@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fixed-width text tables for the benchmark harness output.
+ */
+
+#ifndef RCACHE_SIM_TABLE_HH
+#define RCACHE_SIM_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rcache
+{
+
+/** Accumulates rows, prints a padded table with a rule under the
+ *  header. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    /** Format helpers for table cells. */
+    static std::string pct(double v, int precision = 1);
+    static std::string num(double v, int precision = 2);
+    static std::string bytesKb(double bytes);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_SIM_TABLE_HH

@@ -1,0 +1,120 @@
+#include "stats/stats.hh"
+
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+Histogram::Histogram(double min, double max, unsigned buckets)
+    : min_(min), max_(max), counts_(buckets, 0)
+{
+    rc_assert(max > min && buckets > 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    ++samples_;
+    sum_ += v;
+    if (v < min_) {
+        ++underflow_;
+    } else if (v >= max_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>(
+            (v - min_) / (max_ - min_) * counts_.size());
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+}
+
+std::uint64_t
+Histogram::bucketCount(unsigned i) const
+{
+    rc_assert(i < counts_.size());
+    return counts_[i];
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = 0;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+void
+StatGroup::add(Entry e)
+{
+    rc_assert(index_.find(e.name) == index_.end());
+    index_[e.name] = entries_.size();
+    entries_.push_back(std::move(e));
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c,
+                      const std::string &desc)
+{
+    add({name, desc,
+         [c]() { return static_cast<double>(c->value()); }});
+}
+
+void
+StatGroup::addAverage(const std::string &name, const Average *a,
+                      const std::string &desc)
+{
+    add({name, desc, [a]() { return a->mean(); }});
+}
+
+void
+StatGroup::addFormula(const std::string &name,
+                      std::function<double()> formula,
+                      const std::string &desc)
+{
+    add({name, desc, std::move(formula)});
+}
+
+double
+StatGroup::value(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        rc_panic("unknown stat: " + name_ + "." + name);
+    return entries_[it->second].eval();
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return index_.find(name) != index_.end();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(40) << (name_ + "." + e.name)
+           << std::right << std::setw(16) << e.eval() << "  # " << e.desc
+           << '\n';
+    }
+}
+
+std::vector<std::string>
+StatGroup::statNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto &e : entries_)
+        names.push_back(e.name);
+    return names;
+}
+
+} // namespace rcache

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal statistics package in the spirit of gem5's Stats.
+ *
+ * Simulation components register named statistics with a StatGroup; the
+ * experiment driver reads them back by name and dumps them as text.
+ * Only the kinds the experiments need are provided: scalar counters,
+ * averages, distributions, and derived formulas.
+ */
+
+#ifndef RCACHE_STATS_STATS_HH
+#define RCACHE_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rcache
+{
+
+/** A named scalar event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running average of samples. */
+class Average
+{
+  public:
+    void sample(double v) { sum_ += v; ++count_; }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t samples() const { return count_; }
+    double sum() const { return sum_; }
+    void reset() { sum_ = 0; count_ = 0; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [min, max). */
+class Histogram
+{
+  public:
+    /** @param min lowest bucket edge, @param max highest edge,
+     *  @param buckets number of equal-width buckets. */
+    Histogram(double min = 0, double max = 1, unsigned buckets = 10);
+
+    void sample(double v);
+
+    std::uint64_t bucketCount(unsigned i) const;
+    unsigned buckets() const { return counts_.size(); }
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t underflows() const { return underflow_; }
+    std::uint64_t overflows() const { return overflow_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    void reset();
+
+  private:
+    double min_, max_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0, overflow_ = 0, samples_ = 0;
+    double sum_ = 0;
+};
+
+/**
+ * A named collection of statistics. Components own a StatGroup and
+ * register pointers to their counters; formulas are registered as
+ * closures evaluated at read time.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name);
+
+    /** Register a counter under @p name with a @p desc description. */
+    void addCounter(const std::string &name, const Counter *c,
+                    const std::string &desc);
+    /** Register an average. */
+    void addAverage(const std::string &name, const Average *a,
+                    const std::string &desc);
+    /** Register a derived value computed on demand. */
+    void addFormula(const std::string &name,
+                    std::function<double()> formula,
+                    const std::string &desc);
+
+    /** Look up any registered stat's current value by name. */
+    double value(const std::string &name) const;
+    /** @return true iff a stat named @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Dump all stats, gem5-style "group.name  value  # desc". */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+    /** Names in registration order. */
+    std::vector<std::string> statNames() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        std::function<double()> eval;
+    };
+
+    std::string name_;
+    std::vector<Entry> entries_;
+    std::map<std::string, std::size_t> index_;
+
+    void add(Entry e);
+};
+
+} // namespace rcache
+
+#endif // RCACHE_STATS_STATS_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the cache geometry code.
+ */
+
+#ifndef RCACHE_UTIL_BITOPS_HH
+#define RCACHE_UTIL_BITOPS_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+/** Address type used by the whole simulator (byte addresses). */
+using Addr = std::uint64_t;
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Integer ceil(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOfTwo(v) ? 0 : 1);
+}
+
+/** Exact log2 of a power of two; panics otherwise. */
+inline unsigned
+exactLog2(std::uint64_t v)
+{
+    rc_assert(isPowerOfTwo(v));
+    return floorLog2(v);
+}
+
+/** A mask with the low @p bits bits set. */
+constexpr std::uint64_t
+lowMask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bitSlice(std::uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & lowMask(len);
+}
+
+/** Round @p v up to the next multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Count set bits. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v) {
+        v &= v - 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace rcache
+
+#endif // RCACHE_UTIL_BITOPS_HH

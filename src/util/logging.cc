@@ -1,0 +1,60 @@
+#include "util/logging.hh"
+
+#include <atomic>
+
+namespace rcache
+{
+
+namespace
+{
+std::atomic<bool> verboseFlag{true};
+} // namespace
+
+void
+logMessage(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    logMessage("warn", msg);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseFlag.load(std::memory_order_relaxed))
+        logMessage("info", msg);
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return verboseFlag.load(std::memory_order_relaxed);
+}
+
+} // namespace rcache

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 idiom.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user/configuration errors and exits cleanly;
+ * warn() and inform() report conditions without stopping the run.
+ */
+
+#ifndef RCACHE_UTIL_LOGGING_HH
+#define RCACHE_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rcache
+{
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logMessage(const char *prefix, const std::string &msg);
+
+/** Report a simulator bug and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Report a user/configuration error and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Report a suspicious-but-survivable condition. */
+void warnImpl(const std::string &msg);
+
+/** Report an informational status message. */
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output globally (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool verbose();
+
+} // namespace rcache
+
+#define rc_panic(msg) ::rcache::panicImpl(__FILE__, __LINE__, (msg))
+#define rc_fatal(msg) ::rcache::fatalImpl(__FILE__, __LINE__, (msg))
+#define rc_warn(msg) ::rcache::warnImpl((msg))
+#define rc_inform(msg) ::rcache::informImpl((msg))
+
+/**
+ * Internal invariant check. Unlike assert(), stays on in release builds;
+ * resizing mask/geometry bugs silently corrupt results otherwise.
+ */
+#define rc_assert(cond)                                                    \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            rc_panic(std::string("assertion failed: ") + #cond);           \
+    } while (0)
+
+#endif // RCACHE_UTIL_LOGGING_HH

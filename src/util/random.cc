@@ -1,0 +1,80 @@
+#include "util/random.hh"
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t v, int k)
+{
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s)
+        word = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    rc_assert(bound != 0);
+    // Modulo bias is irrelevant at workload scale; keep it branch-free.
+    return next() % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p, std::uint64_t max)
+{
+    rc_assert(max >= 1);
+    std::uint64_t v = 1;
+    while (v < max && !chance(p))
+        ++v;
+    return v;
+}
+
+} // namespace rcache

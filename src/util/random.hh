@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The synthetic workloads and the random replacement policy both need
+ * reproducible streams; std::mt19937_64 seeding is standardized, but we
+ * use a small splitmix64/xoshiro-style generator so the stream is cheap
+ * and identical across library implementations.
+ */
+
+#ifndef RCACHE_UTIL_RANDOM_HH
+#define RCACHE_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace rcache
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256** seeded by splitmix64). */
+class Rng
+{
+  public:
+    /** Construct with a seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /** Geometric-ish draw: value in [1, max] biased toward small. */
+    std::uint64_t nextGeometric(double p, std::uint64_t max);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace rcache
+
+#endif // RCACHE_UTIL_RANDOM_HH

@@ -1,0 +1,264 @@
+#include "workload/profiles.hh"
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+constexpr std::uint64_t kB = 1024;
+
+/** Integer-benchmark instruction mix. */
+void
+intMix(BenchmarkProfile &p)
+{
+    p.loadFrac = 0.26;
+    p.storeFrac = 0.12;
+    p.branchFrac = 0.16;
+    p.fpFrac = 0.0;
+    p.loadUseChance = 0.40;
+    p.depChance = 0.55;
+}
+
+/** Floating-point-benchmark instruction mix. */
+void
+fpMix(BenchmarkProfile &p)
+{
+    p.loadFrac = 0.30;
+    p.storeFrac = 0.08;
+    p.branchFrac = 0.07;
+    p.fpFrac = 0.30;
+    p.loadUseChance = 0.15;
+    p.depChance = 0.45;
+}
+
+} // namespace
+
+std::vector<BenchmarkProfile>
+spec2000Suite()
+{
+    std::vector<BenchmarkProfile> suite;
+
+    // ammp (FP): small constant working sets on both sides. Paper:
+    // d-cache benefits from selective-sets' small minimum size
+    // (Fig 5a); i-cache likewise (Fig 5b); constant size under dynamic
+    // resizing (Sec 4.2.1/4.2.2).
+    {
+        BenchmarkProfile p;
+        p.name = "ammp";
+        fpMix(p);
+        p.regions = {{3 * kB, 0.85, 0}, {1 * kB, 0.15, 0}};
+        p.codeFootprint = 3 * kB;
+        p.seed = 101;
+        suite.push_back(p);
+    }
+
+    // applu (FP): small constant d-side working set; i-side working
+    // set alternates periodically (paper: periodic i-cache variation,
+    // Sec 4.2.2); low conflict, so selective-ways' narrower way reads
+    // dissipate less at equal size (Fig 5b discussion).
+    {
+        BenchmarkProfile p;
+        p.name = "applu";
+        fpMix(p);
+        p.regions = {{4 * kB, 0.9, 0}, {1 * kB, 0.1, 0}};
+        p.codeFootprint = 12 * kB;
+        p.codePhase = {PhaseKind::Periodic, 0.35, 1.0, 240000, 0.4};
+        p.seed = 102;
+        suite.push_back(p);
+    }
+
+    // apsi (FP): moderate d working set *between* offered sizes
+    // (emulation type, Sec 4.2.1) with an alias set that needs the
+    // full associativity (paper: benefits from selective-sets
+    // maintaining set-associativity); periodic i-side variation with
+    // conflicts (Fig 5b: "requires set-associativity").
+    {
+        BenchmarkProfile p;
+        p.name = "apsi";
+        fpMix(p);
+        p.regions = {{8 * kB, 0.8, 0}, {1536, 0.2, 0}};
+        p.dataConflictFrac = 0.03;
+        p.dataConflictBlocks = 4;
+        p.codeFootprint = 8 * kB;
+        p.codeConflictFrac = 0.10;
+        p.codeConflictBlocks = 4;
+        p.codePhase = {PhaseKind::Periodic, 0.5, 1.0, 260000, 0.4};
+        p.seed = 103;
+        suite.push_back(p);
+    }
+
+    // compress (INT): d working set ~20 KB — between the 16K and 32K
+    // selective-sets points, the paper's showcase for selective-ways'
+    // granularity at large sizes (Fig 5a) and for emulation + varying
+    // behaviour under dynamic resizing; tiny constant i footprint.
+    {
+        BenchmarkProfile p;
+        p.name = "compress";
+        intMix(p);
+        p.regions = {{18 * kB, 0.85, 0}, {2 * kB, 0.15, 0}};
+        p.dataPhase = {PhaseKind::Periodic, 0.5, 1.0, 250000, 0.4};
+        p.codeFootprint = 2 * kB;
+        p.seed = 104;
+        suite.push_back(p);
+    }
+
+    // gcc (INT): moderate, drifting d working set with conflicts
+    // (varying type); i footprint just under 32 KB, so static
+    // resizing cannot downsize (Fig 5b: "working sets larger than
+    // 32K") while dynamic resizing emulates (Sec 4.2.2).
+    {
+        BenchmarkProfile p;
+        p.name = "gcc";
+        intMix(p);
+        p.regions = {{11 * kB, 0.7, 0}, {2 * kB, 0.3, 0}};
+        p.dataPhase = {PhaseKind::Drift, 0.7, 1.15, 150000};
+        p.dataConflictFrac = 0.03;
+        p.dataConflictBlocks = 4;
+        p.codeFootprint = 30 * kB;
+        p.codePhase = {PhaseKind::Drift, 0.85, 1.05, 200000};
+        p.seed = 105;
+        suite.push_back(p);
+    }
+
+    // ijpeg (INT): small-to-moderate d working set between offered
+    // sizes (emulation) with mild conflicts; small periodic i
+    // footprint (paper: periodic i-cache variation).
+    {
+        BenchmarkProfile p;
+        p.name = "ijpeg";
+        intMix(p);
+        p.regions = {{7 * kB, 0.85, 0}, {1 * kB, 0.15, 0}};
+        p.dataConflictFrac = 0.025;
+        p.dataConflictBlocks = 3;
+        p.codeFootprint = 6 * kB;
+        p.codePhase = {PhaseKind::Periodic, 0.4, 1.0, 220000, 0.45};
+        p.seed = 106;
+        suite.push_back(p);
+    }
+
+    // m88ksim (INT): small constant working sets on both sides
+    // (paper: constant type, takes the small selective-sets minimum).
+    {
+        BenchmarkProfile p;
+        p.name = "m88ksim";
+        intMix(p);
+        p.regions = {{3 * kB, 0.9, 0}, {1 * kB, 0.1, 0}};
+        p.codeFootprint = 3 * kB;
+        p.seed = 107;
+        suite.push_back(p);
+    }
+
+    // su2cor (FP): periodic d working set (paper: "periodic variation
+    // in working set size as execution phases repeat") with an alias
+    // set (needs associativity); constant conflict-heavy i footprint.
+    {
+        BenchmarkProfile p;
+        p.name = "su2cor";
+        fpMix(p);
+        p.regions = {{26 * kB, 0.85, 0}, {2 * kB, 0.15, 0}};
+        p.regions[0].hotFrac = 0.15;
+        p.regions[0].hotWeight = 0.75;
+        p.regions[1].phased = false;
+        p.dataPhase = {PhaseKind::Periodic, 0.2, 1.0, 300000, 0.3};
+        p.dataConflictFrac = 0.02;
+        p.dataConflictBlocks = 4;
+        p.codeFootprint = 7 * kB;
+        p.codeConflictFrac = 0.10;
+        p.codeConflictBlocks = 4;
+        p.seed = 108;
+        suite.push_back(p);
+    }
+
+    // swim (FP): d side streams cyclically through ~28 KB — fits at
+    // 32K, thrashes below, so downsizing creates a miss cliff and
+    // static resizing leaves the d-cache alone (Fig 5a: "no
+    // downsizing"); tiny constant i footprint.
+    {
+        BenchmarkProfile p;
+        p.name = "swim";
+        fpMix(p);
+        p.regions = {{28 * kB, 0.9, 32}, {1 * kB, 0.1, 0}};
+        p.codeFootprint = 2 * kB;
+        p.seed = 109;
+        suite.push_back(p);
+    }
+
+    // tomcatv (FP): d working set ~16 KB with conflicts — both
+    // organizations reach the same size but selective-ways pays more
+    // conflict misses there (Fig 5a discussion); i footprint just
+    // under 32 KB (no static downsizing; dynamic emulation type).
+    {
+        BenchmarkProfile p;
+        p.name = "tomcatv";
+        fpMix(p);
+        p.regions = {{12 * kB, 0.8, 32}, {2 * kB, 0.2, 0}};
+        p.dataConflictFrac = 0.03;
+        p.dataConflictBlocks = 4;
+        p.codeFootprint = 28 * kB;
+        p.codePhase = {PhaseKind::Drift, 0.9, 1.05, 250000};
+        p.seed = 110;
+        suite.push_back(p);
+    }
+
+    // vortex (INT): moderate drifting d working set with conflicts
+    // (varying type); i footprint ~20 KB — between 16K and 32K, the
+    // selective-ways-granularity case for i-caches (Fig 5b) and
+    // dynamic emulation type (Sec 4.2.2).
+    {
+        BenchmarkProfile p;
+        p.name = "vortex";
+        intMix(p);
+        p.regions = {{12 * kB, 0.75, 0}, {2500, 0.25, 0}};
+        p.dataPhase = {PhaseKind::Drift, 0.7, 1.15, 170000};
+        p.dataConflictFrac = 0.03;
+        p.dataConflictBlocks = 4;
+        p.codeFootprint = 18 * kB;
+        p.codeHotWeight = 0.8;
+        p.codePhase = {PhaseKind::Drift, 0.9, 1.05, 210000};
+        p.seed = 111;
+        suite.push_back(p);
+    }
+
+    // vpr (INT): moderate d working set with a strong alias set
+    // (paper: benefits from selective-sets maintaining associativity)
+    // and drifting variation; conflict-heavy i footprint ~10 KB.
+    {
+        BenchmarkProfile p;
+        p.name = "vpr";
+        intMix(p);
+        p.regions = {{10 * kB, 0.8, 0}, {2 * kB, 0.2, 0}};
+        p.dataPhase = {PhaseKind::Drift, 0.7, 1.2, 160000};
+        p.dataConflictFrac = 0.04;
+        p.dataConflictBlocks = 4;
+        p.codeFootprint = 10 * kB;
+        p.codeConflictFrac = 0.10;
+        p.codeConflictBlocks = 4;
+        p.seed = 112;
+        suite.push_back(p);
+    }
+
+    return suite;
+}
+
+BenchmarkProfile
+profileByName(const std::string &name)
+{
+    for (auto &p : spec2000Suite())
+        if (p.name == name)
+            return p;
+    rc_fatal("unknown benchmark profile: " + name);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : spec2000Suite())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace rcache

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The 12 benchmark profiles standing in for the paper's SPEC95/2000
+ * applications (ammp, applu, apsi, compress, gcc, ijpeg, m88ksim,
+ * su2cor, swim, tomcatv, vortex, vpr).
+ *
+ * Each profile is tuned to the cache-behaviour class the paper reports
+ * (Sections 4.1-4.2); the per-profile comments in profiles.cc document
+ * the mapping. Working-set sizes are chosen against the paper's 32 KB
+ * L1s: "small" working sets sit at or below the smallest offered
+ * selective-sets size, "needs associativity" profiles carry an alias
+ * set that capacity cannot absorb, "between offered sizes" profiles
+ * target the paper's unavailable-size-emulation scenario, and phase
+ * kinds reproduce the constant / varying / periodic taxonomy of
+ * Section 4.2.1.
+ */
+
+#ifndef RCACHE_WORKLOAD_PROFILES_HH
+#define RCACHE_WORKLOAD_PROFILES_HH
+
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace rcache
+{
+
+/** All 12 profiles, in the paper's (alphabetical) order. */
+std::vector<BenchmarkProfile> spec2000Suite();
+
+/** Look up one profile by name; fatal if unknown. */
+BenchmarkProfile profileByName(const std::string &name);
+
+/** The 12 names, in suite order. */
+std::vector<std::string> suiteNames();
+
+} // namespace rcache
+
+#endif // RCACHE_WORKLOAD_PROFILES_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Synthetic SPEC-like workload generator.
+ *
+ * The experiments consume only the *locality and phase structure* of a
+ * reference stream, so each SPEC application the paper evaluates is
+ * replaced by a deterministic generator parameterized to the
+ * cache-behaviour class the paper reports for it (working-set sizes,
+ * conflict intensity, phase variation). The 12 named profiles live in
+ * workload/profiles.hh; the mapping from each parameter to the paper's
+ * per-application observations is documented there.
+ *
+ * Generator structure:
+ *  - instruction stream: basic blocks of geometric length ending in a
+ *    branch; taken branches jump to a random 16-byte-aligned offset in
+ *    the current hot-code footprint, so the i-cache working set equals
+ *    the footprint. An optional conflict layout spreads the footprint
+ *    over chunks 16 KB apart to create set conflicts.
+ *  - data stream: loads/stores pick a region by weight and access it
+ *    either cyclically (streaming with reuse period = region size) or
+ *    uniformly at random (smooth working-set behaviour); an optional
+ *    alias set of blocks 16 KB apart creates associativity pressure
+ *    that capacity alone cannot relieve.
+ *  - phase schedules scale the footprint/region sizes over time:
+ *    constant, periodic square wave, or a deterministic drifting walk.
+ *  - dependences: geometric register-dependence distances plus a
+ *    load-use chance, giving the OoO core realistic ILP to hide miss
+ *    latency with.
+ */
+
+#ifndef RCACHE_WORKLOAD_SYNTHETIC_HH
+#define RCACHE_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "workload/workload.hh"
+
+namespace rcache
+{
+
+/** How a footprint scale factor evolves over the run. */
+enum class PhaseKind
+{
+    Constant,
+    /** Square wave between lo and hi every periodInsts. */
+    Periodic,
+    /** Deterministic pseudo-random walk in [lo, hi], stepping every
+     *  periodInsts. */
+    Drift,
+};
+
+/** A phase schedule: scale factor applied to a footprint. */
+struct PhaseSpec
+{
+    PhaseKind kind = PhaseKind::Constant;
+    double lo = 1.0;
+    double hi = 1.0;
+    std::uint64_t periodInsts = 200000;
+    /** Periodic only: fraction of each period spent at @c hi. */
+    double dutyHi = 0.5;
+};
+
+/** One data region. */
+struct DataRegion
+{
+    /** Nominal size in bytes (scaled by the data phase). */
+    std::uint64_t bytes;
+    /** Relative probability of an access landing here. */
+    double weight;
+    /** Cyclic walk stride in bytes; 0 selects random. */
+    std::uint64_t stride = 0;
+    /**
+     * Reuse skew for random regions: @c hotWeight of accesses fall in
+     * the first @c hotFrac of the region. Real reference streams are
+     * strongly skewed; without this, miss ratio vs. cache size is a
+     * cliff and no downsizing point is ever profitable.
+     */
+    double hotFrac = 0.2;
+    double hotWeight = 0.85;
+    /** Whether the data phase schedule scales this region. */
+    bool phased = true;
+};
+
+/** Full parameterization of one synthetic application. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** @name Instruction mix (fractions; remainder is plain int ALU) */
+    /// @{
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double fpFrac = 0.0;
+    /// @}
+
+    /** @name Data side */
+    /// @{
+    std::vector<DataRegion> regions;
+    PhaseSpec dataPhase;
+    /** Fraction of data accesses hitting the alias set. */
+    double dataConflictFrac = 0.0;
+    /** Distinct blocks in the alias set (0 disables). */
+    unsigned dataConflictBlocks = 0;
+    /// @}
+
+    /** @name Instruction side */
+    /// @{
+    /** Hot code bytes (the i-cache working set). */
+    std::uint64_t codeFootprint = 8192;
+    PhaseSpec codePhase;
+    /**
+     * Jump-target skew: @c codeHotWeight of taken branches land in the
+     * first @c codeHotFrac of the footprint (hot loops), the rest
+     * anywhere. Smooths the miss-vs-size curve like real code.
+     */
+    double codeHotFrac = 0.3;
+    double codeHotWeight = 0.7;
+    /**
+     * Fraction of taken branches that call into one of
+     * @c codeConflictBlocks 256-byte "library" chunks spaced 16 KB
+     * apart (set-aliasing: pressure that only associativity, not
+     * capacity, can absorb).
+     */
+    double codeConflictFrac = 0.0;
+    unsigned codeConflictBlocks = 0;
+    double takenBias = 0.6;
+    /// @}
+
+    /** @name Dependences */
+    /// @{
+    double depChance = 0.5;
+    unsigned maxDepDist = 8;
+    /** Chance an instruction consumes the most recent load. */
+    double loadUseChance = 0.3;
+    /// @}
+
+    std::uint8_t fpLatency = 4;
+    std::uint64_t seed = 1;
+};
+
+/** Deterministic stream generator; see file comment. */
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(const BenchmarkProfile &profile);
+
+    MicroInst next() override;
+    void reset() override;
+    std::string name() const override { return profile_.name; }
+
+    const BenchmarkProfile &profile() const { return profile_; }
+    std::uint64_t generated() const { return instCount_; }
+
+    /** Current scaled code footprint in bytes (for tests). */
+    std::uint64_t currentCodeFootprint() const;
+    /** Current scaled size of region @p r in bytes (for tests). */
+    std::uint64_t currentRegionBytes(unsigned r) const;
+
+    /** Stride separating aliasing chunks/blocks (16 KB). */
+    static constexpr std::uint64_t aliasStride = 16 * 1024;
+
+  private:
+    double phaseFactor(const PhaseSpec &spec) const;
+    Addr dataAddr();
+
+    BenchmarkProfile profile_;
+    Rng rng_;
+
+    std::uint64_t instCount_ = 0;
+    std::uint64_t codeOffset_ = 0;
+    /** Non-negative: executing alias chunk k; negative: main code. */
+    int aliasChunk_ = -1;
+    std::uint64_t blockRemaining_ = 4;
+    std::vector<std::uint64_t> cursors_;
+    unsigned lastLoadDist_ = 255;
+    double totalWeight_ = 0;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,111 @@
+#include "workload/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+char
+opClassCode(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return 'I';
+      case OpClass::FpAlu:
+        return 'F';
+      case OpClass::Load:
+        return 'L';
+      case OpClass::Store:
+        return 'S';
+      case OpClass::Branch:
+        return 'B';
+    }
+    rc_panic("bad op class");
+}
+
+OpClass
+opClassFromCode(char code)
+{
+    switch (code) {
+      case 'I':
+        return OpClass::IntAlu;
+      case 'F':
+        return OpClass::FpAlu;
+      case 'L':
+        return OpClass::Load;
+      case 'S':
+        return OpClass::Store;
+      case 'B':
+        return OpClass::Branch;
+      default:
+        rc_fatal(std::string("bad opcode in trace: '") + code + "'");
+    }
+}
+
+void
+writeTrace(std::ostream &os, Workload &source, std::uint64_t count)
+{
+    os << "# rcache trace v1: op pc eff latency dep1 dep2 taken"
+       << " [target]\n";
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const MicroInst m = source.next();
+        os << opClassCode(m.op) << ' ' << std::hex << m.pc << ' '
+           << m.effAddr << std::dec << ' '
+           << static_cast<unsigned>(m.latency) << ' '
+           << static_cast<unsigned>(m.dep1) << ' '
+           << static_cast<unsigned>(m.dep2) << ' '
+           << (m.taken ? 1 : 0);
+        if (m.op == OpClass::Branch && m.taken)
+            os << ' ' << std::hex << m.target << std::dec;
+        os << '\n';
+    }
+}
+
+std::vector<MicroInst>
+readTrace(std::istream &is)
+{
+    std::vector<MicroInst> out;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        char code;
+        unsigned latency, dep1, dep2, taken;
+        MicroInst m;
+        ss >> code >> std::hex >> m.pc >> m.effAddr >> std::dec >>
+            latency >> dep1 >> dep2 >> taken;
+        if (!ss) {
+            rc_fatal("malformed trace line " +
+                     std::to_string(lineno) + ": " + line);
+        }
+        m.op = opClassFromCode(code);
+        m.latency = static_cast<std::uint8_t>(latency);
+        m.dep1 = static_cast<std::uint8_t>(dep1);
+        m.dep2 = static_cast<std::uint8_t>(dep2);
+        m.taken = taken != 0;
+        if (m.op == OpClass::Branch && m.taken)
+            ss >> std::hex >> m.target >> std::dec;
+        out.push_back(m);
+    }
+    return out;
+}
+
+TraceWorkload
+loadTraceWorkload(const std::string &path, const std::string &name)
+{
+    std::ifstream f(path);
+    if (!f)
+        rc_fatal("cannot open trace file: " + path);
+    auto insts = readTrace(f);
+    if (insts.empty())
+        rc_fatal("trace file is empty: " + path);
+    return TraceWorkload(std::move(insts), name);
+}
+
+} // namespace rcache

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace file I/O: record a workload's stream to a portable text
+ * format and replay it later, so users can drive the simulator with
+ * their own reference streams instead of the synthetic profiles.
+ *
+ * Format: one instruction per line,
+ *   <op> <pc-hex> <eff-addr-hex> <latency> <dep1> <dep2> <taken>
+ * with op one of I F L S B; '#' starts a comment line.
+ */
+
+#ifndef RCACHE_WORKLOAD_TRACE_IO_HH
+#define RCACHE_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace rcache
+{
+
+/** Record @p count instructions of @p source into @p os. */
+void writeTrace(std::ostream &os, Workload &source,
+                std::uint64_t count);
+
+/**
+ * Parse a trace stream. Malformed lines are a user error (fatal).
+ * @return the parsed instructions, in order
+ */
+std::vector<MicroInst> readTrace(std::istream &is);
+
+/** Convenience: read a trace file into a replayable workload.
+ *  Fatal if the file cannot be opened or parsed. */
+TraceWorkload loadTraceWorkload(const std::string &path,
+                                const std::string &name = "trace");
+
+/** Single-character opcode used in the trace format. */
+char opClassCode(OpClass op);
+/** Inverse of opClassCode; fatal on an unknown code. */
+OpClass opClassFromCode(char code);
+
+} // namespace rcache
+
+#endif // RCACHE_WORKLOAD_TRACE_IO_HH

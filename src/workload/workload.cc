@@ -1,0 +1,262 @@
+#include "workload/workload.hh"
+
+#include "util/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace rcache
+{
+
+TraceWorkload::TraceWorkload(std::vector<MicroInst> insts,
+                             std::string name)
+    : insts_(std::move(insts)), name_(std::move(name))
+{
+    rc_assert(!insts_.empty());
+}
+
+MicroInst
+TraceWorkload::next()
+{
+    MicroInst i = insts_[pos_];
+    pos_ = (pos_ + 1) % insts_.size();
+    return i;
+}
+
+namespace
+{
+
+/** Stateless 64-bit mix for per-chunk / per-pc hashing. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+constexpr Addr codeBase = 0x00400000;
+constexpr Addr codeAliasBase = 0x02000000;
+constexpr Addr conflictBase = 0x40000000;
+constexpr std::uint64_t codeAliasChunkBytes = 256;
+
+Addr
+regionBase(unsigned r)
+{
+    // Stagger bases so different regions' hot heads do not land on
+    // the same cache index (0x01000000 alone is a multiple of every
+    // possible set span, which makes direct-mapped configurations
+    // thrash artificially).
+    return 0x10000000ull + static_cast<Addr>(r) * 0x01000000ull +
+           static_cast<Addr>(r) * 8896;
+}
+
+/** Quantize a scaled footprint: 64-byte aligned, at least 512 B. */
+std::uint64_t
+quantize(double bytes)
+{
+    auto q = static_cast<std::uint64_t>(bytes) & ~std::uint64_t{63};
+    return std::max<std::uint64_t>(q, 512);
+}
+
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile)
+    : profile_(profile), rng_(profile.seed)
+{
+    rc_assert(!profile_.regions.empty());
+    rc_assert(profile_.branchFrac > 0 && profile_.branchFrac < 1);
+    cursors_.assign(profile_.regions.size(), 0);
+    for (const auto &r : profile_.regions)
+        totalWeight_ += r.weight;
+    rc_assert(totalWeight_ > 0);
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_ = Rng(profile_.seed);
+    instCount_ = 0;
+    codeOffset_ = 0;
+    aliasChunk_ = -1;
+    blockRemaining_ = 4;
+    std::fill(cursors_.begin(), cursors_.end(), 0);
+    lastLoadDist_ = 255;
+}
+
+double
+SyntheticWorkload::phaseFactor(const PhaseSpec &spec) const
+{
+    switch (spec.kind) {
+      case PhaseKind::Constant:
+        return spec.hi;
+      case PhaseKind::Periodic:
+        return static_cast<double>(instCount_ % spec.periodInsts) <
+                       spec.dutyHi *
+                           static_cast<double>(spec.periodInsts)
+                   ? spec.hi
+                   : spec.lo;
+      case PhaseKind::Drift: {
+        const std::uint64_t chunk = instCount_ / spec.periodInsts;
+        const double u =
+            static_cast<double>(mix64(profile_.seed * 31 + chunk) &
+                                0xfff) /
+            4096.0;
+        return spec.lo + u * (spec.hi - spec.lo);
+      }
+    }
+    rc_panic("bad phase kind");
+}
+
+std::uint64_t
+SyntheticWorkload::currentCodeFootprint() const
+{
+    return quantize(static_cast<double>(profile_.codeFootprint) *
+                    phaseFactor(profile_.codePhase));
+}
+
+std::uint64_t
+SyntheticWorkload::currentRegionBytes(unsigned r) const
+{
+    rc_assert(r < profile_.regions.size());
+    if (!profile_.regions[r].phased)
+        return quantize(
+            static_cast<double>(profile_.regions[r].bytes));
+    return quantize(static_cast<double>(profile_.regions[r].bytes) *
+                    phaseFactor(profile_.dataPhase));
+}
+
+Addr
+SyntheticWorkload::dataAddr()
+{
+    // Alias-set access: associativity pressure independent of size.
+    if (profile_.dataConflictBlocks > 0 &&
+        rng_.chance(profile_.dataConflictFrac)) {
+        const std::uint64_t k =
+            rng_.nextBelow(profile_.dataConflictBlocks);
+        return conflictBase + k * aliasStride;
+    }
+
+    // Pick a region by weight.
+    double pick = rng_.nextDouble() * totalWeight_;
+    unsigned r = 0;
+    for (; r + 1 < profile_.regions.size(); ++r) {
+        if (pick < profile_.regions[r].weight)
+            break;
+        pick -= profile_.regions[r].weight;
+    }
+
+    const DataRegion &region = profile_.regions[r];
+    const std::uint64_t bytes = currentRegionBytes(r);
+    std::uint64_t offset;
+    if (region.stride == 0) {
+        // Skewed random reuse: most accesses land in the hot head.
+        std::uint64_t span = bytes;
+        if (region.hotWeight > 0 && rng_.chance(region.hotWeight)) {
+            span = std::max<std::uint64_t>(
+                64, static_cast<std::uint64_t>(
+                        static_cast<double>(bytes) * region.hotFrac));
+        }
+        offset = rng_.nextBelow(span / 8) * 8;
+    } else {
+        cursors_[r] = (cursors_[r] + profile_.regions[r].stride) %
+                      bytes;
+        offset = cursors_[r];
+    }
+    return regionBase(r) + offset;
+}
+
+MicroInst
+SyntheticWorkload::next()
+{
+    MicroInst inst;
+
+    const std::uint64_t footprint = currentCodeFootprint();
+    if (aliasChunk_ < 0) {
+        codeOffset_ %= footprint;
+        inst.pc = codeBase + codeOffset_;
+    } else {
+        codeOffset_ %= codeAliasChunkBytes;
+        inst.pc = codeAliasBase +
+                  static_cast<Addr>(aliasChunk_) * aliasStride +
+                  codeOffset_;
+    }
+
+    if (blockRemaining_ == 0) {
+        // Block-ending branch with a per-PC direction bias.
+        inst.op = OpClass::Branch;
+        const double bias_adj =
+            (static_cast<double>(mix64(inst.pc) & 0xff) / 256.0 -
+             0.5) *
+            0.4;
+        const double bias = std::min(
+            0.98, std::max(0.05, profile_.takenBias + bias_adj));
+        inst.taken = rng_.chance(bias);
+        if (inst.taken) {
+            if (aliasChunk_ < 0 && profile_.codeConflictBlocks > 0 &&
+                rng_.chance(profile_.codeConflictFrac)) {
+                // Call into an aliasing library chunk.
+                aliasChunk_ = static_cast<int>(
+                    rng_.nextBelow(profile_.codeConflictBlocks));
+                codeOffset_ = 0;
+                inst.target =
+                    codeAliasBase +
+                    static_cast<Addr>(aliasChunk_) * aliasStride;
+            } else {
+                // Jump within the main footprint, skewed hot.
+                aliasChunk_ = -1;
+                std::uint64_t span = footprint;
+                if (rng_.chance(profile_.codeHotWeight)) {
+                    span = std::max<std::uint64_t>(
+                        64, static_cast<std::uint64_t>(
+                                static_cast<double>(footprint) *
+                                profile_.codeHotFrac));
+                }
+                codeOffset_ = rng_.nextBelow(span) & ~std::uint64_t{15};
+                inst.target = codeBase + codeOffset_;
+            }
+        } else {
+            codeOffset_ += 4;
+        }
+        blockRemaining_ = rng_.nextGeometric(profile_.branchFrac, 32);
+    } else {
+        --blockRemaining_;
+        codeOffset_ += 4;
+
+        const double u = rng_.nextDouble();
+        const double mem_frac = profile_.loadFrac + profile_.storeFrac;
+        if (u < profile_.loadFrac) {
+            inst.op = OpClass::Load;
+            inst.effAddr = dataAddr();
+        } else if (u < mem_frac) {
+            inst.op = OpClass::Store;
+            inst.effAddr = dataAddr();
+        } else if (u < mem_frac + profile_.fpFrac) {
+            inst.op = OpClass::FpAlu;
+            inst.latency = profile_.fpLatency;
+        } else {
+            inst.op = OpClass::IntAlu;
+        }
+    }
+
+    // Register dependences.
+    if (rng_.chance(profile_.depChance)) {
+        inst.dep1 = static_cast<std::uint8_t>(
+            rng_.nextGeometric(0.35, profile_.maxDepDist));
+    }
+    if (lastLoadDist_ >= 1 && lastLoadDist_ <= profile_.maxDepDist &&
+        rng_.chance(profile_.loadUseChance)) {
+        inst.dep2 = static_cast<std::uint8_t>(lastLoadDist_);
+    }
+
+    if (inst.op == OpClass::Load)
+        lastLoadDist_ = 0;
+    if (lastLoadDist_ < 255)
+        ++lastLoadDist_;
+
+    ++instCount_;
+    return inst;
+}
+
+} // namespace rcache

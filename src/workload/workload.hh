@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workload interface: a deterministic stream of micro-instructions.
+ */
+
+#ifndef RCACHE_WORKLOAD_WORKLOAD_HH
+#define RCACHE_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/inst.hh"
+
+namespace rcache
+{
+
+/** A reproducible dynamic instruction stream. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next instruction (streams are unbounded). */
+    virtual MicroInst next() = 0;
+
+    /** Restart the stream from the beginning (same sequence). */
+    virtual void reset() = 0;
+
+    /** Name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Fixed recorded sequence, for unit tests. */
+class TraceWorkload : public Workload
+{
+  public:
+    explicit TraceWorkload(std::vector<MicroInst> insts,
+                           std::string name = "trace");
+
+    MicroInst next() override;
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return name_; }
+
+  private:
+    std::vector<MicroInst> insts_;
+    std::size_t pos_ = 0;
+    std::string name_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_WORKLOAD_WORKLOAD_HH

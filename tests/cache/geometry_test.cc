@@ -1,0 +1,88 @@
+/** @file Unit and property tests for CacheGeometry. */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+
+namespace rcache
+{
+
+TEST(GeometryTest, PaperBaseL1)
+{
+    // Table 2: 32K 2-way, 32 B blocks, 1K subarrays.
+    CacheGeometry g{32 * 1024, 2, 32, 1024};
+    EXPECT_TRUE(g.validate().empty());
+    EXPECT_EQ(g.waySize(), 16 * 1024u);
+    EXPECT_EQ(g.numSets(), 512u);
+    EXPECT_EQ(g.subarraysPerWay(), 16u);
+    EXPECT_EQ(g.setsPerSubarray(), 32u);
+    EXPECT_EQ(g.totalSubarrays(), 32u);
+    EXPECT_EQ(g.minSets(), 32u);
+    EXPECT_EQ(g.blockBits(), 5u);
+}
+
+TEST(GeometryTest, PaperTable1Geometry)
+{
+    // Table 1: 32K 4-way with 1K subarrays.
+    CacheGeometry g{32 * 1024, 4, 32, 1024};
+    EXPECT_TRUE(g.validate().empty());
+    EXPECT_EQ(g.waySize(), 8 * 1024u);
+    EXPECT_EQ(g.numSets(), 256u);
+    EXPECT_EQ(g.subarraysPerWay(), 8u);
+    EXPECT_EQ(g.totalSubarrays(), 32u);
+}
+
+TEST(GeometryTest, InvalidNonPowerOfTwoSize)
+{
+    CacheGeometry g{3000, 2, 32, 1024};
+    EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(GeometryTest, InvalidBlockSize)
+{
+    CacheGeometry g{32 * 1024, 2, 48, 1024};
+    EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(GeometryTest, InvalidSubarrayLargerThanWay)
+{
+    CacheGeometry g{4 * 1024, 4, 32, 2048};
+    EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(GeometryTest, ZeroAssocInvalid)
+{
+    CacheGeometry g{32 * 1024, 0, 32, 1024};
+    EXPECT_FALSE(g.validate().empty());
+}
+
+/** Property sweep: consistency across a grid of legal geometries. */
+class GeometrySweepTest
+    : public testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GeometrySweepTest, InternalConsistency)
+{
+    auto [size_kb, assoc, subarray] = GetParam();
+    CacheGeometry g{static_cast<std::uint64_t>(size_kb) * 1024,
+                    static_cast<unsigned>(assoc), 32,
+                    static_cast<unsigned>(subarray)};
+    if (!g.validate().empty())
+        GTEST_SKIP() << "not a legal geometry";
+    EXPECT_EQ(g.waySize() * g.assoc, g.size);
+    EXPECT_EQ(g.numSets() * g.assoc * g.blockSize, g.size);
+    EXPECT_EQ(static_cast<std::uint64_t>(g.subarraysPerWay()) *
+                  g.subarraySize,
+              g.waySize());
+    EXPECT_EQ(g.totalSubarrays(), g.subarraysPerWay() * g.assoc);
+    EXPECT_LE(g.minSets(), g.numSets());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeometrySweepTest,
+    testing::Combine(testing::Values(8, 16, 32, 64, 128),
+                     testing::Values(1, 2, 4, 8, 16),
+                     testing::Values(512, 1024, 2048)));
+
+} // namespace rcache

@@ -1,0 +1,125 @@
+/** @file Unit tests for TimedPool, MshrFile, WritebackBuffer. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace rcache
+{
+
+TEST(TimedPoolTest, FreeSlotAcquiresImmediately)
+{
+    TimedPool p(2);
+    EXPECT_EQ(p.acquire(10, 5), 10u);
+    EXPECT_EQ(p.acquire(10, 5), 10u);
+}
+
+TEST(TimedPoolTest, FullPoolDelaysToEarliestRelease)
+{
+    TimedPool p(2);
+    p.acquire(0, 10); // busy until 10
+    p.acquire(0, 20); // busy until 20
+    EXPECT_EQ(p.acquire(5, 1), 10u);
+}
+
+TEST(TimedPoolTest, ExpiredSlotsAreReclaimed)
+{
+    TimedPool p(1);
+    p.acquire(0, 5);
+    EXPECT_EQ(p.acquire(6, 5), 6u); // slot free at 5 < 6
+}
+
+TEST(TimedPoolTest, BusyCount)
+{
+    TimedPool p(4);
+    p.acquire(0, 10);
+    p.acquire(0, 20);
+    EXPECT_EQ(p.busyAt(5), 2u);
+    EXPECT_EQ(p.busyAt(15), 1u);
+    EXPECT_EQ(p.busyAt(25), 0u);
+    EXPECT_FALSE(p.fullAt(5));
+}
+
+TEST(TimedPoolTest, ResetClears)
+{
+    TimedPool p(1);
+    p.acquire(0, 100);
+    p.reset();
+    EXPECT_EQ(p.acquire(0, 5), 0u);
+}
+
+TEST(MshrTest, PrimaryMissFillsAfterLatency)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.miss(0x10, 100, 12), 112u);
+}
+
+TEST(MshrTest, SecondaryMissMergesWithPrimary)
+{
+    MshrFile m(4);
+    auto fill = m.miss(0x10, 100, 12);
+    EXPECT_EQ(m.miss(0x10, 105, 12), fill);
+    EXPECT_EQ(m.secondaryMisses(), 1u);
+}
+
+TEST(MshrTest, DifferentBlocksUseSeparateEntries)
+{
+    MshrFile m(4);
+    m.miss(0x10, 100, 12);
+    EXPECT_EQ(m.miss(0x20, 100, 12), 112u);
+    EXPECT_EQ(m.secondaryMisses(), 0u);
+}
+
+TEST(MshrTest, FullFileSerializesMisses)
+{
+    MshrFile m(1);
+    EXPECT_EQ(m.miss(0x10, 0, 10), 10u);
+    // Second miss to a different block waits for the free slot.
+    EXPECT_EQ(m.miss(0x20, 0, 10), 20u);
+}
+
+TEST(MshrTest, InFlightQuery)
+{
+    MshrFile m(2);
+    m.miss(0x10, 0, 10);
+    EXPECT_TRUE(m.inFlight(0x10, 5));
+    EXPECT_FALSE(m.inFlight(0x10, 15));
+    EXPECT_FALSE(m.inFlight(0x99, 5));
+}
+
+TEST(MshrTest, CompletedEntryNotMerged)
+{
+    MshrFile m(2);
+    m.miss(0x10, 0, 10);
+    // Re-miss after the fill completed is a new primary miss.
+    EXPECT_EQ(m.miss(0x10, 20, 10), 30u);
+    EXPECT_EQ(m.secondaryMisses(), 0u);
+}
+
+TEST(WritebackBufferTest, NoStallWhenFree)
+{
+    WritebackBuffer wb(2, 12);
+    EXPECT_EQ(wb.insert(100), 100u);
+    EXPECT_EQ(wb.stallCycles(), 0u);
+}
+
+TEST(WritebackBufferTest, StallsWhenFull)
+{
+    WritebackBuffer wb(1, 12);
+    wb.insert(0); // drains at 12
+    EXPECT_EQ(wb.insert(3), 12u);
+    EXPECT_EQ(wb.stallCycles(), 9u);
+    EXPECT_EQ(wb.inserted(), 2u);
+}
+
+TEST(WritebackBufferTest, EightEntryBurst)
+{
+    // Table 2: 8-entry buffer; a burst of 9 writebacks in one cycle
+    // stalls only the ninth.
+    WritebackBuffer wb(8, 12);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(wb.insert(0), 0u);
+    EXPECT_EQ(wb.insert(0), 12u);
+}
+
+} // namespace rcache

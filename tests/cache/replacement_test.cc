@@ -1,0 +1,71 @@
+/** @file Unit tests for replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+
+namespace rcache
+{
+
+TEST(LruPolicyTest, StampsIncrease)
+{
+    LruPolicy p;
+    auto a = p.touch(0);
+    auto b = p.touch(0);
+    EXPECT_LT(a, b);
+}
+
+TEST(LruPolicyTest, VictimIsOldestStamp)
+{
+    LruPolicy p;
+    std::vector<ReplChoice> ways = {{true, 5}, {true, 2}, {true, 9}};
+    EXPECT_EQ(p.victim(ways), 1u);
+}
+
+TEST(LruPolicyTest, SingleWay)
+{
+    LruPolicy p;
+    std::vector<ReplChoice> ways = {{true, 3}};
+    EXPECT_EQ(p.victim(ways), 0u);
+}
+
+TEST(RandomPolicyTest, VictimWithinRange)
+{
+    RandomPolicy p(7);
+    std::vector<ReplChoice> ways(4, {true, 0});
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(p.victim(ways), 4u);
+}
+
+TEST(RandomPolicyTest, Deterministic)
+{
+    RandomPolicy a(3), b(3);
+    std::vector<ReplChoice> ways(8, {true, 0});
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.victim(ways), b.victim(ways));
+}
+
+TEST(RandomPolicyTest, CoversAllWays)
+{
+    RandomPolicy p(11);
+    std::vector<ReplChoice> ways(4, {true, 0});
+    std::vector<int> hits(4, 0);
+    for (int i = 0; i < 1000; ++i)
+        ++hits[p.victim(ways)];
+    for (int h : hits)
+        EXPECT_GT(h, 100);
+}
+
+TEST(ReplacementFactoryTest, ByName)
+{
+    EXPECT_EQ(makeReplacementPolicy("lru")->name(), "lru");
+    EXPECT_EQ(makeReplacementPolicy("random")->name(), "random");
+}
+
+TEST(ReplacementFactoryDeathTest, UnknownName)
+{
+    EXPECT_DEATH(makeReplacementPolicy("plru"),
+                 "unknown replacement policy");
+}
+
+} // namespace rcache

@@ -1,0 +1,206 @@
+/** @file
+ * Tests for the resize/flush semantics at the heart of the paper's
+ * selective-sets vs selective-ways comparison (Section 2.1):
+ * way-disable flushes, set-disable flushes, and the remap flush on
+ * set-upsizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+// 8K 4-way, 32 B blocks, 1K subarrays: 64 sets, way = 2K.
+CacheGeometry
+geom()
+{
+    return {8 * 1024, 4, 32, 1024};
+}
+
+} // namespace
+
+TEST(ResizeTest, DisablingWaysFlushesTheirBlocks)
+{
+    Cache c("c", geom());
+    // Fill one set's 4 ways: blocks 2K apart share a set.
+    for (Addr a = 0; a < 4 * 2048; a += 2048)
+        c.access(a, false);
+    FlushResult r = c.resizeTo(64, 2); // drop to 2 ways
+    EXPECT_EQ(r.invalidated, 2u);
+    EXPECT_EQ(r.writebacks, 0u);
+    EXPECT_TRUE(c.checkInvariants());
+}
+
+TEST(ResizeTest, DisablingWaysWritesBackDirtyBlocks)
+{
+    Cache c("c", geom());
+    for (Addr a = 0; a < 4 * 2048; a += 2048)
+        c.access(a, true); // all dirty
+    std::vector<Addr> drained;
+    FlushResult r = c.resizeTo(
+        64, 1, [&](Addr a) { drained.push_back(a); });
+    EXPECT_EQ(r.invalidated, 3u);
+    EXPECT_EQ(r.writebacks, 3u);
+    EXPECT_EQ(drained.size(), 3u);
+}
+
+TEST(ResizeTest, SetDownsizeFlushesDisabledSets)
+{
+    Cache c("c", geom());
+    c.access(33 * 32, false); // set 33 (will be disabled at 32 sets)
+    c.access(1 * 32, false);  // set 1 (stays)
+    FlushResult r = c.resizeTo(32, 4);
+    EXPECT_EQ(r.invalidated, 1u);
+    EXPECT_FALSE(c.probe(33 * 32));
+    EXPECT_TRUE(c.probe(1 * 32));
+    EXPECT_TRUE(c.checkInvariants());
+}
+
+TEST(ResizeTest, SetDownsizeSurvivorsStillHit)
+{
+    Cache c("c", geom());
+    // Block addr 0 maps to set 0 under any mask.
+    c.access(0, false);
+    c.resizeTo(32, 4);
+    EXPECT_TRUE(c.access(0, false).hit);
+}
+
+TEST(ResizeTest, SetUpsizeFlushesRemappedBlocks)
+{
+    Cache c("c", geom());
+    c.resizeTo(32, 4);
+    // Block address 32 + 1 = set 1 under 32-set mask, but set 33
+    // under the 64-set mask: must be flushed on upsize.
+    const Addr remapped = (64 + 33) * 32; // block addr 97: 97&31=1,
+                                          // 97&63=33
+    c.access(remapped, false);
+    // Block addr 1 maps to set 1 under both masks: survives.
+    c.access(1 * 32, false);
+    EXPECT_TRUE(c.probe(remapped));
+    FlushResult r = c.resizeTo(64, 4);
+    EXPECT_EQ(r.invalidated, 1u);
+    EXPECT_FALSE(c.probe(remapped));
+    EXPECT_TRUE(c.probe(1 * 32));
+    EXPECT_TRUE(c.checkInvariants());
+}
+
+TEST(ResizeTest, SetUpsizeWritesBackDirtyRemapped)
+{
+    Cache c("c", geom());
+    c.resizeTo(32, 4);
+    const Addr remapped = (64 + 33) * 32;
+    c.access(remapped, true); // dirty
+    std::vector<Addr> drained;
+    FlushResult r =
+        c.resizeTo(64, 4, [&](Addr a) { drained.push_back(a); });
+    EXPECT_EQ(r.writebacks, 1u);
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0], remapped);
+}
+
+TEST(ResizeTest, NoopResizeFlushesNothing)
+{
+    Cache c("c", geom());
+    c.access(0, true);
+    FlushResult r = c.resizeTo(64, 4);
+    EXPECT_EQ(r.invalidated, 0u);
+    EXPECT_EQ(c.resizes(), 0u);
+}
+
+TEST(ResizeTest, EnabledSizeTracksConfig)
+{
+    Cache c("c", geom());
+    EXPECT_EQ(c.enabledSize(), 8 * 1024u);
+    c.resizeTo(32, 4);
+    EXPECT_EQ(c.enabledSize(), 4 * 1024u);
+    c.resizeTo(32, 2);
+    EXPECT_EQ(c.enabledSize(), 2 * 1024u);
+}
+
+TEST(ResizeTest, EnabledSubarraysFloorOnePerWay)
+{
+    Cache c("c", geom()); // 2 subarrays/way, 4 ways = 8
+    EXPECT_EQ(c.enabledSubarrays(), 8u);
+    c.resizeTo(32, 4); // half a subarray per way -> floor 1 per way
+    EXPECT_EQ(c.enabledSubarrays(), 4u);
+    c.resizeTo(32, 2);
+    EXPECT_EQ(c.enabledSubarrays(), 2u);
+}
+
+TEST(ResizeTest, FlushAllWritesBackAllDirty)
+{
+    Cache c("c", geom());
+    c.access(0, true);
+    c.access(64, true);
+    c.access(128, false);
+    FlushResult r = c.flushAll();
+    EXPECT_EQ(r.invalidated, 3u);
+    EXPECT_EQ(r.writebacks, 2u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(ResizeTest, ByteCyclesSpanResizes)
+{
+    Cache c("c", geom());
+    c.accumulateEnabledTime(100); // 100 cycles at 8K
+    c.resizeTo(32, 4);
+    c.accumulateEnabledTime(300); // 200 cycles at 4K
+    EXPECT_DOUBLE_EQ(c.byteCycles(), 8192.0 * 100 + 4096.0 * 200);
+}
+
+TEST(ResizeDeathTest, IllegalSetCountPanics)
+{
+    Cache c("c", geom());
+    EXPECT_DEATH(c.resizeTo(48, 4), "assertion");  // not power of 2
+    EXPECT_DEATH(c.resizeTo(128, 4), "assertion"); // above max
+    EXPECT_DEATH(c.resizeTo(16, 4), "assertion");  // below min subarr
+}
+
+TEST(ResizeDeathTest, IllegalWayCountPanics)
+{
+    Cache c("c", geom());
+    EXPECT_DEATH(c.resizeTo(64, 0), "assertion");
+    EXPECT_DEATH(c.resizeTo(64, 5), "assertion");
+}
+
+/**
+ * Property sweep: random walks through legal (sets, ways) configs with
+ * traffic in between never violate cache invariants, and every flush
+ * accounting matches what probe() sees.
+ */
+class ResizeWalkTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ResizeWalkTest, RandomResizeWalkKeepsInvariants)
+{
+    const int seed = GetParam();
+    CacheGeometry g{32 * 1024, 4, 32, 1024}; // 256 sets, min 32
+    Cache c("c", g);
+    std::uint64_t x = static_cast<std::uint64_t>(seed) * 999983 + 7;
+    auto rnd = [&]() {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return x >> 33;
+    };
+    for (int step = 0; step < 60; ++step) {
+        for (int i = 0; i < 500; ++i)
+            c.access((rnd() & 0x7fff) << 3, (rnd() & 1) != 0);
+        const std::uint64_t sets = 32u << (rnd() % 4); // 32..256
+        const unsigned ways = 1 + rnd() % 4;
+        c.resizeTo(sets, ways);
+        ASSERT_TRUE(c.checkInvariants())
+            << "violated at step " << step;
+        ASSERT_EQ(c.enabledSets(), sets);
+        ASSERT_EQ(c.enabledWays(), ways);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResizeWalkTest,
+                         testing::Range(1, 11));
+
+} // namespace rcache

@@ -1,0 +1,207 @@
+/** @file
+ * Tests for the offered-size schedules — including an exact
+ * reproduction of the paper's Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/size_schedule.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+std::vector<std::uint64_t>
+sizesOf(const std::vector<ResizeConfig> &sched, unsigned block)
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &c : sched)
+        out.push_back(c.sizeBytes(block));
+    return out;
+}
+
+const CacheGeometry g32k4w{32 * 1024, 4, 32, 1024};
+const CacheGeometry g32k2w{32 * 1024, 2, 32, 1024};
+const CacheGeometry g32k16w{32 * 1024, 16, 32, 1024};
+
+constexpr std::uint64_t K = 1024;
+
+} // namespace
+
+TEST(ScheduleTest, NoneOffersOnlyFullSize)
+{
+    auto s = buildSchedule(Organization::None, g32k4w);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0].sets, 256u);
+    EXPECT_EQ(s[0].ways, 4u);
+}
+
+TEST(ScheduleTest, SelectiveWays32k4w)
+{
+    // Paper Sec 2.1.1: a selective-ways 32K 4-way offers
+    // 32K, 24K, 16K, 8K.
+    auto s = buildSchedule(Organization::SelectiveWays, g32k4w);
+    EXPECT_EQ(sizesOf(s, 32),
+              (std::vector<std::uint64_t>{32 * K, 24 * K, 16 * K,
+                                          8 * K}));
+    for (const auto &c : s)
+        EXPECT_EQ(c.sets, 256u); // sets never change
+}
+
+TEST(ScheduleTest, SelectiveSets32k4w)
+{
+    // Paper Sec 2.1.1: a selective-sets 32K 4-way offers
+    // 32K, 16K, 8K, 4K (minimum one 1K subarray per way).
+    auto s = buildSchedule(Organization::SelectiveSets, g32k4w);
+    EXPECT_EQ(sizesOf(s, 32),
+              (std::vector<std::uint64_t>{32 * K, 16 * K, 8 * K,
+                                          4 * K}));
+    for (const auto &c : s)
+        EXPECT_EQ(c.ways, 4u); // associativity maintained
+}
+
+TEST(ScheduleTest, HybridReproducesPaperTable1)
+{
+    // Table 1: 32K, 24K, 16K, 12K, 8K, 6K, 4K, 3K, 2K, 1K.
+    auto s = buildSchedule(Organization::Hybrid, g32k4w);
+    EXPECT_EQ(sizesOf(s, 32),
+              (std::vector<std::uint64_t>{32 * K, 24 * K, 16 * K,
+                                          12 * K, 8 * K, 6 * K, 4 * K,
+                                          3 * K, 2 * K, 1 * K}));
+}
+
+TEST(ScheduleTest, HybridTable1Associativities)
+{
+    // Redundant sizes resolve to the highest associativity: 16K is
+    // offered 4-way (4 x 4K ways), not 2-way (2 x 8K ways).
+    auto s = buildSchedule(Organization::Hybrid, g32k4w);
+    auto at = [&](std::uint64_t size) -> ResizeConfig {
+        for (const auto &c : s)
+            if (c.sizeBytes(32) == size)
+                return c;
+        return {0, 0};
+    };
+    EXPECT_EQ(at(32 * K).ways, 4u);
+    EXPECT_EQ(at(24 * K).ways, 3u);
+    EXPECT_EQ(at(16 * K).ways, 4u);
+    EXPECT_EQ(at(12 * K).ways, 3u);
+    EXPECT_EQ(at(8 * K).ways, 4u);
+    EXPECT_EQ(at(6 * K).ways, 3u);
+    EXPECT_EQ(at(4 * K).ways, 4u);
+    EXPECT_EQ(at(3 * K).ways, 3u);
+    EXPECT_EQ(at(2 * K).ways, 2u);
+    EXPECT_EQ(at(1 * K).ways, 1u);
+}
+
+TEST(ScheduleTest, SelectiveWays16wFineGranularity)
+{
+    // Paper Sec 4.1: selective-ways on 32K 16-way offers 2K
+    // granularity over the entire range.
+    auto s = buildSchedule(Organization::SelectiveWays, g32k16w);
+    ASSERT_EQ(s.size(), 16u);
+    for (unsigned i = 0; i + 1 < s.size(); ++i) {
+        EXPECT_EQ(s[i].sizeBytes(32) - s[i + 1].sizeBytes(32),
+                  2 * K);
+    }
+}
+
+TEST(ScheduleTest, SelectiveSets2wCoarseAtTop)
+{
+    // Paper Sec 4.1: selective-sets on 2-way offers nothing between
+    // 32K and 16K.
+    auto s = buildSchedule(Organization::SelectiveSets, g32k2w);
+    EXPECT_EQ(sizesOf(s, 32),
+              (std::vector<std::uint64_t>{32 * K, 16 * K, 8 * K,
+                                          4 * K, 2 * K}));
+}
+
+TEST(ScheduleTest, ExtraTagBits)
+{
+    // Selective-sets must tag for the smallest offered set count:
+    // 2-way: 512 -> 32 sets = 4 extra bits (paper: "usually between
+    // 1 and 4").
+    EXPECT_EQ(extraTagBits(Organization::SelectiveSets, g32k2w), 4u);
+    EXPECT_EQ(extraTagBits(Organization::SelectiveSets, g32k4w), 3u);
+    EXPECT_EQ(extraTagBits(Organization::Hybrid, g32k4w), 3u);
+    EXPECT_EQ(extraTagBits(Organization::SelectiveWays, g32k4w), 0u);
+    EXPECT_EQ(extraTagBits(Organization::None, g32k4w), 0u);
+}
+
+TEST(ScheduleTest, OrganizationNames)
+{
+    EXPECT_EQ(organizationName(Organization::SelectiveWays),
+              "selective-ways");
+    EXPECT_EQ(organizationName(Organization::SelectiveSets),
+              "selective-sets");
+    EXPECT_EQ(organizationName(Organization::Hybrid), "hybrid");
+    EXPECT_EQ(organizationName(Organization::None), "none");
+}
+
+/** Properties that must hold for every organization and geometry. */
+class SchedulePropertyTest
+    : public testing::TestWithParam<std::tuple<Organization, int, int>>
+{
+};
+
+TEST_P(SchedulePropertyTest, WellFormed)
+{
+    auto [org, size_kb, assoc] = GetParam();
+    CacheGeometry g{static_cast<std::uint64_t>(size_kb) * 1024,
+                    static_cast<unsigned>(assoc), 32, 1024};
+    if (!g.validate().empty())
+        GTEST_SKIP();
+    auto s = buildSchedule(org, g);
+    ASSERT_FALSE(s.empty());
+    // Index 0 is the full configuration.
+    EXPECT_EQ(s[0].sets, g.numSets());
+    EXPECT_EQ(s[0].ways, g.assoc);
+    for (unsigned i = 0; i < s.size(); ++i) {
+        EXPECT_TRUE(isPowerOfTwo(s[i].sets));
+        EXPECT_GE(s[i].sets, g.minSets());
+        EXPECT_LE(s[i].sets, g.numSets());
+        EXPECT_GE(s[i].ways, 1u);
+        EXPECT_LE(s[i].ways, g.assoc);
+        if (i > 0) {
+            // Strictly decreasing sizes: no duplicates.
+            EXPECT_LT(s[i].sizeBytes(32), s[i - 1].sizeBytes(32));
+        }
+    }
+}
+
+TEST_P(SchedulePropertyTest, HybridIsSupersetOfBothSpectra)
+{
+    auto [org, size_kb, assoc] = GetParam();
+    if (org != Organization::Hybrid)
+        GTEST_SKIP();
+    CacheGeometry g{static_cast<std::uint64_t>(size_kb) * 1024,
+                    static_cast<unsigned>(assoc), 32, 1024};
+    if (!g.validate().empty())
+        GTEST_SKIP();
+    auto hybrid = sizesOf(buildSchedule(Organization::Hybrid, g), 32);
+    auto sets = sizesOf(buildSchedule(Organization::SelectiveSets, g),
+                        32);
+    auto contains = [&](std::uint64_t v) {
+        return std::find(hybrid.begin(), hybrid.end(), v) !=
+               hybrid.end();
+    };
+    // Hybrid offers at least every selective-sets size...
+    for (auto v : sets)
+        EXPECT_TRUE(contains(v)) << v;
+    // ...and at least as many sizes as either organization alone.
+    auto ways = sizesOf(buildSchedule(Organization::SelectiveWays, g),
+                        32);
+    EXPECT_GE(hybrid.size(), sets.size());
+    EXPECT_GE(hybrid.size(), ways.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedulePropertyTest,
+    testing::Combine(testing::Values(Organization::SelectiveWays,
+                                     Organization::SelectiveSets,
+                                     Organization::Hybrid),
+                     testing::Values(8, 16, 32, 64),
+                     testing::Values(2, 4, 8, 16)));
+
+} // namespace rcache

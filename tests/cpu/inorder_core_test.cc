@@ -1,0 +1,169 @@
+/** @file
+ * Tests for the in-order core with blocking d-cache: the miss-latency
+ * exposure that drives the paper's Section 4.2 comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/inorder_core.hh"
+#include "cpu/ooo_core.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+struct Fixture
+{
+    CacheGeometry l1g{32 * 1024, 2, 32, 1024};
+    CacheGeometry l2g{512 * 1024, 4, 32, 8192};
+    Cache il1{"il1", l1g};
+    Cache dl1{"dl1", l1g};
+    Hierarchy hier{&il1, &dl1, l2g, HierarchyParams{}};
+    CoreParams params;
+};
+
+std::vector<MicroInst>
+coldLoads(int n)
+{
+    std::vector<MicroInst> v;
+    for (int i = 0; i < n; ++i) {
+        MicroInst m;
+        m.op = OpClass::Load;
+        m.pc = 0x400000 + 4 * static_cast<Addr>(i % 64);
+        m.effAddr = 0x10000000 + 32 * static_cast<Addr>(i);
+        v.push_back(m);
+    }
+    return v;
+}
+
+} // namespace
+
+TEST(InOrderCoreTest, BlockingCacheExposesEveryMiss)
+{
+    Fixture f;
+    InOrderCore core(f.params, f.hier);
+    TraceWorkload wl(coldLoads(256));
+    auto act = core.run(wl, 256);
+    // Every load misses to memory (113 cycles), fully serialized.
+    EXPECT_GT(act.cycles, 256u * 100);
+}
+
+TEST(InOrderCoreTest, MissLatencyExposureVsOoO)
+{
+    // The paper's central contrast: identical independent-miss
+    // streams run far faster on the OoO/non-blocking core.
+    Fixture fi, fo;
+    InOrderCore inord(fi.params, fi.hier);
+    OooCore ooo(fo.params, fo.hier);
+    TraceWorkload w1(coldLoads(256));
+    TraceWorkload w2(coldLoads(256));
+    auto ri = inord.run(w1, 256);
+    auto ro = ooo.run(w2, 256);
+    EXPECT_GT(ri.cycles, ro.cycles * 2);
+}
+
+TEST(InOrderCoreTest, HitsDoNotStall)
+{
+    Fixture f;
+    std::vector<MicroInst> insts;
+    for (int i = 0; i < 128; ++i) {
+        MicroInst m;
+        m.op = OpClass::Load;
+        m.pc = 0x400000 + 4 * static_cast<Addr>(i % 32);
+        m.effAddr = 0x10000000; // always the same block
+        insts.push_back(m);
+    }
+    InOrderCore core(f.params, f.hier);
+    TraceWorkload wl(insts);
+    auto act = core.run(wl, 16384);
+    EXPECT_GT(act.ipc(), 2.5);
+}
+
+TEST(InOrderCoreTest, InOrderIssueRespectsProgramOrder)
+{
+    // An expensive FP op delays every later instruction even if
+    // independent (no OoO window).
+    Fixture f;
+    std::vector<MicroInst> insts;
+    for (int i = 0; i < 64; ++i) {
+        MicroInst m;
+        m.pc = 0x400000 + 4 * static_cast<Addr>(i);
+        if (i == 0) {
+            m.op = OpClass::Load;
+            m.effAddr = 0x10000000; // cold miss
+        } else {
+            m.op = OpClass::IntAlu;
+        }
+        insts.push_back(m);
+    }
+    InOrderCore core(f.params, f.hier);
+    TraceWorkload wl(insts);
+    auto act = core.run(wl, 64);
+    // The one cold load (113 cycles) stalls everything behind it.
+    EXPECT_GT(act.cycles, 110u);
+}
+
+TEST(InOrderCoreTest, StoreMissAlsoBlocks)
+{
+    Fixture f;
+    std::vector<MicroInst> insts;
+    MicroInst st;
+    st.op = OpClass::Store;
+    st.pc = 0x400000;
+    st.effAddr = 0x20000000;
+    insts.push_back(st);
+    MicroInst alu;
+    alu.op = OpClass::IntAlu;
+    alu.pc = 0x400004;
+    insts.push_back(alu);
+    InOrderCore core(f.params, f.hier);
+    TraceWorkload wl(insts);
+    auto act = core.run(wl, 2);
+    EXPECT_GT(act.cycles, 110u);
+}
+
+TEST(InOrderCoreTest, ActivityFlagsInOrder)
+{
+    Fixture f;
+    InOrderCore core(f.params, f.hier);
+    TraceWorkload wl(coldLoads(8));
+    auto act = core.run(wl, 8);
+    EXPECT_FALSE(act.outOfOrder);
+    EXPECT_EQ(act.loads, 8u);
+}
+
+TEST(InOrderCoreTest, MispredictStallsFrontend)
+{
+    Fixture f;
+    std::vector<MicroInst> taken, nottaken;
+    std::uint64_t x = 3;
+    for (int i = 0; i < 256; ++i) {
+        MicroInst m;
+        m.pc = 0x400000 + 4 * static_cast<Addr>(i % 64);
+        if (i % 4 == 3) {
+            m.op = OpClass::Branch;
+            x = x * 6364136223846793005ull + 1;
+            m.taken = (x >> 30) & 1; // unpredictable
+            m.target = 0x400000 + ((x >> 10) & 0xf0);
+        } else {
+            m.op = OpClass::IntAlu;
+        }
+        taken.push_back(m);
+        MicroInst p = m;
+        p.taken = false; // predictable
+        p.op = m.op;
+        nottaken.push_back(p);
+    }
+    Fixture f2;
+    InOrderCore a(f.params, f.hier), b(f2.params, f2.hier);
+    TraceWorkload w1(taken), w2(nottaken);
+    auto random_branches = a.run(w1, 2048);
+    auto easy_branches = b.run(w2, 2048);
+    EXPECT_GT(random_branches.mispredicts,
+              easy_branches.mispredicts);
+    EXPECT_GT(random_branches.cycles, easy_branches.cycles);
+}
+
+} // namespace rcache

@@ -1,0 +1,65 @@
+/** @file Unit tests for the pipeline bandwidth limiter. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+
+namespace rcache
+{
+
+TEST(SlotAllocatorTest, WidthEventsPerCycle)
+{
+    SlotAllocator s(4);
+    EXPECT_EQ(s.alloc(10), 10u);
+    EXPECT_EQ(s.alloc(10), 10u);
+    EXPECT_EQ(s.alloc(10), 10u);
+    EXPECT_EQ(s.alloc(10), 10u);
+    EXPECT_EQ(s.alloc(10), 11u); // fifth spills to the next cycle
+}
+
+TEST(SlotAllocatorTest, AdvancingTimeResetsCount)
+{
+    SlotAllocator s(2);
+    s.alloc(5);
+    s.alloc(5);
+    EXPECT_EQ(s.alloc(6), 6u);
+}
+
+TEST(SlotAllocatorTest, LateRequestServedAtCurrentCycle)
+{
+    SlotAllocator s(2);
+    s.alloc(10);
+    EXPECT_EQ(s.alloc(3), 10u); // earlier request rounds up
+}
+
+TEST(SlotAllocatorTest, SingleWidthSerializes)
+{
+    SlotAllocator s(1);
+    EXPECT_EQ(s.alloc(0), 0u);
+    EXPECT_EQ(s.alloc(0), 1u);
+    EXPECT_EQ(s.alloc(0), 2u);
+}
+
+TEST(SlotAllocatorTest, ResetClearsState)
+{
+    SlotAllocator s(1);
+    s.alloc(100);
+    s.reset();
+    EXPECT_EQ(s.alloc(0), 0u);
+}
+
+TEST(SlotAllocatorTest, MonotonicOutput)
+{
+    SlotAllocator s(3);
+    std::uint64_t prev = 0;
+    std::uint64_t x = 77;
+    for (int i = 0; i < 1000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        prev = std::max(prev, x % 7 == 0 ? prev + x % 3 : prev);
+        auto got = s.alloc(prev);
+        EXPECT_GE(got, prev);
+        prev = got;
+    }
+}
+
+} // namespace rcache

@@ -1,0 +1,145 @@
+/** @file
+ * Cross-module integration tests for the organization comparison
+ * (paper Section 4.1) on a reduced scale: full System runs with
+ * real profiles, checking the qualitative claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace rcache
+{
+
+namespace
+{
+constexpr std::uint64_t kInsts = 150000;
+
+SystemConfig
+cfg4way()
+{
+    SystemConfig cfg = SystemConfig::base();
+    cfg.il1.assoc = 4;
+    cfg.dl1.assoc = 4;
+    return cfg;
+}
+} // namespace
+
+TEST(OrganizationsIntegration, SmallWsAppsPreferSelectiveSetsMinimum)
+{
+    // ammp (4-way): selective-sets reaches 4K, selective-ways stops
+    // at one 8K way -> sets shrink further (paper Fig 5a).
+    Experiment exp(cfg4way(), kInsts);
+    auto p = profileByName("ammp");
+    auto sets = exp.staticSearch(p, CacheSide::DCache,
+                                 Organization::SelectiveSets);
+    auto ways = exp.staticSearch(p, CacheSide::DCache,
+                                 Organization::SelectiveWays);
+    EXPECT_LT(sets.best.avgDl1Bytes, ways.best.avgDl1Bytes);
+    EXPECT_GE(sets.edReductionPct(), ways.edReductionPct());
+}
+
+TEST(OrganizationsIntegration, ConflictAppsNeedAssociativity)
+{
+    // vpr carries a 4-block alias set: selective-sets (keeps 4 ways)
+    // must beat selective-ways (drops ways) at 4-way (paper Fig 5a).
+    Experiment exp(cfg4way(), kInsts);
+    auto p = profileByName("vpr");
+    auto sets = exp.staticSearch(p, CacheSide::DCache,
+                                 Organization::SelectiveSets);
+    auto ways = exp.staticSearch(p, CacheSide::DCache,
+                                 Organization::SelectiveWays);
+    EXPECT_GT(sets.edReductionPct(), ways.edReductionPct());
+}
+
+TEST(OrganizationsIntegration, LargeWsAppDoesNotDownsize)
+{
+    // swim's d-side streams through ~28K: downsizing thrashes, so
+    // the profiling search keeps the full size (paper Fig 5a).
+    Experiment exp(cfg4way(), kInsts);
+    auto p = profileByName("swim");
+    for (auto org : {Organization::SelectiveSets,
+                     Organization::SelectiveWays}) {
+        auto out = exp.staticSearch(p, CacheSide::DCache, org);
+        EXPECT_EQ(out.bestLevel, 0u) << organizationName(org);
+    }
+}
+
+TEST(OrganizationsIntegration, HybridAtLeastAsGoodAsBoth4Way)
+{
+    // Paper Fig 6 at the Table 1 design point, on three contrasting
+    // apps (small-WS, conflict-heavy, between-sizes).
+    Experiment exp(cfg4way(), kInsts);
+    for (const char *n : {"ammp", "vpr", "compress"}) {
+        auto p = profileByName(n);
+        auto hyb = exp.staticSearch(p, CacheSide::DCache,
+                                    Organization::Hybrid);
+        auto sets = exp.staticSearch(p, CacheSide::DCache,
+                                     Organization::SelectiveSets);
+        auto ways = exp.staticSearch(p, CacheSide::DCache,
+                                     Organization::SelectiveWays);
+        EXPECT_GE(hyb.edReductionPct(),
+                  sets.edReductionPct() - 0.3)
+            << n;
+        EXPECT_GE(hyb.edReductionPct(),
+                  ways.edReductionPct() - 0.3)
+            << n;
+    }
+}
+
+TEST(OrganizationsIntegration, SelectiveWaysWinsAtHighAssoc)
+{
+    // 16-way: selective-ways' 2K-grain full-range spectrum dominates
+    // selective-sets' coarse top (paper Fig 4, averaged here over a
+    // few apps for speed).
+    SystemConfig cfg = SystemConfig::base();
+    cfg.il1.assoc = 16;
+    cfg.dl1.assoc = 16;
+    Experiment exp(cfg, kInsts);
+    double ways = 0, sets = 0;
+    for (const char *n : {"ammp", "compress", "gcc", "su2cor"}) {
+        auto p = profileByName(n);
+        ways += exp.staticSearch(p, CacheSide::DCache,
+                                 Organization::SelectiveWays)
+                    .edReductionPct();
+        sets += exp.staticSearch(p, CacheSide::DCache,
+                                 Organization::SelectiveSets)
+                    .edReductionPct();
+    }
+    EXPECT_GT(ways, sets);
+}
+
+TEST(OrganizationsIntegration, SelectiveSetsWinsAtLowAssocICache)
+{
+    // 2-way i-cache: selective-sets' smaller minimum size wins on
+    // small-footprint apps (paper Fig 4b).
+    Experiment exp(SystemConfig::base(), kInsts);
+    double ways = 0, sets = 0;
+    for (const char *n : {"ammp", "compress", "m88ksim", "swim"}) {
+        auto p = profileByName(n);
+        ways += exp.staticSearch(p, CacheSide::ICache,
+                                 Organization::SelectiveWays)
+                    .edReductionPct();
+        sets += exp.staticSearch(p, CacheSide::ICache,
+                                 Organization::SelectiveSets)
+                    .edReductionPct();
+    }
+    EXPECT_GT(sets, ways);
+}
+
+TEST(OrganizationsIntegration, ResizingTagOverheadVisibleAtFullSize)
+{
+    // A selective-sets cache left at full size pays only the
+    // resizing tag bits vs a non-resizable baseline: a small but
+    // non-zero energy-delay penalty.
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto p = profileByName("swim");
+    auto out = exp.staticSearch(p, CacheSide::DCache,
+                                Organization::SelectiveSets);
+    if (out.bestLevel == 0) {
+        EXPECT_LT(out.edReductionPct(), 0.0);
+        EXPECT_GT(out.edReductionPct(), -1.0);
+    }
+}
+
+} // namespace rcache

@@ -1,0 +1,88 @@
+/** @file
+ * End-to-end checks of the paper's headline results at reduced
+ * scale: Fig 9's additivity and ~20% combined saving, and the Fig 4
+ * organization crossover.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/experiment.hh"
+
+namespace rcache
+{
+
+namespace
+{
+constexpr std::uint64_t kInsts = 250000;
+} // namespace
+
+TEST(PaperShapesTest, Fig9AdditivityOnFavourableApps)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    for (const char *n : {"ammp", "m88ksim", "ijpeg"}) {
+        auto p = profileByName(n);
+        auto d = exp.staticSearch(p, CacheSide::DCache,
+                                  Organization::SelectiveSets);
+        auto i = exp.staticSearch(p, CacheSide::ICache,
+                                  Organization::SelectiveSets);
+        auto both =
+            exp.staticSearchBoth(p, Organization::SelectiveSets);
+        // Combined savings within 4 points of the sum (paper: "the
+        // overall reductions ... are close to the summation").
+        EXPECT_NEAR(both.edReductionPct(),
+                    d.edReductionPct() + i.edReductionPct(), 4.0)
+            << n;
+    }
+}
+
+TEST(PaperShapesTest, Fig9CombinedSavingsSubstantial)
+{
+    // Paper: ~20% average combined saving. Small-WS apps should
+    // individually exceed 15% here.
+    Experiment exp(SystemConfig::base(), kInsts);
+    for (const char *n : {"ammp", "m88ksim"}) {
+        auto both = exp.staticSearchBoth(profileByName(n),
+                                         Organization::SelectiveSets);
+        EXPECT_GT(both.edReductionPct(), 15.0) << n;
+    }
+}
+
+TEST(PaperShapesTest, Fig4CrossoverDcache)
+{
+    // selective-sets ahead at 4-way, selective-ways ahead at 16-way,
+    // averaged over a representative app subset.
+    const std::vector<std::string> apps = {"ammp", "compress", "vpr",
+                                           "su2cor"};
+    auto avg = [&](unsigned assoc, Organization org) {
+        SystemConfig cfg = SystemConfig::base();
+        cfg.il1.assoc = assoc;
+        cfg.dl1.assoc = assoc;
+        Experiment exp(cfg, kInsts);
+        double sum = 0;
+        for (const auto &n : apps)
+            sum += exp.staticSearch(profileByName(n),
+                                    CacheSide::DCache, org)
+                       .edReductionPct();
+        return sum / static_cast<double>(apps.size());
+    };
+    EXPECT_GT(avg(4, Organization::SelectiveSets),
+              avg(4, Organization::SelectiveWays));
+    EXPECT_GT(avg(16, Organization::SelectiveWays),
+              avg(16, Organization::SelectiveSets));
+}
+
+TEST(PaperShapesTest, EnergyDelayAlwaysPositiveAndFinite)
+{
+    Experiment exp(SystemConfig::base(), 50000);
+    for (const auto &p : spec2000Suite()) {
+        RunResult r = exp.baseline(p);
+        EXPECT_GT(r.edp(), 0.0) << p.name;
+        EXPECT_TRUE(std::isfinite(r.edp())) << p.name;
+        EXPECT_GT(r.ipc(), 0.1) << p.name;
+        EXPECT_LT(r.ipc(), 4.0) << p.name;
+    }
+}
+
+} // namespace rcache

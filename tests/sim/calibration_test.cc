@@ -1,0 +1,105 @@
+/** @file
+ * Energy-model calibration against the paper's Section 4 numbers:
+ * with the base configuration, the d-cache dissipates ~18.5% and the
+ * i-cache ~17.5% of total processor energy averaged over the suite,
+ * and the in-order processor's i-cache share is ~4% higher than the
+ * out-of-order one's.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+struct Shares
+{
+    double dcache;
+    double icache;
+};
+
+Shares
+averageShares(CoreModel model)
+{
+    SystemConfig cfg = SystemConfig::base();
+    cfg.coreModel = model;
+    double d = 0, i = 0;
+    auto suite = spec2000Suite();
+    for (const auto &p : suite) {
+        SyntheticWorkload wl(p);
+        System sys(cfg);
+        RunResult r = sys.run(wl, 150000);
+        d += r.energy.dcacheFraction();
+        i += r.energy.icacheFraction();
+    }
+    const double n = static_cast<double>(suite.size());
+    return {100.0 * d / n, 100.0 * i / n};
+}
+
+} // namespace
+
+TEST(CalibrationTest, BaseDcacheShareNearPaper)
+{
+    Shares s = averageShares(CoreModel::OutOfOrder);
+    // Paper: 18.5%.
+    EXPECT_GT(s.dcache, 15.0);
+    EXPECT_LT(s.dcache, 23.0);
+}
+
+TEST(CalibrationTest, BaseIcacheShareNearPaper)
+{
+    Shares s = averageShares(CoreModel::OutOfOrder);
+    // Paper: 17.5%.
+    EXPECT_GT(s.icache, 14.0);
+    EXPECT_LT(s.icache, 22.0);
+}
+
+TEST(CalibrationTest, InOrderIcacheShareHigher)
+{
+    // Paper Sec 4.2.2: in-order i-cache share ~4% higher (21.5%).
+    Shares ooo = averageShares(CoreModel::OutOfOrder);
+    Shares inord = averageShares(CoreModel::InOrder);
+    EXPECT_GT(inord.icache, ooo.icache + 1.0);
+    EXPECT_LT(inord.icache, ooo.icache + 8.0);
+}
+
+TEST(CalibrationTest, BaseIpcPlausible)
+{
+    // 4-wide OoO on SPEC-like mixes: IPC around 1-2.5.
+    SystemConfig cfg = SystemConfig::base();
+    double ipc = 0;
+    auto suite = spec2000Suite();
+    for (const auto &p : suite) {
+        SyntheticWorkload wl(p);
+        System sys(cfg);
+        ipc += sys.run(wl, 150000).ipc();
+    }
+    ipc /= static_cast<double>(suite.size());
+    EXPECT_GT(ipc, 0.8);
+    EXPECT_LT(ipc, 3.0);
+}
+
+TEST(CalibrationTest, L1MissRatiosPlausible)
+{
+    // Base 32K 2-way: suite-average miss ratios in single digits.
+    SystemConfig cfg = SystemConfig::base();
+    double dm = 0, im = 0;
+    auto suite = spec2000Suite();
+    for (const auto &p : suite) {
+        SyntheticWorkload wl(p);
+        System sys(cfg);
+        RunResult r = sys.run(wl, 150000);
+        dm += r.dl1MissRatio;
+        im += r.il1MissRatio;
+    }
+    const double n = static_cast<double>(suite.size());
+    EXPECT_LT(100 * dm / n, 8.0);
+    EXPECT_LT(100 * im / n, 8.0);
+    EXPECT_GT(100 * dm / n, 0.1);
+}
+
+} // namespace rcache

@@ -1,0 +1,123 @@
+/** @file Tests for the experiment (profiling search) driver. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace rcache
+{
+
+namespace
+{
+constexpr std::uint64_t kInsts = 120000;
+} // namespace
+
+TEST(ExperimentTest, BaselineIsMemoized)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto p = profileByName("ammp");
+    RunResult a = exp.baseline(p);
+    RunResult b = exp.baseline(p);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(ExperimentTest, StaticSearchPicksMinimumED)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto p = profileByName("ammp");
+    auto out = exp.staticSearch(p, CacheSide::DCache,
+                                Organization::SelectiveSets);
+    // ammp has a tiny working set: a much smaller cache must win.
+    EXPECT_GT(out.bestLevel, 0u);
+    EXPECT_GT(out.edReductionPct(), 5.0);
+    EXPECT_LT(out.best.avgDl1Bytes, 32 * 1024.0);
+    // And the best point cannot be worse than the full-size point.
+    EXPECT_LE(out.best.edp(), out.baseline.edp() * 1.01);
+}
+
+TEST(ExperimentTest, StaticSearchOnlyTouchesRequestedSide)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto p = profileByName("ammp");
+    auto d = exp.staticSearch(p, CacheSide::DCache,
+                              Organization::SelectiveSets);
+    EXPECT_DOUBLE_EQ(d.best.avgIl1Bytes, 32 * 1024.0);
+    auto i = exp.staticSearch(p, CacheSide::ICache,
+                              Organization::SelectiveSets);
+    EXPECT_DOUBLE_EQ(i.best.avgDl1Bytes, 32 * 1024.0);
+}
+
+TEST(ExperimentTest, DynamicSearchNeverMuchWorseThanBaseline)
+{
+    // The grid includes a size-bound equal to the full size, so the
+    // profiled dynamic point can only lose the resizing-tag-bit
+    // overhead.
+    Experiment exp(SystemConfig::base(), kInsts);
+    for (const char *n : {"swim", "gcc"}) {
+        auto out = exp.dynamicSearch(profileByName(n),
+                                     CacheSide::DCache,
+                                     Organization::SelectiveSets);
+        EXPECT_GT(out.edReductionPct(), -1.0) << n;
+    }
+}
+
+TEST(ExperimentTest, DynamicSearchShrinksSmallWorkingSet)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto out = exp.dynamicSearch(profileByName("ammp"),
+                                 CacheSide::DCache,
+                                 Organization::SelectiveSets);
+    EXPECT_GT(out.sizeReductionPct(CacheSide::DCache), 30.0);
+    EXPECT_GT(out.edReductionPct(), 3.0);
+}
+
+TEST(ExperimentTest, BothSidesOutcomeCombines)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto p = profileByName("m88ksim");
+    auto both = exp.staticSearchBoth(p, Organization::SelectiveSets);
+    EXPECT_LT(both.best.avgDl1Bytes, 32 * 1024.0);
+    EXPECT_LT(both.best.avgIl1Bytes, 32 * 1024.0);
+    auto d = exp.staticSearch(p, CacheSide::DCache,
+                              Organization::SelectiveSets);
+    auto i = exp.staticSearch(p, CacheSide::ICache,
+                              Organization::SelectiveSets);
+    // Additivity within slack (paper Fig 9).
+    EXPECT_NEAR(both.edReductionPct(),
+                d.edReductionPct() + i.edReductionPct(), 4.0);
+}
+
+TEST(ExperimentTest, RunPointHonorsExplicitSetups)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto p = profileByName("ammp");
+    RunResult r = exp.runPoint(
+        p, Organization::SelectiveSets, Organization::SelectiveWays,
+        ResizeSetup{Strategy::Static, 1, {}},
+        ResizeSetup{Strategy::Static, 1, {}});
+    EXPECT_DOUBLE_EQ(r.avgIl1Bytes, 16 * 1024.0); // sets level 1
+    EXPECT_DOUBLE_EQ(r.avgDl1Bytes, 16 * 1024.0); // ways level 1 (1w)
+}
+
+TEST(ExperimentTest, SearchGridsExposed)
+{
+    EXPECT_FALSE(Experiment::missBoundFractions().empty());
+    EXPECT_FALSE(Experiment::intervalGrid().empty());
+    for (double f : Experiment::missBoundFractions()) {
+        EXPECT_GT(f, 0.0);
+        EXPECT_LT(f, 1.0);
+    }
+}
+
+TEST(ExperimentTest, PerfDegradationSignConvention)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto out = exp.staticSearch(profileByName("ammp"),
+                                CacheSide::DCache,
+                                Organization::SelectiveSets);
+    // Downsizing can only slow the run down (or leave it equal).
+    EXPECT_GE(out.perfDegradationPct(), -0.5);
+}
+
+} // namespace rcache

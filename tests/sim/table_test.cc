@@ -1,0 +1,64 @@
+/** @file Tests for the text-table formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/table.hh"
+
+namespace rcache
+{
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable t({"a", "long-header"});
+    t.addRow({"xxxxxxxx", "1"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Three lines: header, rule, row.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+    // Header row is padded to the widest cell.
+    const auto header_end = out.find('\n');
+    const auto rule_end = out.find('\n', header_end + 1);
+    const auto row_end = out.find('\n', rule_end + 1);
+    EXPECT_EQ(header_end, row_end - rule_end - 1);
+}
+
+TEST(TextTableTest, FormatHelpers)
+{
+    EXPECT_EQ(TextTable::pct(12.345), "12.3%");
+    EXPECT_EQ(TextTable::pct(12.345, 2), "12.35%");
+    EXPECT_EQ(TextTable::num(3.14159), "3.14");
+    EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+    EXPECT_EQ(TextTable::bytesKb(32768), "32.0K");
+    EXPECT_EQ(TextTable::bytesKb(1536), "1.5K");
+}
+
+TEST(TextTableTest, EmptyTablePrintsHeaderOnly)
+{
+    TextTable t({"one", "two"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("one"), std::string::npos);
+    EXPECT_NE(os.str().find("---"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, RowArityMismatch)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "assertion");
+}
+
+TEST(TextTableTest, ManyRowsKeepOrder)
+{
+    TextTable t({"i"});
+    for (int i = 0; i < 5; ++i)
+        t.addRow({std::to_string(i)});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_LT(s.find("0"), s.find("4"));
+}
+
+} // namespace rcache

@@ -1,0 +1,146 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace rcache
+{
+
+TEST(CounterTest, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    EXPECT_EQ(c.value(), 1u);
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(AverageTest, MeanOfSamples)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(1);
+    a.sample(2);
+    a.sample(3);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(HistogramTest, BucketsAndBounds)
+{
+    Histogram h(0, 10, 10);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(-1); // underflow
+    h.sample(10); // overflow (max is exclusive)
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 1u);
+    EXPECT_EQ(h.samples(), 4u);
+}
+
+TEST(HistogramTest, MeanIncludesOutOfRange)
+{
+    Histogram h(0, 10, 5);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(HistogramTest, Reset)
+{
+    Histogram h(0, 1, 4);
+    h.sample(0.5);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+}
+
+TEST(StatGroupTest, CounterLookup)
+{
+    StatGroup g("grp");
+    Counter c;
+    g.addCounter("hits", &c, "hit count");
+    c += 5;
+    EXPECT_TRUE(g.has("hits"));
+    EXPECT_FALSE(g.has("misses"));
+    EXPECT_DOUBLE_EQ(g.value("hits"), 5.0);
+}
+
+TEST(StatGroupTest, FormulaEvaluatesLazily)
+{
+    StatGroup g("grp");
+    Counter hits, total;
+    g.addFormula(
+        "ratio",
+        [&]() {
+            return total.value()
+                       ? static_cast<double>(hits.value()) /
+                             total.value()
+                       : 0.0;
+        },
+        "hit ratio");
+    EXPECT_DOUBLE_EQ(g.value("ratio"), 0.0);
+    hits += 1;
+    total += 4;
+    EXPECT_DOUBLE_EQ(g.value("ratio"), 0.25);
+}
+
+TEST(StatGroupTest, AverageRegistration)
+{
+    StatGroup g("grp");
+    Average a;
+    g.addAverage("lat", &a, "latency");
+    a.sample(10);
+    a.sample(20);
+    EXPECT_DOUBLE_EQ(g.value("lat"), 15.0);
+}
+
+TEST(StatGroupTest, DumpContainsNamesAndDescriptions)
+{
+    StatGroup g("cache");
+    Counter c;
+    c += 7;
+    g.addCounter("accesses", &c, "total accesses");
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("cache.accesses"), std::string::npos);
+    EXPECT_NE(os.str().find("total accesses"), std::string::npos);
+    EXPECT_NE(os.str().find('7'), std::string::npos);
+}
+
+TEST(StatGroupTest, NamesInRegistrationOrder)
+{
+    StatGroup g("g");
+    Counter a, b;
+    g.addCounter("zeta", &a, "");
+    g.addCounter("alpha", &b, "");
+    auto names = g.statNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "zeta");
+    EXPECT_EQ(names[1], "alpha");
+}
+
+TEST(StatGroupDeathTest, UnknownStatPanics)
+{
+    StatGroup g("g");
+    EXPECT_DEATH(g.value("nope"), "unknown stat");
+}
+
+TEST(StatGroupDeathTest, DuplicateNamePanics)
+{
+    StatGroup g("g");
+    Counter c;
+    g.addCounter("x", &c, "");
+    EXPECT_DEATH(g.addCounter("x", &c, ""), "assertion");
+}
+
+} // namespace rcache

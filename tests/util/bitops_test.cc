@@ -1,0 +1,68 @@
+/** @file Unit tests for util/bitops. */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace rcache
+{
+
+TEST(BitopsTest, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(BitopsTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(BitopsTest, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitopsTest, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xffu);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+}
+
+TEST(BitopsTest, BitSlice)
+{
+    EXPECT_EQ(bitSlice(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bitSlice(0xff, 0, 4), 0xfu);
+    EXPECT_EQ(bitSlice(0, 10, 10), 0u);
+}
+
+TEST(BitopsTest, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+}
+
+TEST(BitopsTest, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t{0}), 64u);
+}
+
+} // namespace rcache

@@ -1,0 +1,40 @@
+/** @file Unit tests for logging helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+TEST(LoggingTest, VerboseToggle)
+{
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(rc_panic("boom"), "panic: boom");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(rc_fatal("bad config"),
+                testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(rc_assert(1 == 2), "assertion failed");
+}
+
+TEST(LoggingTest, AssertPassesOnTrue)
+{
+    rc_assert(1 == 1); // must not abort
+    SUCCEED();
+}
+
+} // namespace rcache

@@ -1,0 +1,112 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.hh"
+
+namespace rcache
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, NextDoubleRoughlyUniform)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GeometricBounds)
+{
+    Rng r(19);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.nextGeometric(0.25, 16);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 16u);
+    }
+}
+
+TEST(RngTest, GeometricMeanApproximatelyInverseP)
+{
+    Rng r(23);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.nextGeometric(0.2, 1000));
+    // Mean of a geometric with p = 0.2 is 5.
+    EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngTest, StreamHasNoShortCycle)
+{
+    Rng r(29);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(r.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace rcache

@@ -1,0 +1,132 @@
+/** @file Tests for the 12 named benchmark profiles. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/profiles.hh"
+
+namespace rcache
+{
+
+TEST(ProfilesTest, TwelveApplications)
+{
+    auto suite = spec2000Suite();
+    EXPECT_EQ(suite.size(), 12u);
+    std::set<std::string> names;
+    for (const auto &p : suite)
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 12u);
+    for (const char *n :
+         {"ammp", "applu", "apsi", "compress", "gcc", "ijpeg",
+          "m88ksim", "su2cor", "swim", "tomcatv", "vortex", "vpr"})
+        EXPECT_TRUE(names.count(n)) << n;
+}
+
+TEST(ProfilesTest, LookupByName)
+{
+    auto p = profileByName("gcc");
+    EXPECT_EQ(p.name, "gcc");
+    EXPECT_EQ(suiteNames().size(), 12u);
+}
+
+TEST(ProfilesDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(profileByName("doom"), testing::ExitedWithCode(1),
+                "unknown benchmark profile");
+}
+
+TEST(ProfilesTest, UniqueSeeds)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : spec2000Suite())
+        seeds.insert(p.seed);
+    EXPECT_EQ(seeds.size(), 12u);
+}
+
+TEST(ProfilesTest, MixesAreProperFractions)
+{
+    for (const auto &p : spec2000Suite()) {
+        EXPECT_GT(p.branchFrac, 0.0) << p.name;
+        EXPECT_LT(p.loadFrac + p.storeFrac + p.fpFrac, 1.0) << p.name;
+        EXPECT_GE(p.loadFrac, 0.0);
+        EXPECT_GE(p.storeFrac, 0.0);
+    }
+}
+
+TEST(ProfilesTest, AllGeneratorsProduceStreams)
+{
+    for (const auto &p : spec2000Suite()) {
+        SyntheticWorkload w(p);
+        for (int i = 0; i < 2000; ++i) {
+            MicroInst m = w.next();
+            if (m.op == OpClass::Load || m.op == OpClass::Store) {
+                EXPECT_NE(m.effAddr, 0u) << p.name;
+            }
+        }
+        EXPECT_EQ(w.generated(), 2000u);
+    }
+}
+
+TEST(ProfilesTest, PaperSmallWorkingSetApps)
+{
+    // ammp/m88ksim: small constant d-side working sets (paper
+    // Fig 5a): total region bytes comfortably under 8K.
+    for (const char *n : {"ammp", "m88ksim"}) {
+        auto p = profileByName(n);
+        std::uint64_t total = 0;
+        for (const auto &r : p.regions)
+            total += r.bytes;
+        EXPECT_LE(total, 8 * 1024u) << n;
+        EXPECT_EQ(p.dataPhase.kind, PhaseKind::Constant) << n;
+    }
+}
+
+TEST(ProfilesTest, PaperLargeICacheApps)
+{
+    // gcc/tomcatv: i-side working sets near 32K (paper Fig 5b: no
+    // static downsizing).
+    for (const char *n : {"gcc", "tomcatv"}) {
+        auto p = profileByName(n);
+        EXPECT_GE(p.codeFootprint, 24 * 1024u) << n;
+    }
+}
+
+TEST(ProfilesTest, PaperPhaseTaxonomy)
+{
+    // Section 4.2.1: su2cor is the periodic d-side example; gcc,
+    // vortex, vpr vary.
+    EXPECT_EQ(profileByName("su2cor").dataPhase.kind,
+              PhaseKind::Periodic);
+    for (const char *n : {"gcc", "vortex", "vpr"})
+        EXPECT_EQ(profileByName(n).dataPhase.kind, PhaseKind::Drift)
+            << n;
+    // Section 4.2.2: applu, apsi, ijpeg have periodic i-side phases.
+    for (const char *n : {"applu", "apsi", "ijpeg"})
+        EXPECT_EQ(profileByName(n).codePhase.kind,
+                  PhaseKind::Periodic)
+            << n;
+}
+
+TEST(ProfilesTest, PaperConflictApps)
+{
+    // apsi/su2cor/vpr need associativity (paper Fig 5): all carry
+    // alias sets on both sides.
+    for (const char *n : {"apsi", "su2cor", "vpr"}) {
+        auto p = profileByName(n);
+        EXPECT_GT(p.dataConflictBlocks, 0u) << n;
+        EXPECT_GT(p.codeConflictBlocks, 0u) << n;
+    }
+    // applu: low conflict (selective-ways reads fewer ways there).
+    EXPECT_EQ(profileByName("applu").dataConflictBlocks, 0u);
+}
+
+TEST(ProfilesTest, SwimStreamsCyclically)
+{
+    auto p = profileByName("swim");
+    ASSERT_FALSE(p.regions.empty());
+    EXPECT_GT(p.regions[0].stride, 0u); // cyclic streaming region
+    EXPECT_GE(p.regions[0].bytes, 24 * 1024u);
+}
+
+} // namespace rcache

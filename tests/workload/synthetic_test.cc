@@ -1,0 +1,279 @@
+/** @file Unit and property tests for the synthetic workload
+ *  generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/synthetic.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+BenchmarkProfile
+simpleProfile()
+{
+    BenchmarkProfile p;
+    p.name = "test";
+    p.loadFrac = 0.3;
+    p.storeFrac = 0.1;
+    p.branchFrac = 0.2;
+    p.fpFrac = 0.1;
+    p.regions = {{8 * 1024, 1.0, 0}};
+    p.codeFootprint = 4 * 1024;
+    p.seed = 7;
+    return p;
+}
+
+} // namespace
+
+TEST(SyntheticTest, DeterministicAcrossInstances)
+{
+    SyntheticWorkload a(simpleProfile()), b(simpleProfile());
+    for (int i = 0; i < 10000; ++i) {
+        MicroInst x = a.next(), y = b.next();
+        EXPECT_EQ(x.pc, y.pc);
+        EXPECT_EQ(x.effAddr, y.effAddr);
+        EXPECT_EQ(static_cast<int>(x.op), static_cast<int>(y.op));
+        EXPECT_EQ(x.taken, y.taken);
+    }
+}
+
+TEST(SyntheticTest, ResetReplaysIdenticalStream)
+{
+    SyntheticWorkload w(simpleProfile());
+    std::vector<Addr> first;
+    for (int i = 0; i < 5000; ++i)
+        first.push_back(w.next().pc);
+    w.reset();
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_EQ(w.next().pc, first[i]);
+}
+
+TEST(SyntheticTest, MixMatchesFractions)
+{
+    SyntheticWorkload w(simpleProfile());
+    std::map<OpClass, int> count;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++count[w.next().op];
+    // Branch fraction controls basic-block length.
+    EXPECT_NEAR(static_cast<double>(count[OpClass::Branch]) / n, 0.2,
+                0.04);
+    // Non-branch instructions split by the renormalized mix.
+    EXPECT_NEAR(static_cast<double>(count[OpClass::Load]) / n,
+                0.3 * 0.8, 0.04);
+    EXPECT_NEAR(static_cast<double>(count[OpClass::Store]) / n,
+                0.1 * 0.8, 0.03);
+}
+
+TEST(SyntheticTest, CodeStaysWithinFootprint)
+{
+    auto p = simpleProfile();
+    p.codeConflictFrac = 0; // contiguous code only
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 50000; ++i) {
+        MicroInst m = w.next();
+        EXPECT_GE(m.pc, 0x00400000u);
+        EXPECT_LT(m.pc, 0x00400000u + p.codeFootprint);
+    }
+}
+
+TEST(SyntheticTest, DataStaysWithinRegions)
+{
+    auto p = simpleProfile();
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 50000; ++i) {
+        MicroInst m = w.next();
+        if (m.op == OpClass::Load || m.op == OpClass::Store) {
+            EXPECT_GE(m.effAddr, 0x10000000u);
+            EXPECT_LT(m.effAddr, 0x10000000u + 8 * 1024u);
+        }
+    }
+}
+
+TEST(SyntheticTest, ConflictAliasesSixteenKApart)
+{
+    auto p = simpleProfile();
+    p.dataConflictFrac = 0.5;
+    p.dataConflictBlocks = 4;
+    SyntheticWorkload w(p);
+    std::set<Addr> alias;
+    for (int i = 0; i < 50000; ++i) {
+        MicroInst m = w.next();
+        if ((m.op == OpClass::Load || m.op == OpClass::Store) &&
+            m.effAddr >= 0x40000000u) {
+            alias.insert(m.effAddr);
+        }
+    }
+    EXPECT_EQ(alias.size(), 4u);
+    for (Addr a : alias)
+        EXPECT_EQ((a - 0x40000000u) % SyntheticWorkload::aliasStride,
+                  0u);
+}
+
+TEST(SyntheticTest, HotSkewConcentratesAccesses)
+{
+    auto p = simpleProfile();
+    p.regions[0].hotFrac = 0.25;
+    p.regions[0].hotWeight = 0.8;
+    SyntheticWorkload w(p);
+    int hot = 0, total = 0;
+    const Addr hot_end =
+        0x10000000u + static_cast<Addr>(8 * 1024 * 0.25);
+    for (int i = 0; i < 200000; ++i) {
+        MicroInst m = w.next();
+        if (m.op == OpClass::Load || m.op == OpClass::Store) {
+            ++total;
+            hot += m.effAddr < hot_end;
+        }
+    }
+    // 80% directed + 25% of the remaining uniform traffic.
+    EXPECT_NEAR(static_cast<double>(hot) / total, 0.85, 0.05);
+}
+
+TEST(SyntheticTest, PeriodicPhaseScalesFootprint)
+{
+    auto p = simpleProfile();
+    p.codePhase = {PhaseKind::Periodic, 0.5, 1.0, 10000, 0.5};
+    SyntheticWorkload w(p);
+    // First half-period: hi factor.
+    EXPECT_EQ(w.currentCodeFootprint(), 4 * 1024u);
+    for (int i = 0; i < 6000; ++i)
+        w.next();
+    EXPECT_EQ(w.currentCodeFootprint(), 2 * 1024u);
+}
+
+TEST(SyntheticTest, PeriodicDutyCycle)
+{
+    auto p = simpleProfile();
+    p.dataPhase = {PhaseKind::Periodic, 0.5, 1.0, 10000, 0.2};
+    SyntheticWorkload w(p);
+    int hi = 0;
+    for (int i = 0; i < 10000; ++i) {
+        hi += w.currentRegionBytes(0) == 8 * 1024u;
+        w.next();
+    }
+    EXPECT_NEAR(hi / 10000.0, 0.2, 0.02);
+}
+
+TEST(SyntheticTest, UnphasedRegionIgnoresSchedule)
+{
+    auto p = simpleProfile();
+    p.regions.push_back({2 * 1024, 0.5, 0});
+    p.regions[1].phased = false;
+    p.dataPhase = {PhaseKind::Periodic, 0.25, 1.0, 1000, 0.5};
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 3000; ++i) {
+        EXPECT_EQ(w.currentRegionBytes(1), 2 * 1024u);
+        w.next();
+    }
+}
+
+TEST(SyntheticTest, DriftStaysWithinBounds)
+{
+    auto p = simpleProfile();
+    p.dataPhase = {PhaseKind::Drift, 0.5, 1.5, 1000, 0.5};
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 50000; ++i) {
+        auto bytes = w.currentRegionBytes(0);
+        EXPECT_GE(bytes, 4 * 1024u - 64);
+        EXPECT_LE(bytes, 12 * 1024u + 64);
+        w.next();
+    }
+}
+
+TEST(SyntheticTest, DriftActuallyMoves)
+{
+    auto p = simpleProfile();
+    p.dataPhase = {PhaseKind::Drift, 0.5, 1.5, 1000, 0.5};
+    SyntheticWorkload w(p);
+    std::set<std::uint64_t> sizes;
+    for (int i = 0; i < 20000; ++i) {
+        sizes.insert(w.currentRegionBytes(0));
+        w.next();
+    }
+    EXPECT_GT(sizes.size(), 5u);
+}
+
+TEST(SyntheticTest, BranchTargetsMatchNextPc)
+{
+    SyntheticWorkload w(simpleProfile());
+    MicroInst prev = w.next();
+    for (int i = 0; i < 20000; ++i) {
+        MicroInst cur = w.next();
+        if (prev.op == OpClass::Branch && prev.taken) {
+            EXPECT_EQ(cur.pc, prev.target);
+        }
+        prev = cur;
+    }
+}
+
+TEST(SyntheticTest, SequentialPcWithinBlocks)
+{
+    SyntheticWorkload w(simpleProfile());
+    MicroInst prev = w.next();
+    for (int i = 0; i < 20000; ++i) {
+        MicroInst cur = w.next();
+        const bool was_wrap =
+            cur.pc < prev.pc; // footprint wrap-around
+        if (prev.op != OpClass::Branch && !was_wrap) {
+            EXPECT_EQ(cur.pc, prev.pc + 4) << "at " << i;
+        }
+        prev = cur;
+    }
+}
+
+TEST(SyntheticTest, DependencesWithinMaxDistance)
+{
+    auto p = simpleProfile();
+    p.maxDepDist = 6;
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 50000; ++i) {
+        MicroInst m = w.next();
+        EXPECT_LE(m.dep1, 6);
+        if (m.dep2) {
+            EXPECT_LE(m.dep2, 6);
+        }
+    }
+}
+
+TEST(SyntheticTest, FpLatencyApplied)
+{
+    auto p = simpleProfile();
+    p.fpLatency = 9;
+    SyntheticWorkload w(p);
+    for (int i = 0; i < 20000; ++i) {
+        MicroInst m = w.next();
+        if (m.op == OpClass::FpAlu) {
+            EXPECT_EQ(m.latency, 9);
+        }
+    }
+}
+
+TEST(SyntheticDeathTest, EmptyRegionsFatal)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.regions.clear();
+    EXPECT_DEATH(SyntheticWorkload{p}, "assertion");
+}
+
+TEST(TraceWorkloadTest, CyclesAndResets)
+{
+    MicroInst a, b;
+    a.pc = 0x100;
+    b.pc = 0x200;
+    TraceWorkload w({a, b}, "t");
+    EXPECT_EQ(w.next().pc, 0x100u);
+    EXPECT_EQ(w.next().pc, 0x200u);
+    EXPECT_EQ(w.next().pc, 0x100u); // wraps
+    w.reset();
+    EXPECT_EQ(w.next().pc, 0x100u);
+    EXPECT_EQ(w.name(), "t");
+}
+
+} // namespace rcache

@@ -1,0 +1,93 @@
+/** @file Tests for the trace file format. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "workload/profiles.hh"
+#include "workload/trace_io.hh"
+
+namespace rcache
+{
+
+TEST(TraceIoTest, OpCodesRoundTrip)
+{
+    for (OpClass op : {OpClass::IntAlu, OpClass::FpAlu, OpClass::Load,
+                       OpClass::Store, OpClass::Branch}) {
+        EXPECT_EQ(static_cast<int>(opClassFromCode(opClassCode(op))),
+                  static_cast<int>(op));
+    }
+}
+
+TEST(TraceIoDeathTest, BadOpCodeFatal)
+{
+    EXPECT_EXIT(opClassFromCode('Z'), testing::ExitedWithCode(1),
+                "bad opcode");
+}
+
+TEST(TraceIoTest, WriteThenReadRoundTrips)
+{
+    SyntheticWorkload src(profileByName("gcc"));
+    std::stringstream buf;
+    writeTrace(buf, src, 500);
+
+    auto insts = readTrace(buf);
+    ASSERT_EQ(insts.size(), 500u);
+
+    // Replaying the source must give identical instructions.
+    src.reset();
+    for (const auto &got : insts) {
+        const MicroInst want = src.next();
+        EXPECT_EQ(got.pc, want.pc);
+        EXPECT_EQ(got.effAddr, want.effAddr);
+        EXPECT_EQ(static_cast<int>(got.op),
+                  static_cast<int>(want.op));
+        EXPECT_EQ(got.latency, want.latency);
+        EXPECT_EQ(got.dep1, want.dep1);
+        EXPECT_EQ(got.dep2, want.dep2);
+        EXPECT_EQ(got.taken, want.taken);
+        if (want.op == OpClass::Branch && want.taken)
+            EXPECT_EQ(got.target, want.target);
+    }
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream buf;
+    buf << "# a comment\n\nI 400000 0 1 0 0 0\n";
+    auto insts = readTrace(buf);
+    ASSERT_EQ(insts.size(), 1u);
+    EXPECT_EQ(insts[0].pc, 0x400000u);
+}
+
+TEST(TraceIoDeathTest, MalformedLineFatal)
+{
+    std::stringstream buf;
+    buf << "L not-a-number\n";
+    EXPECT_EXIT(readTrace(buf), testing::ExitedWithCode(1),
+                "malformed trace line 1");
+}
+
+TEST(TraceIoDeathTest, MissingFileFatal)
+{
+    EXPECT_EXIT(loadTraceWorkload("/nonexistent/trace.txt"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIoTest, LoadedTraceDrivesWorkload)
+{
+    SyntheticWorkload src(profileByName("ammp"));
+    const std::string path = "/tmp/rcache_trace_test.txt";
+    {
+        std::ofstream f(path);
+        writeTrace(f, src, 100);
+    }
+    TraceWorkload wl = loadTraceWorkload(path, "recorded");
+    EXPECT_EQ(wl.name(), "recorded");
+    src.reset();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(wl.next().pc, src.next().pc);
+}
+
+} // namespace rcache
