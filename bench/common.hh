@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/sweep_runner.hh"
 #include "sim/experiment.hh"
 #include "sim/table.hh"
 
@@ -32,6 +33,16 @@ runInsts()
     if (const char *env = std::getenv("RCACHE_INSTS"))
         return std::strtoull(env, nullptr, 10);
     return 400000;
+}
+
+/** Sweep-runner worker threads (RCACHE_JOBS; default 1 = serial,
+ *  0 = hardware concurrency). Results are identical either way. */
+inline unsigned
+benchJobs()
+{
+    if (const char *env = std::getenv("RCACHE_JOBS"))
+        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return 1;
 }
 
 /** Profiles to run (RCACHE_APPS=ammp,gcc,... or the full suite). */

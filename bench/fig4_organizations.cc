@@ -8,6 +8,12 @@
  * Paper shape to verify: selective-sets wins at <= 4-way (peaking at
  * 4-way), selective-ways wins at >= 8-way and grows with
  * associativity.
+ *
+ * Runs on the sweep runner: each (side, assoc) panel enumerates the
+ * baseline plus both organizations' level sweeps for every app as
+ * one flat batch, so RCACHE_JOBS>1 overlaps all of them; the
+ * reductions read results in job order, keeping the table identical
+ * to a serial run.
  */
 
 #include "bench/common.hh"
@@ -23,6 +29,7 @@ main()
 
     const auto apps = bench::suite();
     const std::uint64_t insts = bench::runInsts();
+    SweepRunner runner(bench::benchJobs());
 
     for (auto side : {CacheSide::DCache, CacheSide::ICache}) {
         std::cout << (side == CacheSide::DCache ? "(a) D-Cache"
@@ -32,14 +39,40 @@ main()
         TextTable t({"assoc", "selective-ways", "selective-sets"});
         for (unsigned assoc : {2u, 4u, 8u, 16u}) {
             Experiment exp(bench::baseWithAssoc(assoc), insts);
+
+            struct Slice
+            {
+                std::size_t off, count;
+            };
+            std::vector<RunJob> batch;
+            std::vector<std::size_t> base_at(apps.size());
+            std::vector<Slice> ways_at(apps.size()),
+                sets_at(apps.size());
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+                base_at[a] = batch.size();
+                batch.push_back(exp.baselineJob(apps[a]));
+                auto w = exp.staticSearchJobs(
+                    apps[a], side, Organization::SelectiveWays);
+                ways_at[a] = {batch.size(), w.size()};
+                batch.insert(batch.end(), w.begin(), w.end());
+                auto s = exp.staticSearchJobs(
+                    apps[a], side, Organization::SelectiveSets);
+                sets_at[a] = {batch.size(), s.size()};
+                batch.insert(batch.end(), s.begin(), s.end());
+            }
+
+            const auto res = runner.run(batch);
+            auto reduce = [&](const Slice &sl, std::size_t a) {
+                return Experiment::reduceStatic(
+                           res[base_at[a]],
+                           {res.begin() + sl.off,
+                            res.begin() + sl.off + sl.count})
+                    .edReductionPct();
+            };
             double ways = 0, sets = 0;
-            for (const auto &p : apps) {
-                ways += exp.staticSearch(p, side,
-                                         Organization::SelectiveWays)
-                            .edReductionPct();
-                sets += exp.staticSearch(p, side,
-                                         Organization::SelectiveSets)
-                            .edReductionPct();
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+                ways += reduce(ways_at[a], a);
+                sets += reduce(sets_at[a], a);
             }
             const double n = static_cast<double>(apps.size());
             t.addRow({std::to_string(assoc) + "-way",

@@ -6,6 +6,12 @@
  *
  * Paper shape to verify: combined reduction ~= sum of individual
  * reductions; overall processor energy-delay saving ~20% on average.
+ *
+ * Runs on the sweep runner in two phases: phase 1 batches every
+ * app's baseline plus both sides' level sweeps, phase 2 batches the
+ * combined runs at each side's profiled level (which depend on the
+ * phase-1 reductions). RCACHE_JOBS>1 overlaps everything within a
+ * phase without changing the table.
  */
 
 #include "bench/common.hh"
@@ -20,32 +26,74 @@ main()
                   "selective-sets, base system)");
 
     const auto apps = bench::suite();
-    Experiment exp(SystemConfig::base(), bench::runInsts());
+    const std::uint64_t insts = bench::runInsts();
+    Experiment exp(SystemConfig::base(), insts);
+    SweepRunner runner(bench::benchJobs());
+    const auto org = Organization::SelectiveSets;
+
+    // Phase 1: per app, baseline + d-side sweep + i-side sweep.
+    struct Slice
+    {
+        std::size_t off, count;
+    };
+    std::vector<RunJob> batch;
+    std::vector<std::size_t> base_at(apps.size());
+    std::vector<Slice> d_at(apps.size()), i_at(apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        base_at[a] = batch.size();
+        batch.push_back(exp.baselineJob(apps[a]));
+        auto d = exp.staticSearchJobs(apps[a], CacheSide::DCache,
+                                      org);
+        d_at[a] = {batch.size(), d.size()};
+        batch.insert(batch.end(), d.begin(), d.end());
+        auto i = exp.staticSearchJobs(apps[a], CacheSide::ICache,
+                                      org);
+        i_at[a] = {batch.size(), i.size()};
+        batch.insert(batch.end(), i.begin(), i.end());
+    }
+    const auto res = runner.run(batch);
+
+    auto reduce = [&](const Slice &sl, std::size_t a) {
+        return Experiment::reduceStatic(
+            res[base_at[a]], {res.begin() + sl.off,
+                              res.begin() + sl.off + sl.count});
+    };
+
+    // Phase 2: both caches together at the profiled levels.
+    std::vector<SearchOutcome> douts(apps.size()),
+        iouts(apps.size());
+    std::vector<RunJob> both_jobs;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        douts[a] = reduce(d_at[a], a);
+        iouts[a] = reduce(i_at[a], a);
+        both_jobs.push_back(exp.bothStaticJob(
+            apps[a], org, iouts[a].bestLevel, douts[a].bestLevel));
+    }
+    const auto both_res = runner.run(both_jobs);
 
     TextTable t({"app", "d alone E*D", "i alone E*D", "d+i sum",
                  "both E*D", "both size-red", "both perf"});
     double dsum = 0, isum = 0, bsum = 0, szsum = 0;
-    for (const auto &p : apps) {
-        auto d = exp.staticSearch(p, CacheSide::DCache,
-                                  Organization::SelectiveSets);
-        auto i = exp.staticSearch(p, CacheSide::ICache,
-                                  Organization::SelectiveSets);
-        auto both =
-            exp.staticSearchBoth(p, Organization::SelectiveSets);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        SearchOutcome both;
+        both.baseline = res[base_at[a]];
+        both.best = both_res[a];
+        both.bestLevel = douts[a].bestLevel;
         // Average enabled size of both L1s vs both at full size.
         const double full = both.baseline.avgDl1Bytes +
                             both.baseline.avgIl1Bytes;
         const double got =
             both.best.avgDl1Bytes + both.best.avgIl1Bytes;
         const double size_red = 100.0 * (1.0 - got / full);
-        dsum += d.edReductionPct();
-        isum += i.edReductionPct();
+        dsum += douts[a].edReductionPct();
+        isum += iouts[a].edReductionPct();
         bsum += both.edReductionPct();
         szsum += size_red;
-        t.addRow({p.name, TextTable::pct(d.edReductionPct()),
-                  TextTable::pct(i.edReductionPct()),
-                  TextTable::pct(d.edReductionPct() +
-                                 i.edReductionPct()),
+        t.addRow({apps[a].name,
+                  TextTable::pct(douts[a].edReductionPct()),
+                  TextTable::pct(iouts[a].edReductionPct()),
+                  TextTable::pct(douts[a].edReductionPct() +
+                                 iouts[a].edReductionPct()),
                   TextTable::pct(both.edReductionPct()),
                   TextTable::pct(size_red),
                   TextTable::pct(both.perfDegradationPct())});

@@ -5,13 +5,18 @@
  * size/miss/performance/energy-delay trade-off curve — the raw data
  * behind the paper's static profiling methodology.
  *
+ * The level sweep runs through the runner subsystem: the baseline
+ * and every level are enumerated as RunJobs and executed as one
+ * batch, in parallel when jobs > 1.
+ *
  * Usage: resizing_explorer [profile] [org: ways|sets|hybrid]
- *                          [side: d|i] [assoc] [instructions]
+ *                          [side: d|i] [assoc] [instructions] [jobs]
  */
 
 #include <cstdlib>
 #include <iostream>
 
+#include "runner/sweep_runner.hh"
 #include "sim/experiment.hh"
 #include "sim/table.hh"
 
@@ -46,16 +51,16 @@ main(int argc, char **argv)
         argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 4;
     const std::uint64_t insts =
         argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 800000;
+    const unsigned jobs =
+        argc > 6 ? static_cast<unsigned>(std::atoi(argv[6])) : 1;
 
     BenchmarkProfile profile = profileByName(profile_name);
     SystemConfig cfg = SystemConfig::base();
     cfg.il1.assoc = assoc;
     cfg.dl1.assoc = assoc;
-    if (dcache)
-        cfg.dl1Org = org;
-    else
-        cfg.il1Org = org;
 
+    const CacheSide side =
+        dcache ? CacheSide::DCache : CacheSide::ICache;
     const CacheGeometry &geom = dcache ? cfg.dl1 : cfg.il1;
     auto schedule = buildSchedule(org, geom);
 
@@ -64,24 +69,22 @@ main(int argc, char **argv)
               << (dcache ? "d-cache" : "i-cache") << ", " << assoc
               << "-way 32K, " << insts << " instructions\n\n";
 
-    // Baseline: non-resizable.
-    SystemConfig base_cfg = cfg;
-    base_cfg.il1Org = Organization::None;
-    base_cfg.dl1Org = Organization::None;
-    SyntheticWorkload base_wl(profile);
-    System base_sys(base_cfg);
-    RunResult base = base_sys.run(base_wl, insts);
+    // One batch: the non-resizable baseline plus every offered
+    // level (job index == schedule level).
+    Experiment exp(cfg, insts);
+    SweepRunner runner(jobs);
+    std::vector<RunJob> batch{exp.baselineJob(profile)};
+    auto level_jobs = exp.staticSearchJobs(profile, side, org);
+    batch.insert(batch.end(), level_jobs.begin(), level_jobs.end());
+    const auto results = runner.run(batch);
+    const RunResult &base = results[0];
 
     TextTable t({"level", "size", "config", "miss ratio", "IPC",
                  "perf loss", "rel energy", "rel E*D"});
     double best_edp = 0;
     unsigned best_level = 0;
     for (unsigned lvl = 0; lvl < schedule.size(); ++lvl) {
-        SyntheticWorkload wl(profile);
-        System sys(cfg);
-        ResizeSetup setup{Strategy::Static, lvl, {}};
-        RunResult r = dcache ? sys.run(wl, insts, {}, setup)
-                             : sys.run(wl, insts, setup, {});
+        const RunResult &r = results[1 + lvl];
         const double miss =
             dcache ? r.dl1MissRatio : r.il1MissRatio;
         const double edp_rel = r.edp() / base.edp();

@@ -1,0 +1,81 @@
+#include "runner/sweep_runner.hh"
+
+#include <algorithm>
+
+namespace rcache
+{
+
+RunResult
+executeRunJob(const RunJob &job)
+{
+    SyntheticWorkload wl(job.profile);
+    System sys(job.cfg);
+    return sys.run(wl, job.insts, job.il1, job.dl1);
+}
+
+SweepRunner::SweepRunner(unsigned num_jobs)
+    : parallelism_(std::min(num_jobs == 0
+                                ? ThreadPool::hardwareThreads()
+                                : num_jobs,
+                            ThreadPool::maxThreads))
+{
+    // Eager so concurrent run() calls on a shared runner never race
+    // on pool creation.
+    if (parallelism_ > 1)
+        pool_ = std::make_unique<ThreadPool>(parallelism_);
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void
+SweepRunner::reportProgress(std::size_t done, std::size_t total,
+                            const RunJob &job) const
+{
+    if (!progress_)
+        return;
+    std::lock_guard<std::mutex> lk(progressMtx_);
+    progress_(done, total, job);
+}
+
+std::vector<RunResult>
+SweepRunner::runSerial(const std::vector<RunJob> &jobs)
+{
+    std::vector<RunResult> results(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        results[i] = executeRunJob(jobs[i]);
+    return results;
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<RunJob> &jobs) const
+{
+    std::vector<RunResult> results(jobs.size());
+
+    if (parallelism_ <= 1 || jobs.size() <= 1) {
+        std::size_t done = 0;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (cancelRequested())
+                break;
+            results[i] = executeRunJob(jobs[i]);
+            reportProgress(++done, jobs.size(), jobs[i]);
+        }
+        return results;
+    }
+
+    // done_ is shared across job tasks only for progress display;
+    // results_[i] is written exclusively by job i's task.
+    auto done = std::make_shared<std::atomic<std::size_t>>(0);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool_->submit([this, &jobs, &results, done, i] {
+            if (cancelRequested())
+                return;
+            results[i] = executeRunJob(jobs[i]);
+            reportProgress(done->fetch_add(1) + 1, jobs.size(),
+                           jobs[i]);
+        });
+    }
+    pool_->waitIdle();
+    return results;
+}
+
+} // namespace rcache

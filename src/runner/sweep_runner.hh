@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SweepRunner: parallel execution of independent simulation jobs.
+ *
+ * The paper's methodology is offline profiling — every (app,
+ * organization, strategy, level/param) design point is one complete,
+ * self-contained simulated run. A RunJob captures one such point as
+ * pure data; executeRunJob() constructs a private workload and System
+ * for it, so jobs share no mutable state and the result of a job
+ * depends only on the job spec. SweepRunner fans a batch across a
+ * work-stealing thread pool and writes each result into the slot of
+ * the job that produced it, so the returned vector is in submission
+ * order and bit-identical to a serial execution regardless of thread
+ * count or completion order.
+ */
+
+#ifndef RCACHE_RUNNER_SWEEP_RUNNER_HH
+#define RCACHE_RUNNER_SWEEP_RUNNER_HH
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/thread_pool.hh"
+#include "sim/system.hh"
+#include "workload/synthetic.hh"
+
+namespace rcache
+{
+
+/** One self-contained design point: everything a run needs. */
+struct RunJob
+{
+    /** Stable label for progress display and reports. */
+    std::string label;
+    BenchmarkProfile profile;
+    SystemConfig cfg;
+    std::uint64_t insts = 0;
+    ResizeSetup il1;
+    ResizeSetup dl1;
+};
+
+/** Run @p job on a fresh System; pure function of the job spec. */
+RunResult executeRunJob(const RunJob &job);
+
+/** See file comment. */
+class SweepRunner
+{
+  public:
+    /**
+     * Called after each job finishes (serialized; any thread).
+     * @param done jobs completed so far  @param total batch size
+     */
+    using ProgressFn = std::function<void(
+        std::size_t done, std::size_t total, const RunJob &job)>;
+
+    /**
+     * @param num_jobs worker threads; <=1 runs batches inline on the
+     *                 calling thread, 0 selects hardware concurrency
+     */
+    explicit SweepRunner(unsigned num_jobs = 1);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /** Worker threads this runner executes with (>= 1). */
+    unsigned parallelism() const { return parallelism_; }
+
+    void setProgress(ProgressFn fn) { progress_ = std::move(fn); }
+
+    /**
+     * Ask a run() in flight (on another thread) to stop early. Jobs
+     * not yet started are skipped and keep default-constructed
+     * results (insts == 0 marks them unrun); running jobs complete.
+     */
+    void requestCancel() { cancelled_.store(true); }
+    bool cancelRequested() const { return cancelled_.load(); }
+    /** Re-arm after a cancelled batch. */
+    void resetCancel() { cancelled_.store(false); }
+
+    /**
+     * Execute every job and return results in job order. Determinism
+     * guarantee: equal input batches yield bit-identical result
+     * vectors for any parallelism. Blocks until the batch is done;
+     * must not be called from inside this runner's own pool (a job
+     * waiting on its own pool's idle state cannot drain).
+     */
+    std::vector<RunResult> run(const std::vector<RunJob> &jobs) const;
+
+    /** The serial reference path (what run() must reproduce). */
+    static std::vector<RunResult>
+    runSerial(const std::vector<RunJob> &jobs);
+
+  private:
+    void reportProgress(std::size_t done, std::size_t total,
+                        const RunJob &job) const;
+
+    unsigned parallelism_;
+    /** Built in the constructor when parallelism_ > 1. */
+    std::unique_ptr<ThreadPool> pool_;
+    mutable std::mutex progressMtx_;
+    ProgressFn progress_;
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace rcache
+
+#endif // RCACHE_RUNNER_SWEEP_RUNNER_HH

@@ -1,0 +1,127 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+
+namespace rcache
+{
+
+namespace
+{
+
+/** Index of the pool worker the current thread is, or -1. Lets a
+ *  task submitted from inside the pool land on its own queue. */
+thread_local int tls_worker_index = -1;
+
+} // namespace
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = hardwareThreads();
+    num_threads = std::min(num_threads, maxThreads);
+    queues_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    std::size_t idx;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        ++queued_;
+        ++pending_;
+        idx = tls_worker_index >= 0
+                  ? static_cast<std::size_t>(tls_worker_index)
+                  : nextQueue_++ % queues_.size();
+    }
+    {
+        std::lock_guard<std::mutex> qlk(queues_[idx]->mtx);
+        queues_[idx]->tasks.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+bool
+ThreadPool::popLocal(unsigned self, Task &out)
+{
+    auto &q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mtx);
+    if (q.tasks.empty())
+        return false;
+    out = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(unsigned self, Task &out)
+{
+    const std::size_t n = queues_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        auto &q = *queues_[(self + k) % n];
+        std::lock_guard<std::mutex> lk(q.mtx);
+        if (q.tasks.empty())
+            continue;
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    tls_worker_index = static_cast<int>(self);
+    for (;;) {
+        Task task;
+        if (popLocal(self, task) || steal(self, task)) {
+            {
+                std::lock_guard<std::mutex> lk(mtx_);
+                --queued_;
+            }
+            task();
+            {
+                std::lock_guard<std::mutex> lk(mtx_);
+                if (--pending_ == 0)
+                    idleCv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(mtx_);
+        workCv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+        if (stop_ && queued_ == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    idleCv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+} // namespace rcache

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Work-stealing thread pool for the sweep runner.
+ *
+ * Each worker owns a deque; submit() distributes tasks round-robin
+ * (or onto the submitting worker's own queue, enabling recursive
+ * submission), workers pop their own queue LIFO and steal FIFO from
+ * siblings when empty. Sweep jobs are coarse (one full simulated run
+ * each, milliseconds to seconds), so queue contention is irrelevant;
+ * stealing is what keeps every core busy through the tail of an
+ * unevenly-sized batch.
+ */
+
+#ifndef RCACHE_RUNNER_THREAD_POOL_HH
+#define RCACHE_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rcache
+{
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param num_threads worker count; 0 selects the hardware
+     *                    concurrency. Clamped to maxThreads so a
+     *                    wrapped negative (e.g. "-1" parsed
+     *                    unsigned) cannot request billions of
+     *                    threads.
+     */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Hard upper bound on workers per pool. */
+    static constexpr unsigned maxThreads = 256;
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; runs on some worker, eventually. */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished running. */
+    void waitIdle();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** std::thread::hardware_concurrency with a sane floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mtx;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool popLocal(unsigned self, Task &out);
+    bool steal(unsigned self, Task &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    /** Guards the counters and both condition variables. */
+    std::mutex mtx_;
+    std::condition_variable workCv_;
+    std::condition_variable idleCv_;
+    /** Tasks sitting in some queue, not yet picked up. */
+    std::size_t queued_ = 0;
+    /** Tasks submitted and not yet finished (queued + running). */
+    std::size_t pending_ = 0;
+    bool stop_ = false;
+
+    std::size_t nextQueue_ = 0;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_RUNNER_THREAD_POOL_HH

@@ -1,7 +1,15 @@
 #include "sim/experiment.hh"
 
+#include "util/logging.hh"
+
 namespace rcache
 {
+
+std::string
+cacheSideName(CacheSide side)
+{
+    return side == CacheSide::DCache ? "dcache" : "icache";
+}
 
 Experiment::Experiment(const SystemConfig &cfg,
                        std::uint64_t num_insts)
@@ -38,18 +46,69 @@ Experiment::configFor(CacheSide side, Organization org) const
     return cfg;
 }
 
+std::vector<RunResult>
+Experiment::execute(const std::vector<RunJob> &jobs) const
+{
+    return runner_ ? runner_->run(jobs)
+                   : SweepRunner::runSerial(jobs);
+}
+
+std::pair<RunResult, std::vector<RunResult>>
+Experiment::executeWithBaseline(const BenchmarkProfile &profile,
+                                std::vector<RunJob> jobs) const
+{
+    bool have = false;
+    RunResult base;
+    {
+        std::lock_guard<std::mutex> lk(memoMtx_);
+        auto it = baselineMemo_.find(profile.name);
+        if (it != baselineMemo_.end()) {
+            have = true;
+            base = it->second;
+        }
+    }
+    if (have)
+        return {base, execute(jobs)};
+
+    // Memo miss: the baseline is just one more job in the batch.
+    jobs.insert(jobs.begin(), baselineJob(profile));
+    std::vector<RunResult> results = execute(jobs);
+    base = results.front();
+    results.erase(results.begin());
+    // A cancelled batch leaves unrun jobs default-constructed
+    // (insts == 0); never memoize such a non-result.
+    if (base.insts != 0) {
+        std::lock_guard<std::mutex> lk(memoMtx_);
+        baselineMemo_.emplace(profile.name, base);
+    }
+    return {base, std::move(results)};
+}
+
 RunResult
 Experiment::baseline(const BenchmarkProfile &profile) const
 {
+    // The whole lookup-or-compute is one critical section: a second
+    // thread asking for the same profile blocks until the first has
+    // filled the memo instead of redundantly simulating it.
+    std::lock_guard<std::mutex> lk(memoMtx_);
     auto it = baselineMemo_.find(profile.name);
     if (it != baselineMemo_.end())
         return it->second;
 
-    SyntheticWorkload wl(profile);
-    System sys(cfg_);
-    RunResult res = sys.run(wl, numInsts_);
+    RunResult res = executeRunJob(baselineJob(profile));
     baselineMemo_[profile.name] = res;
     return res;
+}
+
+RunJob
+Experiment::baselineJob(const BenchmarkProfile &profile) const
+{
+    RunJob job;
+    job.label = profile.name + "/baseline";
+    job.profile = profile;
+    job.cfg = cfg_;
+    job.insts = numInsts_;
+    return job;
 }
 
 RunResult
@@ -58,50 +117,46 @@ Experiment::runPoint(const BenchmarkProfile &profile,
                      const ResizeSetup &il1_setup,
                      const ResizeSetup &dl1_setup) const
 {
-    SystemConfig cfg = cfg_;
-    cfg.il1Org = il1_org;
-    cfg.dl1Org = dl1_org;
-    SyntheticWorkload wl(profile);
-    System sys(cfg);
-    return sys.run(wl, numInsts_, il1_setup, dl1_setup);
+    RunJob job;
+    job.label = profile.name + "/point";
+    job.profile = profile;
+    job.cfg = cfg_;
+    job.cfg.il1Org = il1_org;
+    job.cfg.dl1Org = dl1_org;
+    job.insts = numInsts_;
+    job.il1 = il1_setup;
+    job.dl1 = dl1_setup;
+    return executeRunJob(job);
 }
 
-SearchOutcome
-Experiment::staticSearch(const BenchmarkProfile &profile,
-                         CacheSide side, Organization org) const
+std::vector<RunJob>
+Experiment::staticSearchJobs(const BenchmarkProfile &profile,
+                             CacheSide side, Organization org) const
 {
-    SearchOutcome out;
-    out.baseline = baseline(profile);
-
     const SystemConfig cfg = configFor(side, org);
     const auto schedule = buildSchedule(
         org, side == CacheSide::DCache ? cfg.dl1 : cfg.il1);
 
-    bool first = true;
+    std::vector<RunJob> jobs;
+    jobs.reserve(schedule.size());
     for (unsigned level = 0; level < schedule.size(); ++level) {
+        RunJob job;
+        job.label = profile.name + "/" + organizationName(org) + "/" +
+                    cacheSideName(side) + "/static/L" +
+                    std::to_string(level);
+        job.profile = profile;
+        job.cfg = cfg;
+        job.insts = numInsts_;
         ResizeSetup setup{Strategy::Static, level, {}};
-        SyntheticWorkload wl(profile);
-        System sys(cfg);
-        RunResult res =
-            side == CacheSide::DCache
-                ? sys.run(wl, numInsts_, ResizeSetup{}, setup)
-                : sys.run(wl, numInsts_, setup, ResizeSetup{});
-        if (first || res.edp() < out.best.edp()) {
-            out.best = res;
-            out.bestLevel = level;
-            first = false;
-        }
+        (side == CacheSide::DCache ? job.dl1 : job.il1) = setup;
+        jobs.push_back(std::move(job));
     }
-    return out;
+    return jobs;
 }
 
-SearchOutcome
-Experiment::dynamicSearch(const BenchmarkProfile &profile,
-                          CacheSide side, Organization org) const
+std::vector<DynamicParams>
+Experiment::dynamicGrid(CacheSide side, Organization org) const
 {
-    SearchOutcome out;
-    out.baseline = baseline(profile);
-
     const SystemConfig cfg = configFor(side, org);
     const CacheGeometry &geom =
         side == CacheSide::DCache ? cfg.dl1 : cfg.il1;
@@ -112,7 +167,9 @@ Experiment::dynamicSearch(const BenchmarkProfile &profile,
     const std::vector<std::uint64_t> size_bounds = {
         0, geom.size / 4, geom.size / 2, geom.size};
 
-    bool first = true;
+    std::vector<DynamicParams> grid;
+    grid.reserve(intervalGrid().size() * missBoundFractions().size() *
+                 size_bounds.size());
     for (std::uint64_t interval : intervalGrid()) {
         for (double frac : missBoundFractions()) {
             for (std::uint64_t bound : size_bounds) {
@@ -121,24 +178,117 @@ Experiment::dynamicSearch(const BenchmarkProfile &profile,
                 dyn.missBound = static_cast<std::uint64_t>(
                     frac * static_cast<double>(interval));
                 dyn.sizeBoundBytes = bound;
-                ResizeSetup setup{Strategy::Dynamic, 0, dyn};
-
-                SyntheticWorkload wl(profile);
-                System sys(cfg);
-                RunResult res =
-                    side == CacheSide::DCache
-                        ? sys.run(wl, numInsts_, ResizeSetup{}, setup)
-                        : sys.run(wl, numInsts_, setup,
-                                  ResizeSetup{});
-                if (first || res.edp() < out.best.edp()) {
-                    out.best = res;
-                    out.bestParams = dyn;
-                    first = false;
-                }
+                grid.push_back(dyn);
             }
         }
     }
+    return grid;
+}
+
+std::vector<RunJob>
+Experiment::dynamicSearchJobs(const BenchmarkProfile &profile,
+                              CacheSide side, Organization org) const
+{
+    const SystemConfig cfg = configFor(side, org);
+    const auto grid = dynamicGrid(side, org);
+
+    std::vector<RunJob> jobs;
+    jobs.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        RunJob job;
+        job.label = profile.name + "/" + organizationName(org) + "/" +
+                    cacheSideName(side) + "/dynamic/G" +
+                    std::to_string(i);
+        job.profile = profile;
+        job.cfg = cfg;
+        job.insts = numInsts_;
+        ResizeSetup setup{Strategy::Dynamic, 0, grid[i]};
+        (side == CacheSide::DCache ? job.dl1 : job.il1) = setup;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+SearchOutcome
+Experiment::reduceStatic(const RunResult &baseline,
+                         const std::vector<RunResult> &results)
+{
+    SearchOutcome out;
+    out.baseline = baseline;
+
+    bool first = true;
+    for (unsigned level = 0; level < results.size(); ++level) {
+        const RunResult &res = results[level];
+        if (res.insts == 0)
+            continue; // cancelled before this job ran
+        if (first || res.edp() < out.best.edp()) {
+            out.best = res;
+            out.bestLevel = level;
+            first = false;
+        }
+    }
+    rc_assert(!first);
     return out;
+}
+
+SearchOutcome
+Experiment::reduceDynamic(const RunResult &baseline,
+                          const std::vector<DynamicParams> &grid,
+                          const std::vector<RunResult> &results)
+{
+    rc_assert(grid.size() == results.size());
+    SearchOutcome out;
+    out.baseline = baseline;
+
+    bool first = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &res = results[i];
+        if (res.insts == 0)
+            continue; // cancelled before this job ran
+        if (first || res.edp() < out.best.edp()) {
+            out.best = res;
+            out.bestParams = grid[i];
+            first = false;
+        }
+    }
+    rc_assert(!first);
+    return out;
+}
+
+RunJob
+Experiment::bothStaticJob(const BenchmarkProfile &profile,
+                          Organization org, unsigned il1_level,
+                          unsigned dl1_level) const
+{
+    RunJob job;
+    job.label = profile.name + "/" + organizationName(org) +
+                "/both/static";
+    job.profile = profile;
+    job.cfg = cfg_;
+    job.cfg.il1Org = org;
+    job.cfg.dl1Org = org;
+    job.insts = numInsts_;
+    job.il1 = ResizeSetup{Strategy::Static, il1_level, {}};
+    job.dl1 = ResizeSetup{Strategy::Static, dl1_level, {}};
+    return job;
+}
+
+SearchOutcome
+Experiment::staticSearch(const BenchmarkProfile &profile,
+                         CacheSide side, Organization org) const
+{
+    auto [base, results] = executeWithBaseline(
+        profile, staticSearchJobs(profile, side, org));
+    return reduceStatic(base, results);
+}
+
+SearchOutcome
+Experiment::dynamicSearch(const BenchmarkProfile &profile,
+                          CacheSide side, Organization org) const
+{
+    auto [base, results] = executeWithBaseline(
+        profile, dynamicSearchJobs(profile, side, org));
+    return reduceDynamic(base, dynamicGrid(side, org), results);
 }
 
 SearchOutcome
@@ -146,22 +296,26 @@ Experiment::staticSearchBoth(const BenchmarkProfile &profile,
                              Organization org) const
 {
     // Profile each side individually (the paper's decoupled
-    // methodology), then apply both chosen sizes together.
-    SearchOutcome d = staticSearch(profile, CacheSide::DCache, org);
-    SearchOutcome i = staticSearch(profile, CacheSide::ICache, org);
+    // methodology), then apply both chosen sizes together. Both
+    // sides' sweeps (and the baseline) go into one batch so an
+    // attached runner can overlap them.
+    auto jobs = staticSearchJobs(profile, CacheSide::DCache, org);
+    const std::size_t n_d = jobs.size();
+    const auto i_jobs = staticSearchJobs(profile, CacheSide::ICache,
+                                         org);
+    jobs.insert(jobs.end(), i_jobs.begin(), i_jobs.end());
+
+    auto [base, results] =
+        executeWithBaseline(profile, std::move(jobs));
+    const SearchOutcome d = reduceStatic(
+        base, {results.begin(), results.begin() + n_d});
+    const SearchOutcome i = reduceStatic(
+        base, {results.begin() + n_d, results.end()});
 
     SearchOutcome out;
-    out.baseline = baseline(profile);
-
-    SystemConfig cfg = cfg_;
-    cfg.il1Org = org;
-    cfg.dl1Org = org;
-    SyntheticWorkload wl(profile);
-    System sys(cfg);
-    out.best = sys.run(
-        wl, numInsts_,
-        ResizeSetup{Strategy::Static, i.bestLevel, {}},
-        ResizeSetup{Strategy::Static, d.bestLevel, {}});
+    out.baseline = base;
+    out.best = executeRunJob(
+        bothStaticJob(profile, org, i.bestLevel, d.bestLevel));
     out.bestLevel = d.bestLevel;
     return out;
 }

@@ -9,14 +9,25 @@
  * dynamicSearch implement exactly those sweeps and return the
  * minimum-energy-delay point together with the non-resizable baseline
  * it is normalized against.
+ *
+ * Every search decomposes into independent RunJobs (runner/
+ * sweep_runner.hh): enumerate the design points, execute the batch,
+ * reduce to the minimum-E.D point. Attach a SweepRunner with
+ * setRunner() to execute batches on its thread pool; without one the
+ * batch runs inline on the calling thread. Reductions scan results in
+ * job order and keep the first minimum, so the outcome is identical
+ * either way.
  */
 
 #ifndef RCACHE_SIM_EXPERIMENT_HH
 #define RCACHE_SIM_EXPERIMENT_HH
 
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 
+#include "runner/sweep_runner.hh"
 #include "sim/system.hh"
 #include "workload/profiles.hh"
 
@@ -29,6 +40,9 @@ enum class CacheSide
     ICache,
     DCache,
 };
+
+/** Printable side name ("icache" / "dcache"). */
+std::string cacheSideName(CacheSide side);
 
 /** Outcome of a profiling search for one (app, org, strategy). */
 struct SearchOutcome
@@ -78,7 +92,15 @@ class Experiment
      */
     Experiment(const SystemConfig &cfg, std::uint64_t num_insts);
 
-    /** Non-resizable run of @p profile (memoized). */
+    /**
+     * Execute search batches on @p runner (not owned; may be null to
+     * return to inline execution). The attached runner is also what
+     * makes staticSearchBoth profile its two sides concurrently.
+     */
+    void setRunner(const SweepRunner *runner) { runner_ = runner; }
+    const SweepRunner *runner() const { return runner_; }
+
+    /** Non-resizable run of @p profile (memoized, thread-safe). */
     RunResult baseline(const BenchmarkProfile &profile) const;
 
     /**
@@ -108,6 +130,53 @@ class Experiment
                        const ResizeSetup &il1_setup,
                        const ResizeSetup &dl1_setup) const;
 
+    /** @name Job enumeration / reduction
+     * The searches above are compositions of these; clients that
+     * batch many searches into one SweepRunner::run call (the CLI
+     * sweep, the benches) use them directly. Jobs are returned in the
+     * deterministic order the reductions expect.
+     */
+    /// @{
+
+    /** The non-resizable baseline point of @p profile as a job. */
+    RunJob baselineJob(const BenchmarkProfile &profile) const;
+
+    /** One job per offered level of @p org on @p side (level == job
+     *  index). */
+    std::vector<RunJob>
+    staticSearchJobs(const BenchmarkProfile &profile, CacheSide side,
+                     Organization org) const;
+
+    /** One job per dynamic-controller grid point, in
+     *  dynamicGrid() order. */
+    std::vector<RunJob>
+    dynamicSearchJobs(const BenchmarkProfile &profile, CacheSide side,
+                      Organization org) const;
+
+    /** Both caches resized together under @p org at each side's
+     *  profiled static level (the Fig 9 combined point). */
+    RunJob bothStaticJob(const BenchmarkProfile &profile,
+                         Organization org, unsigned il1_level,
+                         unsigned dl1_level) const;
+
+    /** The (interval, miss-bound, size-bound) grid dynamicSearch
+     *  walks for @p side under @p org, in job order. */
+    std::vector<DynamicParams> dynamicGrid(CacheSide side,
+                                           Organization org) const;
+
+    /** Pick the minimum-E.D static point (first minimum wins). */
+    static SearchOutcome
+    reduceStatic(const RunResult &baseline,
+                 const std::vector<RunResult> &results);
+
+    /** Pick the minimum-E.D dynamic point (first minimum wins);
+     *  @p grid must parallel @p results. */
+    static SearchOutcome
+    reduceDynamic(const RunResult &baseline,
+                  const std::vector<DynamicParams> &grid,
+                  const std::vector<RunResult> &results);
+    /// @}
+
     const SystemConfig &config() const { return cfg_; }
     std::uint64_t numInsts() const { return numInsts_; }
 
@@ -127,9 +196,23 @@ class Experiment
 
   private:
     SystemConfig configFor(CacheSide side, Organization org) const;
+    /** Execute @p jobs on the attached runner, or inline. */
+    std::vector<RunResult>
+    execute(const std::vector<RunJob> &jobs) const;
+    /**
+     * Execute @p jobs plus (on a memo miss) the profile's baseline
+     * in the same batch, so an attached runner overlaps the
+     * baseline with the sweep instead of running it serially first.
+     * @return the baseline and the jobs' results, in job order
+     */
+    std::pair<RunResult, std::vector<RunResult>>
+    executeWithBaseline(const BenchmarkProfile &profile,
+                        std::vector<RunJob> jobs) const;
 
     SystemConfig cfg_;
     std::uint64_t numInsts_;
+    const SweepRunner *runner_ = nullptr;
+    mutable std::mutex memoMtx_;
     mutable std::map<std::string, RunResult> baselineMemo_;
 };
 

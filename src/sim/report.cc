@@ -1,6 +1,8 @@
 #include "sim/report.hh"
 
+#include <cmath>
 #include <iomanip>
+#include <locale>
 #include <sstream>
 
 #include "sim/table.hh"
@@ -38,6 +40,150 @@ writeRunReport(std::ostream &os, const RunResult &r)
        << " (" << r.dl1Resizes << " resizes)\n"
        << r.energy << "  energy-delay product: "
        << TextTable::num(r.edp(), 0) << '\n';
+}
+
+namespace
+{
+
+/**
+ * Shortest decimal form that round-trips the double — deterministic
+ * for equal values and independent of the global locale (digits,
+ * '.', '-', 'e' only), which is what makes sweep CSVs byte-stable
+ * across thread counts.
+ */
+std::string
+numField(double v)
+{
+    // Integral values print as plain integers ("50", not "5e+01").
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        std::ostringstream ss;
+        ss.imbue(std::locale::classic());
+        ss << static_cast<long long>(v);
+        return ss.str();
+    }
+    std::ostringstream ss;
+    ss.imbue(std::locale::classic());
+    ss << std::setprecision(17) << v;
+    std::string wide = ss.str();
+    for (int prec = 1; prec < 17; ++prec) {
+        std::ostringstream probe;
+        probe.imbue(std::locale::classic());
+        probe << std::setprecision(prec) << v;
+        std::istringstream back(probe.str());
+        back.imbue(std::locale::classic());
+        double parsed = 0;
+        back >> parsed;
+        if (parsed == v)
+            return probe.str();
+    }
+    return wide;
+}
+
+/**
+ * Pin @p os to the classic locale for one writer call (restored on
+ * destruction), so integer fields are never digit-grouped by a
+ * caller's global locale.
+ */
+class ClassicLocaleGuard
+{
+  public:
+    explicit ClassicLocaleGuard(std::ostream &os)
+        : os_(os), old_(os.imbue(std::locale::classic()))
+    {
+    }
+    ~ClassicLocaleGuard() { os_.imbue(old_); }
+
+  private:
+    std::ostream &os_;
+    std::locale old_;
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeSweepCsv(std::ostream &os,
+              const std::vector<SweepRecord> &records)
+{
+    ClassicLocaleGuard locale_guard(os);
+    os << "app,org,strategy,side,best_level,interval_accesses,"
+          "miss_bound,size_bound_bytes,ed_reduction_pct,"
+          "perf_degradation_pct,size_reduction_pct,baseline_edp,"
+          "best_edp,baseline_cycles,best_cycles,avg_il1_bytes,"
+          "avg_dl1_bytes\n";
+    for (const auto &r : records) {
+        os << r.app << ',' << r.org << ',' << r.strategy << ','
+           << r.side << ',' << r.bestLevel << ','
+           << r.intervalAccesses << ',' << r.missBound << ','
+           << r.sizeBoundBytes << ',' << numField(r.edReductionPct)
+           << ',' << numField(r.perfDegradationPct) << ','
+           << numField(r.sizeReductionPct) << ','
+           << numField(r.baselineEdp) << ',' << numField(r.bestEdp)
+           << ',' << r.baselineCycles << ',' << r.bestCycles << ','
+           << numField(r.avgIl1Bytes) << ','
+           << numField(r.avgDl1Bytes) << '\n';
+    }
+}
+
+void
+writeSweepJson(std::ostream &os,
+               const std::vector<SweepRecord> &records)
+{
+    ClassicLocaleGuard locale_guard(os);
+    os << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &r = records[i];
+        os << "  {\"app\": \"" << jsonEscape(r.app)
+           << "\", \"org\": \"" << jsonEscape(r.org)
+           << "\", \"strategy\": \"" << jsonEscape(r.strategy)
+           << "\", \"side\": \"" << jsonEscape(r.side)
+           << "\", \"best_level\": " << r.bestLevel
+           << ", \"interval_accesses\": " << r.intervalAccesses
+           << ", \"miss_bound\": " << r.missBound
+           << ", \"size_bound_bytes\": " << r.sizeBoundBytes
+           << ", \"ed_reduction_pct\": " << numField(r.edReductionPct)
+           << ", \"perf_degradation_pct\": "
+           << numField(r.perfDegradationPct)
+           << ", \"size_reduction_pct\": "
+           << numField(r.sizeReductionPct)
+           << ", \"baseline_edp\": " << numField(r.baselineEdp)
+           << ", \"best_edp\": " << numField(r.bestEdp)
+           << ", \"baseline_cycles\": " << r.baselineCycles
+           << ", \"best_cycles\": " << r.bestCycles
+           << ", \"avg_il1_bytes\": " << numField(r.avgIl1Bytes)
+           << ", \"avg_dl1_bytes\": " << numField(r.avgDl1Bytes)
+           << "}" << (i + 1 < records.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+}
+
+void
+writeSweepTable(std::ostream &os,
+                const std::vector<SweepRecord> &records)
+{
+    TextTable t({"app", "org", "strategy", "side", "E*D red",
+                 "perf deg", "size red", "avg i-L1", "avg d-L1"});
+    for (const auto &r : records) {
+        t.addRow({r.app, r.org, r.strategy, r.side,
+                  TextTable::pct(r.edReductionPct),
+                  TextTable::pct(r.perfDegradationPct),
+                  TextTable::pct(r.sizeReductionPct),
+                  TextTable::bytesKb(r.avgIl1Bytes),
+                  TextTable::bytesKb(r.avgDl1Bytes)});
+    }
+    t.print(os);
 }
 
 void

@@ -37,6 +37,51 @@ void writeComparisonReport(std::ostream &os, const RunResult &baseline,
 /** Format a relative change as "+x.x%" / "-x.x%". */
 std::string formatDelta(double ratio);
 
+/**
+ * One row of a profiling sweep: the best point found for an (app,
+ * org, strategy, side) cell, normalized against its baseline. The
+ * rcache-sim CLI and the benches fill these from SearchOutcomes.
+ */
+struct SweepRecord
+{
+    std::string app;
+    std::string org;
+    std::string strategy;
+    std::string side;
+    /** Static cells: chosen schedule level. */
+    unsigned bestLevel = 0;
+    /** Dynamic cells: chosen controller parameters (0 otherwise). */
+    std::uint64_t intervalAccesses = 0;
+    std::uint64_t missBound = 0;
+    std::uint64_t sizeBoundBytes = 0;
+
+    double edReductionPct = 0;
+    double perfDegradationPct = 0;
+    double sizeReductionPct = 0;
+    double baselineEdp = 0;
+    double bestEdp = 0;
+    std::uint64_t baselineCycles = 0;
+    std::uint64_t bestCycles = 0;
+    double avgIl1Bytes = 0;
+    double avgDl1Bytes = 0;
+};
+
+/**
+ * Write @p records as CSV with a header row. The formatting is
+ * locale-independent and value-deterministic: equal records always
+ * produce byte-identical output.
+ */
+void writeSweepCsv(std::ostream &os,
+                   const std::vector<SweepRecord> &records);
+
+/** Write @p records as a JSON array of objects (same fields). */
+void writeSweepJson(std::ostream &os,
+                    const std::vector<SweepRecord> &records);
+
+/** Write @p records as a human-readable text table. */
+void writeSweepTable(std::ostream &os,
+                     const std::vector<SweepRecord> &records);
+
 } // namespace rcache
 
 #endif // RCACHE_SIM_REPORT_HH

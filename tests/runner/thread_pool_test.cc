@@ -1,0 +1,113 @@
+/** @file Tests for the work-stealing thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "runner/thread_pool.hh"
+
+namespace rcache
+{
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&count] { ++count; });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, SingleThreadStillCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroSelectsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.numThreads(), 1u);
+    EXPECT_EQ(pool.numThreads(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNothingSubmittedReturns)
+{
+    ThreadPool pool(2);
+    pool.waitIdle(); // must not hang
+    SUCCEED();
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        pool.waitIdle();
+        EXPECT_EQ(count.load(), (batch + 1) * 50);
+    }
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&pool, &count] {
+            for (int j = 0; j < 10; ++j)
+                pool.submit([&count] { ++count; });
+        });
+    }
+    // waitIdle covers the recursively submitted tasks too: pending
+    // only reaches zero once the whole tree has run.
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&count] { ++count; });
+        // No waitIdle: the destructor must finish the queue.
+    }
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WorkIsSpreadAcrossThreads)
+{
+    // Not a strict guarantee of stealing, but with blocking tasks
+    // and as many tasks as threads, every worker must pick one up.
+    constexpr unsigned kThreads = 4;
+    ThreadPool pool(kThreads);
+    std::mutex mtx;
+    std::set<std::thread::id> seen;
+    std::atomic<unsigned> arrived{0};
+    for (unsigned i = 0; i < kThreads; ++i) {
+        pool.submit([&] {
+            {
+                std::lock_guard<std::mutex> lk(mtx);
+                seen.insert(std::this_thread::get_id());
+            }
+            ++arrived;
+            // Hold until every thread has arrived, so one worker
+            // cannot run all the tasks itself.
+            while (arrived.load() < kThreads)
+                std::this_thread::yield();
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(seen.size(), kThreads);
+}
+
+} // namespace rcache

@@ -71,4 +71,74 @@ TEST(ReportTest, ComparisonHandlesEmptyEntries)
     EXPECT_NE(os.str().find("baseline"), std::string::npos);
 }
 
+namespace
+{
+
+SweepRecord
+sampleRecord()
+{
+    SweepRecord r;
+    r.app = "ammp";
+    r.org = "sets";
+    r.strategy = "static";
+    r.side = "dcache";
+    r.bestLevel = 3;
+    r.edReductionPct = 12.5;
+    r.perfDegradationPct = 0.5722431103582171;
+    r.sizeReductionPct = 50.0;
+    r.baselineEdp = 2.5e11;
+    r.bestEdp = 2.0e11;
+    r.baselineCycles = 48406;
+    r.bestCycles = 48683;
+    r.avgIl1Bytes = 32768;
+    r.avgDl1Bytes = 4096;
+    return r;
+}
+
+} // namespace
+
+TEST(ReportTest, SweepCsvIsStableAndParsable)
+{
+    std::ostringstream os;
+    writeSweepCsv(os, {sampleRecord()});
+    const std::string s = os.str();
+    // Header + one row, integral values as plain integers, and the
+    // non-integral double at round-trip precision.
+    EXPECT_EQ(s.substr(0, 4), "app,");
+    EXPECT_NE(s.find("\nammp,sets,static,dcache,3,"),
+              std::string::npos);
+    EXPECT_NE(s.find(",50,"), std::string::npos);
+    EXPECT_NE(s.find("0.5722431103582171"), std::string::npos);
+    EXPECT_NE(s.find(",32768,"), std::string::npos);
+
+    // Same record, same bytes.
+    std::ostringstream again;
+    writeSweepCsv(again, {sampleRecord()});
+    EXPECT_EQ(s, again.str());
+}
+
+TEST(ReportTest, SweepJsonCarriesAllFields)
+{
+    std::ostringstream os;
+    writeSweepJson(os, {sampleRecord(), sampleRecord()});
+    const std::string s = os.str();
+    EXPECT_EQ(s.front(), '[');
+    EXPECT_NE(s.find("\"app\": \"ammp\""), std::string::npos);
+    EXPECT_NE(s.find("\"best_level\": 3"), std::string::npos);
+    EXPECT_NE(s.find("\"ed_reduction_pct\": 12.5"),
+              std::string::npos);
+    // Two objects, comma-separated.
+    EXPECT_NE(s.find("},\n"), std::string::npos);
+}
+
+TEST(ReportTest, SweepTableListsEveryRecord)
+{
+    std::ostringstream os;
+    writeSweepTable(os, {sampleRecord()});
+    const std::string s = os.str();
+    EXPECT_NE(s.find("ammp"), std::string::npos);
+    EXPECT_NE(s.find("sets"), std::string::npos);
+    EXPECT_NE(s.find("4.0K"), std::string::npos);
+}
+
 } // namespace rcache

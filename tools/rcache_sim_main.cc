@@ -1,0 +1,704 @@
+/**
+ * @file
+ * rcache-sim: unified CLI driver for the resizable-cache simulator.
+ *
+ * Subcommands:
+ *   sweep     profiling grid over org x strategy x app, fanned across
+ *             a SweepRunner thread pool, reported as CSV/JSON/table
+ *   run       one explicit design point, full run report
+ *   replay    drive a recorded trace file through one design point
+ *   list-apps print the benchmark suite names
+ *
+ * The sweep enumerates every cell's jobs up front and executes them
+ * as ONE batch, so the pool stays busy across cell boundaries; the
+ * report is assembled in enumeration order afterwards, which is what
+ * makes the output byte-identical for any --jobs value.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "workload/profiles.hh"
+#include "workload/trace_io.hh"
+
+namespace
+{
+
+using namespace rcache;
+
+int
+usage(std::ostream &os, int code)
+{
+    os << "rcache-sim — resizable-cache design-space explorer\n"
+          "\n"
+          "usage:\n"
+          "  rcache-sim sweep [options]   parallel org x strategy x "
+          "app profiling grid\n"
+          "  rcache-sim run [options]     one explicit design point\n"
+          "  rcache-sim replay [options]  drive a recorded trace "
+          "file\n"
+          "  rcache-sim record [options]  record a profile's stream "
+          "to a trace file\n"
+          "  rcache-sim list-apps         print the benchmark suite\n"
+          "\n"
+          "common options:\n"
+          "  --insts N       instructions per run (default 400000)\n"
+          "  --jobs N        worker threads (default 1, 0 = all "
+          "cores)\n"
+          "  --assoc N       override both L1 associativities\n"
+          "\n"
+          "sweep options:\n"
+          "  --apps a,b,c    subset of the suite (default: all)\n"
+          "  --orgs list     of ways,sets,hybrid (default: "
+          "ways,sets)\n"
+          "  --strategies l  of static,dynamic (default: static)\n"
+          "  --side s        icache|dcache|both (default: dcache;\n"
+          "                  both is static-only, Fig 9 style)\n"
+          "  --format f      csv|json|table (default: csv)\n"
+          "  --out FILE      write the report to FILE, not stdout\n"
+          "  --progress      per-job progress on stderr\n"
+          "\n"
+          "run/replay/record options:\n"
+          "  --app NAME      profile to run (run/record, required)\n"
+          "  --trace FILE    trace file (replay only, required)\n"
+          "  --out FILE      trace destination (record, required)\n"
+          "  --name NAME     workload label (replay, default "
+          "'trace')\n"
+          "  per cache C in {il1, dl1}:\n"
+          "    --C-org X         none|ways|sets|hybrid\n"
+          "    --C-strategy X    none|static|dynamic\n"
+          "    --C-level N       static schedule level\n"
+          "    --C-interval N    dynamic interval (accesses)\n"
+          "    --C-miss-bound N  dynamic miss bound per interval\n"
+          "    --C-size-bound N  dynamic size bound (bytes)\n"
+          "\n"
+          "example:\n"
+          "  rcache-sim sweep --apps ammp,gcc,swim --orgs ways,sets "
+          "\\\n"
+          "      --strategies static,dynamic --side dcache --jobs 0 "
+          "\\\n"
+          "      --format csv --out sweep.csv\n";
+    return code;
+}
+
+/** Parsed command line: string options plus boolean flags. */
+struct Args
+{
+    std::map<std::string, std::string> opts;
+    std::map<std::string, bool> flags;
+
+    std::string get(const std::string &key,
+                    const std::string &fallback) const
+    {
+        auto it = opts.find(key);
+        return it == opts.end() ? fallback : it->second;
+    }
+    bool has(const std::string &key) const
+    {
+        return opts.count(key) != 0;
+    }
+};
+
+/** Option keys that take no value. */
+bool
+isFlag(const std::string &key)
+{
+    return key == "--progress" || key == "--help";
+}
+
+std::optional<Args>
+parseArgs(int argc, char **argv, int first)
+{
+    Args args;
+    for (int i = first; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0) {
+            std::cerr << "rcache-sim: unexpected argument '" << key
+                      << "'\n";
+            return std::nullopt;
+        }
+        if (isFlag(key)) {
+            args.flags[key] = true;
+            continue;
+        }
+        if (i + 1 >= argc) {
+            std::cerr << "rcache-sim: option '" << key
+                      << "' needs a value\n";
+            return std::nullopt;
+        }
+        args.opts[key] = argv[++i];
+    }
+    return args;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Strict decimal parse: the whole value must be digits. Exits the
+ *  command with a usage error on garbage like "--assoc abc". */
+std::optional<std::uint64_t>
+parseU64(const Args &args, const std::string &key,
+         std::uint64_t fallback)
+{
+    if (!args.has(key))
+        return fallback;
+    const std::string &text = args.get(key, "");
+    char *end = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0' || errno == ERANGE ||
+        text[0] == '-') {
+        std::cerr << "rcache-sim: option '" << key
+                  << "' wants a non-negative integer, got '" << text
+                  << "'\n";
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::optional<Organization>
+parseOrg(const std::string &name)
+{
+    if (name == "none")
+        return Organization::None;
+    if (name == "ways")
+        return Organization::SelectiveWays;
+    if (name == "sets")
+        return Organization::SelectiveSets;
+    if (name == "hybrid")
+        return Organization::Hybrid;
+    std::cerr << "rcache-sim: unknown organization '" << name
+              << "' (want none|ways|sets|hybrid)\n";
+    return std::nullopt;
+}
+
+std::optional<Strategy>
+parseStrategy(const std::string &name)
+{
+    if (name == "none")
+        return Strategy::None;
+    if (name == "static")
+        return Strategy::Static;
+    if (name == "dynamic")
+        return Strategy::Dynamic;
+    std::cerr << "rcache-sim: unknown strategy '" << name
+              << "' (want none|static|dynamic)\n";
+    return std::nullopt;
+}
+
+/** Instructions per run; 0 is rejected (a 0-instruction result is
+ *  the runner's "job never ran" marker and meaningless anyway). */
+std::optional<std::uint64_t>
+parseInsts(const Args &args)
+{
+    const auto insts = parseU64(args, "--insts", 400000);
+    if (!insts)
+        return std::nullopt;
+    if (*insts == 0) {
+        std::cerr << "rcache-sim: --insts must be > 0\n";
+        return std::nullopt;
+    }
+    return insts;
+}
+
+std::optional<SystemConfig>
+baseConfig(const Args &args)
+{
+    SystemConfig cfg = SystemConfig::base();
+    if (args.has("--assoc")) {
+        const auto assoc = parseU64(args, "--assoc", cfg.dl1.assoc);
+        if (!assoc)
+            return std::nullopt;
+        if (*assoc == 0 || *assoc > 64) {
+            std::cerr << "rcache-sim: --assoc wants 1..64\n";
+            return std::nullopt;
+        }
+        cfg.il1.assoc = static_cast<unsigned>(*assoc);
+        cfg.dl1.assoc = static_cast<unsigned>(*assoc);
+    }
+    return cfg;
+}
+
+/** Short org token used in report rows ("ways"/"sets"/"hybrid"). */
+std::string
+orgToken(Organization org)
+{
+    switch (org) {
+      case Organization::None:
+        return "none";
+      case Organization::SelectiveWays:
+        return "ways";
+      case Organization::SelectiveSets:
+        return "sets";
+      case Organization::Hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+SweepRecord
+recordFrom(const std::string &app, Organization org, Strategy strat,
+           const std::string &side, const SearchOutcome &out)
+{
+    SweepRecord r;
+    r.app = app;
+    r.org = orgToken(org);
+    r.strategy = strategyName(strat);
+    r.side = side;
+    r.bestLevel = out.bestLevel;
+    if (strat == Strategy::Dynamic) {
+        r.intervalAccesses = out.bestParams.intervalAccesses;
+        r.missBound = out.bestParams.missBound;
+        r.sizeBoundBytes = out.bestParams.sizeBoundBytes;
+    }
+    r.edReductionPct = out.edReductionPct();
+    r.perfDegradationPct = out.perfDegradationPct();
+    r.baselineEdp = out.baseline.edp();
+    r.bestEdp = out.best.edp();
+    r.baselineCycles = out.baseline.cycles;
+    r.bestCycles = out.best.cycles;
+    r.avgIl1Bytes = out.best.avgIl1Bytes;
+    r.avgDl1Bytes = out.best.avgDl1Bytes;
+    return r;
+}
+
+// --------------------------------------------------------------- sweep
+
+int
+cmdSweep(const Args &args)
+{
+    // ---- resolve the grid
+    std::vector<BenchmarkProfile> apps;
+    if (args.has("--apps")) {
+        for (const auto &name : splitList(args.get("--apps", "")))
+            apps.push_back(profileByName(name));
+    } else {
+        apps = spec2000Suite();
+    }
+
+    std::vector<Organization> orgs;
+    for (const auto &name :
+         splitList(args.get("--orgs", "ways,sets"))) {
+        auto org = parseOrg(name);
+        if (!org || *org == Organization::None) {
+            std::cerr << "rcache-sim: sweep --orgs wants "
+                         "ways|sets|hybrid\n";
+            return 2;
+        }
+        orgs.push_back(*org);
+    }
+
+    std::vector<Strategy> strats;
+    for (const auto &name :
+         splitList(args.get("--strategies", "static"))) {
+        auto s = parseStrategy(name);
+        if (!s || *s == Strategy::None) {
+            std::cerr << "rcache-sim: sweep --strategies wants "
+                         "static|dynamic\n";
+            return 2;
+        }
+        strats.push_back(*s);
+    }
+
+    const std::string side_name = args.get("--side", "dcache");
+    const bool both_sides = side_name == "both";
+    CacheSide side = CacheSide::DCache;
+    if (side_name == "icache")
+        side = CacheSide::ICache;
+    else if (side_name != "dcache" && !both_sides) {
+        std::cerr << "rcache-sim: --side wants icache|dcache|both\n";
+        return 2;
+    }
+    if (both_sides)
+        for (Strategy s : strats)
+            if (s != Strategy::Static) {
+                std::cerr << "rcache-sim: --side both supports only "
+                             "--strategies static (the paper "
+                             "profiles each side separately)\n";
+                return 2;
+            }
+
+    const auto insts_opt = parseInsts(args);
+    const auto jobs_opt = parseU64(args, "--jobs", 1);
+    const auto cfg = baseConfig(args);
+    if (!insts_opt || !jobs_opt || !cfg)
+        return 2;
+    const std::uint64_t insts = *insts_opt;
+    const unsigned jobs = static_cast<unsigned>(*jobs_opt);
+    const std::string format = args.get("--format", "csv");
+    if (format != "csv" && format != "json" && format != "table") {
+        std::cerr << "rcache-sim: --format wants csv|json|table\n";
+        return 2;
+    }
+
+    Experiment exp(*cfg, insts);
+    SweepRunner runner(jobs);
+    if (args.flags.count("--progress")) {
+        runner.setProgress([](std::size_t done, std::size_t total,
+                              const RunJob &job) {
+            std::cerr << "[" << done << "/" << total << "] "
+                      << job.label << '\n';
+        });
+    }
+
+    // ---- enumerate one flat batch: baselines first, then each
+    // cell's search jobs (enumeration order = report order)
+    struct Cell
+    {
+        std::size_t app;
+        Organization org;
+        Strategy strat;
+        /** Batch offsets. Single side: [off, off+count). Both sides:
+         *  d jobs at [off, off+count), i at [ioff, ioff+icount). */
+        std::size_t off = 0, count = 0;
+        std::size_t ioff = 0, icount = 0;
+        std::vector<DynamicParams> grid;
+    };
+
+    std::vector<RunJob> batch;
+    std::vector<std::size_t> baseIdx(apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        baseIdx[a] = batch.size();
+        batch.push_back(exp.baselineJob(apps[a]));
+    }
+
+    std::vector<Cell> cells;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (Organization org : orgs) {
+            for (Strategy strat : strats) {
+                Cell cell;
+                cell.app = a;
+                cell.org = org;
+                cell.strat = strat;
+                if (both_sides) {
+                    auto d = exp.staticSearchJobs(
+                        apps[a], CacheSide::DCache, org);
+                    cell.off = batch.size();
+                    cell.count = d.size();
+                    batch.insert(batch.end(), d.begin(), d.end());
+                    auto i = exp.staticSearchJobs(
+                        apps[a], CacheSide::ICache, org);
+                    cell.ioff = batch.size();
+                    cell.icount = i.size();
+                    batch.insert(batch.end(), i.begin(), i.end());
+                } else if (strat == Strategy::Static) {
+                    auto j = exp.staticSearchJobs(apps[a], side, org);
+                    cell.off = batch.size();
+                    cell.count = j.size();
+                    batch.insert(batch.end(), j.begin(), j.end());
+                } else {
+                    auto j =
+                        exp.dynamicSearchJobs(apps[a], side, org);
+                    cell.grid = exp.dynamicGrid(side, org);
+                    cell.off = batch.size();
+                    cell.count = j.size();
+                    batch.insert(batch.end(), j.begin(), j.end());
+                }
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runner.run(batch);
+
+    // ---- both-sides cells need a second phase: the combined run at
+    // each side's individually profiled level
+    std::vector<RunJob> phase2;
+    std::vector<SearchOutcome> douts(cells.size()),
+        iouts(cells.size());
+    if (both_sides) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const Cell &cell = cells[c];
+            const RunResult &base = results[baseIdx[cell.app]];
+            douts[c] = Experiment::reduceStatic(
+                base, {results.begin() + cell.off,
+                       results.begin() + cell.off + cell.count});
+            iouts[c] = Experiment::reduceStatic(
+                base, {results.begin() + cell.ioff,
+                       results.begin() + cell.ioff + cell.icount});
+            phase2.push_back(exp.bothStaticJob(
+                apps[cell.app], cell.org, iouts[c].bestLevel,
+                douts[c].bestLevel));
+        }
+    }
+    const auto results2 = runner.run(phase2);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // ---- reduce in cell order
+    std::vector<SweepRecord> records;
+    records.reserve(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const Cell &cell = cells[c];
+        const std::string &app = apps[cell.app].name;
+        const RunResult &base = results[baseIdx[cell.app]];
+        if (both_sides) {
+            SearchOutcome out;
+            out.baseline = base;
+            out.best = results2[c];
+            out.bestLevel = douts[c].bestLevel;
+            SweepRecord r = recordFrom(app, cell.org, cell.strat,
+                                       "both", out);
+            const double full = base.avgIl1Bytes + base.avgDl1Bytes;
+            r.sizeReductionPct =
+                100.0 * (1.0 - (out.best.avgIl1Bytes +
+                                out.best.avgDl1Bytes) /
+                                   full);
+            records.push_back(r);
+            continue;
+        }
+        const std::vector<RunResult> slice{
+            results.begin() + cell.off,
+            results.begin() + cell.off + cell.count};
+        SearchOutcome out =
+            cell.strat == Strategy::Static
+                ? Experiment::reduceStatic(base, slice)
+                : Experiment::reduceDynamic(base, cell.grid, slice);
+        SweepRecord r = recordFrom(app, cell.org, cell.strat,
+                                   cacheSideName(side), out);
+        r.sizeReductionPct = out.sizeReductionPct(side);
+        records.push_back(r);
+    }
+
+    // ---- report
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (args.has("--out")) {
+        file.open(args.get("--out", ""));
+        if (!file) {
+            std::cerr << "rcache-sim: cannot write '"
+                      << args.get("--out", "") << "'\n";
+            return 2;
+        }
+        os = &file;
+    }
+    if (format == "csv")
+        writeSweepCsv(*os, records);
+    else if (format == "json")
+        writeSweepJson(*os, records);
+    else
+        writeSweepTable(*os, records);
+
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    std::cerr << "sweep: " << batch.size() + phase2.size()
+              << " runs in " << secs << " s on "
+              << runner.parallelism() << " worker(s)\n";
+    return 0;
+}
+
+// ---------------------------------------------------------- run/replay
+
+/** Build one cache's ResizeSetup from --<prefix>-* options. */
+std::optional<ResizeSetup>
+parseSetup(const Args &args, const std::string &prefix)
+{
+    ResizeSetup setup;
+    auto strat =
+        parseStrategy(args.get("--" + prefix + "-strategy", "none"));
+    if (!strat)
+        return std::nullopt;
+    setup.strategy = *strat;
+    const auto level = parseU64(args, "--" + prefix + "-level", 0);
+    const auto interval =
+        parseU64(args, "--" + prefix + "-interval",
+                 Experiment::dynIntervalAccesses);
+    if (!level || !interval)
+        return std::nullopt;
+    if (*interval == 0) {
+        std::cerr << "rcache-sim: --" << prefix
+                  << "-interval must be > 0\n";
+        return std::nullopt;
+    }
+    const auto miss_bound =
+        parseU64(args, "--" + prefix + "-miss-bound",
+                 *interval / 100);
+    const auto size_bound =
+        parseU64(args, "--" + prefix + "-size-bound", 0);
+    if (!miss_bound || !size_bound)
+        return std::nullopt;
+    setup.staticLevel = static_cast<unsigned>(*level);
+    setup.dyn.intervalAccesses = *interval;
+    setup.dyn.missBound = *miss_bound;
+    setup.dyn.sizeBoundBytes = *size_bound;
+    return setup;
+}
+
+/** Resolve the two org selections for run/replay. */
+bool
+applyOrgs(const Args &args, SystemConfig &cfg,
+          const ResizeSetup &il1, const ResizeSetup &dl1)
+{
+    auto il1_org = parseOrg(args.get("--il1-org", "none"));
+    auto dl1_org = parseOrg(args.get("--dl1-org", "none"));
+    if (!il1_org || !dl1_org)
+        return false;
+    cfg.il1Org = *il1_org;
+    cfg.dl1Org = *dl1_org;
+    if (il1.strategy != Strategy::None &&
+        cfg.il1Org == Organization::None) {
+        std::cerr << "rcache-sim: --il1-strategy needs --il1-org\n";
+        return false;
+    }
+    if (dl1.strategy != Strategy::None &&
+        cfg.dl1Org == Organization::None) {
+        std::cerr << "rcache-sim: --dl1-strategy needs --dl1-org\n";
+        return false;
+    }
+    return true;
+}
+
+int
+cmdRun(const Args &args)
+{
+    if (!args.has("--app")) {
+        std::cerr << "rcache-sim: run needs --app NAME (see "
+                     "list-apps)\n";
+        return 2;
+    }
+    const BenchmarkProfile profile =
+        profileByName(args.get("--app", ""));
+    const auto il1 = parseSetup(args, "il1");
+    const auto dl1 = parseSetup(args, "dl1");
+    auto cfg = baseConfig(args);
+    const auto insts = parseInsts(args);
+    if (!il1 || !dl1 || !cfg || !insts)
+        return 2;
+    if (!applyOrgs(args, *cfg, *il1, *dl1))
+        return 2;
+
+    RunJob job;
+    job.label = profile.name + "/point";
+    job.profile = profile;
+    job.cfg = *cfg;
+    job.insts = *insts;
+    job.il1 = *il1;
+    job.dl1 = *dl1;
+    writeRunReport(std::cout, executeRunJob(job));
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    if (!args.has("--trace")) {
+        std::cerr << "rcache-sim: replay needs --trace FILE\n";
+        return 2;
+    }
+    const std::string path = args.get("--trace", "");
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "rcache-sim: cannot open trace '" << path
+                  << "'\n";
+        return 2;
+    }
+    std::vector<MicroInst> insts = readTrace(in);
+    if (insts.empty()) {
+        std::cerr << "rcache-sim: trace '" << path
+                  << "' holds no instructions\n";
+        return 2;
+    }
+    const std::uint64_t trace_len = insts.size();
+    TraceWorkload wl(std::move(insts), args.get("--name", "trace"));
+
+    const auto il1 = parseSetup(args, "il1");
+    const auto dl1 = parseSetup(args, "dl1");
+    auto cfg = baseConfig(args);
+    // Default: one pass over the recorded stream.
+    const auto num_insts = parseU64(args, "--insts", trace_len);
+    if (!il1 || !dl1 || !cfg || !num_insts)
+        return 2;
+    if (*num_insts == 0) {
+        std::cerr << "rcache-sim: --insts must be > 0\n";
+        return 2;
+    }
+    if (!applyOrgs(args, *cfg, *il1, *dl1))
+        return 2;
+
+    System sys(*cfg);
+    writeRunReport(std::cout, sys.run(wl, *num_insts, *il1, *dl1));
+    return 0;
+}
+
+int
+cmdRecord(const Args &args)
+{
+    if (!args.has("--app") || !args.has("--out")) {
+        std::cerr
+            << "rcache-sim: record needs --app NAME and --out FILE\n";
+        return 2;
+    }
+    const std::string path = args.get("--out", "");
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "rcache-sim: cannot write '" << path << "'\n";
+        return 2;
+    }
+    SyntheticWorkload wl(profileByName(args.get("--app", "")));
+    const auto count = parseInsts(args);
+    if (!count)
+        return 2;
+    writeTrace(out, wl, *count);
+    std::cerr << "recorded " << *count << " instructions of "
+              << wl.name() << " to " << path << '\n';
+    return 0;
+}
+
+int
+cmdListApps()
+{
+    for (const auto &name : suiteNames())
+        std::cout << name << '\n';
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr, 2);
+    const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "help" || cmd == "-h")
+        return usage(std::cout, 0);
+
+    auto args = parseArgs(argc, argv, 2);
+    if (!args)
+        return 2;
+    if (args->flags.count("--help"))
+        return usage(std::cout, 0);
+
+    if (cmd == "sweep")
+        return cmdSweep(*args);
+    if (cmd == "run")
+        return cmdRun(*args);
+    if (cmd == "replay")
+        return cmdReplay(*args);
+    if (cmd == "record")
+        return cmdRecord(*args);
+    if (cmd == "list-apps")
+        return cmdListApps();
+
+    std::cerr << "rcache-sim: unknown subcommand '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+}
