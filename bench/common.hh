@@ -5,7 +5,8 @@
  * Every bench binary reads RCACHE_INSTS (instructions per simulated
  * run; default 800000) and RCACHE_APPS (comma-separated subset of
  * profile names) from the environment so the full suite can be scaled
- * to the machine at hand. The paper ran 2 billion instructions per
+ * to the machine at hand; the sampling-aware benches (fig4, fig9)
+ * additionally honor RCACHE_SAMPLE (see benchSampling below). The paper ran 2 billion instructions per
  * data point on SimpleScalar; the shapes reported in EXPERIMENTS.md
  * are stable from a few hundred thousand instructions up.
  */
@@ -13,6 +14,7 @@
 #ifndef RCACHE_BENCH_COMMON_HH
 #define RCACHE_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -22,6 +24,7 @@
 #include "runner/sweep_runner.hh"
 #include "sim/experiment.hh"
 #include "sim/table.hh"
+#include "util/logging.hh"
 
 namespace rcache::bench
 {
@@ -43,6 +46,53 @@ benchJobs()
     if (const char *env = std::getenv("RCACHE_JOBS"))
         return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
     return 1;
+}
+
+/**
+ * Sampling shape from RCACHE_SAMPLE=interval[,detail[,warmup]]
+ * (instructions; unset, empty, or a 0 interval = full detail;
+ * detail defaults to interval/10, warmup to interval/5). Sampled
+ * bench tables are comparable across RCACHE_JOBS values but NOT
+ * against full-detail tables — see the README's sampling section.
+ */
+inline SamplingConfig
+benchSampling()
+{
+    const char *env = std::getenv("RCACHE_SAMPLE");
+    if (!env || !*env)
+        return {};
+    const std::string text = env;
+    std::uint64_t v[3] = {0, 0, 0};
+    int given = 0;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        char *end = nullptr;
+        errno = 0;
+        const std::uint64_t parsed =
+            std::strtoull(item.c_str(), &end, 10);
+        if (given >= 3 || item.empty() || *end != '\0' ||
+            errno == ERANGE || item[0] == '-') {
+            rc_fatal("RCACHE_SAMPLE wants "
+                     "interval[,detail[,warmup]] in instructions, "
+                     "got '" +
+                     text + "'");
+        }
+        v[given++] = parsed;
+    }
+    const std::uint64_t interval = v[0];
+    if (interval == 0)
+        return {};
+    const std::uint64_t detail =
+        given >= 2 ? v[1] : SamplingConfig::defaultDetail(interval);
+    const std::uint64_t warmup =
+        given >= 3 ? v[2] : SamplingConfig::defaultWarmup(interval);
+    if (const char *err =
+            SamplingConfig::shapeError(interval, detail, warmup)) {
+        rc_fatal("RCACHE_SAMPLE: " + std::string(err) + " (got '" +
+                 text + "')");
+    }
+    return SamplingConfig::sampled(interval, detail, warmup);
 }
 
 /** Profiles to run (RCACHE_APPS=ammp,gcc,... or the full suite). */
@@ -76,7 +126,15 @@ banner(const std::string &what, const std::string &paper_ref)
 {
     std::cout << "=== " << what << " ===\n"
               << "reproduces: " << paper_ref << "\n"
-              << "instructions/run: " << runInsts() << "\n\n";
+              << "instructions/run: " << runInsts() << "\n";
+    const SamplingConfig s = benchSampling();
+    if (s.enabled()) {
+        std::cout << "sampling: period " << s.intervalInsts
+                  << ", detail " << s.detailedInsts << ", warmup "
+                  << s.warmupInsts
+                  << " (not comparable to full-detail tables)\n";
+    }
+    std::cout << '\n';
 }
 
 } // namespace rcache::bench

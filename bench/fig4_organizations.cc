@@ -39,6 +39,7 @@ main()
         TextTable t({"assoc", "selective-ways", "selective-sets"});
         for (unsigned assoc : {2u, 4u, 8u, 16u}) {
             Experiment exp(bench::baseWithAssoc(assoc), insts);
+            exp.setSampling(bench::benchSampling());
 
             struct Slice
             {

@@ -28,6 +28,7 @@ main()
     const auto apps = bench::suite();
     const std::uint64_t insts = bench::runInsts();
     Experiment exp(SystemConfig::base(), insts);
+    exp.setSampling(bench::benchSampling());
     SweepRunner runner(bench::benchJobs());
     const auto org = Organization::SelectiveSets;
 

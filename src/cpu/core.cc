@@ -16,6 +16,18 @@ Core::Core(const CoreParams &params, Hierarchy &hier,
 {
 }
 
+void
+Core::resetTiming()
+{
+    mshr_.reset();
+    wb_.reset();
+    fetchSlots_.reset();
+    nextFetchCycle_ = 0;
+    curFetchBlock_ = ~Addr{0};
+    blockReady_ = 0;
+    groupRemaining_ = 0;
+}
+
 std::uint64_t
 Core::fetchInst(const MicroInst &inst)
 {

@@ -108,9 +108,19 @@ class Core
     virtual CoreActivity run(Workload &workload,
                              std::uint64_t num_insts) = 0;
 
+    /**
+     * Restart the timing machinery at cycle 0 for a fresh measurement
+     * window: fetch engine, bandwidth allocators, MSHRs, writeback
+     * buffer. Warm state (the branch predictor, and the caches, which
+     * live in the hierarchy) is untouched. The sampling engine calls
+     * this between detailed windows; run() may then be called again.
+     */
+    void resetTiming();
+
     BranchPredictor &predictor() { return bpred_; }
     const MshrFile &mshrs() const { return mshr_; }
     const WritebackBuffer &writebackBuffer() const { return wb_; }
+    const CoreParams &params() const { return params_; }
 
   protected:
     /**

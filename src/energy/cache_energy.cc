@@ -3,27 +3,85 @@
 namespace rcache
 {
 
+CacheActivity
+CacheActivity::of(const Cache &cache)
+{
+    CacheActivity a;
+    a.accesses = static_cast<double>(cache.accesses());
+    a.misses = static_cast<double>(cache.misses());
+    a.prechargeEvents =
+        static_cast<double>(cache.prechargeSubarrayEvents());
+    a.wayReads = static_cast<double>(cache.wayReadEvents());
+    a.byteCycles = cache.byteCycles();
+    return a;
+}
+
+CacheActivity
+CacheActivity::operator-(const CacheActivity &earlier) const
+{
+    CacheActivity a;
+    a.accesses = accesses - earlier.accesses;
+    a.misses = misses - earlier.misses;
+    a.prechargeEvents = prechargeEvents - earlier.prechargeEvents;
+    a.wayReads = wayReads - earlier.wayReads;
+    a.byteCycles = byteCycles - earlier.byteCycles;
+    return a;
+}
+
+CacheActivity &
+CacheActivity::operator+=(const CacheActivity &o)
+{
+    accesses += o.accesses;
+    misses += o.misses;
+    prechargeEvents += o.prechargeEvents;
+    wayReads += o.wayReads;
+    byteCycles += o.byteCycles;
+    return *this;
+}
+
+CacheActivity
+CacheActivity::scaled(double factor) const
+{
+    CacheActivity a;
+    a.accesses = accesses * factor;
+    a.misses = misses * factor;
+    a.prechargeEvents = prechargeEvents * factor;
+    a.wayReads = wayReads * factor;
+    a.byteCycles = byteCycles * factor;
+    return a;
+}
+
+double
+CacheEnergyModel::l1AccessEnergy(const CacheActivity &activity,
+                                 unsigned extra_tag_bits) const
+{
+    return activity.prechargeEvents * params_.l1PrechargePerSubarray +
+           activity.wayReads * params_.l1ReadPerWay +
+           activity.accesses * params_.l1DecodePerAccess +
+           activity.wayReads * extra_tag_bits *
+               params_.l1TagBitPerWayRead;
+}
+
 double
 CacheEnergyModel::l1AccessEnergy(const Cache &cache,
                                  unsigned extra_tag_bits) const
 {
-    const auto precharges =
-        static_cast<double>(cache.prechargeSubarrayEvents());
-    const auto way_reads = static_cast<double>(cache.wayReadEvents());
-    const auto accesses = static_cast<double>(cache.accesses());
+    return l1AccessEnergy(CacheActivity::of(cache), extra_tag_bits);
+}
 
-    return precharges * params_.l1PrechargePerSubarray +
-           way_reads * params_.l1ReadPerWay +
-           accesses * params_.l1DecodePerAccess +
-           way_reads * extra_tag_bits * params_.l1TagBitPerWayRead;
+double
+CacheEnergyModel::l1Energy(const CacheActivity &activity,
+                           unsigned extra_tag_bits) const
+{
+    return l1AccessEnergy(activity, extra_tag_bits) +
+           activity.byteCycles * params_.l1PerByteCycle;
 }
 
 double
 CacheEnergyModel::l1Energy(const Cache &cache,
                            unsigned extra_tag_bits) const
 {
-    return l1AccessEnergy(cache, extra_tag_bits) +
-           cache.byteCycles() * params_.l1PerByteCycle;
+    return l1Energy(CacheActivity::of(cache), extra_tag_bits);
 }
 
 double
@@ -38,11 +96,20 @@ CacheEnergyModel::l1EnergyPerAccessNow(const Cache &cache,
 }
 
 double
+CacheEnergyModel::l2Energy(double accesses, std::uint64_t size_bytes,
+                           double cycles) const
+{
+    return accesses * params_.l2PerAccess +
+           static_cast<double>(size_bytes) * cycles *
+               params_.l2PerByteCycle;
+}
+
+double
 CacheEnergyModel::l2Energy(const Cache &l2, std::uint64_t cycles) const
 {
-    return static_cast<double>(l2.accesses()) * params_.l2PerAccess +
-           static_cast<double>(l2.geometry().size) *
-               static_cast<double>(cycles) * params_.l2PerByteCycle;
+    return l2Energy(static_cast<double>(l2.accesses()),
+                    l2.geometry().size,
+                    static_cast<double>(cycles));
 }
 
 } // namespace rcache

@@ -12,6 +12,37 @@
 namespace rcache
 {
 
+/**
+ * The event totals the energy model consumes, decoupled from the
+ * Cache that produced them. Whole runs read a Cache's counters
+ * directly (CacheActivity::of); the sampling engine instead takes
+ * snapshots around each detailed window, differences them, and scales
+ * the deltas up to the full run before pricing them.
+ */
+struct CacheActivity
+{
+    double accesses = 0;
+    double misses = 0;
+    double prechargeEvents = 0;
+    double wayReads = 0;
+    double byteCycles = 0;
+
+    /** Snapshot @p cache's current counter values. */
+    static CacheActivity of(const Cache &cache);
+
+    /** Counter deltas between two snapshots (this - earlier). */
+    CacheActivity operator-(const CacheActivity &earlier) const;
+    CacheActivity &operator+=(const CacheActivity &o);
+
+    /** All counts multiplied by @p factor (sample extrapolation). */
+    CacheActivity scaled(double factor) const;
+
+    double missRatio() const
+    {
+        return accesses > 0 ? misses / accesses : 0.0;
+    }
+};
+
 /** Computes L1/L2 energies from accumulated cache counters. */
 class CacheEnergyModel
 {
@@ -34,8 +65,16 @@ class CacheEnergyModel
      */
     double l1Energy(const Cache &cache, unsigned extra_tag_bits) const;
 
+    /** As above, priced from an explicit activity total. */
+    double l1Energy(const CacheActivity &activity,
+                    unsigned extra_tag_bits) const;
+
     /** Switching component only (per-access), no byte-cycle term. */
     double l1AccessEnergy(const Cache &cache,
+                          unsigned extra_tag_bits) const;
+
+    /** As above, priced from an explicit activity total. */
+    double l1AccessEnergy(const CacheActivity &activity,
                           unsigned extra_tag_bits) const;
 
     /**
@@ -48,6 +87,10 @@ class CacheEnergyModel
     /** L2 energy over the run (per-access + byte-cycle terms).
      *  @param cycles total simulated cycles (L2 is never resized). */
     double l2Energy(const Cache &l2, std::uint64_t cycles) const;
+
+    /** As above from explicit totals (@p size_bytes: L2 capacity). */
+    double l2Energy(double accesses, std::uint64_t size_bytes,
+                    double cycles) const;
 
   private:
     EnergyParams params_;

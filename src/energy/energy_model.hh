@@ -85,6 +85,20 @@ class ProcessorEnergyModel
                             const Cache &l2,
                             std::uint64_t mem_accesses) const;
 
+    /**
+     * Price explicit activity totals instead of live Cache counters.
+     * The sampling engine extrapolates measured-window deltas to
+     * full-run totals and prices them through this overload.
+     */
+    EnergyBreakdown compute(const CoreActivity &activity,
+                            const CacheActivity &il1,
+                            unsigned il1_extra_tag_bits,
+                            const CacheActivity &dl1,
+                            unsigned dl1_extra_tag_bits,
+                            double l2_accesses,
+                            std::uint64_t l2_size_bytes,
+                            double mem_accesses) const;
+
     const EnergyParams &params() const { return params_; }
 
   private:

@@ -10,7 +10,7 @@ executeRunJob(const RunJob &job)
 {
     SyntheticWorkload wl(job.profile);
     System sys(job.cfg);
-    return sys.run(wl, job.insts, job.il1, job.dl1);
+    return sys.run(wl, job.insts, job.il1, job.dl1, job.sampling);
 }
 
 SweepRunner::SweepRunner(unsigned num_jobs)

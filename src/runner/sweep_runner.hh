@@ -41,6 +41,8 @@ struct RunJob
     std::uint64_t insts = 0;
     ResizeSetup il1;
     ResizeSetup dl1;
+    /** Full detail by default; see sim/sampling.hh. */
+    SamplingConfig sampling;
 };
 
 /** Run @p job on a fresh System; pure function of the job spec. */

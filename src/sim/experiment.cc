@@ -20,6 +20,15 @@ Experiment::Experiment(const SystemConfig &cfg,
     cfg_.dl1Org = Organization::None;
 }
 
+void
+Experiment::setSampling(const SamplingConfig &sampling)
+{
+    sampling.validate();
+    std::lock_guard<std::mutex> lk(memoMtx_);
+    sampling_ = sampling;
+    baselineMemo_.clear();
+}
+
 const std::vector<double> &
 Experiment::missBoundFractions()
 {
@@ -108,6 +117,7 @@ Experiment::baselineJob(const BenchmarkProfile &profile) const
     job.profile = profile;
     job.cfg = cfg_;
     job.insts = numInsts_;
+    job.sampling = sampling_;
     return job;
 }
 
@@ -126,6 +136,7 @@ Experiment::runPoint(const BenchmarkProfile &profile,
     job.insts = numInsts_;
     job.il1 = il1_setup;
     job.dl1 = dl1_setup;
+    job.sampling = sampling_;
     return executeRunJob(job);
 }
 
@@ -147,6 +158,7 @@ Experiment::staticSearchJobs(const BenchmarkProfile &profile,
         job.profile = profile;
         job.cfg = cfg;
         job.insts = numInsts_;
+        job.sampling = sampling_;
         ResizeSetup setup{Strategy::Static, level, {}};
         (side == CacheSide::DCache ? job.dl1 : job.il1) = setup;
         jobs.push_back(std::move(job));
@@ -202,6 +214,7 @@ Experiment::dynamicSearchJobs(const BenchmarkProfile &profile,
         job.profile = profile;
         job.cfg = cfg;
         job.insts = numInsts_;
+        job.sampling = sampling_;
         ResizeSetup setup{Strategy::Dynamic, 0, grid[i]};
         (side == CacheSide::DCache ? job.dl1 : job.il1) = setup;
         jobs.push_back(std::move(job));
@@ -268,6 +281,7 @@ Experiment::bothStaticJob(const BenchmarkProfile &profile,
     job.cfg.il1Org = org;
     job.cfg.dl1Org = org;
     job.insts = numInsts_;
+    job.sampling = sampling_;
     job.il1 = ResizeSetup{Strategy::Static, il1_level, {}};
     job.dl1 = ResizeSetup{Strategy::Static, dl1_level, {}};
     return job;

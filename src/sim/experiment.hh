@@ -100,6 +100,15 @@ class Experiment
     void setRunner(const SweepRunner *runner) { runner_ = runner; }
     const SweepRunner *runner() const { return runner_; }
 
+    /**
+     * Apply @p sampling to every job this experiment enumerates from
+     * now on (baselines included, so normalizations compare like with
+     * like). Defaults to full detail. Clears the baseline memo: a
+     * memoized full-detail baseline must not normalize sampled runs.
+     */
+    void setSampling(const SamplingConfig &sampling);
+    const SamplingConfig &sampling() const { return sampling_; }
+
     /** Non-resizable run of @p profile (memoized, thread-safe). */
     RunResult baseline(const BenchmarkProfile &profile) const;
 
@@ -211,6 +220,7 @@ class Experiment
 
     SystemConfig cfg_;
     std::uint64_t numInsts_;
+    SamplingConfig sampling_;
     const SweepRunner *runner_ = nullptr;
     mutable std::mutex memoMtx_;
     mutable std::map<std::string, RunResult> baselineMemo_;

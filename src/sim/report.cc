@@ -37,8 +37,13 @@ writeRunReport(std::ostream &os, const RunResult &r)
        << "  avg enabled sizes: i-L1 "
        << TextTable::bytesKb(r.avgIl1Bytes) << " (" << r.il1Resizes
        << " resizes), d-L1 " << TextTable::bytesKb(r.avgDl1Bytes)
-       << " (" << r.dl1Resizes << " resizes)\n"
-       << r.energy << "  energy-delay product: "
+       << " (" << r.dl1Resizes << " resizes)\n";
+    if (r.sampled) {
+        os << "  sampled: " << r.measuredInsts << " measured + "
+           << r.warmupInsts << " warmup of " << r.insts
+           << " insts; cycles/energy are extrapolated\n";
+    }
+    os << r.energy << "  energy-delay product: "
        << TextTable::num(r.edp(), 0) << '\n';
 }
 
@@ -122,7 +127,7 @@ writeSweepCsv(std::ostream &os,
           "miss_bound,size_bound_bytes,ed_reduction_pct,"
           "perf_degradation_pct,size_reduction_pct,baseline_edp,"
           "best_edp,baseline_cycles,best_cycles,avg_il1_bytes,"
-          "avg_dl1_bytes\n";
+          "avg_dl1_bytes,mode\n";
     for (const auto &r : records) {
         os << r.app << ',' << r.org << ',' << r.strategy << ','
            << r.side << ',' << r.bestLevel << ','
@@ -133,7 +138,8 @@ writeSweepCsv(std::ostream &os,
            << numField(r.baselineEdp) << ',' << numField(r.bestEdp)
            << ',' << r.baselineCycles << ',' << r.bestCycles << ','
            << numField(r.avgIl1Bytes) << ','
-           << numField(r.avgDl1Bytes) << '\n';
+           << numField(r.avgDl1Bytes) << ','
+           << (r.sampled ? "sampled" : "full") << '\n';
     }
 }
 
@@ -164,7 +170,9 @@ writeSweepJson(std::ostream &os,
            << ", \"best_cycles\": " << r.bestCycles
            << ", \"avg_il1_bytes\": " << numField(r.avgIl1Bytes)
            << ", \"avg_dl1_bytes\": " << numField(r.avgDl1Bytes)
-           << "}" << (i + 1 < records.size() ? "," : "") << '\n';
+           << ", \"mode\": \""
+           << (r.sampled ? "sampled" : "full") << "\"}"
+           << (i + 1 < records.size() ? "," : "") << '\n';
     }
     os << "]\n";
 }
@@ -174,14 +182,16 @@ writeSweepTable(std::ostream &os,
                 const std::vector<SweepRecord> &records)
 {
     TextTable t({"app", "org", "strategy", "side", "E*D red",
-                 "perf deg", "size red", "avg i-L1", "avg d-L1"});
+                 "perf deg", "size red", "avg i-L1", "avg d-L1",
+                 "mode"});
     for (const auto &r : records) {
         t.addRow({r.app, r.org, r.strategy, r.side,
                   TextTable::pct(r.edReductionPct),
                   TextTable::pct(r.perfDegradationPct),
                   TextTable::pct(r.sizeReductionPct),
                   TextTable::bytesKb(r.avgIl1Bytes),
-                  TextTable::bytesKb(r.avgDl1Bytes)});
+                  TextTable::bytesKb(r.avgDl1Bytes),
+                  r.sampled ? "sampled" : "full"});
     }
     t.print(os);
 }

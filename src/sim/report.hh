@@ -64,6 +64,14 @@ struct SweepRecord
     std::uint64_t bestCycles = 0;
     double avgIl1Bytes = 0;
     double avgDl1Bytes = 0;
+    /**
+     * Provenance: true when the cell's runs were sampled
+     * extrapolations. Written as a trailing "mode" column so sampled
+     * and full-detail reports are never byte-indistinguishable
+     * (mixing them in one comparison is invalid — see the README's
+     * sampling section).
+     */
+    bool sampled = false;
 };
 
 /**

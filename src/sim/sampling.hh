@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Sampled simulation: functional fast-forward between short detailed
+ * measurement windows (SMARTS-style systematic sampling).
+ *
+ * A sampled run carves the instruction stream into fixed periods of
+ * @c intervalInsts instructions. Each period is simulated as
+ *
+ *     [ fast-forward | warmup | detailed ]
+ *
+ * Fast-forward advances only the *workload position* (Workload::skip,
+ * O(1) for the synthetic generators) — nothing is simulated, which is
+ * where the order-of-magnitude speedup comes from. Warmup runs on the
+ * FunctionalCore: caches (tags, LRU, dirty bits), the branch
+ * predictor, and the resize controllers' interval/miss counters
+ * advance with no timing, rebuilding the state the skip left stale.
+ * The detailed window is measured on the timing core: cycles,
+ * instruction mix, and per-cache counter deltas accumulate across all
+ * windows and are extrapolated (scaled by total/measured
+ * instructions) to full-run estimates.
+ *
+ * The accuracy trade-off is explicit: state inside a skipped span is
+ * never observed (a resize controller sleeps through it — see the
+ * interval-skip tests), and warmup length bounds how much of the L1/L2
+ * working set is re-established before measurement. The accuracy gate
+ * in tests/sim/sampling_test.cc pins both effects.
+ *
+ * The whole procedure is a pure function of (workload, config), so
+ * sampled sweeps stay bit-identical across thread counts exactly like
+ * full-detail sweeps.
+ */
+
+#ifndef RCACHE_SIM_SAMPLING_HH
+#define RCACHE_SIM_SAMPLING_HH
+
+#include "core/resizable_cache.hh"
+#include "cpu/core.hh"
+#include "energy/cache_energy.hh"
+
+namespace rcache
+{
+
+/** Whether a run is fully detailed or sampled. */
+enum class SampleMode
+{
+    /** Every instruction through the timing core (the default). */
+    Full,
+    /** Fast-forward / warmup / detailed periods (see file comment). */
+    Sampled,
+};
+
+/** Printable mode name ("full" / "sampled"). */
+std::string sampleModeName(SampleMode mode);
+
+/** Shape of one sampling period. */
+struct SamplingConfig
+{
+    SampleMode mode = SampleMode::Full;
+    /** Total instructions per period (fast-forward + warmup +
+     *  detailed). */
+    std::uint64_t intervalInsts = 100000;
+    /** Measured instructions at the end of each period. */
+    std::uint64_t detailedInsts = 10000;
+    /** FunctionalCore instructions warming cache/predictor/controller
+     *  state before each detailed window (no timing, not measured). */
+    std::uint64_t warmupInsts = 20000;
+
+    bool enabled() const { return mode == SampleMode::Sampled; }
+
+    /**
+     * Why (interval, detailed, warmup) is not a valid sampled shape,
+     * or nullptr if it is. The single source of the shape rules —
+     * validate(), the CLI's --sample parsing, and the benches'
+     * RCACHE_SAMPLE knob all call this, so the layers cannot drift.
+     * Overflow-safe for any uint64 inputs.
+     */
+    static const char *shapeError(std::uint64_t interval,
+                                  std::uint64_t detailed,
+                                  std::uint64_t warmup);
+
+    /** Fatal if enabled with a malformed shape. */
+    void validate() const;
+
+    /** A sampled config with the given shape. */
+    static SamplingConfig sampled(std::uint64_t interval,
+                                  std::uint64_t detailed,
+                                  std::uint64_t warmup)
+    {
+        return {SampleMode::Sampled, interval, detailed, warmup};
+    }
+
+    /** @name Derived defaults
+     * The single source for the documented `--sample` /
+     * `RCACHE_SAMPLE` defaulting rules, shared by the CLI and the
+     * benches so the two knobs cannot drift apart.
+     */
+    /// @{
+    /** Default measured window: a tenth of the period, at least 1. */
+    static std::uint64_t defaultDetail(std::uint64_t interval)
+    {
+        return interval / 10 > 0 ? interval / 10 : 1;
+    }
+    /** Default functional warmup: a fifth of the period. */
+    static std::uint64_t defaultWarmup(std::uint64_t interval)
+    {
+        return interval / 5;
+    }
+    /// @}
+};
+
+/** Everything a sampled run measures or extrapolates. */
+struct SampledStats
+{
+    /** Extrapolated to the full run (cycles, mix, mispredicts). */
+    CoreActivity activity;
+    /** Extrapolated per-cache event totals. */
+    CacheActivity il1, dl1;
+    double l2Accesses = 0;
+    double memAccesses = 0;
+
+    /** Ratios measured in the detailed windows (scale-free). */
+    double il1MissRatio = 0;
+    double dl1MissRatio = 0;
+    double l2MissRatio = 0;
+    double avgIl1Bytes = 0;
+    double avgDl1Bytes = 0;
+
+    /** @name Coverage accounting */
+    /// @{
+    /** Timing-core (measured) instructions. */
+    std::uint64_t measuredInsts = 0;
+    /** FunctionalCore (warming) instructions. */
+    std::uint64_t warmupInsts = 0;
+    /** Skipped instructions (never simulated). */
+    std::uint64_t fastForwardInsts = 0;
+    std::uint64_t windows = 0;
+    /// @}
+};
+
+/**
+ * Orchestrates one sampled run over a System's parts. Single-use,
+ * like the System that owns the parts.
+ */
+class SamplingController
+{
+  public:
+    SamplingController(const SamplingConfig &cfg, Hierarchy &hier,
+                       ResizableCache &il1, ResizableCache &dl1,
+                       ResizePolicy *il1_policy,
+                       ResizePolicy *dl1_policy);
+
+    /**
+     * Run @p num_insts instructions of @p workload, alternating
+     * fast-forward and detailed windows on @p core.
+     */
+    SampledStats run(Core &core, Workload &workload,
+                     std::uint64_t num_insts);
+
+  private:
+    SamplingConfig cfg_;
+    Hierarchy &hier_;
+    ResizableCache &il1_;
+    ResizableCache &dl1_;
+    ResizePolicy *il1Policy_;
+    ResizePolicy *dl1Policy_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_SIM_SAMPLING_HH

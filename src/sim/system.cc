@@ -55,10 +55,12 @@ System::makePolicy(ResizableCache &cache, const ResizeSetup &setup)
 
 RunResult
 System::run(Workload &workload, std::uint64_t num_insts,
-            const ResizeSetup &il1_setup, const ResizeSetup &dl1_setup)
+            const ResizeSetup &il1_setup, const ResizeSetup &dl1_setup,
+            const SamplingConfig &sampling)
 {
     rc_assert(!ran_);
     ran_ = true;
+    sampling.validate();
 
     auto il1_policy = makePolicy(il1_, il1_setup);
     auto dl1_policy = makePolicy(dl1_, dl1_setup);
@@ -76,25 +78,52 @@ System::run(Workload &workload, std::uint64_t num_insts,
 
     RunResult res;
     res.workload = workload.name();
-    res.activity = core->run(workload, num_insts);
-    res.insts = res.activity.insts;
-    res.cycles = res.activity.cycles;
-
-    // Close the enabled-size integrals over the whole run.
-    il1_.cache().accumulateEnabledTime(res.cycles);
-    dl1_.cache().accumulateEnabledTime(res.cycles);
-
     ProcessorEnergyModel energy(cfg_.energy);
-    res.energy = energy.compute(
-        res.activity, il1_.cache(), il1_.extraTagBits(), dl1_.cache(),
-        dl1_.extraTagBits(), hier_.l2(),
-        hier_.memReads() + hier_.memWrites());
 
-    res.avgIl1Bytes = il1_.cache().byteCycles() / res.cycles;
-    res.avgDl1Bytes = dl1_.cache().byteCycles() / res.cycles;
-    res.il1MissRatio = il1_.cache().missRatio();
-    res.dl1MissRatio = dl1_.cache().missRatio();
-    res.l2MissRatio = hier_.l2().missRatio();
+    if (sampling.enabled()) {
+        SamplingController sampler(sampling, hier_, il1_, dl1_,
+                                   il1_policy.get(),
+                                   dl1_policy.get());
+        const SampledStats s =
+            sampler.run(*core, workload, num_insts);
+
+        res.sampled = true;
+        res.measuredInsts = s.measuredInsts;
+        res.warmupInsts = s.warmupInsts;
+        res.activity = s.activity;
+        res.insts = s.activity.insts;
+        res.cycles = s.activity.cycles;
+        res.energy = energy.compute(
+            s.activity, s.il1, il1_.extraTagBits(), s.dl1,
+            dl1_.extraTagBits(), s.l2Accesses,
+            hier_.l2().geometry().size, s.memAccesses);
+        res.avgIl1Bytes = s.avgIl1Bytes;
+        res.avgDl1Bytes = s.avgDl1Bytes;
+        res.il1MissRatio = s.il1MissRatio;
+        res.dl1MissRatio = s.dl1MissRatio;
+        res.l2MissRatio = s.l2MissRatio;
+    } else {
+        res.activity = core->run(workload, num_insts);
+        res.insts = res.activity.insts;
+        res.cycles = res.activity.cycles;
+        res.measuredInsts = res.insts;
+
+        // Close the enabled-size integrals over the whole run.
+        il1_.cache().accumulateEnabledTime(res.cycles);
+        dl1_.cache().accumulateEnabledTime(res.cycles);
+
+        res.energy = energy.compute(
+            res.activity, il1_.cache(), il1_.extraTagBits(),
+            dl1_.cache(), dl1_.extraTagBits(), hier_.l2(),
+            hier_.memReads() + hier_.memWrites());
+
+        res.avgIl1Bytes = il1_.cache().byteCycles() / res.cycles;
+        res.avgDl1Bytes = dl1_.cache().byteCycles() / res.cycles;
+        res.il1MissRatio = il1_.cache().missRatio();
+        res.dl1MissRatio = dl1_.cache().missRatio();
+        res.l2MissRatio = hier_.l2().missRatio();
+    }
+
     res.il1Resizes = il1_.cache().resizes();
     res.dl1Resizes = dl1_.cache().resizes();
 

@@ -22,6 +22,7 @@
 #include "core/static_policy.hh"
 #include "cpu/core.hh"
 #include "energy/energy_model.hh"
+#include "sim/sampling.hh"
 #include "workload/workload.hh"
 
 namespace rcache
@@ -86,6 +87,17 @@ struct RunResult
     std::vector<unsigned> il1LevelTrace;
     std::vector<unsigned> dl1LevelTrace;
 
+    /** @name Sampling provenance
+     * Full-detail runs measure every instruction (measuredInsts ==
+     * insts). Sampled runs report how much of the stream went through
+     * the timing core; cycles/energy are extrapolations.
+     */
+    /// @{
+    bool sampled = false;
+    std::uint64_t measuredInsts = 0;
+    std::uint64_t warmupInsts = 0;
+    /// @}
+
     /** The paper's metric: processor energy x delay. */
     double edp() const { return energy.total() * cycles; }
     double ipc() const { return activity.ipc(); }
@@ -100,10 +112,14 @@ class System
     /**
      * Run @p num_insts instructions of @p workload with the given
      * per-cache resizing setups. Single use.
+     *
+     * @param sampling fully detailed by default; a Sampled config
+     *        fast-forwards between measured windows (sim/sampling.hh)
      */
     RunResult run(Workload &workload, std::uint64_t num_insts,
                   const ResizeSetup &il1_setup = {},
-                  const ResizeSetup &dl1_setup = {});
+                  const ResizeSetup &dl1_setup = {},
+                  const SamplingConfig &sampling = {});
 
     ResizableCache &il1() { return il1_; }
     ResizableCache &dl1() { return dl1_; }

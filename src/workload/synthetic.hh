@@ -150,6 +150,14 @@ class SyntheticWorkload : public Workload
 
     MicroInst next() override;
     void reset() override;
+    /**
+     * O(1) fast-forward: the phase clock jumps, the rng is re-seeded
+     * as a deterministic function of (seed, new position), and the
+     * region cursors and code offset stay where they are. The skipped
+     * span's instructions are never materialized, so a sampled run's
+     * fast-forward costs nothing per skipped instruction.
+     */
+    void skip(std::uint64_t n) override;
     std::string name() const override { return profile_.name; }
 
     const BenchmarkProfile &profile() const { return profile_; }
@@ -167,8 +175,29 @@ class SyntheticWorkload : public Workload
     double phaseFactor(const PhaseSpec &spec) const;
     Addr dataAddr();
 
+    /**
+     * Phase-scaled values only change at phase boundaries, but the
+     * straightforward computation (a 64-bit modulo plus floating
+     * point) sits on the per-instruction hot path. These caches hold
+     * the value until the instruction count reaches the next
+     * boundary; the cached values are bit-identical to recomputing,
+     * so the generated stream is unchanged.
+     */
+    std::uint64_t cachedCodeFootprint();
+    double cachedDataFactor();
+    void invalidatePhaseCaches()
+    {
+        codeFpValidUntil_ = 0;
+        dataFactorValidUntil_ = 0;
+    }
+
     BenchmarkProfile profile_;
     Rng rng_;
+
+    std::uint64_t codeFpCache_ = 0;
+    std::uint64_t codeFpValidUntil_ = 0;
+    double dataFactorCache_ = 1.0;
+    std::uint64_t dataFactorValidUntil_ = 0;
 
     std::uint64_t instCount_ = 0;
     std::uint64_t codeOffset_ = 0;

@@ -6,6 +6,13 @@
 namespace rcache
 {
 
+void
+Workload::skip(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        next();
+}
+
 TraceWorkload::TraceWorkload(std::vector<MicroInst> insts,
                              std::string name)
     : insts_(std::move(insts)), name_(std::move(name))
@@ -60,6 +67,35 @@ quantize(double bytes)
     return std::max<std::uint64_t>(q, 512);
 }
 
+/**
+ * First instruction count >= @p i at which @p spec's factor can
+ * change (max if never). The boundary for Periodic is exactly where
+ * the duty comparison in phaseFactor flips.
+ */
+std::uint64_t
+phaseBoundaryAfter(const PhaseSpec &spec, std::uint64_t i)
+{
+    switch (spec.kind) {
+      case PhaseKind::Constant:
+        return ~std::uint64_t{0};
+      case PhaseKind::Periodic: {
+        const std::uint64_t pos = i % spec.periodInsts;
+        const double duty =
+            spec.dutyHi * static_cast<double>(spec.periodInsts);
+        // Smallest integer position failing "pos < duty".
+        auto flip = static_cast<std::uint64_t>(duty);
+        while (static_cast<double>(flip) < duty)
+            ++flip;
+        const std::uint64_t period_start = i - pos;
+        return pos < flip ? period_start + flip
+                          : period_start + spec.periodInsts;
+      }
+      case PhaseKind::Drift:
+        return i - i % spec.periodInsts + spec.periodInsts;
+    }
+    rc_panic("bad phase kind");
+}
+
 } // namespace
 
 SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile)
@@ -83,6 +119,43 @@ SyntheticWorkload::reset()
     blockRemaining_ = 4;
     std::fill(cursors_.begin(), cursors_.end(), 0);
     lastLoadDist_ = 255;
+    invalidatePhaseCaches();
+}
+
+void
+SyntheticWorkload::skip(std::uint64_t n)
+{
+    // Jump the phase clock and decorrelate the rng from the skipped
+    // span as a pure function of (seed, landing position); region
+    // cursors, code offset, and block state carry across untouched.
+    // Equal (state, n) pairs land in equal states, which keeps
+    // sampled runs bit-identical for any thread count.
+    instCount_ += n;
+    rng_ = Rng(profile_.seed ^
+               mix64(instCount_ * 0x9e3779b97f4a7c15ull));
+    invalidatePhaseCaches();
+}
+
+std::uint64_t
+SyntheticWorkload::cachedCodeFootprint()
+{
+    if (instCount_ >= codeFpValidUntil_) {
+        codeFpCache_ = currentCodeFootprint();
+        codeFpValidUntil_ =
+            phaseBoundaryAfter(profile_.codePhase, instCount_);
+    }
+    return codeFpCache_;
+}
+
+double
+SyntheticWorkload::cachedDataFactor()
+{
+    if (instCount_ >= dataFactorValidUntil_) {
+        dataFactorCache_ = phaseFactor(profile_.dataPhase);
+        dataFactorValidUntil_ =
+            phaseBoundaryAfter(profile_.dataPhase, instCount_);
+    }
+    return dataFactorCache_;
 }
 
 double
@@ -148,7 +221,11 @@ SyntheticWorkload::dataAddr()
     }
 
     const DataRegion &region = profile_.regions[r];
-    const std::uint64_t bytes = currentRegionBytes(r);
+    const std::uint64_t bytes =
+        region.phased
+            ? quantize(static_cast<double>(region.bytes) *
+                       cachedDataFactor())
+            : quantize(static_cast<double>(region.bytes));
     std::uint64_t offset;
     if (region.stride == 0) {
         // Skewed random reuse: most accesses land in the hot head.
@@ -160,9 +237,17 @@ SyntheticWorkload::dataAddr()
         }
         offset = rng_.nextBelow(span / 8) * 8;
     } else {
-        cursors_[r] = (cursors_[r] + profile_.regions[r].stride) %
-                      bytes;
-        offset = cursors_[r];
+        // Equivalent to (cursor + stride) % bytes; strides are
+        // normally below the region size, so the wrap is a subtract
+        // and the division almost never runs.
+        std::uint64_t c = cursors_[r] + profile_.regions[r].stride;
+        if (c >= bytes) {
+            c -= bytes;
+            if (c >= bytes)
+                c %= bytes;
+        }
+        cursors_[r] = c;
+        offset = c;
     }
     return regionBase(r) + offset;
 }
@@ -172,9 +257,12 @@ SyntheticWorkload::next()
 {
     MicroInst inst;
 
-    const std::uint64_t footprint = currentCodeFootprint();
+    const std::uint64_t footprint = cachedCodeFootprint();
     if (aliasChunk_ < 0) {
-        codeOffset_ %= footprint;
+        // The offset advances by 4 per instruction, so the wrap is
+        // rare; pay the division only then.
+        if (codeOffset_ >= footprint)
+            codeOffset_ %= footprint;
         inst.pc = codeBase + codeOffset_;
     } else {
         codeOffset_ %= codeAliasChunkBytes;

@@ -26,6 +26,16 @@ class Workload
     /** Restart the stream from the beginning (same sequence). */
     virtual void reset() = 0;
 
+    /**
+     * Advance the stream position by @p n instructions without
+     * producing them. Deterministic: equal states skipped equally end
+     * up equal. The default generates and discards; generators that
+     * can jump (phase clocks, trace cursors) override this with an
+     * O(1) implementation, which is what makes sampled simulation's
+     * fast-forward intervals nearly free.
+     */
+    virtual void skip(std::uint64_t n);
+
     /** Name for reports. */
     virtual std::string name() const = 0;
 };
@@ -39,6 +49,10 @@ class TraceWorkload : public Workload
 
     MicroInst next() override;
     void reset() override { pos_ = 0; }
+    void skip(std::uint64_t n) override
+    {
+        pos_ = (pos_ + n) % insts_.size();
+    }
     std::string name() const override { return name_; }
 
   private:

@@ -1,0 +1,102 @@
+# Strict-parse contract tests for the rcache-sim CLI, run as a ctest
+# script against the real binary:
+#
+#   cmake -DRCACHE_SIM=<path-to-rcache-sim> -P cli_strict_parse.cmake
+#
+# Every rejection must exit nonzero; the unknown-subcommand /
+# unknown-option / unknown-app rejections must additionally print
+# exactly one diagnostic line so scripts and CI logs stay readable.
+
+if(NOT RCACHE_SIM)
+  message(FATAL_ERROR "pass -DRCACHE_SIM=<path to rcache-sim>")
+endif()
+
+# Rejection with a substring match on stderr.
+function(check_rejects expect)
+  execute_process(COMMAND ${RCACHE_SIM} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(SEND_ERROR
+            "expected nonzero exit from: rcache-sim ${ARGN}")
+  endif()
+  if(NOT err MATCHES "${expect}")
+    message(SEND_ERROR
+            "missing diagnostic '${expect}' from: rcache-sim ${ARGN}"
+            " — stderr was: ${err}")
+  endif()
+endfunction()
+
+# Rejection whose diagnostic must be a single line.
+function(check_rejects_oneline expect)
+  check_rejects("${expect}" ${ARGN})
+  execute_process(COMMAND ${RCACHE_SIM} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  string(REGEX REPLACE "\n+$" "" stripped "${err}")
+  if(stripped MATCHES "\n")
+    message(SEND_ERROR
+            "diagnostic is not one line for: rcache-sim ${ARGN}"
+            " — stderr was: ${err}")
+  endif()
+endfunction()
+
+function(check_accepts)
+  execute_process(COMMAND ${RCACHE_SIM} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(SEND_ERROR
+            "expected exit 0 from: rcache-sim ${ARGN}"
+            " — stderr was: ${err}")
+  endif()
+endfunction()
+
+# ---- unknown subcommands / options / apps: one-line diagnostics
+check_rejects_oneline("unknown subcommand 'frobnicate'" frobnicate)
+check_rejects_oneline("unknown option '--bogus' for 'sweep'"
+                      sweep --bogus 1)
+check_rejects_oneline("unknown option '--progress' for 'run'"
+                      run --app ammp --progress)
+check_rejects_oneline("unknown app 'nosuchapp'" run --app nosuchapp)
+check_rejects_oneline("unknown app 'nosuchapp'"
+                      sweep --apps ammp,nosuchapp)
+check_rejects_oneline("unexpected argument 'positional'"
+                      sweep positional)
+
+# ---- strict value parsing
+check_rejects_oneline("non-negative integer" sweep --insts abc)
+check_rejects_oneline("must be > 0" run --app ammp --insts 0)
+check_rejects_oneline("needs a value" sweep --apps)
+check_rejects_oneline("unknown organization 'bogus'"
+                      sweep --orgs bogus)
+check_rejects_oneline("unknown strategy 'bogus'"
+                      sweep --strategies bogus)
+check_rejects_oneline("at least one" sweep --apps ",")
+check_rejects_oneline("wants icache|dcache|both" sweep --side left)
+
+# ---- sampling flags
+check_rejects_oneline("wants a period > 0"
+                      run --app ammp --sample 0)
+check_rejects_oneline("need --sample"
+                      run --app ammp --sample-detail 100)
+check_rejects_oneline("must fit in the sample period"
+                      run --app ammp --sample 1000
+                      --sample-detail 900 --sample-warmup 200)
+check_rejects_oneline("detail must be > 0"
+                      run --app ammp --sample 1000 --sample-detail 0)
+# Overflow-safe shape check: a warmup near 2^64 must be rejected, not
+# wrapped into a tiny sum that passes and hangs the run.
+check_rejects_oneline("must fit in the sample period"
+                      run --app ammp --sample 1000
+                      --sample-warmup 18446744073709551000)
+
+# ---- happy paths still exit 0
+check_accepts(list-apps)
+check_accepts(--help)
+check_accepts(sweep --help)
+check_accepts(run --app ammp --insts 20000
+              --sample 10000 --sample-detail 2000 --sample-warmup 1000)

@@ -204,6 +204,98 @@ TEST(StrategyNameTest, Names)
     EXPECT_EQ(strategyName(Strategy::Dynamic), "dynamic");
 }
 
+TEST(DynamicControllerTest, DecisionFiresExactlyAtTheBoundaryAccess)
+{
+    SelectiveSetsCache c("dl1", g);
+    c.setLevel(2);
+    DynamicMissRatioController ctl(c, {}, params(100, 10));
+    std::uint64_t cycle = 0;
+    drive(ctl, 99, true, cycle);
+    EXPECT_EQ(ctl.intervals(), 0u);
+    EXPECT_EQ(c.currentLevel(), 2u); // not an access early
+    ctl.onAccess(true, ++cycle); // the 100th access decides
+    EXPECT_EQ(ctl.intervals(), 1u);
+    EXPECT_EQ(c.currentLevel(), 1u);
+}
+
+TEST(DynamicControllerTest, MissCounterResetsAfterResizeDecision)
+{
+    SelectiveSetsCache c("dl1", g);
+    c.setLevel(2);
+    DynamicMissRatioController ctl(c, {}, params(100, 10));
+    std::uint64_t cycle = 0;
+    drive(ctl, 100, true, cycle); // 100 misses -> upsize to level 1
+    EXPECT_EQ(ctl.upsizes(), 1u);
+    // Exactly missBound misses in the next interval: a stale counter
+    // would read 110 > 10 and upsize again; a reset counter reads
+    // 10, which is not above the bound, and holds (and is not below
+    // it either, so no downsize).
+    for (int i = 0; i < 100; ++i)
+        ctl.onAccess(i < 10, ++cycle);
+    EXPECT_EQ(ctl.upsizes(), 1u);
+    EXPECT_EQ(ctl.downsizes(), 0u);
+    EXPECT_EQ(c.currentLevel(), 1u);
+}
+
+TEST(DynamicControllerTest, PartialIntervalCarriesAcrossModeSwitch)
+{
+    // The sampling engine hands the same controller first to the
+    // functional warmup core and then to the timing core; an
+    // interval begun in one must complete in the other.
+    SelectiveSetsCache c("dl1", g);
+    DynamicMissRatioController ctl(c, {}, params(100, 10));
+    std::uint64_t cycle = 0;
+    drive(ctl, 60, false, cycle); // "warmup" accesses, cycles real
+    EXPECT_EQ(ctl.intervals(), 0u);
+    for (int i = 0; i < 40; ++i)
+        ctl.onAccess(false, 0); // "functional" accesses at cycle 0
+    EXPECT_EQ(ctl.intervals(), 1u);
+    EXPECT_EQ(ctl.downsizes(), 1u);
+}
+
+TEST(DynamicControllerTest, SkippedSpansLeaveTheControllerParked)
+{
+    // Fast-forward skips whole controller intervals: no accesses
+    // arrive, so no interval fires and the level is frozen until the
+    // warmup resumes the access stream.
+    SelectiveSetsCache c("dl1", g);
+    DynamicMissRatioController ctl(c, {}, params(100, 10));
+    std::uint64_t cycle = 0;
+    drive(ctl, 100, false, cycle);
+    EXPECT_EQ(c.currentLevel(), 1u);
+    const std::uint64_t intervals_before = ctl.intervals();
+    // (a skipped span: nothing happens)
+    EXPECT_EQ(ctl.intervals(), intervals_before);
+    EXPECT_EQ(c.currentLevel(), 1u);
+    // Resuming after the skip continues the cadence exactly.
+    drive(ctl, 100, false, cycle);
+    EXPECT_EQ(ctl.intervals(), intervals_before + 1);
+    EXPECT_EQ(c.currentLevel(), 2u);
+}
+
+TEST(DynamicControllerTest, FunctionalCyclesDoNotCorruptByteCycles)
+{
+    // Functional warmup notifies the controller with now_cycle == 0;
+    // the enabled-time integral must ignore those non-monotonic
+    // boundaries rather than accumulate negative or stale spans.
+    SelectiveSetsCache c("dl1", g);
+    DynamicMissRatioController ctl(c, {}, params(100, 10));
+    std::uint64_t cycle = 0;
+    drive(ctl, 100, false, cycle); // detailed: 100 cycles at 32K
+    EXPECT_DOUBLE_EQ(c.cache().byteCycles(), 32768.0 * 100);
+    for (int i = 0; i < 100; ++i)
+        ctl.onAccess(false, 0); // functional interval at cycle 0
+    EXPECT_DOUBLE_EQ(c.cache().byteCycles(), 32768.0 * 100);
+    EXPECT_EQ(c.currentLevel(), 2u); // the decision still happened
+    // A new detailed window re-anchors at cycle 0 and accounts at
+    // the size the functional interval selected (8K at level 2).
+    c.cache().restartTimeAccounting();
+    cycle = 0;
+    drive(ctl, 100, false, cycle);
+    EXPECT_DOUBLE_EQ(c.cache().byteCycles(),
+                     32768.0 * 100 + 8192.0 * 100);
+}
+
 /** Property: the controller never selects a level outside the
  *  schedule and never violates the size-bound, for any miss pattern. */
 class ControllerFuzzTest : public testing::TestWithParam<int>

@@ -141,4 +141,26 @@ TEST(ReportTest, SweepTableListsEveryRecord)
     EXPECT_NE(s.find("4.0K"), std::string::npos);
 }
 
+TEST(ReportTest, SweepWritersCarrySampledProvenance)
+{
+    SweepRecord full = sampleRecord();
+    SweepRecord sampled = sampleRecord();
+    sampled.sampled = true;
+
+    std::ostringstream csv;
+    writeSweepCsv(csv, {full, sampled});
+    EXPECT_NE(csv.str().find(",mode\n"), std::string::npos);
+    EXPECT_NE(csv.str().find(",full\n"), std::string::npos);
+    EXPECT_NE(csv.str().find(",sampled\n"), std::string::npos);
+
+    std::ostringstream json;
+    writeSweepJson(json, {sampled});
+    EXPECT_NE(json.str().find("\"mode\": \"sampled\""),
+              std::string::npos);
+
+    std::ostringstream table;
+    writeSweepTable(table, {sampled});
+    EXPECT_NE(table.str().find("sampled"), std::string::npos);
+}
+
 } // namespace rcache

@@ -1,0 +1,232 @@
+/** @file
+ * Tests for the sampled-simulation engine: coverage accounting,
+ * determinism (repeat and parallel-vs-serial), tail handling, and the
+ * accuracy gate required of sampled profiling sweeps — sampled
+ * static-search must pick the same best size as full detail on almost
+ * every profile with the relative-E.D error bounded, while simulating
+ * at most a fifth of the stream in detail.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/sweep_runner.hh"
+#include "sim/experiment.hh"
+#include "workload/profiles.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+/** The sampling shape the accuracy gate (and CI smoke) runs: 5% of
+ *  each period measured, 10% functionally warmed, 85% skipped. */
+SamplingConfig
+gateConfig()
+{
+    return SamplingConfig::sampled(200000, 10000, 20000);
+}
+
+RunJob
+sampledBaselineJob(const std::string &app, std::uint64_t insts,
+                   const SamplingConfig &sampling)
+{
+    RunJob job;
+    job.label = app + "/sampled";
+    job.profile = profileByName(app);
+    job.cfg = SystemConfig::base();
+    job.insts = insts;
+    job.sampling = sampling;
+    return job;
+}
+
+} // namespace
+
+TEST(SamplingConfigTest, DefaultIsFullDetail)
+{
+    SamplingConfig cfg;
+    EXPECT_FALSE(cfg.enabled());
+    cfg.validate(); // never fatal when disabled
+}
+
+TEST(SamplingConfigTest, ValidateRejectsMalformedShapes)
+{
+    SamplingConfig zero_detail =
+        SamplingConfig::sampled(10000, 0, 100);
+    EXPECT_DEATH(zero_detail.validate(), "detail must be > 0");
+
+    SamplingConfig overfull =
+        SamplingConfig::sampled(10000, 8000, 4000);
+    EXPECT_DEATH(overfull.validate(), "must fit in the sample");
+}
+
+TEST(SamplingConfigTest, ShapeCheckIsOverflowSafe)
+{
+    const std::uint64_t huge = ~std::uint64_t{0};
+    // detail + warmup would wrap to a small number; the check must
+    // still reject (a pass would hand FunctionalCore a ~2^64-inst
+    // warmup — an effectively infinite hang).
+    EXPECT_NE(SamplingConfig::shapeError(1000, 100, huge), nullptr);
+    EXPECT_NE(SamplingConfig::shapeError(1000, huge, 100), nullptr);
+    EXPECT_NE(SamplingConfig::shapeError(1000, huge, huge), nullptr);
+    EXPECT_EQ(SamplingConfig::shapeError(1000, 100, 900), nullptr);
+    EXPECT_EQ(SamplingConfig::shapeError(huge, huge - 1, 1), nullptr);
+}
+
+TEST(SampledRunTest, CoversWholeStreamAndReportsCoverage)
+{
+    const RunJob job = sampledBaselineJob(
+        "ammp", 400000, SamplingConfig::sampled(100000, 10000, 20000));
+    const RunResult res = executeRunJob(job);
+
+    EXPECT_TRUE(res.sampled);
+    EXPECT_EQ(res.insts, 400000u);
+    // 4 periods x 10k measured, 4 x 20k warmed.
+    EXPECT_EQ(res.measuredInsts, 40000u);
+    EXPECT_EQ(res.warmupInsts, 80000u);
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.edp(), 0.0);
+    EXPECT_GT(res.ipc(), 0.1);
+    EXPECT_LT(res.ipc(), 4.0);
+    EXPECT_GT(res.avgDl1Bytes, 0.0);
+}
+
+TEST(SampledRunTest, FullDetailRunsReportFullCoverage)
+{
+    RunJob job = sampledBaselineJob("ammp", 50000, SamplingConfig{});
+    const RunResult res = executeRunJob(job);
+    EXPECT_FALSE(res.sampled);
+    EXPECT_EQ(res.measuredInsts, res.insts);
+    EXPECT_EQ(res.warmupInsts, 0u);
+}
+
+TEST(SampledRunTest, TailShorterThanPeriodStaysMeasured)
+{
+    const RunJob job = sampledBaselineJob(
+        "gcc", 130000, SamplingConfig::sampled(100000, 10000, 20000));
+    const RunResult res = executeRunJob(job);
+    // Period 1 is a full 100k; the 30k tail keeps its full detail
+    // window and warmup and gives up fast-forward.
+    EXPECT_EQ(res.measuredInsts, 20000u);
+    EXPECT_EQ(res.warmupInsts, 40000u);
+    EXPECT_EQ(res.insts, 130000u);
+}
+
+TEST(SampledRunTest, RunShorterThanDetailIsAllMeasured)
+{
+    const RunJob job = sampledBaselineJob(
+        "gcc", 6000, SamplingConfig::sampled(100000, 10000, 20000));
+    const RunResult res = executeRunJob(job);
+    EXPECT_EQ(res.measuredInsts, 6000u);
+    EXPECT_EQ(res.warmupInsts, 0u);
+}
+
+TEST(SampledRunTest, DeterministicAcrossRepeats)
+{
+    const RunJob job = sampledBaselineJob("vpr", 300000, gateConfig());
+    const RunResult a = executeRunJob(job);
+    const RunResult b = executeRunJob(job);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.activity.mispredicts, b.activity.mispredicts);
+    EXPECT_EQ(a.energy.total(), b.energy.total());
+    EXPECT_EQ(a.dl1MissRatio, b.dl1MissRatio);
+}
+
+TEST(SampledRunTest, ParallelMatchesSerialBitExactly)
+{
+    Experiment exp(SystemConfig::base(), 200000);
+    exp.setSampling(gateConfig());
+    std::vector<RunJob> jobs;
+    for (const auto &app : {"ammp", "gcc", "swim", "vortex"}) {
+        jobs.push_back(exp.baselineJob(profileByName(app)));
+    }
+    auto d_jobs = exp.staticSearchJobs(
+        profileByName("gcc"), CacheSide::DCache,
+        Organization::SelectiveSets);
+    jobs.insert(jobs.end(), d_jobs.begin(), d_jobs.end());
+
+    const auto serial = SweepRunner::runSerial(jobs);
+    SweepRunner pool(3);
+    const auto parallel = pool.run(jobs);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << i;
+        EXPECT_EQ(serial[i].energy.total(),
+                  parallel[i].energy.total())
+            << i;
+        EXPECT_EQ(serial[i].measuredInsts, parallel[i].measuredInsts)
+            << i;
+    }
+}
+
+TEST(SampledRunTest, SampledSweepJobsCarryTheConfig)
+{
+    Experiment exp(SystemConfig::base(), 200000);
+    exp.setSampling(gateConfig());
+    const auto jobs = exp.staticSearchJobs(
+        profileByName("ammp"), CacheSide::DCache,
+        Organization::SelectiveWays);
+    ASSERT_FALSE(jobs.empty());
+    for (const auto &job : jobs)
+        EXPECT_TRUE(job.sampling.enabled());
+    EXPECT_TRUE(exp.baselineJob(profileByName("ammp"))
+                    .sampling.enabled());
+}
+
+TEST(SampledRunTest, SettingSamplingClearsBaselineMemo)
+{
+    Experiment exp(SystemConfig::base(), 60000);
+    const RunResult full = exp.baseline(profileByName("ammp"));
+    EXPECT_FALSE(full.sampled);
+    exp.setSampling(gateConfig());
+    const RunResult sampled = exp.baseline(profileByName("ammp"));
+    EXPECT_TRUE(sampled.sampled);
+}
+
+/**
+ * The accuracy gate (ISSUE 2): sampled static-search must agree with
+ * full detail on the chosen best size for at least 10 of the 12
+ * profiles, the relative-E.D estimate (the paper's metric) must stay
+ * within 0.08 of the full-detail value on every profile, and the
+ * sampled runs may simulate at most a fifth of the stream (which is
+ * what makes sampled sweeps >= 5x cheaper in detailed-simulation
+ * work).
+ */
+TEST(SamplingAccuracyGate, StaticSearchMatchesFullDetail)
+{
+    const std::uint64_t insts = 400000;
+    const Organization org = Organization::SelectiveSets;
+
+    Experiment full(SystemConfig::base(), insts);
+    Experiment sampled(SystemConfig::base(), insts);
+    sampled.setSampling(gateConfig());
+
+    unsigned agree = 0;
+    double max_rel_ed_err = 0;
+    for (const auto &profile : spec2000Suite()) {
+        const SearchOutcome f =
+            full.staticSearch(profile, CacheSide::DCache, org);
+        const SearchOutcome s =
+            sampled.staticSearch(profile, CacheSide::DCache, org);
+
+        if (f.bestLevel == s.bestLevel)
+            ++agree;
+        const double err =
+            std::abs(s.relativeED() - f.relativeED());
+        max_rel_ed_err = std::max(max_rel_ed_err, err);
+        EXPECT_LT(err, 0.08) << profile.name;
+
+        // Detailed+warmed instructions bound the sampled cost.
+        EXPECT_LE((s.best.measuredInsts + s.best.warmupInsts) * 5,
+                  s.best.insts)
+            << profile.name;
+        EXPECT_TRUE(s.best.sampled);
+        EXPECT_FALSE(f.best.sampled);
+    }
+    EXPECT_GE(agree, 10u)
+        << "sampled search diverged; max relative-E.D error "
+        << max_rel_ed_err;
+}
+
+} // namespace rcache

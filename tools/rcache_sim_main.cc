@@ -15,6 +15,7 @@
  * makes the output byte-identical for any --jobs value.
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <fstream>
@@ -56,6 +57,14 @@ usage(std::ostream &os, int code)
           "  --jobs N        worker threads (default 1, 0 = all "
           "cores)\n"
           "  --assoc N       override both L1 associativities\n"
+          "\n"
+          "sampling options (sweep/run):\n"
+          "  --sample N          sampled simulation with period N "
+          "insts\n"
+          "  --sample-detail D   measured insts per period (default "
+          "N/10)\n"
+          "  --sample-warmup W   functional cache/predictor warmup "
+          "insts per period (default N/5)\n"
           "\n"
           "sweep options:\n"
           "  --apps a,b,c    subset of the suite (default: all)\n"
@@ -116,15 +125,68 @@ isFlag(const std::string &key)
     return key == "--progress" || key == "--help";
 }
 
-std::optional<Args>
-parseArgs(int argc, char **argv, int first)
+/** The per-cache design-point options (--il1-... and --dl1-...). */
+std::vector<std::string>
+setupKeys()
 {
+    std::vector<std::string> keys;
+    for (const char *c : {"il1", "dl1"})
+        for (const char *opt : {"org", "strategy", "level", "interval",
+                                "miss-bound", "size-bound"})
+            keys.push_back(std::string("--") + c + "-" + opt);
+    return keys;
+}
+
+/** Options each subcommand accepts; anything else is an error. */
+std::vector<std::string>
+knownOptions(const std::string &cmd)
+{
+    std::vector<std::string> keys = {"--help"};
+    auto add = [&](std::initializer_list<const char *> more) {
+        keys.insert(keys.end(), more.begin(), more.end());
+    };
+    if (cmd == "sweep") {
+        add({"--insts", "--jobs", "--assoc", "--apps", "--orgs",
+             "--strategies", "--side", "--format", "--out",
+             "--progress", "--sample", "--sample-detail",
+             "--sample-warmup"});
+    } else if (cmd == "run") {
+        add({"--insts", "--assoc", "--app", "--sample",
+             "--sample-detail", "--sample-warmup"});
+        for (const auto &k : setupKeys())
+            keys.push_back(k);
+    } else if (cmd == "replay") {
+        add({"--insts", "--assoc", "--trace", "--name"});
+        for (const auto &k : setupKeys())
+            keys.push_back(k);
+    } else if (cmd == "record") {
+        add({"--insts", "--app", "--out"});
+    }
+    // list-apps takes no options beyond --help.
+    return keys;
+}
+
+/**
+ * Strict parse: every argument must be a known option of @p cmd.
+ * Unknown or malformed arguments get a one-line diagnostic.
+ */
+std::optional<Args>
+parseArgs(int argc, char **argv, int first, const std::string &cmd)
+{
+    const std::vector<std::string> known = knownOptions(cmd);
     Args args;
     for (int i = first; i < argc; ++i) {
         std::string key = argv[i];
         if (key.rfind("--", 0) != 0) {
             std::cerr << "rcache-sim: unexpected argument '" << key
-                      << "'\n";
+                      << "' for '" << cmd << "'\n";
+            return std::nullopt;
+        }
+        if (std::find(known.begin(), known.end(), key) ==
+            known.end()) {
+            std::cerr << "rcache-sim: unknown option '" << key
+                      << "' for '" << cmd
+                      << "' (try 'rcache-sim --help')\n";
             return std::nullopt;
         }
         if (isFlag(key)) {
@@ -173,6 +235,56 @@ parseU64(const Args &args, const std::string &key,
         return std::nullopt;
     }
     return v;
+}
+
+/** Profile lookup with a one-line diagnostic (profileByName is
+ *  rc_fatal on unknown names, which is too blunt for a CLI). */
+std::optional<BenchmarkProfile>
+lookupProfile(const std::string &name)
+{
+    const auto names = suiteNames();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+        std::cerr << "rcache-sim: unknown app '" << name
+                  << "' (see 'rcache-sim list-apps')\n";
+        return std::nullopt;
+    }
+    return profileByName(name);
+}
+
+/** Resolve the --sample* options into a SamplingConfig. */
+std::optional<SamplingConfig>
+parseSampling(const Args &args)
+{
+    if (!args.has("--sample")) {
+        if (args.has("--sample-detail") ||
+            args.has("--sample-warmup")) {
+            std::cerr << "rcache-sim: --sample-detail/--sample-warmup "
+                         "need --sample N\n";
+            return std::nullopt;
+        }
+        return SamplingConfig{};
+    }
+    const auto interval = parseU64(args, "--sample", 0);
+    if (!interval)
+        return std::nullopt;
+    if (*interval == 0) {
+        std::cerr << "rcache-sim: --sample wants a period > 0\n";
+        return std::nullopt;
+    }
+    const auto detail =
+        parseU64(args, "--sample-detail",
+                 SamplingConfig::defaultDetail(*interval));
+    const auto warmup =
+        parseU64(args, "--sample-warmup",
+                 SamplingConfig::defaultWarmup(*interval));
+    if (!detail || !warmup)
+        return std::nullopt;
+    if (const char *err = SamplingConfig::shapeError(
+            *interval, *detail, *warmup)) {
+        std::cerr << "rcache-sim: " << err << "\n";
+        return std::nullopt;
+    }
+    return SamplingConfig::sampled(*interval, *detail, *warmup);
 }
 
 std::optional<Organization>
@@ -278,6 +390,7 @@ recordFrom(const std::string &app, Organization org, Strategy strat,
     r.bestCycles = out.best.cycles;
     r.avgIl1Bytes = out.best.avgIl1Bytes;
     r.avgDl1Bytes = out.best.avgDl1Bytes;
+    r.sampled = out.best.sampled;
     return r;
 }
 
@@ -289,8 +402,17 @@ cmdSweep(const Args &args)
     // ---- resolve the grid
     std::vector<BenchmarkProfile> apps;
     if (args.has("--apps")) {
-        for (const auto &name : splitList(args.get("--apps", "")))
-            apps.push_back(profileByName(name));
+        for (const auto &name : splitList(args.get("--apps", ""))) {
+            auto p = lookupProfile(name);
+            if (!p)
+                return 2;
+            apps.push_back(std::move(*p));
+        }
+        if (apps.empty()) {
+            std::cerr << "rcache-sim: --apps wants at least one "
+                         "profile name\n";
+            return 2;
+        }
     } else {
         apps = spec2000Suite();
     }
@@ -299,24 +421,38 @@ cmdSweep(const Args &args)
     for (const auto &name :
          splitList(args.get("--orgs", "ways,sets"))) {
         auto org = parseOrg(name);
-        if (!org || *org == Organization::None) {
+        if (!org)
+            return 2;
+        if (*org == Organization::None) {
             std::cerr << "rcache-sim: sweep --orgs wants "
                          "ways|sets|hybrid\n";
             return 2;
         }
         orgs.push_back(*org);
     }
+    if (orgs.empty()) {
+        std::cerr << "rcache-sim: --orgs wants at least one of "
+                     "ways|sets|hybrid\n";
+        return 2;
+    }
 
     std::vector<Strategy> strats;
     for (const auto &name :
          splitList(args.get("--strategies", "static"))) {
         auto s = parseStrategy(name);
-        if (!s || *s == Strategy::None) {
+        if (!s)
+            return 2;
+        if (*s == Strategy::None) {
             std::cerr << "rcache-sim: sweep --strategies wants "
                          "static|dynamic\n";
             return 2;
         }
         strats.push_back(*s);
+    }
+    if (strats.empty()) {
+        std::cerr << "rcache-sim: --strategies wants at least one of "
+                     "static|dynamic\n";
+        return 2;
     }
 
     const std::string side_name = args.get("--side", "dcache");
@@ -340,7 +476,8 @@ cmdSweep(const Args &args)
     const auto insts_opt = parseInsts(args);
     const auto jobs_opt = parseU64(args, "--jobs", 1);
     const auto cfg = baseConfig(args);
-    if (!insts_opt || !jobs_opt || !cfg)
+    const auto sampling = parseSampling(args);
+    if (!insts_opt || !jobs_opt || !cfg || !sampling)
         return 2;
     const std::uint64_t insts = *insts_opt;
     const unsigned jobs = static_cast<unsigned>(*jobs_opt);
@@ -351,6 +488,7 @@ cmdSweep(const Args &args)
     }
 
     Experiment exp(*cfg, insts);
+    exp.setSampling(*sampling);
     SweepRunner runner(jobs);
     if (args.flags.count("--progress")) {
         runner.setProgress([](std::size_t done, std::size_t total,
@@ -575,24 +713,25 @@ cmdRun(const Args &args)
                      "list-apps)\n";
         return 2;
     }
-    const BenchmarkProfile profile =
-        profileByName(args.get("--app", ""));
+    const auto profile = lookupProfile(args.get("--app", ""));
     const auto il1 = parseSetup(args, "il1");
     const auto dl1 = parseSetup(args, "dl1");
     auto cfg = baseConfig(args);
     const auto insts = parseInsts(args);
-    if (!il1 || !dl1 || !cfg || !insts)
+    const auto sampling = parseSampling(args);
+    if (!profile || !il1 || !dl1 || !cfg || !insts || !sampling)
         return 2;
     if (!applyOrgs(args, *cfg, *il1, *dl1))
         return 2;
 
     RunJob job;
-    job.label = profile.name + "/point";
-    job.profile = profile;
+    job.label = profile->name + "/point";
+    job.profile = *profile;
     job.cfg = *cfg;
     job.insts = *insts;
     job.il1 = *il1;
     job.dl1 = *dl1;
+    job.sampling = *sampling;
     writeRunReport(std::cout, executeRunJob(job));
     return 0;
 }
@@ -647,16 +786,17 @@ cmdRecord(const Args &args)
             << "rcache-sim: record needs --app NAME and --out FILE\n";
         return 2;
     }
+    const auto profile = lookupProfile(args.get("--app", ""));
+    const auto count = parseInsts(args);
+    if (!profile || !count)
+        return 2;
     const std::string path = args.get("--out", "");
     std::ofstream out(path);
     if (!out) {
         std::cerr << "rcache-sim: cannot write '" << path << "'\n";
         return 2;
     }
-    SyntheticWorkload wl(profileByName(args.get("--app", "")));
-    const auto count = parseInsts(args);
-    if (!count)
-        return 2;
+    SyntheticWorkload wl(*profile);
     writeTrace(out, wl, *count);
     std::cerr << "recorded " << *count << " instructions of "
               << wl.name() << " to " << path << '\n';
@@ -682,7 +822,16 @@ main(int argc, char **argv)
     if (cmd == "--help" || cmd == "help" || cmd == "-h")
         return usage(std::cout, 0);
 
-    auto args = parseArgs(argc, argv, 2);
+    const bool known_cmd = cmd == "sweep" || cmd == "run" ||
+                           cmd == "replay" || cmd == "record" ||
+                           cmd == "list-apps";
+    if (!known_cmd) {
+        std::cerr << "rcache-sim: unknown subcommand '" << cmd
+                  << "' (try 'rcache-sim --help')\n";
+        return 2;
+    }
+
+    auto args = parseArgs(argc, argv, 2, cmd);
     if (!args)
         return 2;
     if (args->flags.count("--help"))
@@ -696,9 +845,5 @@ main(int argc, char **argv)
         return cmdReplay(*args);
     if (cmd == "record")
         return cmdRecord(*args);
-    if (cmd == "list-apps")
-        return cmdListApps();
-
-    std::cerr << "rcache-sim: unknown subcommand '" << cmd << "'\n";
-    return usage(std::cerr, 2);
+    return cmdListApps();
 }
