@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "runner/sweep_runner.hh"
+#include "scenario/param_space.hh"
+#include "scenario/scenario_spec.hh"
 #include "sim/experiment.hh"
 #include "sim/table.hh"
 #include "util/logging.hh"
@@ -36,6 +38,59 @@ runInsts()
     if (const char *env = std::getenv("RCACHE_INSTS"))
         return std::strtoull(env, nullptr, 10);
     return 400000;
+}
+
+/** Instructions per run: RCACHE_INSTS overrides the scenario's. */
+inline std::uint64_t
+runInsts(const ScenarioSpec &spec)
+{
+    if (const char *env = std::getenv("RCACHE_INSTS"))
+        return std::strtoull(env, nullptr, 10);
+    return spec.insts;
+}
+
+/**
+ * Directory holding the checked-in scenario files:
+ * RCACHE_SCENARIO_DIR overrides the compile-time source-tree path
+ * (so installed/relocated bench binaries still find them).
+ */
+inline std::string
+scenarioDir()
+{
+    if (const char *env = std::getenv("RCACHE_SCENARIO_DIR"))
+        return env;
+#ifdef RCACHE_SCENARIO_SOURCE_DIR
+    return RCACHE_SCENARIO_SOURCE_DIR;
+#else
+    return "scenarios";
+#endif
+}
+
+/** Load and fully validate scenarios/@p name; fatal with the
+ *  parser/registry diagnostic on any error. */
+inline ScenarioSpec
+loadScenario(const std::string &name)
+{
+    const std::string path = scenarioDir() + "/" + name;
+    std::string err;
+    auto spec = ScenarioSpec::parseFile(path, &err);
+    if (!spec)
+        rc_fatal(err);
+    if (!ParamSpace::build(*spec, &err))
+        rc_fatal(path + ": " + err);
+    return *spec;
+}
+
+/** The named axis of @p spec; fatal if the scenario lacks it (the
+ *  figure benches are shaped around specific axes). */
+inline const Axis &
+requireAxis(const ScenarioSpec &spec, const std::string &name)
+{
+    for (const Axis &axis : spec.axes)
+        if (axis.name == name)
+            return axis;
+    rc_fatal("scenario '" + spec.name + "' lacks the '" + name +
+             "' axis this bench renders");
 }
 
 /** Sweep-runner worker threads (RCACHE_JOBS; default 1 = serial,
@@ -106,6 +161,19 @@ suite()
     std::stringstream ss(env);
     std::string name;
     while (std::getline(ss, name, ','))
+        out.push_back(profileByName(name));
+    return out;
+}
+
+/** Profiles to run: RCACHE_APPS overrides the scenario's
+ *  [workloads] list. */
+inline std::vector<BenchmarkProfile>
+suite(const ScenarioSpec &spec)
+{
+    if (std::getenv("RCACHE_APPS") || spec.apps.empty())
+        return suite();
+    std::vector<BenchmarkProfile> out;
+    for (const std::string &name : spec.apps)
         out.push_back(profileByName(name));
     return out;
 }

@@ -9,6 +9,11 @@
  * 4-way), selective-ways wins at >= 8-way and grows with
  * associativity.
  *
+ * The design space lives in scenarios/fig4.scn (side x assoc x org
+ * axes); this bench renders it as the paper's two per-side panels,
+ * averaging over the suite. `rcache-sim sweep --scenario
+ * scenarios/fig4.scn` reports the same cells as CSV rows.
+ *
  * Runs on the sweep runner: each (side, assoc) panel enumerates the
  * baseline plus both organizations' level sweeps for every app as
  * one flat batch, so RCACHE_JOBS>1 overlaps all of them; the
@@ -27,18 +32,35 @@ main()
         "Figure 4: resizable cache organizations",
         "Fig 4 (static selective-ways vs selective-sets, 2..16-way)");
 
-    const auto apps = bench::suite();
-    const std::uint64_t insts = bench::runInsts();
+    const ScenarioSpec spec = bench::loadScenario("fig4.scn");
+    rc_assert(spec.search.strategy == Strategy::Static);
+    const Axis &org_axis = bench::requireAxis(spec, "org");
+    rc_assert(org_axis.values ==
+              (std::vector<std::string>{"ways", "sets"}));
+
+    const auto apps = bench::suite(spec);
+    const std::uint64_t insts = bench::runInsts(spec);
     SweepRunner runner(bench::benchJobs());
 
-    for (auto side : {CacheSide::DCache, CacheSide::ICache}) {
+    for (const std::string &side_name :
+         bench::requireAxis(spec, "side").values) {
+        const CacheSide side = *parseSweepSideToken(side_name) ==
+                                       SweepSide::DCache
+                                   ? CacheSide::DCache
+                                   : CacheSide::ICache;
         std::cout << (side == CacheSide::DCache ? "(a) D-Cache"
                                                 : "(b) I-Cache")
                   << " — avg reduction (%) in processor "
                      "energy-delay\n\n";
         TextTable t({"assoc", "selective-ways", "selective-sets"});
-        for (unsigned assoc : {2u, 4u, 8u, 16u}) {
-            Experiment exp(bench::baseWithAssoc(assoc), insts);
+        for (const std::string &assoc_text :
+             bench::requireAxis(spec, "assoc").values) {
+            const unsigned assoc = static_cast<unsigned>(
+                std::strtoul(assoc_text.c_str(), nullptr, 10));
+            SystemConfig cfg = spec.system;
+            cfg.il1.assoc = assoc;
+            cfg.dl1.assoc = assoc;
+            Experiment exp(cfg, insts);
             exp.setSampling(bench::benchSampling());
 
             struct Slice
@@ -76,7 +98,7 @@ main()
                 sets += reduce(sets_at[a], a);
             }
             const double n = static_cast<double>(apps.size());
-            t.addRow({std::to_string(assoc) + "-way",
+            t.addRow({assoc_text + "-way",
                       TextTable::pct(ways / n),
                       TextTable::pct(sets / n)});
         }

@@ -7,6 +7,11 @@
  * Paper shape to verify: combined reduction ~= sum of individual
  * reductions; overall processor energy-delay saving ~20% on average.
  *
+ * The design space lives in scenarios/fig9.scn (the side axis:
+ * dcache, icache, both); this bench renders its three coordinates as
+ * the paper's per-app additivity table. `rcache-sim sweep --scenario
+ * scenarios/fig9.scn` reports the same cells as CSV rows.
+ *
  * Runs on the sweep runner in two phases: phase 1 batches every
  * app's baseline plus both sides' level sweeps, phase 2 batches the
  * combined runs at each side's profiled level (which depend on the
@@ -25,12 +30,17 @@ main()
                   "Fig 9 (decoupled resizings, static "
                   "selective-sets, base system)");
 
-    const auto apps = bench::suite();
-    const std::uint64_t insts = bench::runInsts();
-    Experiment exp(SystemConfig::base(), insts);
+    const ScenarioSpec spec = bench::loadScenario("fig9.scn");
+    rc_assert(spec.search.strategy == Strategy::Static);
+    rc_assert(bench::requireAxis(spec, "side").values ==
+              (std::vector<std::string>{"dcache", "icache", "both"}));
+
+    const auto apps = bench::suite(spec);
+    const std::uint64_t insts = bench::runInsts(spec);
+    Experiment exp(spec.system, insts);
     exp.setSampling(bench::benchSampling());
     SweepRunner runner(bench::benchJobs());
-    const auto org = Organization::SelectiveSets;
+    const auto org = spec.search.org;
 
     // Phase 1: per app, baseline + d-side sweep + i-side sweep.
     struct Slice

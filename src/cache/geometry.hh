@@ -60,6 +60,8 @@ struct CacheGeometry
     /** log2(blockSize): number of block-offset address bits. */
     unsigned blockBits() const { return floorLog2(blockSize); }
 
+    bool operator==(const CacheGeometry &o) const = default;
+
     /**
      * Check internal consistency (powers of two, subarray divides way,
      * block divides subarray). @return empty string if valid, else a

@@ -30,6 +30,8 @@ struct HierarchyParams
     unsigned memBaseLatency = 80;
     /** Additional memory cycles per 8 bytes transferred. */
     unsigned memCyclesPer8Bytes = 5;
+
+    bool operator==(const HierarchyParams &o) const = default;
 };
 
 /** Result of a hierarchy access. */

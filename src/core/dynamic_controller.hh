@@ -47,6 +47,8 @@ struct DynamicParams
      * it saves flush churn).
      */
     double downsizeFraction = 1.0;
+
+    bool operator==(const DynamicParams &o) const = default;
 };
 
 /** The paper's dynamic resizing framework. */

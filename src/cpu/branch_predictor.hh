@@ -26,6 +26,8 @@ struct BranchPredictorParams
     unsigned chooserEntries = 2048;
     unsigned historyBits = 8;
     unsigned btbEntries = 512;
+
+    bool operator==(const BranchPredictorParams &o) const = default;
 };
 
 /** See file comment. */

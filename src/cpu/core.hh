@@ -45,6 +45,8 @@ struct CoreParams
     /** Cycles to drain one writeback into L2. */
     unsigned wbDrainLatency = 12;
     BranchPredictorParams bpred;
+
+    bool operator==(const CoreParams &o) const = default;
 };
 
 /**

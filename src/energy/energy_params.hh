@@ -74,6 +74,8 @@ struct EnergyParams
 
     /** Defaults tuned against the calibration test. */
     static EnergyParams defaults018um() { return {}; }
+
+    bool operator==(const EnergyParams &o) const = default;
 };
 
 } // namespace rcache

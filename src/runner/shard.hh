@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic sweep sharding: "--shard i/N" splits a sweep's cell
+ * indices across N independent invocations by modulo partitioning.
+ *
+ * Shard i of N owns every cell whose index is congruent to i mod N,
+ * so the N shards partition the sweep exactly: each cell belongs to
+ * one and only one shard, for any N. Because every cell's result is
+ * a pure function of its spec, re-interleaving the shards' output
+ * rows by cell index reproduces an unsharded run byte-for-byte
+ * (pinned by tests/scenario/scenario_sweep_test.cc).
+ */
+
+#ifndef RCACHE_RUNNER_SHARD_HH
+#define RCACHE_RUNNER_SHARD_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace rcache
+{
+
+/** One shard of a modulo-partitioned sweep. */
+struct ShardSpec
+{
+    /** This shard's index, in [0, count). */
+    std::size_t index = 0;
+    /** Total number of shards (>= 1). 1 means unsharded. */
+    std::size_t count = 1;
+
+    /** Whether this shard runs cell @p cell. */
+    bool owns(std::size_t cell) const
+    {
+        return cell % count == index;
+    }
+
+    bool sharded() const { return count > 1; }
+
+    /** Canonical "i/N" form. */
+    std::string str() const
+    {
+        return std::to_string(index) + "/" + std::to_string(count);
+    }
+
+    /**
+     * Parse "i/N" with 0 <= i < N. On failure returns nullopt and
+     * fills @p err with a one-line explanation.
+     */
+    static std::optional<ShardSpec> parse(const std::string &text,
+                                          std::string *err);
+
+    bool operator==(const ShardSpec &o) const = default;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_RUNNER_SHARD_HH

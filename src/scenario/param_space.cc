@@ -1,0 +1,287 @@
+#include "scenario/param_space.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/numformat.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+using Applier = std::function<void(DesignPoint &)>;
+
+std::optional<Applier>
+failAxis(const std::string &axis, const std::string &why,
+         std::string *err)
+{
+    if (err)
+        *err = "axis '" + axis + "': " + why;
+    return std::nullopt;
+}
+
+/**
+ * Resolve one (axis name, value token) pair into its applier. The
+ * single place axis semantics live; validateAxis and ParamSpace both
+ * call it, so validation and enumeration cannot disagree.
+ */
+std::optional<Applier>
+makeApplier(const std::string &name, const std::string &value,
+            std::string *err)
+{
+    if (name == "org") {
+        auto org = parseOrganizationToken(value);
+        if (!org || *org == Organization::None)
+            return failAxis(name, "wants ways|sets|hybrid, got '" +
+                                      value + "'",
+                            err);
+        return Applier([org = *org](DesignPoint &p) { p.org = org; });
+    }
+    if (name == "strategy") {
+        auto s = parseStrategyToken(value);
+        if (!s || *s == Strategy::None)
+            return failAxis(name, "wants static|dynamic, got '" +
+                                      value + "'",
+                            err);
+        return Applier(
+            [s = *s](DesignPoint &p) { p.strategy = s; });
+    }
+    if (name == "side") {
+        auto side = parseSweepSideToken(value);
+        if (!side)
+            return failAxis(name, "wants icache|dcache|both, got '" +
+                                      value + "'",
+                            err);
+        return Applier(
+            [side = *side](DesignPoint &p) { p.side = side; });
+    }
+    if (name == "core") {
+        auto m = parseCoreModelToken(value);
+        if (!m)
+            return failAxis(name, "wants ooo|inorder, got '" + value +
+                                      "'",
+                            err);
+        return Applier(
+            [m = *m](DesignPoint &p) { p.cfg.coreModel = m; });
+    }
+    if (name == "assoc") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v) || v == 0 || v > 64)
+            return failAxis(name, "wants 1..64, got '" + value + "'",
+                            err);
+        return Applier([v](DesignPoint &p) {
+            p.cfg.il1.assoc = static_cast<unsigned>(v);
+            p.cfg.dl1.assoc = static_cast<unsigned>(v);
+        });
+    }
+    if (name == "sample.interval") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v))
+            return failAxis(name,
+                            "wants a non-negative integer "
+                            "(0 = full detail), got '" +
+                                value + "'",
+                            err);
+        if (v == 0)
+            return Applier(
+                [](DesignPoint &p) { p.sampling = SamplingConfig{}; });
+        const std::uint64_t detail = SamplingConfig::defaultDetail(v);
+        const std::uint64_t warmup = SamplingConfig::defaultWarmup(v);
+        if (const char *why =
+                SamplingConfig::shapeError(v, detail, warmup))
+            return failAxis(name, why, err);
+        return Applier([v, detail, warmup](DesignPoint &p) {
+            p.sampling = SamplingConfig::sampled(v, detail, warmup);
+        });
+    }
+    for (const auto &k : systemKeysU64()) {
+        if (name != k.key)
+            continue;
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v) || v == 0)
+            return failAxis(name, "wants a positive integer, got '" +
+                                      value + "'",
+                            err);
+        return Applier(
+            [set = k.set, v](DesignPoint &p) { set(p.cfg, v); });
+    }
+    if (name.rfind("energy.", 0) == 0) {
+        const std::string sub = name.substr(7);
+        for (const auto &k : energyKeys()) {
+            if (sub != k.key)
+                continue;
+            double v = 0;
+            if (!parseDoubleStrict(value, v) || v < 0)
+                return failAxis(name,
+                                "wants a non-negative number, got '" +
+                                    value + "'",
+                                err);
+            return Applier([field = k.field, v](DesignPoint &p) {
+                p.cfg.energy.*field = v;
+            });
+        }
+    }
+    return failAxis(name, "unknown axis name", err);
+}
+
+} // namespace
+
+bool
+validateAxis(const Axis &axis, std::string *err)
+{
+    for (const std::string &value : axis.values)
+        if (!makeApplier(axis.name, value, err))
+            return false;
+    return true;
+}
+
+std::optional<ParamSpace>
+ParamSpace::build(const ScenarioSpec &spec, std::string *err)
+{
+    ParamSpace space;
+    space.spec_ = spec;
+    for (const Axis &axis : spec.axes) {
+        if (axis.values.empty()) {
+            if (err)
+                *err = "axis '" + axis.name +
+                       "': wants at least one value";
+            return std::nullopt;
+        }
+        std::vector<Applier> appliers;
+        for (const std::string &value : axis.values) {
+            auto a = makeApplier(axis.name, value, err);
+            if (!a)
+                return std::nullopt;
+            appliers.push_back(std::move(*a));
+        }
+        if (space.numPoints_ >
+            std::numeric_limits<std::size_t>::max() /
+                appliers.size()) {
+            if (err)
+                *err = "design space overflows size_t";
+            return std::nullopt;
+        }
+        space.numPoints_ *= appliers.size();
+        space.appliers_.push_back(std::move(appliers));
+    }
+
+    // Cross-cutting constraints the per-axis value checks cannot
+    // see. Both are checked WITHOUT walking the full cross product —
+    // a sharded million-point sweep must not pay O(numPoints) at
+    // startup in every shard:
+    //
+    //  - side=both is static-only, and side/strategy combine freely,
+    //    so the conflict exists iff 'both' and 'dynamic' are each
+    //    reachable on their axis (or fixed in [search]);
+    //  - geometry validity depends only on the geometry-affecting
+    //    axes, so it suffices to validate their (usually tiny)
+    //    sub-product with every other axis at its base value.
+    auto findAxis = [&](const char *name) -> const Axis * {
+        for (const Axis &axis : spec.axes)
+            if (axis.name == name)
+                return &axis;
+        return nullptr;
+    };
+    auto hasValue = [](const Axis *axis, const char *value) {
+        return std::find(axis->values.begin(), axis->values.end(),
+                         value) != axis->values.end();
+    };
+    // An axis shadows the [search] fixed value completely: a point's
+    // side/strategy is the axis value whenever the axis exists.
+    const Axis *side_axis = findAxis("side");
+    const Axis *strat_axis = findAxis("strategy");
+    const bool both_reachable =
+        side_axis ? hasValue(side_axis, "both")
+                  : spec.search.side == SweepSide::Both;
+    const bool dynamic_reachable =
+        strat_axis ? hasValue(strat_axis, "dynamic")
+                   : spec.search.strategy == Strategy::Dynamic;
+    if (both_reachable && dynamic_reachable) {
+        if (err)
+            *err = "side 'both' supports only strategy 'static' "
+                   "(each side is profiled separately)";
+        return std::nullopt;
+    }
+
+    std::vector<std::size_t> geom_axes;
+    for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+        const std::string &name = spec.axes[i].name;
+        if (name == "assoc" || name.rfind("il1.", 0) == 0 ||
+            name.rfind("dl1.", 0) == 0 || name.rfind("l2.", 0) == 0)
+            geom_axes.push_back(i);
+    }
+    std::size_t geom_points = 1;
+    for (std::size_t i : geom_axes)
+        geom_points *= spec.axes[i].values.size();
+    for (std::size_t g = 0; g < geom_points; ++g) {
+        DesignPoint p;
+        p.cfg = spec.system;
+        std::string label;
+        std::size_t rest = g;
+        for (std::size_t k = geom_axes.size(); k-- > 0;) {
+            const std::size_t i = geom_axes[k];
+            const std::size_t v = rest % spec.axes[i].values.size();
+            rest /= spec.axes[i].values.size();
+            space.appliers_[i][v](p);
+            label = spec.axes[i].name + "=" +
+                    spec.axes[i].values[v] +
+                    (label.empty() ? "" : ";" + label);
+        }
+        struct NamedGeom
+        {
+            const char *name;
+            const CacheGeometry &geom;
+        };
+        for (const NamedGeom ng :
+             {NamedGeom{"il1", p.cfg.il1}, NamedGeom{"dl1", p.cfg.dl1},
+              NamedGeom{"l2", p.cfg.l2}}) {
+            const std::string why = ng.geom.validate();
+            if (!why.empty()) {
+                if (err)
+                    *err = "design point '" +
+                           (label.empty() ? "<base>" : label) +
+                           "': " + ng.name + ": " + why;
+                return std::nullopt;
+            }
+        }
+    }
+    return space;
+}
+
+std::vector<std::size_t>
+ParamSpace::coords(std::size_t idx) const
+{
+    rc_assert(idx < numPoints_);
+    std::vector<std::size_t> c(appliers_.size(), 0);
+    for (std::size_t i = appliers_.size(); i-- > 0;) {
+        c[i] = idx % appliers_[i].size();
+        idx /= appliers_[i].size();
+    }
+    return c;
+}
+
+DesignPoint
+ParamSpace::point(std::size_t idx) const
+{
+    DesignPoint p;
+    p.cfg = spec_.system;
+    p.side = spec_.search.side;
+    p.org = spec_.search.org;
+    p.strategy = spec_.search.strategy;
+    p.sampling = spec_.sampling;
+
+    const auto c = coords(idx);
+    std::string axes;
+    for (std::size_t i = 0; i < appliers_.size(); ++i) {
+        appliers_[i][c[i]](p);
+        if (i)
+            axes += ';';
+        axes += spec_.axes[i].name + "=" + spec_.axes[i].values[c[i]];
+    }
+    p.axes = std::move(axes);
+    return p;
+}
+
+} // namespace rcache

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Declarative scenario specs: the design-space description layer.
+ *
+ * A scenario file describes one design-space sweep — the base system,
+ * the workloads, the swept axes, the sampling shape, and the search
+ * configuration — in a line-oriented `key = value` format:
+ *
+ *     # fig4: static ways-vs-sets across associativities
+ *     [scenario]
+ *     name = fig4-organizations
+ *     insts = 400000
+ *
+ *     [system]
+ *     l2.size = 524288
+ *
+ *     [workloads]
+ *     apps = all
+ *
+ *     [axes]
+ *     side = dcache,icache
+ *     assoc = 2,4,8,16
+ *     org = ways,sets
+ *
+ *     [search]
+ *     strategy = static
+ *
+ * Sections may appear in any order and may be omitted (defaults
+ * apply); every key inside a section must belong to that section.
+ * Parsing is strict in the CLI's style: the first malformed line
+ * stops the parse with exactly one `file:line: message` diagnostic.
+ *
+ * ScenarioSpec::print writes the canonical serialization: sections in
+ * a fixed order, [system] keys only where they differ from the
+ * defaults. The round-trip invariant `parse(print(spec)) == spec`
+ * holds for every spec this parser can produce and is pinned by
+ * tests/scenario/scenario_spec_test.cc.
+ *
+ * The axes themselves are enumerated by scenario/param_space.hh; this
+ * header is pure data + (de)serialization.
+ */
+
+#ifndef RCACHE_SCENARIO_SCENARIO_SPEC_HH
+#define RCACHE_SCENARIO_SCENARIO_SPEC_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/sampling.hh"
+#include "sim/search_grid.hh"
+#include "sim/system.hh"
+
+namespace rcache
+{
+
+/** Which L1(s) a scenario's searches resize. */
+enum class SweepSide
+{
+    ICache,
+    DCache,
+    /** Both caches, each at its individually profiled static level
+     *  (the paper's Fig 9 methodology; static-only). */
+    Both,
+};
+
+/** Printable side name ("icache" / "dcache" / "both"). */
+std::string sweepSideName(SweepSide side);
+
+/** One named sweep axis: an ordered list of values to enumerate. */
+struct Axis
+{
+    /** Registry name ("org", "assoc", "lat.l2", "energy.clock", ...);
+     *  scenario/param_space.hh holds the registry. */
+    std::string name;
+    /** Unparsed value tokens, in sweep order. */
+    std::vector<std::string> values;
+
+    bool operator==(const Axis &o) const = default;
+};
+
+/**
+ * Per-cell search configuration: the fixed design-point coordinates
+ * (overridden by any axis of the same name) and the dynamic
+ * controller's offline-profiling grid.
+ */
+struct SearchSpec
+{
+    Organization org = Organization::SelectiveSets;
+    Strategy strategy = Strategy::Static;
+    SweepSide side = SweepSide::DCache;
+
+    /** The dynamic controller's profiling grid, fed straight into
+     *  Experiment::setSearchGrid (sim/search_grid.hh holds the
+     *  defaults — one source of truth for both layers). */
+    SearchGrid dynGrid;
+
+    bool operator==(const SearchSpec &o) const = default;
+};
+
+/** See file comment. */
+struct ScenarioSpec
+{
+    std::string name = "unnamed";
+    /** Instructions per simulated run. */
+    std::uint64_t insts = 400000;
+    /** Base system; axes perturb copies of it per design point. */
+    SystemConfig system;
+    /** Benchmark profile names; empty means the whole suite. */
+    std::vector<std::string> apps;
+    /** Swept axes, outermost first. */
+    std::vector<Axis> axes;
+    SamplingConfig sampling;
+    SearchSpec search;
+
+    bool operator==(const ScenarioSpec &o) const = default;
+
+    /**
+     * Parse a scenario from @p in. On failure returns nullopt and
+     * sets @p err to one "<filename>:<line>: <message>" line.
+     * @param filename used only for diagnostics
+     */
+    static std::optional<ScenarioSpec> parse(std::istream &in,
+                                             const std::string &filename,
+                                             std::string *err);
+
+    /** Parse @p text (convenience for tests and embedded specs). */
+    static std::optional<ScenarioSpec>
+    parseText(const std::string &text, const std::string &filename,
+              std::string *err);
+
+    /** Open and parse @p path; diagnostics carry the path. */
+    static std::optional<ScenarioSpec>
+    parseFile(const std::string &path, std::string *err);
+
+    /** Write the canonical serialization (see file comment). */
+    void print(std::ostream &os) const;
+
+    /** print() into a string. */
+    std::string printToString() const;
+};
+
+/**
+ * Deterministic identity of a SystemConfig's scenario-visible state
+ * (every [system] key plus the org fields). Two configs built from
+ * the same scenario compare equal iff their keys are equal, which is
+ * what the sweep engine's baseline memo keys on.
+ */
+std::string systemConfigKey(const SystemConfig &cfg);
+
+/** @name Key tables
+ * The single source of the scenario key registry, shared by the
+ * parser, the printer, and the axis registry in param_space.cc so
+ * the three cannot drift.
+ */
+/// @{
+
+/** One integer-valued [system] key. */
+struct SystemKeyU64
+{
+    const char *key;
+    std::uint64_t (*get)(const SystemConfig &);
+    void (*set)(SystemConfig &, std::uint64_t);
+};
+
+/** One EnergyParams field, addressed as "energy.<key>". */
+struct EnergyKey
+{
+    const char *key;
+    double EnergyParams::*field;
+};
+
+const std::vector<SystemKeyU64> &systemKeysU64();
+const std::vector<EnergyKey> &energyKeys();
+/// @}
+
+/** @name Token parsers (shared with the CLI and the axis registry) */
+/// @{
+std::optional<Organization> parseOrganizationToken(const std::string &t);
+std::optional<Strategy> parseStrategyToken(const std::string &t);
+std::optional<SweepSide> parseSweepSideToken(const std::string &t);
+std::optional<CoreModel> parseCoreModelToken(const std::string &t);
+/** Short org token used in reports ("none"/"ways"/"sets"/"hybrid"). */
+std::string organizationToken(Organization org);
+std::string coreModelToken(CoreModel m);
+/// @}
+
+} // namespace rcache
+
+#endif // RCACHE_SCENARIO_SCENARIO_SPEC_HH

@@ -1,0 +1,396 @@
+#include "scenario/scenario_sweep.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "sim/experiment.hh"
+#include "workload/profiles.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+int
+fail(const std::string &msg)
+{
+    std::cerr << "rcache-sim: " << msg << '\n';
+    return 2;
+}
+
+CacheSide
+cacheSideOf(SweepSide side)
+{
+    return side == SweepSide::ICache ? CacheSide::ICache
+                                     : CacheSide::DCache;
+}
+
+/** Memo key of a cell's baseline: the full scenario-visible system
+ *  identity plus the sampling shape (insts are sweep-constant). */
+std::string
+baselineKey(const SystemConfig &cfg, const SamplingConfig &sampling,
+            const std::string &app)
+{
+    std::ostringstream os;
+    os << app << '|' << systemConfigKey(cfg) << '|'
+       << sampleModeName(sampling.mode) << '|'
+       << sampling.intervalInsts << '|' << sampling.detailedInsts
+       << '|' << sampling.warmupInsts;
+    return os.str();
+}
+
+/** One owned, not-yet-completed cell. Batch offsets are filled in
+ *  per chunk. */
+struct CellPlan
+{
+    std::size_t cell = 0;
+    std::size_t app = 0;
+    DesignPoint point;
+    std::string baseKey;
+    /** Candidate slice within the chunk batch. Single side:
+     *  [off, off+count). Both sides: d jobs at [off, off+count),
+     *  i jobs at [ioff, ioff+icount). */
+    std::size_t off = 0, count = 0;
+    std::size_t ioff = 0, icount = 0;
+    std::vector<SearchCandidate> candidates;
+};
+
+SweepRecord
+cellRecord(const CellPlan &plan, const std::string &app,
+           const SearchOutcome &out)
+{
+    const DesignPoint &p = plan.point;
+    SweepRecord r;
+    r.cell = plan.cell;
+    r.app = app;
+    r.org = organizationToken(p.org);
+    r.strategy = strategyName(p.strategy);
+    r.side = sweepSideName(p.side);
+    r.axes = p.axes;
+    r.bestLevel = out.bestLevel;
+    if (p.strategy == Strategy::Dynamic) {
+        r.intervalAccesses = out.bestParams.intervalAccesses;
+        r.missBound = out.bestParams.missBound;
+        r.sizeBoundBytes = out.bestParams.sizeBoundBytes;
+    }
+    r.edReductionPct = out.edReductionPct();
+    r.perfDegradationPct = out.perfDegradationPct();
+    if (p.side == SweepSide::Both) {
+        const double full =
+            out.baseline.avgIl1Bytes + out.baseline.avgDl1Bytes;
+        r.sizeReductionPct =
+            full == 0 ? 0
+                      : 100.0 * (1.0 - (out.best.avgIl1Bytes +
+                                        out.best.avgDl1Bytes) /
+                                           full);
+    } else {
+        r.sizeReductionPct = out.sizeReductionPct(cacheSideOf(p.side));
+    }
+    r.baselineEdp = out.baseline.edp();
+    r.bestEdp = out.best.edp();
+    r.baselineCycles = out.baseline.cycles;
+    r.bestCycles = out.best.cycles;
+    r.avgIl1Bytes = out.best.avgIl1Bytes;
+    r.avgDl1Bytes = out.best.avgDl1Bytes;
+    r.sampled = out.best.sampled;
+    return r;
+}
+
+} // namespace
+
+int
+runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
+{
+    const ScenarioSpec &spec = space.spec();
+
+    if (opt.format != "csv" && opt.format != "json" &&
+        opt.format != "table")
+        return fail("--format wants csv|json|table");
+    const bool resuming = !opt.resumePath.empty();
+    if (resuming && opt.format != "csv")
+        return fail("--resume supports only --format csv");
+    if (resuming && !opt.outPath.empty())
+        return fail("--resume names the output file itself; drop "
+                    "--out");
+
+    std::vector<BenchmarkProfile> apps;
+    if (spec.apps.empty()) {
+        apps = spec2000Suite();
+    } else {
+        for (const std::string &name : spec.apps)
+            apps.push_back(profileByName(name));
+    }
+
+    const std::size_t npoints = space.numPoints();
+    const std::size_t ncells = apps.size() * npoints;
+
+    std::vector<std::size_t> owned;
+    for (std::size_t c = 0; c < ncells; ++c)
+        if (opt.shard.owns(c))
+            owned.push_back(c);
+
+    // ---- resume: verify the completed prefix of the prior CSV
+    std::size_t skip = 0;
+    std::string kept; // raw verified prefix, header included
+    if (resuming) {
+        std::ifstream in(opt.resumePath, std::ios::binary);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            const std::string raw = buf.str();
+            // A truncated final line (no trailing newline) never ran
+            // to completion; drop it and recompute its cell.
+            const std::size_t last_nl = raw.rfind('\n');
+            if (last_nl != std::string::npos) {
+                const std::string complete =
+                    raw.substr(0, last_nl + 1);
+                std::istringstream cs(complete);
+                std::string err;
+                auto prior = readSweepCsv(cs, &err);
+                if (!prior)
+                    return fail("--resume " + opt.resumePath + ": " +
+                                err);
+                if (prior->size() > owned.size())
+                    return fail("--resume " + opt.resumePath +
+                                ": holds more rows than this shard "
+                                "owns (wrong scenario or shard?)");
+                // Each kept row must sit exactly where this
+                // enumeration would put it — cell index, app, and
+                // every design-point coordinate. (A changed [system]
+                // or insts value is invisible to the rows and cannot
+                // be caught here.)
+                for (std::size_t i = 0; i < prior->size(); ++i) {
+                    const SweepRecord &r = (*prior)[i];
+                    const std::size_t cell = owned[i];
+                    const DesignPoint p =
+                        space.point(cell % npoints);
+                    const std::string &app =
+                        apps[cell / npoints].name;
+                    if (r.cell != cell || r.app != app ||
+                        r.axes != p.axes ||
+                        r.org != organizationToken(p.org) ||
+                        r.strategy != strategyName(p.strategy) ||
+                        r.side != sweepSideName(p.side))
+                        return fail(
+                            "--resume " + opt.resumePath + ": row " +
+                            std::to_string(i + 1) +
+                            " does not match this scenario/shard "
+                            "enumeration (wrong scenario or shard?)");
+                }
+                skip = prior->size();
+                kept = complete;
+            }
+        }
+    }
+
+    // ---- plan the remaining cells
+    const SearchGrid &grid = spec.search.dynGrid;
+    std::vector<CellPlan> plans;
+    plans.reserve(owned.size() - skip);
+    for (std::size_t i = skip; i < owned.size(); ++i) {
+        CellPlan plan;
+        plan.cell = owned[i];
+        plan.app = plan.cell / npoints;
+        plan.point = space.point(plan.cell % npoints);
+        plans.push_back(std::move(plan));
+    }
+
+    SweepRunner runner(opt.jobs);
+    if (opt.progress) {
+        runner.setProgress([](std::size_t done, std::size_t total,
+                              const RunJob &job) {
+            std::cerr << "[" << done << "/" << total << "] "
+                      << job.label << '\n';
+        });
+    }
+
+    // ---- open the report stream up front. CSV rows stream out as
+    // their chunk completes (flushed), so an interrupted sweep
+    // leaves every finished chunk on disk for --resume; only
+    // json/table buffer the whole report.
+    const std::string &path =
+        resuming ? opt.resumePath : opt.outPath;
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (!path.empty()) {
+        file.open(path, std::ios::binary | std::ios::trunc);
+        if (!file)
+            return fail("cannot write '" + path + "'");
+        os = &file;
+    }
+    const bool stream_csv = opt.format == "csv";
+    if (stream_csv) {
+        if (!kept.empty())
+            *os << kept;
+        else
+            *os << sweepCsvHeader() << '\n';
+        os->flush();
+    }
+
+    // ---- execute in chunks: within a chunk every cell's baseline
+    // (memoized across chunks) and candidate sweeps form one batch,
+    // so the pool stays busy across cell boundaries; chunk results
+    // are reduced, written, and flushed before the next chunk runs.
+    std::map<std::string, RunResult> baseline_memo;
+    std::vector<SweepRecord> buffered; // json/table only
+    std::size_t total_runs = 0;
+    const std::size_t chunk_min_jobs =
+        std::max<std::size_t>(64, 8 * runner.parallelism());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t next = 0;
+    while (next < plans.size()) {
+        // -- build one chunk's batch
+        std::vector<RunJob> batch;
+        std::vector<std::pair<std::string, std::size_t>> new_bases;
+        std::map<std::string, std::size_t> chunk_base_at;
+        const std::size_t first = next;
+        while (next < plans.size() &&
+               (next == first || batch.size() < chunk_min_jobs)) {
+            CellPlan &plan = plans[next];
+            const BenchmarkProfile &profile = apps[plan.app];
+            const DesignPoint &p = plan.point;
+
+            Experiment exp(p.cfg, spec.insts);
+            exp.setSampling(p.sampling);
+            exp.setSearchGrid(grid);
+
+            plan.baseKey =
+                baselineKey(exp.config(), p.sampling, profile.name);
+            if (!baseline_memo.count(plan.baseKey) &&
+                !chunk_base_at.count(plan.baseKey)) {
+                chunk_base_at[plan.baseKey] = batch.size();
+                new_bases.emplace_back(plan.baseKey, batch.size());
+                batch.push_back(exp.baselineJob(profile));
+            }
+
+            if (p.side == SweepSide::Both) {
+                auto d = exp.staticSearchJobs(
+                    profile, CacheSide::DCache, p.org);
+                plan.off = batch.size();
+                plan.count = d.size();
+                batch.insert(batch.end(), d.begin(), d.end());
+                auto ij = exp.staticSearchJobs(
+                    profile, CacheSide::ICache, p.org);
+                plan.ioff = batch.size();
+                plan.icount = ij.size();
+                batch.insert(batch.end(), ij.begin(), ij.end());
+            } else {
+                const CacheSide side = cacheSideOf(p.side);
+                plan.candidates =
+                    exp.searchCandidates(side, p.org, p.strategy);
+                auto jobs =
+                    exp.searchJobs(profile, side, p.org, p.strategy);
+                plan.off = batch.size();
+                plan.count = jobs.size();
+                batch.insert(batch.end(), jobs.begin(), jobs.end());
+            }
+            ++next;
+        }
+
+        // -- run it and publish the chunk's baselines
+        const auto results = runner.run(batch);
+        total_runs += batch.size();
+        for (const auto &[key, idx] : new_bases)
+            baseline_memo[key] = results[idx];
+
+        // -- both-sides cells: second phase at the profiled levels
+        std::vector<RunJob> phase2;
+        std::vector<std::size_t> phase2_at(next - first, 0);
+        std::vector<SearchOutcome> douts(next - first);
+        for (std::size_t i = first; i < next; ++i) {
+            const CellPlan &plan = plans[i];
+            if (plan.point.side != SweepSide::Both)
+                continue;
+            const RunResult &base =
+                baseline_memo.at(plan.baseKey);
+            douts[i - first] = Experiment::reduceStatic(
+                base, {results.begin() + plan.off,
+                       results.begin() + plan.off + plan.count});
+            const SearchOutcome iout = Experiment::reduceStatic(
+                base, {results.begin() + plan.ioff,
+                       results.begin() + plan.ioff + plan.icount});
+            Experiment exp(plan.point.cfg, spec.insts);
+            exp.setSampling(plan.point.sampling);
+            phase2_at[i - first] = phase2.size();
+            phase2.push_back(exp.bothStaticJob(
+                apps[plan.app], plan.point.org, iout.bestLevel,
+                douts[i - first].bestLevel));
+        }
+        const auto results2 = runner.run(phase2);
+        total_runs += phase2.size();
+
+        // -- reduce and write the chunk, in cell order
+        std::vector<SweepRecord> records;
+        records.reserve(next - first);
+        for (std::size_t i = first; i < next; ++i) {
+            const CellPlan &plan = plans[i];
+            const RunResult &base =
+                baseline_memo.at(plan.baseKey);
+            SearchOutcome out;
+            if (plan.point.side == SweepSide::Both) {
+                out.baseline = base;
+                out.best = results2[phase2_at[i - first]];
+                out.bestLevel = douts[i - first].bestLevel;
+            } else {
+                out = Experiment::reduceSearch(
+                    base, plan.candidates,
+                    {results.begin() + plan.off,
+                     results.begin() + plan.off + plan.count});
+            }
+            records.push_back(
+                cellRecord(plan, apps[plan.app].name, out));
+            // Candidate lists can be large (dynamic grids); drop
+            // them with the chunk.
+            plans[i].candidates.clear();
+            plans[i].candidates.shrink_to_fit();
+        }
+        if (stream_csv) {
+            writeSweepCsvRows(*os, records);
+            os->flush();
+        } else {
+            buffered.insert(buffered.end(), records.begin(),
+                            records.end());
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    if (!stream_csv) {
+        if (opt.format == "json")
+            writeSweepJson(*os, buffered);
+        else
+            writeSweepTable(*os, buffered);
+    }
+
+    if (!opt.quiet) {
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        std::cerr << "sweep: " << total_runs << " runs in " << secs
+                  << " s on " << runner.parallelism()
+                  << " worker(s)";
+        if (opt.shard.sharded())
+            std::cerr << " [shard " << opt.shard.str() << ", "
+                      << plans.size() << "/" << ncells << " cells]";
+        if (skip)
+            std::cerr << " [resumed past " << skip << " cells]";
+        std::cerr << '\n';
+    }
+    return 0;
+}
+
+int
+runScenarioSweep(const ScenarioSpec &spec, const SweepOptions &opt)
+{
+    std::string err;
+    auto space = ParamSpace::build(spec, &err);
+    if (!space)
+        return fail(err);
+    return runScenarioSweep(*space, opt);
+}
+
+} // namespace rcache

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The scenario sweep engine: runs a ParamSpace's full design-space
+ * search — every (app, design point) cell — on a SweepRunner and
+ * reports one SweepRecord row per cell.
+ *
+ * Cells are enumerated app-major (all of app 0's design points, then
+ * app 1's, ...), giving every cell a stable global index. Three
+ * properties follow from each cell's result being a pure function of
+ * its spec:
+ *
+ *  - parallelism identity: the report is byte-identical for any
+ *    --jobs value (inherited from SweepRunner's determinism);
+ *  - shard identity: `--shard i/N` runs only the cells whose index
+ *    is congruent to i mod N; re-interleaving the N shard CSVs by
+ *    cell index reproduces the unsharded CSV byte-for-byte;
+ *  - resume identity: `--resume out.csv` verifies the completed
+ *    prefix of a prior (possibly truncated) CSV — cell index, app,
+ *    and every design-point coordinate — against the enumeration and
+ *    simulates only the remaining cells; the final file is
+ *    byte-identical to an uninterrupted run.
+ *
+ * Execution is chunked: cells are grouped until a chunk holds enough
+ * jobs to keep the pool busy across cell boundaries (baselines are
+ * memoized across chunks), and each chunk's CSV rows are written and
+ * flushed before the next chunk runs — so an interrupted sweep
+ * leaves every completed chunk on disk for --resume instead of
+ * losing the whole run. side=both cells add a second phase per chunk
+ * for the combined run at the two profiled levels, exactly like the
+ * paper's Fig 9 methodology.
+ */
+
+#ifndef RCACHE_SCENARIO_SCENARIO_SWEEP_HH
+#define RCACHE_SCENARIO_SCENARIO_SWEEP_HH
+
+#include <string>
+
+#include "runner/shard.hh"
+#include "scenario/param_space.hh"
+#include "sim/report.hh"
+
+namespace rcache
+{
+
+/** How runScenarioSweep executes and reports. */
+struct SweepOptions
+{
+    /** Worker threads (SweepRunner semantics: 0 = all cores). */
+    unsigned jobs = 1;
+    /** Cells this invocation owns (default: all). */
+    ShardSpec shard;
+    /**
+     * Non-empty: resume into this CSV file (implies --format csv and
+     * replaces outPath). A missing or empty file starts fresh.
+     */
+    std::string resumePath;
+    /** csv | json | table. */
+    std::string format = "csv";
+    /** Report destination; empty = stdout. */
+    std::string outPath;
+    /** Per-job progress lines on stderr. */
+    bool progress = false;
+    /** Suppress the "sweep: N runs in ..." stderr summary (tests). */
+    bool quiet = false;
+};
+
+/**
+ * Run the sweep. Diagnostics go to stderr with the CLI's "rcache-sim:"
+ * prefix; @return a process exit code (0 ok, 2 on configuration or
+ * resume-validation errors).
+ */
+int runScenarioSweep(const ParamSpace &space, const SweepOptions &opt);
+
+/** Convenience: build the ParamSpace for @p spec first. */
+int runScenarioSweep(const ScenarioSpec &spec, const SweepOptions &opt);
+
+} // namespace rcache
+
+#endif // RCACHE_SCENARIO_SCENARIO_SWEEP_HH

@@ -32,15 +32,15 @@ Experiment::setSampling(const SamplingConfig &sampling)
 const std::vector<double> &
 Experiment::missBoundFractions()
 {
-    static const std::vector<double> fracs = {0.002, 0.008, 0.025,
-                                              0.07};
+    static const std::vector<double> fracs = SearchGrid{}.missFractions;
     return fracs;
 }
 
 const std::vector<std::uint64_t> &
 Experiment::intervalGrid()
 {
-    static const std::vector<std::uint64_t> intervals = {1024, 8192};
+    static const std::vector<std::uint64_t> intervals =
+        SearchGrid{}.intervals;
     return intervals;
 }
 
@@ -140,32 +140,6 @@ Experiment::runPoint(const BenchmarkProfile &profile,
     return executeRunJob(job);
 }
 
-std::vector<RunJob>
-Experiment::staticSearchJobs(const BenchmarkProfile &profile,
-                             CacheSide side, Organization org) const
-{
-    const SystemConfig cfg = configFor(side, org);
-    const auto schedule = buildSchedule(
-        org, side == CacheSide::DCache ? cfg.dl1 : cfg.il1);
-
-    std::vector<RunJob> jobs;
-    jobs.reserve(schedule.size());
-    for (unsigned level = 0; level < schedule.size(); ++level) {
-        RunJob job;
-        job.label = profile.name + "/" + organizationName(org) + "/" +
-                    cacheSideName(side) + "/static/L" +
-                    std::to_string(level);
-        job.profile = profile;
-        job.cfg = cfg;
-        job.insts = numInsts_;
-        job.sampling = sampling_;
-        ResizeSetup setup{Strategy::Static, level, {}};
-        (side == CacheSide::DCache ? job.dl1 : job.il1) = setup;
-        jobs.push_back(std::move(job));
-    }
-    return jobs;
-}
-
 std::vector<DynamicParams>
 Experiment::dynamicGrid(CacheSide side, Organization org) const
 {
@@ -173,23 +147,23 @@ Experiment::dynamicGrid(CacheSide side, Organization org) const
     const CacheGeometry &geom =
         side == CacheSide::DCache ? cfg.dl1 : cfg.il1;
 
-    // Size-bound candidates: unconstrained, quarter, half, and the
-    // full size (the last prevents any downsizing — the safe fallback
-    // the profiling pass falls back to when resizing always loses).
-    const std::vector<std::uint64_t> size_bounds = {
-        0, geom.size / 4, geom.size / 2, geom.size};
-
+    // Size-bound candidates as fractions of the full size; the
+    // default grid ends with the full size itself, which prevents any
+    // downsizing — the safe fallback the profiling pass falls back to
+    // when resizing always loses.
     std::vector<DynamicParams> grid;
-    grid.reserve(intervalGrid().size() * missBoundFractions().size() *
-                 size_bounds.size());
-    for (std::uint64_t interval : intervalGrid()) {
-        for (double frac : missBoundFractions()) {
-            for (std::uint64_t bound : size_bounds) {
+    grid.reserve(grid_.intervals.size() *
+                 grid_.missFractions.size() *
+                 grid_.sizeFractions.size());
+    for (std::uint64_t interval : grid_.intervals) {
+        for (double frac : grid_.missFractions) {
+            for (double size_frac : grid_.sizeFractions) {
                 DynamicParams dyn;
                 dyn.intervalAccesses = interval;
                 dyn.missBound = static_cast<std::uint64_t>(
                     frac * static_cast<double>(interval));
-                dyn.sizeBoundBytes = bound;
+                dyn.sizeBoundBytes = static_cast<std::uint64_t>(
+                    size_frac * static_cast<double>(geom.size));
                 grid.push_back(dyn);
             }
         }
@@ -197,62 +171,82 @@ Experiment::dynamicGrid(CacheSide side, Organization org) const
     return grid;
 }
 
+std::vector<SearchCandidate>
+Experiment::searchCandidates(CacheSide side, Organization org,
+                             Strategy strat) const
+{
+    std::vector<SearchCandidate> candidates;
+    if (strat == Strategy::Static) {
+        const SystemConfig cfg = configFor(side, org);
+        const auto schedule = buildSchedule(
+            org, side == CacheSide::DCache ? cfg.dl1 : cfg.il1);
+        candidates.reserve(schedule.size());
+        for (unsigned level = 0; level < schedule.size(); ++level) {
+            candidates.push_back(
+                {ResizeSetup{Strategy::Static, level, {}},
+                 "static/L" + std::to_string(level)});
+        }
+        return candidates;
+    }
+    rc_assert(strat == Strategy::Dynamic);
+    const auto grid = dynamicGrid(side, org);
+    candidates.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        candidates.push_back({ResizeSetup{Strategy::Dynamic, 0, grid[i]},
+                              "dynamic/G" + std::to_string(i)});
+    }
+    return candidates;
+}
+
 std::vector<RunJob>
-Experiment::dynamicSearchJobs(const BenchmarkProfile &profile,
-                              CacheSide side, Organization org) const
+Experiment::searchJobs(const BenchmarkProfile &profile, CacheSide side,
+                       Organization org, Strategy strat) const
 {
     const SystemConfig cfg = configFor(side, org);
-    const auto grid = dynamicGrid(side, org);
+    const auto candidates = searchCandidates(side, org, strat);
 
     std::vector<RunJob> jobs;
-    jobs.reserve(grid.size());
-    for (std::size_t i = 0; i < grid.size(); ++i) {
+    jobs.reserve(candidates.size());
+    for (const SearchCandidate &cand : candidates) {
         RunJob job;
         job.label = profile.name + "/" + organizationName(org) + "/" +
-                    cacheSideName(side) + "/dynamic/G" +
-                    std::to_string(i);
+                    cacheSideName(side) + "/" + cand.tag;
         job.profile = profile;
         job.cfg = cfg;
         job.insts = numInsts_;
         job.sampling = sampling_;
-        ResizeSetup setup{Strategy::Dynamic, 0, grid[i]};
-        (side == CacheSide::DCache ? job.dl1 : job.il1) = setup;
+        (side == CacheSide::DCache ? job.dl1 : job.il1) = cand.setup;
         jobs.push_back(std::move(job));
     }
     return jobs;
 }
 
-SearchOutcome
-Experiment::reduceStatic(const RunResult &baseline,
-                         const std::vector<RunResult> &results)
+std::vector<RunJob>
+Experiment::staticSearchJobs(const BenchmarkProfile &profile,
+                             CacheSide side, Organization org) const
 {
-    SearchOutcome out;
-    out.baseline = baseline;
+    return searchJobs(profile, side, org, Strategy::Static);
+}
 
-    bool first = true;
-    for (unsigned level = 0; level < results.size(); ++level) {
-        const RunResult &res = results[level];
-        if (res.insts == 0)
-            continue; // cancelled before this job ran
-        if (first || res.edp() < out.best.edp()) {
-            out.best = res;
-            out.bestLevel = level;
-            first = false;
-        }
-    }
-    rc_assert(!first);
-    return out;
+std::vector<RunJob>
+Experiment::dynamicSearchJobs(const BenchmarkProfile &profile,
+                              CacheSide side, Organization org) const
+{
+    return searchJobs(profile, side, org, Strategy::Dynamic);
 }
 
 SearchOutcome
-Experiment::reduceDynamic(const RunResult &baseline,
-                          const std::vector<DynamicParams> &grid,
-                          const std::vector<RunResult> &results)
+Experiment::reduceSearch(const RunResult &baseline,
+                         const std::vector<SearchCandidate> &candidates,
+                         const std::vector<RunResult> &results)
 {
-    rc_assert(grid.size() == results.size());
+    rc_assert(candidates.size() == results.size());
     SearchOutcome out;
     out.baseline = baseline;
 
+    // Strict `<`: the first minimum in candidate order wins, so
+    // equal-E.D ties resolve to the larger cache / lower index (see
+    // the header's tie-break contract).
     bool first = true;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &res = results[i];
@@ -260,12 +254,38 @@ Experiment::reduceDynamic(const RunResult &baseline,
             continue; // cancelled before this job ran
         if (first || res.edp() < out.best.edp()) {
             out.best = res;
-            out.bestParams = grid[i];
+            out.bestLevel = candidates[i].setup.staticLevel;
+            out.bestParams = candidates[i].setup.dyn;
             first = false;
         }
     }
     rc_assert(!first);
     return out;
+}
+
+SearchOutcome
+Experiment::reduceStatic(const RunResult &baseline,
+                         const std::vector<RunResult> &results)
+{
+    std::vector<SearchCandidate> candidates;
+    candidates.reserve(results.size());
+    for (unsigned level = 0; level < results.size(); ++level)
+        candidates.push_back(
+            {ResizeSetup{Strategy::Static, level, {}}, ""});
+    return reduceSearch(baseline, candidates, results);
+}
+
+SearchOutcome
+Experiment::reduceDynamic(const RunResult &baseline,
+                          const std::vector<DynamicParams> &grid,
+                          const std::vector<RunResult> &results)
+{
+    std::vector<SearchCandidate> candidates;
+    candidates.reserve(grid.size());
+    for (const DynamicParams &dyn : grid)
+        candidates.push_back(
+            {ResizeSetup{Strategy::Dynamic, 0, dyn}, ""});
+    return reduceSearch(baseline, candidates, results);
 }
 
 RunJob
@@ -288,21 +308,27 @@ Experiment::bothStaticJob(const BenchmarkProfile &profile,
 }
 
 SearchOutcome
+Experiment::search(const BenchmarkProfile &profile, CacheSide side,
+                   Organization org, Strategy strat) const
+{
+    auto [base, results] = executeWithBaseline(
+        profile, searchJobs(profile, side, org, strat));
+    return reduceSearch(base, searchCandidates(side, org, strat),
+                        results);
+}
+
+SearchOutcome
 Experiment::staticSearch(const BenchmarkProfile &profile,
                          CacheSide side, Organization org) const
 {
-    auto [base, results] = executeWithBaseline(
-        profile, staticSearchJobs(profile, side, org));
-    return reduceStatic(base, results);
+    return search(profile, side, org, Strategy::Static);
 }
 
 SearchOutcome
 Experiment::dynamicSearch(const BenchmarkProfile &profile,
                           CacheSide side, Organization org) const
 {
-    auto [base, results] = executeWithBaseline(
-        profile, dynamicSearchJobs(profile, side, org));
-    return reduceDynamic(base, dynamicGrid(side, org), results);
+    return search(profile, side, org, Strategy::Dynamic);
 }
 
 SearchOutcome

@@ -17,6 +17,13 @@
  * batch runs inline on the calling thread. Reductions scan results in
  * job order and keep the first minimum, so the outcome is identical
  * either way.
+ *
+ * Tie-break contract: reductions use a strict `<` comparison, so when
+ * two candidates dissipate exactly equal energy-delay the FIRST one
+ * in job order wins. Candidate grids are enumerated largest cache
+ * first (offered-size schedules are sorted by decreasing size), so
+ * ties resolve deterministically to the larger cache / lower
+ * candidate index, independent of thread count or platform.
  */
 
 #ifndef RCACHE_SIM_EXPERIMENT_HH
@@ -28,7 +35,9 @@
 #include <utility>
 
 #include "runner/sweep_runner.hh"
+#include "sim/search_grid.hh"
 #include "sim/system.hh"
+#include "util/logging.hh"
 #include "workload/profiles.hh"
 
 namespace rcache
@@ -54,21 +63,46 @@ struct SearchOutcome
     /** Dynamic: chosen controller parameters. */
     DynamicParams bestParams;
 
-    /** Paper metric: best E.D normalized to the baseline. */
-    double relativeED() const { return best.edp() / baseline.edp(); }
-    /** Reduction (%) in processor energy-delay. */
+    /**
+     * Paper metric: best E.D normalized to the baseline. A zero
+     * baseline E.D (a degenerate run — e.g. a cancelled or
+     * zero-instruction baseline) has no meaningful normalization;
+     * it returns 0 with a logged warning instead of dividing by
+     * zero, and edReductionPct() follows suit.
+     */
+    double relativeED() const
+    {
+        if (baseline.edp() == 0) {
+            rc_warn("relativeED: zero baseline energy-delay for '" +
+                    baseline.workload + "'; returning 0");
+            return 0;
+        }
+        return best.edp() / baseline.edp();
+    }
+    /** Reduction (%) in processor energy-delay (0 when the baseline
+     *  is degenerate; see relativeED). */
     double edReductionPct() const
     {
+        if (baseline.edp() == 0)
+            return 0;
         return 100.0 * (1.0 - relativeED());
     }
-    /** Performance degradation (%) of the best point. */
+    /** Performance degradation (%) of the best point (0 with a
+     *  logged warning when the baseline ran zero cycles — an inf/nan
+     *  here would make the sweep CSV unreadable to --resume). */
     double perfDegradationPct() const
     {
+        if (baseline.cycles == 0) {
+            rc_warn("perfDegradationPct: zero baseline cycles for '" +
+                    baseline.workload + "'; returning 0");
+            return 0;
+        }
         return 100.0 * (static_cast<double>(best.cycles) /
                             static_cast<double>(baseline.cycles) -
                         1.0);
     }
-    /** Reduction (%) in average enabled size of @p side. */
+    /** Reduction (%) in average enabled size of @p side (0 with a
+     *  logged warning when the baseline size is zero). */
     double sizeReductionPct(CacheSide side) const
     {
         const double full = side == CacheSide::DCache
@@ -77,9 +111,27 @@ struct SearchOutcome
         const double got = side == CacheSide::DCache
                                ? best.avgDl1Bytes
                                : best.avgIl1Bytes;
+        if (full == 0) {
+            rc_warn("sizeReductionPct: zero baseline " +
+                    cacheSideName(side) + " size for '" +
+                    baseline.workload + "'; returning 0");
+            return 0;
+        }
         return 100.0 * (1.0 - got / full);
     }
 };
+
+/**
+ * One candidate resize configuration within a search cell: the setup
+ * applied to the searched side plus a stable label suffix
+ * ("static/L2", "dynamic/G7").
+ */
+struct SearchCandidate
+{
+    ResizeSetup setup;
+    std::string tag;
+};
+
 
 /** See file comment. */
 class Experiment
@@ -108,6 +160,11 @@ class Experiment
      */
     void setSampling(const SamplingConfig &sampling);
     const SamplingConfig &sampling() const { return sampling_; }
+
+    /** Override the dynamic-controller profiling grid (defaults
+     *  reproduce the paper's). */
+    void setSearchGrid(const SearchGrid &grid) { grid_ = grid; }
+    const SearchGrid &searchGrid() const { return grid_; }
 
     /** Non-resizable run of @p profile (memoized, thread-safe). */
     RunResult baseline(const BenchmarkProfile &profile) const;
@@ -138,6 +195,44 @@ class Experiment
                        Organization il1_org, Organization dl1_org,
                        const ResizeSetup &il1_setup,
                        const ResizeSetup &dl1_setup) const;
+
+    /** @name Generic grid search
+     * All three searches above are thin wrappers over these: a cell's
+     * candidates are enumerated (static schedule levels or the
+     * dynamic parameter grid), executed as one batch, and reduced to
+     * the minimum-E.D candidate under the documented tie-break.
+     */
+    /// @{
+
+    /** The candidate ResizeSetups a (side, org, strat) cell searches,
+     *  in job order (largest cache first for Static; dynamicGrid()
+     *  order for Dynamic). */
+    std::vector<SearchCandidate>
+    searchCandidates(CacheSide side, Organization org,
+                     Strategy strat) const;
+
+    /** One job per candidate of the (side, org, strat) cell. */
+    std::vector<RunJob> searchJobs(const BenchmarkProfile &profile,
+                                   CacheSide side, Organization org,
+                                   Strategy strat) const;
+
+    /** Execute a cell's search: candidates + baseline in one batch,
+     *  reduced with reduceSearch. */
+    SearchOutcome search(const BenchmarkProfile &profile,
+                         CacheSide side, Organization org,
+                         Strategy strat) const;
+
+    /**
+     * Pick the minimum-E.D candidate. Strict `<`: the first minimum
+     * in candidate order wins, so equal-E.D ties resolve to the
+     * larger cache / lower index (see the file comment).
+     * @p candidates must parallel @p results.
+     */
+    static SearchOutcome
+    reduceSearch(const RunResult &baseline,
+                 const std::vector<SearchCandidate> &candidates,
+                 const std::vector<RunResult> &results);
+    /// @}
 
     /** @name Job enumeration / reduction
      * The searches above are compositions of these; clients that
@@ -173,13 +268,14 @@ class Experiment
     std::vector<DynamicParams> dynamicGrid(CacheSide side,
                                            Organization org) const;
 
-    /** Pick the minimum-E.D static point (first minimum wins). */
+    /** Pick the minimum-E.D static point (reduceSearch with level ==
+     *  index candidates; same tie-break). */
     static SearchOutcome
     reduceStatic(const RunResult &baseline,
                  const std::vector<RunResult> &results);
 
-    /** Pick the minimum-E.D dynamic point (first minimum wins);
-     *  @p grid must parallel @p results. */
+    /** Pick the minimum-E.D dynamic point (reduceSearch over @p grid;
+     *  same tie-break); @p grid must parallel @p results. */
     static SearchOutcome
     reduceDynamic(const RunResult &baseline,
                   const std::vector<DynamicParams> &grid,
@@ -189,7 +285,8 @@ class Experiment
     const SystemConfig &config() const { return cfg_; }
     std::uint64_t numInsts() const { return numInsts_; }
 
-    /** Dynamic-search grid (exposed for tests/ablations). */
+    /** Default dynamic-search miss-bound fractions (SearchGrid's
+     *  defaults; exposed for tests/ablations). */
     static const std::vector<double> &missBoundFractions();
 
     /**
@@ -221,6 +318,7 @@ class Experiment
     SystemConfig cfg_;
     std::uint64_t numInsts_;
     SamplingConfig sampling_;
+    SearchGrid grid_;
     const SweepRunner *runner_ = nullptr;
     mutable std::mutex memoMtx_;
     mutable std::map<std::string, RunResult> baselineMemo_;

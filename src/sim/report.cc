@@ -1,11 +1,11 @@
 #include "sim/report.hh"
 
-#include <cmath>
 #include <iomanip>
 #include <locale>
 #include <sstream>
 
 #include "sim/table.hh"
+#include "util/numformat.hh"
 
 namespace rcache
 {
@@ -51,37 +51,16 @@ namespace
 {
 
 /**
- * Shortest decimal form that round-trips the double — deterministic
- * for equal values and independent of the global locale (digits,
- * '.', '-', 'e' only), which is what makes sweep CSVs byte-stable
- * across thread counts.
+ * Shortest decimal form that round-trips the double (see
+ * util/numformat.hh) — deterministic for equal values and independent
+ * of the global locale, which is what makes sweep CSVs byte-stable
+ * across thread counts and what lets readSweepCsv restore the exact
+ * bits.
  */
 std::string
 numField(double v)
 {
-    // Integral values print as plain integers ("50", not "5e+01").
-    if (v == std::floor(v) && std::abs(v) < 1e15) {
-        std::ostringstream ss;
-        ss.imbue(std::locale::classic());
-        ss << static_cast<long long>(v);
-        return ss.str();
-    }
-    std::ostringstream ss;
-    ss.imbue(std::locale::classic());
-    ss << std::setprecision(17) << v;
-    std::string wide = ss.str();
-    for (int prec = 1; prec < 17; ++prec) {
-        std::ostringstream probe;
-        probe.imbue(std::locale::classic());
-        probe << std::setprecision(prec) << v;
-        std::istringstream back(probe.str());
-        back.imbue(std::locale::classic());
-        double parsed = 0;
-        back >> parsed;
-        if (parsed == v)
-            return probe.str();
-    }
-    return wide;
+    return shortestDouble(v);
 }
 
 /**
@@ -118,22 +97,39 @@ jsonEscape(const std::string &s)
 
 } // namespace
 
+const std::string &
+sweepCsvHeader()
+{
+    static const std::string header =
+        "cell,app,org,strategy,side,axes,best_level,"
+        "interval_accesses,miss_bound,size_bound_bytes,"
+        "ed_reduction_pct,perf_degradation_pct,size_reduction_pct,"
+        "baseline_edp,best_edp,baseline_cycles,best_cycles,"
+        "avg_il1_bytes,avg_dl1_bytes,mode";
+    return header;
+}
+
 void
 writeSweepCsv(std::ostream &os,
               const std::vector<SweepRecord> &records)
 {
     ClassicLocaleGuard locale_guard(os);
-    os << "app,org,strategy,side,best_level,interval_accesses,"
-          "miss_bound,size_bound_bytes,ed_reduction_pct,"
-          "perf_degradation_pct,size_reduction_pct,baseline_edp,"
-          "best_edp,baseline_cycles,best_cycles,avg_il1_bytes,"
-          "avg_dl1_bytes,mode\n";
+    os << sweepCsvHeader() << '\n';
+    writeSweepCsvRows(os, records);
+}
+
+void
+writeSweepCsvRows(std::ostream &os,
+                  const std::vector<SweepRecord> &records)
+{
+    ClassicLocaleGuard locale_guard(os);
     for (const auto &r : records) {
-        os << r.app << ',' << r.org << ',' << r.strategy << ','
-           << r.side << ',' << r.bestLevel << ','
-           << r.intervalAccesses << ',' << r.missBound << ','
-           << r.sizeBoundBytes << ',' << numField(r.edReductionPct)
-           << ',' << numField(r.perfDegradationPct) << ','
+        os << r.cell << ',' << r.app << ',' << r.org << ','
+           << r.strategy << ',' << r.side << ',' << r.axes << ','
+           << r.bestLevel << ',' << r.intervalAccesses << ','
+           << r.missBound << ',' << r.sizeBoundBytes << ','
+           << numField(r.edReductionPct) << ','
+           << numField(r.perfDegradationPct) << ','
            << numField(r.sizeReductionPct) << ','
            << numField(r.baselineEdp) << ',' << numField(r.bestEdp)
            << ',' << r.baselineCycles << ',' << r.bestCycles << ','
@@ -141,6 +137,114 @@ writeSweepCsv(std::ostream &os,
            << numField(r.avgDl1Bytes) << ','
            << (r.sampled ? "sampled" : "full") << '\n';
     }
+}
+
+namespace
+{
+
+/** Comma-split preserving empty fields. */
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+} // namespace
+
+std::optional<std::vector<SweepRecord>>
+readSweepCsv(std::istream &is, std::string *err)
+{
+    const auto failWith = [&](int line, const std::string &why) {
+        if (err)
+            *err = "sweep csv line " + std::to_string(line) + ": " +
+                   why;
+        return std::nullopt;
+    };
+
+    std::string line;
+    if (!std::getline(is, line))
+        return failWith(1, "missing header");
+    if (line != sweepCsvHeader())
+        return failWith(1, "header does not match this build's sweep "
+                           "schema");
+
+    std::vector<SweepRecord> records;
+    int line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            return failWith(line_no, "empty row");
+        const auto f = splitCsvLine(line);
+        if (f.size() != 20)
+            return failWith(line_no,
+                            "expected 20 fields, got " +
+                                std::to_string(f.size()));
+        SweepRecord r;
+        unsigned long long u = 0;
+        double d = 0;
+        if (!parseU64Strict(f[0], u))
+            return failWith(line_no, "bad cell index '" + f[0] + "'");
+        r.cell = u;
+        r.app = f[1];
+        r.org = f[2];
+        r.strategy = f[3];
+        r.side = f[4];
+        r.axes = f[5];
+        if (!parseU64Strict(f[6], u))
+            return failWith(line_no, "bad best_level '" + f[6] + "'");
+        r.bestLevel = static_cast<unsigned>(u);
+        if (!parseU64Strict(f[7], u))
+            return failWith(line_no, "bad interval_accesses");
+        r.intervalAccesses = u;
+        if (!parseU64Strict(f[8], u))
+            return failWith(line_no, "bad miss_bound");
+        r.missBound = u;
+        if (!parseU64Strict(f[9], u))
+            return failWith(line_no, "bad size_bound_bytes");
+        r.sizeBoundBytes = u;
+        struct DoubleField
+        {
+            int idx;
+            double SweepRecord::*field;
+        };
+        for (const DoubleField df :
+             {DoubleField{10, &SweepRecord::edReductionPct},
+              DoubleField{11, &SweepRecord::perfDegradationPct},
+              DoubleField{12, &SweepRecord::sizeReductionPct},
+              DoubleField{13, &SweepRecord::baselineEdp},
+              DoubleField{14, &SweepRecord::bestEdp},
+              DoubleField{17, &SweepRecord::avgIl1Bytes},
+              DoubleField{18, &SweepRecord::avgDl1Bytes}}) {
+            if (!parseDoubleStrict(f[df.idx], d))
+                return failWith(line_no, "bad numeric field '" +
+                                             f[df.idx] + "'");
+            r.*(df.field) = d;
+        }
+        if (!parseU64Strict(f[15], u))
+            return failWith(line_no, "bad baseline_cycles");
+        r.baselineCycles = u;
+        if (!parseU64Strict(f[16], u))
+            return failWith(line_no, "bad best_cycles");
+        r.bestCycles = u;
+        if (f[19] == "sampled")
+            r.sampled = true;
+        else if (f[19] == "full")
+            r.sampled = false;
+        else
+            return failWith(line_no, "bad mode '" + f[19] + "'");
+        records.push_back(std::move(r));
+    }
+    return records;
 }
 
 void
@@ -151,11 +255,13 @@ writeSweepJson(std::ostream &os,
     os << "[\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const auto &r = records[i];
-        os << "  {\"app\": \"" << jsonEscape(r.app)
-           << "\", \"org\": \"" << jsonEscape(r.org)
-           << "\", \"strategy\": \"" << jsonEscape(r.strategy)
-           << "\", \"side\": \"" << jsonEscape(r.side)
-           << "\", \"best_level\": " << r.bestLevel
+        os << "  {\"cell\": " << r.cell << ", \"app\": \""
+           << jsonEscape(r.app) << "\", \"org\": \""
+           << jsonEscape(r.org) << "\", \"strategy\": \""
+           << jsonEscape(r.strategy) << "\", \"side\": \""
+           << jsonEscape(r.side) << "\", \"axes\": \""
+           << jsonEscape(r.axes) << "\", \"best_level\": "
+           << r.bestLevel
            << ", \"interval_accesses\": " << r.intervalAccesses
            << ", \"miss_bound\": " << r.missBound
            << ", \"size_bound_bytes\": " << r.sizeBoundBytes
@@ -181,11 +287,12 @@ void
 writeSweepTable(std::ostream &os,
                 const std::vector<SweepRecord> &records)
 {
-    TextTable t({"app", "org", "strategy", "side", "E*D red",
+    TextTable t({"app", "org", "strategy", "side", "axes", "E*D red",
                  "perf deg", "size red", "avg i-L1", "avg d-L1",
                  "mode"});
     for (const auto &r : records) {
         t.addRow({r.app, r.org, r.strategy, r.side,
+                  r.axes.empty() ? "-" : r.axes,
                   TextTable::pct(r.edReductionPct),
                   TextTable::pct(r.perfDegradationPct),
                   TextTable::pct(r.sizeReductionPct),

@@ -8,6 +8,8 @@
 #ifndef RCACHE_SIM_REPORT_HH
 #define RCACHE_SIM_REPORT_HH
 
+#include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -44,10 +46,20 @@ std::string formatDelta(double ratio);
  */
 struct SweepRecord
 {
+    /**
+     * Global cell index in scenario enumeration order (app-major,
+     * then design-point). Unique per row; sharded sweeps interleave
+     * on it, so sorting a shard union by cell reproduces the
+     * unsharded CSV byte-for-byte.
+     */
+    std::uint64_t cell = 0;
     std::string app;
     std::string org;
     std::string strategy;
     std::string side;
+    /** Axis coordinates that produced the row ("assoc=4;org=ways";
+     *  empty for axis-free sweeps). */
+    std::string axes;
     /** Static cells: chosen schedule level. */
     unsigned bestLevel = 0;
     /** Dynamic cells: chosen controller parameters (0 otherwise). */
@@ -81,6 +93,25 @@ struct SweepRecord
  */
 void writeSweepCsv(std::ostream &os,
                    const std::vector<SweepRecord> &records);
+
+/** The exact header line writeSweepCsv emits (no newline). */
+const std::string &sweepCsvHeader();
+
+/** writeSweepCsv without the header row (resumed sweeps append rows
+ *  after a verified existing prefix). */
+void writeSweepCsvRows(std::ostream &os,
+                       const std::vector<SweepRecord> &records);
+
+/**
+ * Strict inverse of writeSweepCsv: the header must match
+ * sweepCsvHeader() exactly and every row must carry every column.
+ * Values round-trip bit-identically (the writer emits
+ * shortest-round-trip doubles). On failure returns nullopt and fills
+ * @p err with one line. Used by `sweep --resume` and the round-trip
+ * tests.
+ */
+std::optional<std::vector<SweepRecord>>
+readSweepCsv(std::istream &is, std::string *err);
 
 /** Write @p records as a JSON array of objects (same fields). */
 void writeSweepJson(std::ostream &os,

@@ -67,6 +67,8 @@ struct SamplingConfig
 
     bool enabled() const { return mode == SampleMode::Sampled; }
 
+    bool operator==(const SamplingConfig &o) const = default;
+
     /**
      * Why (interval, detailed, warmup) is not a valid sampled shape,
      * or nullptr if it is. The single source of the shape rules —

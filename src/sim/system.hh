@@ -55,6 +55,8 @@ struct SystemConfig
 
     /** The paper's Table 2 base system. */
     static SystemConfig base() { return {}; }
+
+    bool operator==(const SystemConfig &o) const = default;
 };
 
 /** Per-cache resizing strategy selection for one run. */
@@ -65,6 +67,8 @@ struct ResizeSetup
     unsigned staticLevel = 0;
     /** Controller parameters for Strategy::Dynamic. */
     DynamicParams dyn;
+
+    bool operator==(const ResizeSetup &o) const = default;
 };
 
 /** Everything a run produces. */

@@ -55,6 +55,24 @@ function(check_accepts)
   endif()
 endfunction()
 
+# Exit 0 AND stdout contains a substring (the generated --help text).
+function(check_prints expect)
+  execute_process(COMMAND ${RCACHE_SIM} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(SEND_ERROR
+            "expected exit 0 from: rcache-sim ${ARGN}"
+            " — stderr was: ${err}")
+  endif()
+  if(NOT out MATCHES "${expect}")
+    message(SEND_ERROR
+            "missing '${expect}' on stdout from: rcache-sim ${ARGN}"
+            " — stdout was: ${out}")
+  endif()
+endfunction()
+
 # ---- unknown subcommands / options / apps: one-line diagnostics
 check_rejects_oneline("unknown subcommand 'frobnicate'" frobnicate)
 check_rejects_oneline("unknown option '--bogus' for 'sweep'"
@@ -94,9 +112,48 @@ check_rejects_oneline("must fit in the sample period"
                       run --app ammp --sample 1000
                       --sample-warmup 18446744073709551000)
 
+# ---- scenario subcommand + sweep scenario/shard/resume flags
+check_rejects_oneline("scenario needs a mode" scenario)
+check_rejects_oneline("unknown scenario mode 'frob'" scenario frob)
+check_rejects_oneline("needs at least one FILE" scenario check)
+check_rejects_oneline("cannot open scenario file"
+                      scenario check no-such-file.scn)
+check_rejects_oneline("shard wants i/N"
+                      sweep --apps ammp --shard 2/2)
+check_rejects_oneline("conflicts with --scenario"
+                      sweep --scenario x.scn --orgs ways)
+check_rejects_oneline("--resume supports only --format csv"
+                      sweep --apps ammp --resume out.csv
+                      --format json)
+check_rejects_oneline("drop --out"
+                      sweep --apps ammp --resume a.csv --out b.csv)
+
+# A malformed scenario file gets exactly one file:line diagnostic.
+set(BAD_SCN "${CMAKE_CURRENT_BINARY_DIR}/bad_cli_test.scn")
+file(WRITE ${BAD_SCN} "[scenario]\nname = bad\n[axes]\nnope = 1\n")
+check_rejects_oneline("bad_cli_test.scn:4: axis 'nope'"
+                      scenario check ${BAD_SCN})
+file(REMOVE ${BAD_SCN})
+
 # ---- happy paths still exit 0
 check_accepts(list-apps)
 check_accepts(--help)
-check_accepts(sweep --help)
 check_accepts(run --app ammp --insts 20000
               --sample 10000 --sample-detail 2000 --sample-warmup 1000)
+
+# ---- per-subcommand --help is generated from the option allowlists
+check_prints("--scenario" sweep --help)
+check_prints("--shard" sweep --help)
+check_prints("--il1-org" run --help)
+check_prints("--trace" replay --help)
+check_prints("design-space sweep" sweep --help)
+check_prints("check FILE" scenario --help)
+check_accepts(list-apps --help)
+
+# A good scenario file round-trips through check and print.
+set(GOOD_SCN "${CMAKE_CURRENT_BINARY_DIR}/good_cli_test.scn")
+file(WRITE ${GOOD_SCN}
+     "[scenario]\nname = good\n[axes]\norg = ways,sets\n")
+check_prints("good_cli_test.scn: ok" scenario check ${GOOD_SCN})
+check_prints("org = ways,sets" scenario print ${GOOD_SCN})
+file(REMOVE ${GOOD_SCN})

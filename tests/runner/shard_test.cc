@@ -1,0 +1,50 @@
+/** @file Tests for ShardSpec parsing and partitioning. */
+
+#include <gtest/gtest.h>
+
+#include "runner/shard.hh"
+
+namespace rcache
+{
+
+TEST(ShardTest, ParsesValidSpecs)
+{
+    std::string err;
+    auto s = ShardSpec::parse("0/1", &err);
+    ASSERT_TRUE(s) << err;
+    EXPECT_EQ(s->index, 0u);
+    EXPECT_EQ(s->count, 1u);
+    EXPECT_FALSE(s->sharded());
+
+    s = ShardSpec::parse("3/8", &err);
+    ASSERT_TRUE(s) << err;
+    EXPECT_EQ(s->index, 3u);
+    EXPECT_EQ(s->count, 8u);
+    EXPECT_TRUE(s->sharded());
+    EXPECT_EQ(s->str(), "3/8");
+}
+
+TEST(ShardTest, RejectsMalformedSpecs)
+{
+    std::string err;
+    for (const char *bad : {"", "1", "1/", "/2", "2/2", "5/2", "a/2",
+                            "1/b", "-1/2", "1/0", "1/2/3"}) {
+        EXPECT_FALSE(ShardSpec::parse(bad, &err)) << bad;
+        EXPECT_NE(err.find("shard wants i/N"), std::string::npos);
+    }
+}
+
+TEST(ShardTest, ShardsPartitionTheIndexSpace)
+{
+    // Every cell belongs to exactly one shard, for several N.
+    for (std::size_t n : {1u, 2u, 3u, 7u}) {
+        for (std::size_t cell = 0; cell < 100; ++cell) {
+            std::size_t owners = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                owners += ShardSpec{i, n}.owns(cell) ? 1 : 0;
+            EXPECT_EQ(owners, 1u) << cell << " of " << n;
+        }
+    }
+}
+
+} // namespace rcache

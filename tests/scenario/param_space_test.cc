@@ -1,0 +1,124 @@
+/** @file Tests for ParamSpace design-point enumeration. */
+
+#include <gtest/gtest.h>
+
+#include "scenario/param_space.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+ScenarioSpec
+specWithAxes(std::vector<Axis> axes)
+{
+    ScenarioSpec spec;
+    spec.axes = std::move(axes);
+    return spec;
+}
+
+ParamSpace
+buildOk(const ScenarioSpec &spec)
+{
+    std::string err;
+    auto space = ParamSpace::build(spec, &err);
+    EXPECT_TRUE(space) << err;
+    return space ? *space : ParamSpace::build(ScenarioSpec{}, &err)
+                                .value();
+}
+
+} // namespace
+
+TEST(ParamSpaceTest, AxisFreeSpaceHasOneBasePoint)
+{
+    ScenarioSpec spec;
+    spec.search.org = Organization::Hybrid;
+    const ParamSpace space = buildOk(spec);
+    EXPECT_EQ(space.numPoints(), 1u);
+    const DesignPoint p = space.point(0);
+    EXPECT_EQ(p.org, Organization::Hybrid);
+    EXPECT_EQ(p.strategy, Strategy::Static);
+    EXPECT_EQ(p.side, SweepSide::DCache);
+    EXPECT_TRUE(p.axes.empty());
+    EXPECT_EQ(p.cfg, spec.system);
+}
+
+TEST(ParamSpaceTest, RowMajorEnumerationFirstAxisOutermost)
+{
+    const ParamSpace space = buildOk(specWithAxes(
+        {Axis{"org", {"ways", "sets"}},
+         Axis{"strategy", {"static", "dynamic"}}}));
+    ASSERT_EQ(space.numPoints(), 4u);
+    EXPECT_EQ(space.point(0).axes, "org=ways;strategy=static");
+    EXPECT_EQ(space.point(1).axes, "org=ways;strategy=dynamic");
+    EXPECT_EQ(space.point(2).axes, "org=sets;strategy=static");
+    EXPECT_EQ(space.point(3).axes, "org=sets;strategy=dynamic");
+    EXPECT_EQ(space.point(3).org, Organization::SelectiveSets);
+    EXPECT_EQ(space.point(3).strategy, Strategy::Dynamic);
+}
+
+TEST(ParamSpaceTest, AxesPerturbTheRightKnobs)
+{
+    const ParamSpace space = buildOk(specWithAxes(
+        {Axis{"assoc", {"2", "8"}}, Axis{"lat.l2", {"12", "24"}},
+         Axis{"energy.clock", {"30", "15"}},
+         Axis{"core", {"ooo", "inorder"}},
+         Axis{"sample.interval", {"0", "100000"}}}));
+    ASSERT_EQ(space.numPoints(), 32u);
+
+    const DesignPoint base = space.point(0);
+    EXPECT_EQ(base.cfg.il1.assoc, 2u);
+    EXPECT_EQ(base.cfg.lat.l2Latency, 12u);
+    EXPECT_FALSE(base.sampling.enabled());
+
+    // Last point: every axis at its second value.
+    const DesignPoint far = space.point(31);
+    EXPECT_EQ(far.cfg.il1.assoc, 8u);
+    EXPECT_EQ(far.cfg.dl1.assoc, 8u);
+    EXPECT_EQ(far.cfg.lat.l2Latency, 24u);
+    EXPECT_DOUBLE_EQ(far.cfg.energy.clockPerCycle, 15.0);
+    EXPECT_EQ(far.cfg.coreModel, CoreModel::InOrder);
+    ASSERT_TRUE(far.sampling.enabled());
+    EXPECT_EQ(far.sampling.intervalInsts, 100000u);
+    EXPECT_EQ(far.sampling.detailedInsts,
+              SamplingConfig::defaultDetail(100000));
+}
+
+TEST(ParamSpaceTest, RejectsInvalidCombinations)
+{
+    std::string err;
+
+    // both + dynamic is not a meaningful cell.
+    ScenarioSpec both = specWithAxes(
+        {Axis{"strategy", {"static", "dynamic"}}});
+    both.search.side = SweepSide::Both;
+    EXPECT_FALSE(ParamSpace::build(both, &err));
+    EXPECT_NE(err.find("static"), std::string::npos);
+
+    // A geometry-breaking axis value is caught with its coordinates.
+    ScenarioSpec geom =
+        specWithAxes({Axis{"il1.size", {"32768", "12345"}}});
+    EXPECT_FALSE(ParamSpace::build(geom, &err));
+    EXPECT_NE(err.find("il1.size=12345"), std::string::npos);
+
+    // Unknown axis name / bad value.
+    EXPECT_FALSE(validateAxis(Axis{"nope", {"1"}}, &err));
+    EXPECT_NE(err.find("unknown axis"), std::string::npos);
+    EXPECT_FALSE(validateAxis(Axis{"assoc", {"potato"}}, &err));
+}
+
+TEST(ParamSpaceTest, CoordsInvertEnumeration)
+{
+    const ParamSpace space = buildOk(specWithAxes(
+        {Axis{"assoc", {"2", "4", "8"}},
+         Axis{"org", {"ways", "sets"}}}));
+    ASSERT_EQ(space.numPoints(), 6u);
+    for (std::size_t i = 0; i < space.numPoints(); ++i) {
+        const auto c = space.coords(i);
+        ASSERT_EQ(c.size(), 2u);
+        EXPECT_EQ(c[0] * 2 + c[1], i);
+    }
+}
+
+} // namespace rcache

@@ -1,0 +1,197 @@
+/** @file Tests for the scenario file parser/printer. */
+
+#include <gtest/gtest.h>
+
+#include "scenario/param_space.hh"
+#include "scenario/scenario_spec.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+/** Parse @p text expecting success. */
+ScenarioSpec
+parseOk(const std::string &text)
+{
+    std::string err;
+    auto spec = ScenarioSpec::parseText(text, "test.scn", &err);
+    EXPECT_TRUE(spec) << err;
+    return spec ? *spec : ScenarioSpec{};
+}
+
+/** Parse @p text expecting failure; returns the diagnostic. */
+std::string
+parseErr(const std::string &text)
+{
+    std::string err;
+    auto spec = ScenarioSpec::parseText(text, "test.scn", &err);
+    EXPECT_FALSE(spec) << "unexpected parse success";
+    return err;
+}
+
+const char *kFullText = R"(# exercise every section
+[scenario]
+name = everything
+insts = 123456
+
+[system]
+core = inorder
+il1.size = 16384
+dl1.assoc = 4
+l2.size = 1048576
+lat.l2 = 16
+energy.clock = 12.5
+
+[workloads]
+apps = ammp,gcc,swim
+
+[axes]
+org = ways,sets,hybrid
+assoc = 2,4
+lat.mem = 60,120
+
+[sampling]
+interval = 100000
+detail = 10000
+warmup = 20000
+
+[search]
+strategy = dynamic
+side = icache
+intervals = 2048
+miss-fractions = 0.01,0.05
+size-fractions = 0,0.5
+)";
+
+} // namespace
+
+TEST(ScenarioSpecTest, ParseReadsEverySection)
+{
+    const ScenarioSpec spec = parseOk(kFullText);
+    EXPECT_EQ(spec.name, "everything");
+    EXPECT_EQ(spec.insts, 123456u);
+    EXPECT_EQ(spec.system.coreModel, CoreModel::InOrder);
+    EXPECT_EQ(spec.system.il1.size, 16384u);
+    EXPECT_EQ(spec.system.dl1.assoc, 4u);
+    EXPECT_EQ(spec.system.l2.size, 1048576u);
+    EXPECT_EQ(spec.system.lat.l2Latency, 16u);
+    EXPECT_DOUBLE_EQ(spec.system.energy.clockPerCycle, 12.5);
+    EXPECT_EQ(spec.apps,
+              (std::vector<std::string>{"ammp", "gcc", "swim"}));
+    ASSERT_EQ(spec.axes.size(), 3u);
+    EXPECT_EQ(spec.axes[0].name, "org");
+    EXPECT_EQ(spec.axes[2].values,
+              (std::vector<std::string>{"60", "120"}));
+    EXPECT_TRUE(spec.sampling.enabled());
+    EXPECT_EQ(spec.sampling.intervalInsts, 100000u);
+    EXPECT_EQ(spec.search.strategy, Strategy::Dynamic);
+    EXPECT_EQ(spec.search.side, SweepSide::ICache);
+    EXPECT_EQ(spec.search.dynGrid.intervals,
+              (std::vector<std::uint64_t>{2048}));
+    EXPECT_EQ(spec.search.dynGrid.missFractions,
+              (std::vector<double>{0.01, 0.05}));
+    EXPECT_EQ(spec.search.dynGrid.sizeFractions,
+              (std::vector<double>{0, 0.5}));
+}
+
+TEST(ScenarioSpecTest, PrintParseRoundTrips)
+{
+    // The invariant the subsystem is built on:
+    // parse(print(spec)) == spec, for defaults-only and for a spec
+    // touching every section.
+    for (const std::string text :
+         {std::string("[scenario]\nname = minimal\n"),
+          std::string(kFullText)}) {
+        const ScenarioSpec spec = parseOk(text);
+        const ScenarioSpec again = parseOk(spec.printToString());
+        EXPECT_EQ(spec, again) << spec.printToString();
+        // And printing is a fixed point: print(parse(print)) is
+        // byte-identical.
+        EXPECT_EQ(spec.printToString(), again.printToString());
+    }
+}
+
+TEST(ScenarioSpecTest, DiagnosticsCarryFileAndLine)
+{
+    EXPECT_EQ(parseErr("[scenario]\nbogus = 1\n").substr(0, 11),
+              "test.scn:2:");
+    EXPECT_NE(parseErr("[scenario]\nbogus = 1\n").find("bogus"),
+              std::string::npos);
+    EXPECT_EQ(parseErr("[nope]\n").substr(0, 11), "test.scn:1:");
+    // Line numbers count comments and blanks.
+    const std::string err =
+        parseErr("# comment\n\n[system]\nil1.size = potato\n");
+    EXPECT_EQ(err.substr(0, 11), "test.scn:4:");
+    EXPECT_NE(err.find("potato"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RejectsMalformedInput)
+{
+    EXPECT_NE(parseErr("key = 1\n").find("before any [section]"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[scenario]\nno-equals-here\n")
+                  .find("key = value"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[scenario]\ninsts = 0\n").find("positive"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[workloads]\napps = ammp,nosuchapp\n")
+                  .find("unknown app"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[axes]\norg = ways\norg = sets\n")
+                  .find("duplicate axis"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[axes]\nfrobnicate = 1,2\n")
+                  .find("unknown axis"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[axes]\norg = ways,bogus\n")
+                  .find("ways|sets|hybrid"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[sampling]\ndetail = 100\n")
+                  .find("need a sampling interval"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[sampling]\ninterval = 1000\ndetail = 2000\n")
+                  .find("fit in the sample period"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[search]\nmiss-fractions = 0.5,2\n")
+                  .find("(0, 1)"),
+              std::string::npos);
+}
+
+TEST(ScenarioSpecTest, CheckedInScenariosValidate)
+{
+#ifdef RCACHE_SCENARIO_SOURCE_DIR
+    for (const char *name : {"fig4.scn", "fig9.scn",
+                             "inorder_lowpower.scn",
+                             "l2_latency.scn"}) {
+        const std::string path =
+            std::string(RCACHE_SCENARIO_SOURCE_DIR) + "/" + name;
+        std::string err;
+        auto spec = ScenarioSpec::parseFile(path, &err);
+        ASSERT_TRUE(spec) << err;
+        EXPECT_TRUE(ParamSpace::build(*spec, &err)) << err;
+        // Round-trip holds for the shipped files too.
+        const ScenarioSpec again = parseOk(spec->printToString());
+        EXPECT_EQ(*spec, again) << path;
+    }
+#else
+    GTEST_SKIP() << "RCACHE_SCENARIO_SOURCE_DIR not defined";
+#endif
+}
+
+TEST(ScenarioSpecTest, SystemConfigKeyDistinguishesConfigs)
+{
+    SystemConfig a, b;
+    EXPECT_EQ(systemConfigKey(a), systemConfigKey(b));
+    b.lat.l2Latency = 20;
+    EXPECT_NE(systemConfigKey(a), systemConfigKey(b));
+    b = a;
+    b.energy.clockPerCycle = 12;
+    EXPECT_NE(systemConfigKey(a), systemConfigKey(b));
+    b = a;
+    b.dl1Org = Organization::SelectiveSets;
+    EXPECT_NE(systemConfigKey(a), systemConfigKey(b));
+}
+
+} // namespace rcache

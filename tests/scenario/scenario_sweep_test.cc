@@ -1,0 +1,251 @@
+/** @file
+ * Tests for the scenario sweep engine: shard-union and resume
+ * identities, and consistency with the Experiment searches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "scenario/scenario_sweep.hh"
+#include "sim/experiment.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+/** Small but non-trivial space: 2 apps x (org x strategy) = 8 cells,
+ *  short runs. */
+ScenarioSpec
+smallSpec()
+{
+    std::string err;
+    auto spec = ScenarioSpec::parseText(R"([scenario]
+name = sweep-test
+insts = 20000
+
+[workloads]
+apps = ammp,gcc
+
+[axes]
+org = ways,sets
+strategy = static,dynamic
+
+[search]
+intervals = 1024
+miss-fractions = 0.01
+size-fractions = 0,1
+)",
+                                        "sweep-test.scn", &err);
+    EXPECT_TRUE(spec) << err;
+    return *spec;
+}
+
+std::string
+pathIn(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+SweepOptions
+csvTo(const std::string &path)
+{
+    SweepOptions opt;
+    opt.outPath = path;
+    opt.quiet = true;
+    return opt;
+}
+
+} // namespace
+
+TEST(ScenarioSweepTest, ShardUnionEqualsFullSweep)
+{
+    const ScenarioSpec spec = smallSpec();
+
+    ASSERT_EQ(runScenarioSweep(spec, csvTo(pathIn("full.csv"))), 0);
+    const std::string full = slurp(pathIn("full.csv"));
+
+    SweepOptions s0 = csvTo(pathIn("s0.csv"));
+    s0.shard = ShardSpec{0, 2};
+    SweepOptions s1 = csvTo(pathIn("s1.csv"));
+    s1.shard = ShardSpec{1, 2};
+    ASSERT_EQ(runScenarioSweep(spec, s0), 0);
+    ASSERT_EQ(runScenarioSweep(spec, s1), 0);
+
+    // Modulo partitioning: merging = round-robin interleave of the
+    // shards' data rows (equivalently: sort the union on the leading
+    // cell column).
+    std::istringstream f0(slurp(pathIn("s0.csv"))),
+        f1(slurp(pathIn("s1.csv")));
+    std::string h0, h1, merged;
+    std::getline(f0, h0);
+    std::getline(f1, h1);
+    EXPECT_EQ(h0, sweepCsvHeader());
+    EXPECT_EQ(h1, sweepCsvHeader());
+    merged = h0 + "\n";
+    std::string r0, r1;
+    while (std::getline(f0, r0)) {
+        merged += r0 + "\n";
+        if (std::getline(f1, r1))
+            merged += r1 + "\n";
+    }
+    EXPECT_EQ(merged, full);
+}
+
+TEST(ScenarioSweepTest, ResumeAfterTruncatedCsvIsByteIdentical)
+{
+    const ScenarioSpec spec = smallSpec();
+    ASSERT_EQ(runScenarioSweep(spec, csvTo(pathIn("ref.csv"))), 0);
+    const std::string full = slurp(pathIn("ref.csv"));
+
+    // Chop mid-row (simulating a kill during the final write): the
+    // partial row must be recomputed, the complete prefix reused.
+    const std::string truncated = full.substr(0, full.size() - 10);
+    ASSERT_NE(truncated.back(), '\n');
+    {
+        std::ofstream out(pathIn("resume.csv"), std::ios::binary);
+        out << truncated;
+    }
+    SweepOptions opt;
+    opt.resumePath = pathIn("resume.csv");
+    opt.quiet = true;
+    ASSERT_EQ(runScenarioSweep(spec, opt), 0);
+    EXPECT_EQ(slurp(pathIn("resume.csv")), full);
+
+    // Resuming a complete file is a no-op rewrite.
+    ASSERT_EQ(runScenarioSweep(spec, opt), 0);
+    EXPECT_EQ(slurp(pathIn("resume.csv")), full);
+}
+
+TEST(ScenarioSweepTest, ResumeRejectsMismatchedEnumeration)
+{
+    const ScenarioSpec spec = smallSpec();
+    ASSERT_EQ(runScenarioSweep(spec, csvTo(pathIn("mis.csv"))), 0);
+
+    // The same file under a different shard does not line up.
+    SweepOptions opt;
+    opt.resumePath = pathIn("mis.csv");
+    opt.shard = ShardSpec{1, 2};
+    opt.quiet = true;
+    EXPECT_EQ(runScenarioSweep(spec, opt), 2);
+
+    // Nor does a scenario whose axes enumerate different
+    // coordinates: every kept row's design-point coordinates are
+    // verified, not just its cell index.
+    ScenarioSpec reordered = spec;
+    reordered.axes[0].values = {"sets", "ways"};
+    SweepOptions plain;
+    plain.resumePath = pathIn("mis.csv");
+    plain.quiet = true;
+    EXPECT_EQ(runScenarioSweep(reordered, plain), 2);
+}
+
+TEST(ScenarioSweepTest, AnyRowBoundaryPrefixResumesIdentically)
+{
+    // The crash-safety contract behind chunked streaming: a run
+    // interrupted at any row boundary leaves a file --resume can
+    // rebuild byte-identically.
+    const ScenarioSpec spec = smallSpec();
+    ASSERT_EQ(runScenarioSweep(spec, csvTo(pathIn("chunk.csv"))), 0);
+    const std::string full = slurp(pathIn("chunk.csv"));
+
+    // Cut after each row boundary in turn and resume; every prefix
+    // must rebuild the identical file.
+    std::size_t nl = full.find('\n');
+    while ((nl = full.find('\n', nl + 1)) != std::string::npos) {
+        {
+            std::ofstream out(pathIn("chunk.csv"),
+                              std::ios::binary | std::ios::trunc);
+            out << full.substr(0, nl + 1);
+        }
+        SweepOptions opt;
+        opt.resumePath = pathIn("chunk.csv");
+        opt.quiet = true;
+        ASSERT_EQ(runScenarioSweep(spec, opt), 0);
+        ASSERT_EQ(slurp(pathIn("chunk.csv")), full);
+    }
+}
+
+TEST(ScenarioSweepTest, RecordsMatchExperimentSearches)
+{
+    // One axis-free cell must agree exactly with the Experiment API
+    // it wraps.
+    std::string err;
+    auto spec = ScenarioSpec::parseText(R"([scenario]
+name = consistency
+insts = 20000
+
+[workloads]
+apps = ammp
+
+[search]
+org = sets
+strategy = static
+side = dcache
+)",
+                                        "consistency.scn", &err);
+    ASSERT_TRUE(spec) << err;
+    ASSERT_EQ(runScenarioSweep(*spec, csvTo(pathIn("one.csv"))), 0);
+
+    std::istringstream csv(slurp(pathIn("one.csv")));
+    auto records = readSweepCsv(csv, &err);
+    ASSERT_TRUE(records) << err;
+    ASSERT_EQ(records->size(), 1u);
+    const SweepRecord &r = records->front();
+
+    Experiment exp(SystemConfig::base(), 20000);
+    const SearchOutcome out = exp.staticSearch(
+        profileByName("ammp"), CacheSide::DCache,
+        Organization::SelectiveSets);
+    EXPECT_EQ(r.cell, 0u);
+    EXPECT_EQ(r.app, "ammp");
+    EXPECT_EQ(r.axes, "");
+    EXPECT_EQ(r.bestLevel, out.bestLevel);
+    EXPECT_DOUBLE_EQ(r.edReductionPct, out.edReductionPct());
+    EXPECT_DOUBLE_EQ(r.baselineEdp, out.baseline.edp());
+    EXPECT_EQ(r.bestCycles, out.best.cycles);
+}
+
+TEST(ScenarioSweepTest, BothSideCellsRunTheCombinedPoint)
+{
+    std::string err;
+    auto spec = ScenarioSpec::parseText(R"([scenario]
+name = both
+insts = 20000
+
+[workloads]
+apps = m88ksim
+
+[search]
+org = sets
+strategy = static
+side = both
+)",
+                                        "both.scn", &err);
+    ASSERT_TRUE(spec) << err;
+    ASSERT_EQ(runScenarioSweep(*spec, csvTo(pathIn("both.csv"))), 0);
+    std::istringstream csv(slurp(pathIn("both.csv")));
+    auto records = readSweepCsv(csv, &err);
+    ASSERT_TRUE(records) << err;
+    ASSERT_EQ(records->size(), 1u);
+    const SweepRecord &r = records->front();
+    EXPECT_EQ(r.side, "both");
+    // Both caches shrank (m88ksim has slack on both sides).
+    EXPECT_LT(r.avgIl1Bytes + r.avgDl1Bytes, 2 * 32 * 1024.0);
+    EXPECT_GT(r.sizeReductionPct, 0.0);
+}
+
+} // namespace rcache

@@ -110,6 +110,93 @@ TEST(ExperimentTest, SearchGridsExposed)
     }
 }
 
+TEST(ExperimentTest, TieBreakPrefersLargerCacheLowerIndex)
+{
+    // Equal-E.D candidates: the documented strict-< contract keeps
+    // the first minimum, i.e. the lower index / larger cache.
+    RunResult base;
+    base.insts = 1000;
+    base.cycles = 100;
+    base.energy.core = 10.0;
+
+    auto point = [](double energy, std::uint64_t cycles) {
+        RunResult r;
+        r.insts = 1000;
+        r.cycles = cycles;
+        r.energy.core = energy;
+        return r;
+    };
+    // Levels 1 and 2 have exactly equal E.D (8*100 == 4*200);
+    // level 3 is strictly worse.
+    const std::vector<RunResult> results = {
+        point(10.0, 100), point(8.0, 100), point(4.0, 200),
+        point(12.0, 100)};
+    const SearchOutcome out =
+        Experiment::reduceStatic(base, results);
+    EXPECT_EQ(out.bestLevel, 1u);
+    EXPECT_DOUBLE_EQ(out.best.edp(), 800.0);
+
+    // Same contract through the dynamic reduction.
+    std::vector<DynamicParams> grid(results.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        grid[i].intervalAccesses = 1024 * (i + 1);
+    const SearchOutcome dyn =
+        Experiment::reduceDynamic(base, grid, results);
+    EXPECT_EQ(dyn.bestParams.intervalAccesses, 2 * 1024u);
+}
+
+TEST(ExperimentTest, ZeroBaselineGuardsReturnZero)
+{
+    // Degenerate baselines (zero E.D / zero enabled bytes) must not
+    // divide by zero; the accessors warn and return 0.
+    SearchOutcome out;
+    out.best.cycles = 100;
+    out.best.energy.core = 5.0;
+    out.best.avgDl1Bytes = 1024;
+    EXPECT_EQ(out.baseline.edp(), 0.0);
+    EXPECT_DOUBLE_EQ(out.relativeED(), 0.0);
+    EXPECT_DOUBLE_EQ(out.edReductionPct(), 0.0);
+    EXPECT_DOUBLE_EQ(out.perfDegradationPct(), 0.0);
+    EXPECT_DOUBLE_EQ(out.sizeReductionPct(CacheSide::DCache), 0.0);
+    EXPECT_DOUBLE_EQ(out.sizeReductionPct(CacheSide::ICache), 0.0);
+}
+
+TEST(ExperimentTest, SearchGridOverrideShrinksDynamicGrid)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    const std::size_t full_size =
+        exp.dynamicGrid(CacheSide::DCache,
+                        Organization::SelectiveSets)
+            .size();
+    EXPECT_EQ(full_size, 2u * 4u * 4u);
+
+    SearchGrid grid;
+    grid.intervals = {4096};
+    grid.missFractions = {0.01};
+    grid.sizeFractions = {0, 1.0};
+    exp.setSearchGrid(grid);
+    const auto small = exp.dynamicGrid(CacheSide::DCache,
+                                       Organization::SelectiveSets);
+    ASSERT_EQ(small.size(), 2u);
+    EXPECT_EQ(small[0].intervalAccesses, 4096u);
+    EXPECT_EQ(small[0].missBound, 40u);
+    EXPECT_EQ(small[0].sizeBoundBytes, 0u);
+    EXPECT_EQ(small[1].sizeBoundBytes, 32u * 1024u);
+}
+
+TEST(ExperimentTest, GenericSearchMatchesWrappers)
+{
+    Experiment exp(SystemConfig::base(), kInsts);
+    auto p = profileByName("ammp");
+    const SearchOutcome wrapped = exp.staticSearch(
+        p, CacheSide::DCache, Organization::SelectiveSets);
+    const SearchOutcome generic =
+        exp.search(p, CacheSide::DCache,
+                   Organization::SelectiveSets, Strategy::Static);
+    EXPECT_EQ(wrapped.bestLevel, generic.bestLevel);
+    EXPECT_DOUBLE_EQ(wrapped.best.edp(), generic.best.edp());
+}
+
 TEST(ExperimentTest, PerfDegradationSignConvention)
 {
     Experiment exp(SystemConfig::base(), kInsts);

@@ -78,10 +78,12 @@ SweepRecord
 sampleRecord()
 {
     SweepRecord r;
+    r.cell = 7;
     r.app = "ammp";
     r.org = "sets";
     r.strategy = "static";
     r.side = "dcache";
+    r.axes = "assoc=4;org=sets";
     r.bestLevel = 3;
     r.edReductionPct = 12.5;
     r.perfDegradationPct = 0.5722431103582171;
@@ -104,9 +106,10 @@ TEST(ReportTest, SweepCsvIsStableAndParsable)
     const std::string s = os.str();
     // Header + one row, integral values as plain integers, and the
     // non-integral double at round-trip precision.
-    EXPECT_EQ(s.substr(0, 4), "app,");
-    EXPECT_NE(s.find("\nammp,sets,static,dcache,3,"),
-              std::string::npos);
+    EXPECT_EQ(s.substr(0, 5), "cell,");
+    EXPECT_NE(
+        s.find("\n7,ammp,sets,static,dcache,assoc=4;org=sets,3,"),
+        std::string::npos);
     EXPECT_NE(s.find(",50,"), std::string::npos);
     EXPECT_NE(s.find("0.5722431103582171"), std::string::npos);
     EXPECT_NE(s.find(",32768,"), std::string::npos);
@@ -115,6 +118,54 @@ TEST(ReportTest, SweepCsvIsStableAndParsable)
     std::ostringstream again;
     writeSweepCsv(again, {sampleRecord()});
     EXPECT_EQ(s, again.str());
+}
+
+TEST(ReportTest, SweepCsvRoundTripsExactly)
+{
+    // write -> read -> write is byte-identical: what makes resumed
+    // sweeps indistinguishable from uninterrupted ones.
+    SweepRecord plain = sampleRecord();
+    SweepRecord empty_axes = sampleRecord();
+    empty_axes.cell = 8;
+    empty_axes.axes.clear();
+    empty_axes.sampled = true;
+    std::ostringstream first;
+    writeSweepCsv(first, {plain, empty_axes});
+
+    std::istringstream back(first.str());
+    std::string err;
+    auto records = readSweepCsv(back, &err);
+    ASSERT_TRUE(records) << err;
+    ASSERT_EQ(records->size(), 2u);
+    EXPECT_EQ(records->front().cell, 7u);
+    EXPECT_EQ(records->front().axes, "assoc=4;org=sets");
+    EXPECT_DOUBLE_EQ(records->front().perfDegradationPct,
+                     0.5722431103582171);
+    EXPECT_TRUE(records->back().sampled);
+
+    std::ostringstream second;
+    writeSweepCsv(second, *records);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ReportTest, SweepCsvReaderIsStrict)
+{
+    std::string err;
+
+    std::istringstream bad_header("nope\n1,2\n");
+    EXPECT_FALSE(readSweepCsv(bad_header, &err));
+    EXPECT_NE(err.find("header"), std::string::npos);
+
+    std::istringstream short_row(sweepCsvHeader() + "\n1,ammp\n");
+    EXPECT_FALSE(readSweepCsv(short_row, &err));
+    EXPECT_NE(err.find("20 fields"), std::string::npos);
+
+    std::ostringstream good;
+    writeSweepCsv(good, {sampleRecord()});
+    std::istringstream bad_cell(
+        good.str() + "x" + good.str().substr(sweepCsvHeader().size() +
+                                             2));
+    EXPECT_FALSE(readSweepCsv(bad_cell, &err));
 }
 
 TEST(ReportTest, SweepJsonCarriesAllFields)

@@ -3,21 +3,25 @@
  * rcache-sim: unified CLI driver for the resizable-cache simulator.
  *
  * Subcommands:
- *   sweep     profiling grid over org x strategy x app, fanned across
- *             a SweepRunner thread pool, reported as CSV/JSON/table
+ *   sweep     design-space sweep from a scenario file (--scenario) or
+ *             the legacy org x strategy x app grid flags, fanned
+ *             across a SweepRunner thread pool, shardable (--shard)
+ *             and resumable (--resume), reported as CSV/JSON/table
  *   run       one explicit design point, full run report
  *   replay    drive a recorded trace file through one design point
+ *   scenario  check/print scenario files
  *   list-apps print the benchmark suite names
  *
- * The sweep enumerates every cell's jobs up front and executes them
- * as ONE batch, so the pool stays busy across cell boundaries; the
- * report is assembled in enumeration order afterwards, which is what
- * makes the output byte-identical for any --jobs value.
+ * Both sweep paths converge on the scenario engine
+ * (scenario/scenario_sweep.hh): the grid flags are sugar that builds
+ * the equivalent ScenarioSpec. The engine enumerates every cell's
+ * jobs up front and executes them as ONE batch, so the pool stays
+ * busy across cell boundaries and the output is byte-identical for
+ * any --jobs value, shard partition, or resume point.
  */
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -26,7 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "runner/shard.hh"
 #include "runner/sweep_runner.hh"
+#include "scenario/scenario_spec.hh"
+#include "scenario/scenario_sweep.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "workload/profiles.hh"
@@ -43,55 +50,27 @@ usage(std::ostream &os, int code)
     os << "rcache-sim — resizable-cache design-space explorer\n"
           "\n"
           "usage:\n"
-          "  rcache-sim sweep [options]   parallel org x strategy x "
-          "app profiling grid\n"
-          "  rcache-sim run [options]     one explicit design point\n"
-          "  rcache-sim replay [options]  drive a recorded trace "
+          "  rcache-sim sweep [options]     design-space sweep "
+          "(--scenario file or grid flags)\n"
+          "  rcache-sim run [options]       one explicit design "
+          "point\n"
+          "  rcache-sim replay [options]    drive a recorded trace "
           "file\n"
-          "  rcache-sim record [options]  record a profile's stream "
-          "to a trace file\n"
-          "  rcache-sim list-apps         print the benchmark suite\n"
+          "  rcache-sim record [options]    record a profile's "
+          "stream to a trace file\n"
+          "  rcache-sim scenario check f..  validate scenario files\n"
+          "  rcache-sim scenario print f    print a scenario's "
+          "canonical form\n"
+          "  rcache-sim list-apps           print the benchmark "
+          "suite\n"
           "\n"
-          "common options:\n"
-          "  --insts N       instructions per run (default 400000)\n"
-          "  --jobs N        worker threads (default 1, 0 = all "
-          "cores)\n"
-          "  --assoc N       override both L1 associativities\n"
-          "\n"
-          "sampling options (sweep/run):\n"
-          "  --sample N          sampled simulation with period N "
-          "insts\n"
-          "  --sample-detail D   measured insts per period (default "
-          "N/10)\n"
-          "  --sample-warmup W   functional cache/predictor warmup "
-          "insts per period (default N/5)\n"
-          "\n"
-          "sweep options:\n"
-          "  --apps a,b,c    subset of the suite (default: all)\n"
-          "  --orgs list     of ways,sets,hybrid (default: "
-          "ways,sets)\n"
-          "  --strategies l  of static,dynamic (default: static)\n"
-          "  --side s        icache|dcache|both (default: dcache;\n"
-          "                  both is static-only, Fig 9 style)\n"
-          "  --format f      csv|json|table (default: csv)\n"
-          "  --out FILE      write the report to FILE, not stdout\n"
-          "  --progress      per-job progress on stderr\n"
-          "\n"
-          "run/replay/record options:\n"
-          "  --app NAME      profile to run (run/record, required)\n"
-          "  --trace FILE    trace file (replay only, required)\n"
-          "  --out FILE      trace destination (record, required)\n"
-          "  --name NAME     workload label (replay, default "
-          "'trace')\n"
-          "  per cache C in {il1, dl1}:\n"
-          "    --C-org X         none|ways|sets|hybrid\n"
-          "    --C-strategy X    none|static|dynamic\n"
-          "    --C-level N       static schedule level\n"
-          "    --C-interval N    dynamic interval (accesses)\n"
-          "    --C-miss-bound N  dynamic miss bound per interval\n"
-          "    --C-size-bound N  dynamic size bound (bytes)\n"
+          "Each subcommand documents its own options: "
+          "'rcache-sim <subcommand> --help'.\n"
           "\n"
           "example:\n"
+          "  rcache-sim sweep --scenario scenarios/fig4.scn --jobs 0 "
+          "\\\n"
+          "      --shard 0/2 --out shard0.csv\n"
           "  rcache-sim sweep --apps ammp,gcc,swim --orgs ways,sets "
           "\\\n"
           "      --strategies static,dynamic --side dcache --jobs 0 "
@@ -146,10 +125,10 @@ knownOptions(const std::string &cmd)
         keys.insert(keys.end(), more.begin(), more.end());
     };
     if (cmd == "sweep") {
-        add({"--insts", "--jobs", "--assoc", "--apps", "--orgs",
-             "--strategies", "--side", "--format", "--out",
-             "--progress", "--sample", "--sample-detail",
-             "--sample-warmup"});
+        add({"--scenario", "--shard", "--resume", "--insts", "--jobs",
+             "--assoc", "--apps", "--orgs", "--strategies", "--side",
+             "--format", "--out", "--progress", "--sample",
+             "--sample-detail", "--sample-warmup"});
     } else if (cmd == "run") {
         add({"--insts", "--assoc", "--app", "--sample",
              "--sample-detail", "--sample-warmup"});
@@ -164,6 +143,113 @@ knownOptions(const std::string &cmd)
     }
     // list-apps takes no options beyond --help.
     return keys;
+}
+
+/** One-line purpose of each subcommand (the --help headline). */
+std::string
+commandPurpose(const std::string &cmd)
+{
+    if (cmd == "sweep")
+        return "design-space sweep (--scenario file or grid flags)";
+    if (cmd == "run")
+        return "one explicit design point, full run report";
+    if (cmd == "replay")
+        return "drive a recorded trace file through a design point";
+    if (cmd == "record")
+        return "record a profile's stream to a trace file";
+    if (cmd == "list-apps")
+        return "print the benchmark suite names";
+    return "";
+}
+
+/**
+ * One-line help for every option key. The per-subcommand help is
+ * GENERATED from knownOptions() plus this table, so an option added
+ * to an allowlist shows up in that subcommand's --help automatically.
+ */
+std::string
+optionHelp(const std::string &key)
+{
+    static const std::map<std::string, const char *> help = {
+        {"--help", "show this help and exit"},
+        {"--insts", "instructions per run (default 400000)"},
+        {"--jobs", "worker threads (default 1, 0 = all cores)"},
+        {"--assoc", "override both L1 associativities (1..64)"},
+        {"--scenario",
+         "scenario file describing the sweep (replaces the grid "
+         "flags)"},
+        {"--shard",
+         "i/N: run only cells with index == i mod N (merge shards "
+         "by sorting rows on the cell column)"},
+        {"--resume",
+         "CSV of an interrupted sweep: verify its completed rows, "
+         "simulate only the rest, write the merged file back"},
+        {"--apps", "comma list of profiles (default: all)"},
+        {"--orgs",
+         "comma list of ways,sets,hybrid (default: ways,sets)"},
+        {"--strategies",
+         "comma list of static,dynamic (default: static)"},
+        {"--side",
+         "icache|dcache|both (default: dcache; both is static-only, "
+         "Fig 9 style)"},
+        {"--format", "csv|json|table (default: csv)"},
+        {"--out", "write the report/trace to FILE, not stdout"},
+        {"--progress", "per-job progress on stderr"},
+        {"--sample", "sampled simulation with period N insts"},
+        {"--sample-detail",
+         "measured insts per period (default N/10)"},
+        {"--sample-warmup",
+         "functional cache/predictor warmup insts per period "
+         "(default N/5)"},
+        {"--app", "profile to run (see list-apps)"},
+        {"--trace", "trace file to replay"},
+        {"--name", "workload label (default 'trace')"},
+    };
+    auto it = help.find(key);
+    if (it != help.end())
+        return it->second;
+    // The per-cache design-point keys (--il1-*/--dl1-*) are
+    // described generically.
+    for (const char *c : {"il1", "dl1"}) {
+        const std::string prefix = std::string("--") + c + "-";
+        if (key.rfind(prefix, 0) != 0)
+            continue;
+        const std::string opt = key.substr(prefix.size());
+        const std::string cache = c;
+        if (opt == "org")
+            return cache + " organization: none|ways|sets|hybrid";
+        if (opt == "strategy")
+            return cache + " strategy: none|static|dynamic";
+        if (opt == "level")
+            return cache + " static schedule level";
+        if (opt == "interval")
+            return cache + " dynamic interval (accesses)";
+        if (opt == "miss-bound")
+            return cache + " dynamic miss bound per interval";
+        if (opt == "size-bound")
+            return cache + " dynamic size bound (bytes)";
+    }
+    return "";
+}
+
+/** Per-subcommand --help, generated from the option allowlist. */
+int
+commandHelp(const std::string &cmd)
+{
+    std::cout << "rcache-sim " << cmd << " — " << commandPurpose(cmd)
+              << "\n\nusage: rcache-sim " << cmd;
+    const auto known = knownOptions(cmd);
+    if (known.size() > 1)
+        std::cout << " [options]";
+    std::cout << "\n\noptions:\n";
+    for (const std::string &key : known) {
+        const std::string arg = isFlag(key) ? key : key + " <v>";
+        std::cout << "  " << arg;
+        for (std::size_t pad = arg.size(); pad < 22; ++pad)
+            std::cout << ' ';
+        std::cout << ' ' << optionHelp(key) << '\n';
+    }
+    return 0;
 }
 
 /**
@@ -290,31 +376,21 @@ parseSampling(const Args &args)
 std::optional<Organization>
 parseOrg(const std::string &name)
 {
-    if (name == "none")
-        return Organization::None;
-    if (name == "ways")
-        return Organization::SelectiveWays;
-    if (name == "sets")
-        return Organization::SelectiveSets;
-    if (name == "hybrid")
-        return Organization::Hybrid;
-    std::cerr << "rcache-sim: unknown organization '" << name
-              << "' (want none|ways|sets|hybrid)\n";
-    return std::nullopt;
+    auto org = parseOrganizationToken(name);
+    if (!org)
+        std::cerr << "rcache-sim: unknown organization '" << name
+                  << "' (want none|ways|sets|hybrid)\n";
+    return org;
 }
 
 std::optional<Strategy>
 parseStrategy(const std::string &name)
 {
-    if (name == "none")
-        return Strategy::None;
-    if (name == "static")
-        return Strategy::Static;
-    if (name == "dynamic")
-        return Strategy::Dynamic;
-    std::cerr << "rcache-sim: unknown strategy '" << name
-              << "' (want none|static|dynamic)\n";
-    return std::nullopt;
+    auto s = parseStrategyToken(name);
+    if (!s)
+        std::cerr << "rcache-sim: unknown strategy '" << name
+                  << "' (want none|static|dynamic)\n";
+    return s;
 }
 
 /** Instructions per run; 0 is rejected (a 0-instruction result is
@@ -350,298 +426,227 @@ baseConfig(const Args &args)
     return cfg;
 }
 
-/** Short org token used in report rows ("ways"/"sets"/"hybrid"). */
-std::string
-orgToken(Organization org)
-{
-    switch (org) {
-      case Organization::None:
-        return "none";
-      case Organization::SelectiveWays:
-        return "ways";
-      case Organization::SelectiveSets:
-        return "sets";
-      case Organization::Hybrid:
-        return "hybrid";
-    }
-    return "?";
-}
-
-SweepRecord
-recordFrom(const std::string &app, Organization org, Strategy strat,
-           const std::string &side, const SearchOutcome &out)
-{
-    SweepRecord r;
-    r.app = app;
-    r.org = orgToken(org);
-    r.strategy = strategyName(strat);
-    r.side = side;
-    r.bestLevel = out.bestLevel;
-    if (strat == Strategy::Dynamic) {
-        r.intervalAccesses = out.bestParams.intervalAccesses;
-        r.missBound = out.bestParams.missBound;
-        r.sizeBoundBytes = out.bestParams.sizeBoundBytes;
-    }
-    r.edReductionPct = out.edReductionPct();
-    r.perfDegradationPct = out.perfDegradationPct();
-    r.baselineEdp = out.baseline.edp();
-    r.bestEdp = out.best.edp();
-    r.baselineCycles = out.baseline.cycles;
-    r.bestCycles = out.best.cycles;
-    r.avgIl1Bytes = out.best.avgIl1Bytes;
-    r.avgDl1Bytes = out.best.avgDl1Bytes;
-    r.sampled = out.best.sampled;
-    return r;
-}
-
 // --------------------------------------------------------------- sweep
 
-int
-cmdSweep(const Args &args)
+/**
+ * Build the ScenarioSpec the legacy grid flags describe: --orgs and
+ * --strategies become axes (in that nesting order, preserving the
+ * historical row order), everything else fixes the base point.
+ */
+std::optional<ScenarioSpec>
+scenarioFromFlags(const Args &args)
 {
-    // ---- resolve the grid
-    std::vector<BenchmarkProfile> apps;
+    ScenarioSpec spec;
+    spec.name = "cli";
+
     if (args.has("--apps")) {
         for (const auto &name : splitList(args.get("--apps", ""))) {
-            auto p = lookupProfile(name);
-            if (!p)
-                return 2;
-            apps.push_back(std::move(*p));
+            if (!lookupProfile(name))
+                return std::nullopt;
+            spec.apps.push_back(name);
         }
-        if (apps.empty()) {
+        if (spec.apps.empty()) {
             std::cerr << "rcache-sim: --apps wants at least one "
                          "profile name\n";
-            return 2;
+            return std::nullopt;
         }
-    } else {
-        apps = spec2000Suite();
     }
 
-    std::vector<Organization> orgs;
+    Axis org_axis{"org", {}};
     for (const auto &name :
          splitList(args.get("--orgs", "ways,sets"))) {
         auto org = parseOrg(name);
         if (!org)
-            return 2;
+            return std::nullopt;
         if (*org == Organization::None) {
             std::cerr << "rcache-sim: sweep --orgs wants "
                          "ways|sets|hybrid\n";
-            return 2;
+            return std::nullopt;
         }
-        orgs.push_back(*org);
+        org_axis.values.push_back(name);
     }
-    if (orgs.empty()) {
+    if (org_axis.values.empty()) {
         std::cerr << "rcache-sim: --orgs wants at least one of "
                      "ways|sets|hybrid\n";
-        return 2;
+        return std::nullopt;
     }
 
-    std::vector<Strategy> strats;
+    Axis strat_axis{"strategy", {}};
     for (const auto &name :
          splitList(args.get("--strategies", "static"))) {
         auto s = parseStrategy(name);
         if (!s)
-            return 2;
+            return std::nullopt;
         if (*s == Strategy::None) {
             std::cerr << "rcache-sim: sweep --strategies wants "
                          "static|dynamic\n";
-            return 2;
+            return std::nullopt;
         }
-        strats.push_back(*s);
+        strat_axis.values.push_back(name);
     }
-    if (strats.empty()) {
+    if (strat_axis.values.empty()) {
         std::cerr << "rcache-sim: --strategies wants at least one of "
                      "static|dynamic\n";
-        return 2;
+        return std::nullopt;
     }
+    spec.axes = {std::move(org_axis), std::move(strat_axis)};
 
     const std::string side_name = args.get("--side", "dcache");
-    const bool both_sides = side_name == "both";
-    CacheSide side = CacheSide::DCache;
-    if (side_name == "icache")
-        side = CacheSide::ICache;
-    else if (side_name != "dcache" && !both_sides) {
+    auto side = parseSweepSideToken(side_name);
+    if (!side) {
         std::cerr << "rcache-sim: --side wants icache|dcache|both\n";
-        return 2;
+        return std::nullopt;
     }
-    if (both_sides)
-        for (Strategy s : strats)
-            if (s != Strategy::Static) {
-                std::cerr << "rcache-sim: --side both supports only "
-                             "--strategies static (the paper "
-                             "profiles each side separately)\n";
-                return 2;
-            }
+    spec.search.side = *side;
 
-    const auto insts_opt = parseInsts(args);
-    const auto jobs_opt = parseU64(args, "--jobs", 1);
+    const auto insts = parseInsts(args);
     const auto cfg = baseConfig(args);
     const auto sampling = parseSampling(args);
-    if (!insts_opt || !jobs_opt || !cfg || !sampling)
-        return 2;
-    const std::uint64_t insts = *insts_opt;
-    const unsigned jobs = static_cast<unsigned>(*jobs_opt);
-    const std::string format = args.get("--format", "csv");
-    if (format != "csv" && format != "json" && format != "table") {
-        std::cerr << "rcache-sim: --format wants csv|json|table\n";
-        return 2;
-    }
+    if (!insts || !cfg || !sampling)
+        return std::nullopt;
+    spec.insts = *insts;
+    spec.system = *cfg;
+    spec.sampling = *sampling;
+    return spec;
+}
 
-    Experiment exp(*cfg, insts);
-    exp.setSampling(*sampling);
-    SweepRunner runner(jobs);
-    if (args.flags.count("--progress")) {
-        runner.setProgress([](std::size_t done, std::size_t total,
-                              const RunJob &job) {
-            std::cerr << "[" << done << "/" << total << "] "
-                      << job.label << '\n';
-        });
-    }
-
-    // ---- enumerate one flat batch: baselines first, then each
-    // cell's search jobs (enumeration order = report order)
-    struct Cell
-    {
-        std::size_t app;
-        Organization org;
-        Strategy strat;
-        /** Batch offsets. Single side: [off, off+count). Both sides:
-         *  d jobs at [off, off+count), i at [ioff, ioff+icount). */
-        std::size_t off = 0, count = 0;
-        std::size_t ioff = 0, icount = 0;
-        std::vector<DynamicParams> grid;
-    };
-
-    std::vector<RunJob> batch;
-    std::vector<std::size_t> baseIdx(apps.size());
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        baseIdx[a] = batch.size();
-        batch.push_back(exp.baselineJob(apps[a]));
-    }
-
-    std::vector<Cell> cells;
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        for (Organization org : orgs) {
-            for (Strategy strat : strats) {
-                Cell cell;
-                cell.app = a;
-                cell.org = org;
-                cell.strat = strat;
-                if (both_sides) {
-                    auto d = exp.staticSearchJobs(
-                        apps[a], CacheSide::DCache, org);
-                    cell.off = batch.size();
-                    cell.count = d.size();
-                    batch.insert(batch.end(), d.begin(), d.end());
-                    auto i = exp.staticSearchJobs(
-                        apps[a], CacheSide::ICache, org);
-                    cell.ioff = batch.size();
-                    cell.icount = i.size();
-                    batch.insert(batch.end(), i.begin(), i.end());
-                } else if (strat == Strategy::Static) {
-                    auto j = exp.staticSearchJobs(apps[a], side, org);
-                    cell.off = batch.size();
-                    cell.count = j.size();
-                    batch.insert(batch.end(), j.begin(), j.end());
-                } else {
-                    auto j =
-                        exp.dynamicSearchJobs(apps[a], side, org);
-                    cell.grid = exp.dynamicGrid(side, org);
-                    cell.off = batch.size();
-                    cell.count = j.size();
-                    batch.insert(batch.end(), j.begin(), j.end());
-                }
-                cells.push_back(std::move(cell));
+int
+cmdSweep(const Args &args)
+{
+    // ---- resolve the scenario: a file, or the grid flags
+    std::optional<ScenarioSpec> spec;
+    if (args.has("--scenario")) {
+        // The scenario file owns the grid; mixing it with grid flags
+        // would make two sources of truth.
+        for (const char *conflict :
+             {"--apps", "--orgs", "--strategies", "--side", "--insts",
+              "--assoc", "--sample", "--sample-detail",
+              "--sample-warmup"}) {
+            if (args.has(conflict)) {
+                std::cerr << "rcache-sim: " << conflict
+                          << " conflicts with --scenario (the "
+                             "scenario file defines the sweep)\n";
+                return 2;
             }
         }
-    }
-
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto results = runner.run(batch);
-
-    // ---- both-sides cells need a second phase: the combined run at
-    // each side's individually profiled level
-    std::vector<RunJob> phase2;
-    std::vector<SearchOutcome> douts(cells.size()),
-        iouts(cells.size());
-    if (both_sides) {
-        for (std::size_t c = 0; c < cells.size(); ++c) {
-            const Cell &cell = cells[c];
-            const RunResult &base = results[baseIdx[cell.app]];
-            douts[c] = Experiment::reduceStatic(
-                base, {results.begin() + cell.off,
-                       results.begin() + cell.off + cell.count});
-            iouts[c] = Experiment::reduceStatic(
-                base, {results.begin() + cell.ioff,
-                       results.begin() + cell.ioff + cell.icount});
-            phase2.push_back(exp.bothStaticJob(
-                apps[cell.app], cell.org, iouts[c].bestLevel,
-                douts[c].bestLevel));
-        }
-    }
-    const auto results2 = runner.run(phase2);
-    const auto t1 = std::chrono::steady_clock::now();
-
-    // ---- reduce in cell order
-    std::vector<SweepRecord> records;
-    records.reserve(cells.size());
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-        const Cell &cell = cells[c];
-        const std::string &app = apps[cell.app].name;
-        const RunResult &base = results[baseIdx[cell.app]];
-        if (both_sides) {
-            SearchOutcome out;
-            out.baseline = base;
-            out.best = results2[c];
-            out.bestLevel = douts[c].bestLevel;
-            SweepRecord r = recordFrom(app, cell.org, cell.strat,
-                                       "both", out);
-            const double full = base.avgIl1Bytes + base.avgDl1Bytes;
-            r.sizeReductionPct =
-                100.0 * (1.0 - (out.best.avgIl1Bytes +
-                                out.best.avgDl1Bytes) /
-                                   full);
-            records.push_back(r);
-            continue;
-        }
-        const std::vector<RunResult> slice{
-            results.begin() + cell.off,
-            results.begin() + cell.off + cell.count};
-        SearchOutcome out =
-            cell.strat == Strategy::Static
-                ? Experiment::reduceStatic(base, slice)
-                : Experiment::reduceDynamic(base, cell.grid, slice);
-        SweepRecord r = recordFrom(app, cell.org, cell.strat,
-                                   cacheSideName(side), out);
-        r.sizeReductionPct = out.sizeReductionPct(side);
-        records.push_back(r);
-    }
-
-    // ---- report
-    std::ofstream file;
-    std::ostream *os = &std::cout;
-    if (args.has("--out")) {
-        file.open(args.get("--out", ""));
-        if (!file) {
-            std::cerr << "rcache-sim: cannot write '"
-                      << args.get("--out", "") << "'\n";
+        std::string err;
+        spec = ScenarioSpec::parseFile(args.get("--scenario", ""),
+                                       &err);
+        if (!spec) {
+            std::cerr << "rcache-sim: " << err << '\n';
             return 2;
         }
-        os = &file;
+    } else {
+        spec = scenarioFromFlags(args);
+        if (!spec)
+            return 2;
     }
-    if (format == "csv")
-        writeSweepCsv(*os, records);
-    else if (format == "json")
-        writeSweepJson(*os, records);
-    else
-        writeSweepTable(*os, records);
 
-    const double secs =
-        std::chrono::duration<double>(t1 - t0).count();
-    std::cerr << "sweep: " << batch.size() + phase2.size()
-              << " runs in " << secs << " s on "
-              << runner.parallelism() << " worker(s)\n";
+    const auto jobs_opt = parseU64(args, "--jobs", 1);
+    if (!jobs_opt)
+        return 2;
+
+    SweepOptions opt;
+    opt.jobs = static_cast<unsigned>(*jobs_opt);
+    opt.format = args.get("--format", "csv");
+    opt.outPath = args.get("--out", "");
+    opt.resumePath = args.get("--resume", "");
+    opt.progress = args.flags.count("--progress") != 0;
+    if (args.has("--shard")) {
+        std::string err;
+        auto shard = ShardSpec::parse(args.get("--shard", ""), &err);
+        if (!shard) {
+            std::cerr << "rcache-sim: --" << err << '\n';
+            return 2;
+        }
+        opt.shard = *shard;
+    }
+
+    return runScenarioSweep(*spec, opt);
+}
+
+// ------------------------------------------------------------ scenario
+
+int
+scenarioHelp()
+{
+    std::cout
+        << "rcache-sim scenario — check/print scenario files\n"
+           "\n"
+           "usage: rcache-sim scenario check FILE...\n"
+           "       rcache-sim scenario print FILE\n"
+           "\n"
+           "check validates each file (parse + axis registry + every\n"
+           "design point's geometry) and reports its size; print\n"
+           "writes the canonical serialization to stdout.\n";
     return 0;
+}
+
+int
+cmdScenario(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::cerr << "rcache-sim: scenario needs a mode: check|print "
+                     "(try 'rcache-sim scenario --help')\n";
+        return 2;
+    }
+    const std::string mode = argv[2];
+    if (mode == "--help")
+        return scenarioHelp();
+    if (mode != "check" && mode != "print") {
+        std::cerr << "rcache-sim: unknown scenario mode '" << mode
+                  << "' (want check|print)\n";
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help")
+            return scenarioHelp();
+        if (arg.rfind("--", 0) == 0) {
+            std::cerr << "rcache-sim: unknown option '" << arg
+                      << "' for 'scenario'\n";
+            return 2;
+        }
+        files.push_back(arg);
+    }
+    if (files.empty()) {
+        std::cerr << "rcache-sim: scenario " << mode
+                  << " needs at least one FILE\n";
+        return 2;
+    }
+    if (mode == "print" && files.size() != 1) {
+        std::cerr << "rcache-sim: scenario print wants exactly one "
+                     "FILE\n";
+        return 2;
+    }
+
+    int code = 0;
+    for (const std::string &file : files) {
+        std::string err;
+        auto spec = ScenarioSpec::parseFile(file, &err);
+        std::optional<ParamSpace> space;
+        if (spec)
+            space = ParamSpace::build(*spec, &err);
+        if (!space) {
+            std::cerr << "rcache-sim: " << err << '\n';
+            code = 2;
+            continue;
+        }
+        if (mode == "print") {
+            spec->print(std::cout);
+            continue;
+        }
+        const std::size_t napps = spec->apps.empty()
+                                      ? suiteNames().size()
+                                      : spec->apps.size();
+        std::cout << file << ": ok (" << spec->name << ": "
+                  << space->numPoints() << " point(s) x " << napps
+                  << " app(s) = " << space->numPoints() * napps
+                  << " cell(s))\n";
+    }
+    return code;
 }
 
 // ---------------------------------------------------------- run/replay
@@ -824,18 +829,22 @@ main(int argc, char **argv)
 
     const bool known_cmd = cmd == "sweep" || cmd == "run" ||
                            cmd == "replay" || cmd == "record" ||
-                           cmd == "list-apps";
+                           cmd == "scenario" || cmd == "list-apps";
     if (!known_cmd) {
         std::cerr << "rcache-sim: unknown subcommand '" << cmd
                   << "' (try 'rcache-sim --help')\n";
         return 2;
     }
 
+    // scenario takes positional FILE arguments; it parses itself.
+    if (cmd == "scenario")
+        return cmdScenario(argc, argv);
+
     auto args = parseArgs(argc, argv, 2, cmd);
     if (!args)
         return 2;
     if (args->flags.count("--help"))
-        return usage(std::cout, 0);
+        return commandHelp(cmd);
 
     if (cmd == "sweep")
         return cmdSweep(*args);
