@@ -1,0 +1,286 @@
+#include "bench/harness/perf_harness.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cpu/functional_core.hh"
+#include "sim/system.hh"
+#include "util/numformat.hh"
+#include "workload/profiles.hh"
+
+namespace rcache::bench
+{
+
+namespace
+{
+
+/** The profile every core-level benchmark streams (a mid-weight mix
+ *  with real phase behavior; fixed so results are comparable). */
+constexpr const char *benchApp = "compress";
+
+/** Keep a computed value alive without letting the optimizer see
+ *  through it. Takes by const reference so T deduces to the value
+ *  type and `volatile T` is a real volatile object (with a
+ *  forwarding reference, lvalue arguments would deduce T as a
+ *  reference and the volatile would be ignored — no barrier). */
+template <typename T>
+void
+consume(const T &v)
+{
+    volatile T sink = v;
+    (void)sink;
+}
+
+BenchResult
+makeResult(const std::string &name, const std::string &unit,
+           std::uint64_t items, unsigned reps, double best_s,
+           std::vector<std::pair<std::string, std::string>> config)
+{
+    BenchResult r;
+    r.name = name;
+    r.unit = unit;
+    r.items = items;
+    r.repetitions = reps;
+    r.wallSeconds = best_s;
+    r.throughput =
+        best_s > 0 ? static_cast<double>(items) / best_s / 1e6 : 0;
+    r.config = std::move(config);
+    return r;
+}
+
+/** Full-detail System run throughput for one core model. */
+BenchResult
+detailedRun(const std::string &name, CoreModel model,
+            const BenchOptions &opts)
+{
+    const double best = bestWallSeconds(opts.repetitions, [&] {
+        SyntheticWorkload wl(profileByName(benchApp));
+        SystemConfig cfg = SystemConfig::base();
+        cfg.coreModel = model;
+        System sys(cfg);
+        consume(sys.run(wl, opts.items).cycles);
+    });
+    return makeResult(
+        name, "Minst/s", opts.items, opts.repetitions, best,
+        {{"app", benchApp},
+         {"insts", std::to_string(opts.items)},
+         {"core", model == CoreModel::OutOfOrder ? "ooo" : "inorder"},
+         {"mode", "detailed"}});
+}
+
+BenchResult
+sampledRun(const BenchOptions &opts)
+{
+    // The sampled engine's shape: measure 1/10 of each period after a
+    // 1/5 warmup (the defaults the CLI derives from --sample).
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(opts.items / 4, 1000);
+    const SamplingConfig sampling = SamplingConfig::sampled(
+        interval, SamplingConfig::defaultDetail(interval),
+        SamplingConfig::defaultWarmup(interval));
+    const double best = bestWallSeconds(opts.repetitions, [&] {
+        SyntheticWorkload wl(profileByName(benchApp));
+        System sys(SystemConfig::base());
+        consume(sys.run(wl, opts.items, {}, {}, sampling).cycles);
+    });
+    return makeResult(
+        "sampled_ooo", "Minst/s", opts.items, opts.repetitions, best,
+        {{"app", benchApp},
+         {"insts", std::to_string(opts.items)},
+         {"core", "ooo"},
+         {"mode", "sampled"},
+         {"sample_interval", std::to_string(interval)}});
+}
+
+BenchResult
+functionalRun(const BenchOptions &opts)
+{
+    const double best = bestWallSeconds(opts.repetitions, [&] {
+        SyntheticWorkload wl(profileByName(benchApp));
+        const SystemConfig cfg = SystemConfig::base();
+        Cache il1("il1", cfg.il1);
+        Cache dl1("dl1", cfg.dl1);
+        Hierarchy hier(&il1, &dl1, cfg.l2, cfg.lat);
+        BranchPredictor bpred(cfg.core.bpred);
+        FunctionalCore func(hier, bpred, cfg.core.fetchWidth, nullptr,
+                            nullptr);
+        func.run(wl, opts.items);
+        consume(dl1.misses());
+    });
+    return makeResult("functional_warmup", "Minst/s", opts.items,
+                      opts.repetitions, best,
+                      {{"app", benchApp},
+                       {"insts", std::to_string(opts.items)},
+                       {"mode", "functional"}});
+}
+
+BenchResult
+workloadBatch(const BenchOptions &opts)
+{
+    const double best = bestWallSeconds(opts.repetitions, [&] {
+        SyntheticWorkload wl(profileByName(benchApp));
+        MicroInst buf[workloadBatchSize];
+        std::uint64_t done = 0;
+        Addr sink = 0;
+        while (done < opts.items) {
+            wl.nextBatch(buf, workloadBatchSize);
+            sink += buf[workloadBatchSize - 1].pc;
+            done += workloadBatchSize;
+        }
+        consume(sink);
+    });
+    return makeResult("workload_batch", "Minst/s", opts.items,
+                      opts.repetitions, best,
+                      {{"app", benchApp},
+                       {"insts", std::to_string(opts.items)},
+                       {"batch", std::to_string(workloadBatchSize)}});
+}
+
+BenchResult
+cacheAccess(const BenchOptions &opts)
+{
+    const double best = bestWallSeconds(opts.repetitions, [&] {
+        Cache c("c", CacheGeometry{32 * 1024, 2, 32, 1024});
+        bool sink = false;
+        Addr a = 0;
+        for (std::uint64_t i = 0; i < opts.items; ++i) {
+            sink ^= c.access(a, false).hit;
+            a += 32;
+        }
+        consume(sink);
+    });
+    return makeResult(
+        "cache_access_stream", "Mops/s", opts.items, opts.repetitions,
+        best,
+        {{"geometry", "32K/2way/32B"},
+         {"accesses", std::to_string(opts.items)}});
+}
+
+} // namespace
+
+double
+bestWallSeconds(unsigned reps, const std::function<void()> &fn)
+{
+    double best = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double s = std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+const std::vector<BenchSpec> &
+perfBenches()
+{
+    static const std::vector<BenchSpec> registry = {
+        {"detailed_ooo",
+         "full-detail OoO System run (the sweep inner loop)",
+         [](const BenchOptions &o) {
+             return detailedRun("detailed_ooo", CoreModel::OutOfOrder,
+                                o);
+         }},
+        {"detailed_inorder", "full-detail in-order System run",
+         [](const BenchOptions &o) {
+             return detailedRun("detailed_inorder", CoreModel::InOrder,
+                                o);
+         }},
+        {"sampled_ooo", "sampled-mode OoO System run",
+         [](const BenchOptions &o) { return sampledRun(o); }},
+        {"functional_warmup",
+         "FunctionalCore state-only advance (sampling warmup path)",
+         [](const BenchOptions &o) { return functionalRun(o); }},
+        {"workload_batch",
+         "SyntheticWorkload::nextBatch stream generation",
+         [](const BenchOptions &o) { return workloadBatch(o); }},
+        {"cache_access_stream",
+         "Cache::access over a sequential block stream",
+         [](const BenchOptions &o) { return cacheAccess(o); }},
+    };
+    return registry;
+}
+
+std::string
+benchJson(const BenchResult &r)
+{
+    // Hand-rolled because the values are flat and the field order
+    // must be stable; strings here are identifiers (no escaping
+    // needed beyond refusing to emit quotes, which none contain).
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"name\": \"" << r.name << "\",\n";
+    os << "  \"unit\": \"" << r.unit << "\",\n";
+    os << "  \"throughput\": " << shortestDouble(r.throughput)
+       << ",\n";
+    os << "  \"wall_seconds\": " << shortestDouble(r.wallSeconds)
+       << ",\n";
+    os << "  \"items\": " << r.items << ",\n";
+    os << "  \"repetitions\": " << r.repetitions << ",\n";
+    os << "  \"config\": {";
+    for (std::size_t i = 0; i < r.config.size(); ++i) {
+        os << (i ? ", " : "") << "\"" << r.config[i].first << "\": \""
+           << r.config[i].second << "\"";
+    }
+    os << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+bool
+writeBenchJson(const BenchResult &r, const std::string &dir,
+               std::string *err)
+{
+    const std::string path = dir + "/BENCH_" + r.name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        if (err)
+            *err = "cannot write '" + path + "'";
+        return false;
+    }
+    out << benchJson(r);
+    out.flush();
+    if (!out) {
+        if (err)
+            *err = "write failed for '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+int
+runPerfBenches(const BenchOptions &opts)
+{
+    int failures = 0;
+    unsigned ran = 0;
+    for (const BenchSpec &spec : perfBenches()) {
+        if (!opts.filter.empty() &&
+            spec.name.find(opts.filter) == std::string::npos)
+            continue;
+        ++ran;
+        const BenchResult r = spec.run(opts);
+        std::printf("%-22s %10.2f %-8s (best of %u, %s wall)\n",
+                    r.name.c_str(), r.throughput, r.unit.c_str(),
+                    r.repetitions,
+                    shortestDouble(r.wallSeconds).c_str());
+        std::fflush(stdout);
+        std::string err;
+        if (!writeBenchJson(r, opts.outDir, &err)) {
+            std::fprintf(stderr, "rcache-sim: %s\n", err.c_str());
+            ++failures;
+        }
+    }
+    if (ran == 0) {
+        std::fprintf(stderr,
+                     "rcache-sim: no benchmark matches filter '%s'\n",
+                     opts.filter.c_str());
+        return 2;
+    }
+    return failures ? 1 : 0;
+}
+
+} // namespace rcache::bench

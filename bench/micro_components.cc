@@ -68,6 +68,21 @@ BM_WorkloadGeneration(benchmark::State &state)
 BENCHMARK(BM_WorkloadGeneration);
 
 void
+BM_WorkloadBatchGeneration(benchmark::State &state)
+{
+    // The cores consume the stream through nextBatch; this is the
+    // generation cost they actually pay per instruction.
+    SyntheticWorkload wl(profileByName("gcc"));
+    MicroInst buf[workloadBatchSize];
+    for (auto _ : state) {
+        wl.nextBatch(buf, workloadBatchSize);
+        benchmark::DoNotOptimize(buf[workloadBatchSize - 1].pc);
+    }
+    state.SetItemsProcessed(state.iterations() * workloadBatchSize);
+}
+BENCHMARK(BM_WorkloadBatchGeneration);
+
+void
 BM_BranchPredictor(benchmark::State &state)
 {
     BranchPredictor bp;

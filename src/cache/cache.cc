@@ -44,6 +44,9 @@ Cache::Cache(const std::string &name, const CacheGeometry &geom,
     if (!err.empty())
         rc_fatal("cache " + name_ + ": invalid geometry: " + err);
 
+    blockBits_ = geom_.blockBits();
+    updateAccessConstants();
+
     stats_.addCounter("accesses", &accesses_, "total accesses");
     stats_.addCounter("misses", &misses_, "total misses");
     stats_.addCounter("writebacks", &writebacks_,
@@ -62,72 +65,94 @@ Cache::Cache(const std::string &name, const CacheGeometry &geom,
         "misses / accesses");
 }
 
-unsigned
-Cache::enabledSubarrays() const
+void
+Cache::updateAccessConstants()
 {
+    setMask_ = enabledSets_ - 1;
+
     // Each way keeps at least one subarray enabled; above that the
     // enabled sets of a way span ceil(sets*blockSize / subarraySize)
     // subarrays (always exact because legal set counts are powers of
-    // two >= setsPerSubarray).
-    std::uint64_t bytes_per_way = enabledSets_ * geom_.blockSize;
-    std::uint64_t per_way =
+    // two >= setsPerSubarray). Recomputed only on resize so the
+    // per-access path pays neither the division nor the branches.
+    const std::uint64_t bytes_per_way = enabledSets_ * geom_.blockSize;
+    const std::uint64_t per_way =
         std::max<std::uint64_t>(1, bytes_per_way / geom_.subarraySize);
-    return static_cast<unsigned>(per_way * enabledWays_);
+    enabledSubarrays_ = static_cast<unsigned>(per_way * enabledWays_);
+
+    replKind_ = policy_->kind();
+    lruFast_ = replKind_ == ReplKind::Lru
+                   ? static_cast<LruPolicy *>(policy_.get())
+                   : nullptr;
+    rndFast_ = replKind_ == ReplKind::Random
+                   ? static_cast<RandomPolicy *>(policy_.get())
+                   : nullptr;
+}
+
+unsigned
+Cache::victimWay(const Block *row)
+{
+    switch (replKind_) {
+      case ReplKind::Lru: {
+        // Inline LRU scan straight over the blocks: no choice
+        // marshalling, no virtual call.
+        unsigned best = 0;
+        for (unsigned w = 1; w < enabledWays_; ++w) {
+            if (row[w].replMeta() < row[best].replMeta())
+                best = w;
+        }
+        return best;
+      }
+      case ReplKind::Random:
+        return rndFast_->pickWay(enabledWays_);
+      case ReplKind::Custom:
+        break;
+    }
+
+    // Generic policies see the classic per-way view, marshalled into
+    // a fixed stack buffer (no per-eviction allocation) unless the
+    // configuration is wider than any we model.
+    constexpr unsigned stack_ways = 64;
+    ReplChoice stack_buf[stack_ways];
+    std::vector<ReplChoice> heap_buf;
+    ReplChoice *choices = stack_buf;
+    if (enabledWays_ > stack_ways) {
+        heap_buf.resize(enabledWays_);
+        choices = heap_buf.data();
+    }
+    for (unsigned w = 0; w < enabledWays_; ++w)
+        choices[w] = {row[w].valid(), row[w].replMeta()};
+    return policy_->victim(choices, enabledWays_);
 }
 
 AccessResult
-Cache::access(Addr addr, bool is_write)
+Cache::fillOnMiss(Block *row, Addr block_addr, bool is_write)
 {
-    ++accesses_;
-    prechargeEvents_ += enabledSubarrays();
-    wayReads_ += enabledWays_;
-
     AccessResult res;
-    const Addr block_addr = addr >> geom_.blockBits();
-    const std::uint64_t set = indexOf(block_addr);
-
-    // Hit path: search enabled ways for a tag match.
-    for (unsigned w = 0; w < enabledWays_; ++w) {
-        Block &b = blockAt(set, w);
-        if (b.valid && b.blockAddr == block_addr) {
-            b.replMeta = policy_->touch(b.replMeta);
-            b.dirty = b.dirty || is_write;
-            res.hit = true;
-            return res;
-        }
-    }
 
     // Miss: allocate. Prefer an invalid enabled way.
     ++misses_;
     unsigned victim_way = enabledWays_;
     for (unsigned w = 0; w < enabledWays_; ++w) {
-        if (!blockAt(set, w).valid) {
+        if (!row[w].valid()) {
             victim_way = w;
             break;
         }
     }
     if (victim_way == enabledWays_) {
-        std::vector<ReplChoice> choices;
-        choices.reserve(enabledWays_);
-        for (unsigned w = 0; w < enabledWays_; ++w) {
-            const Block &b = blockAt(set, w);
-            choices.push_back({b.valid, b.replMeta});
-        }
-        victim_way = policy_->victim(choices);
+        victim_way = victimWay(row);
         rc_assert(victim_way < enabledWays_);
     }
 
-    Block &victim = blockAt(set, victim_way);
-    if (victim.valid && victim.dirty) {
+    Block &victim = row[victim_way];
+    if (victim.valid() && victim.dirty()) {
         ++writebacks_;
         res.writeback = true;
-        res.writebackAddr = victim.blockAddr << geom_.blockBits();
+        res.writebackAddr = victim.blockAddr << blockBits_;
     }
 
-    victim.valid = true;
-    victim.dirty = is_write;
     victim.blockAddr = block_addr;
-    victim.replMeta = policy_->touch(victim.replMeta);
+    victim.fill(is_write, touchMeta(victim.replMeta()));
     return res;
 }
 
@@ -138,7 +163,7 @@ Cache::probe(Addr addr) const
     const std::uint64_t set = indexOf(block_addr);
     for (unsigned w = 0; w < enabledWays_; ++w) {
         const Block &b = blockAt(set, w);
-        if (b.valid && b.blockAddr == block_addr)
+        if (b.valid() && b.blockAddr == block_addr)
             return true;
     }
     return false;
@@ -147,18 +172,17 @@ Cache::probe(Addr addr) const
 void
 Cache::evict(Block &b, const WritebackSink &sink, FlushResult &out)
 {
-    if (!b.valid)
+    if (!b.valid())
         return;
     ++out.invalidated;
     ++flushInvalidations_;
-    if (b.dirty) {
+    if (b.dirty()) {
         ++out.writebacks;
         ++flushWritebacks_;
         if (sink)
             sink(b.blockAddr << geom_.blockBits());
     }
-    b.valid = false;
-    b.dirty = false;
+    b.clearValidDirty();
 }
 
 FlushResult
@@ -197,7 +221,7 @@ Cache::resizeTo(std::uint64_t enabled_sets, unsigned enabled_ways,
             for (unsigned w = 0; w < std::min(old_ways, enabled_ways);
                  ++w) {
                 Block &b = blockAt(s, w);
-                if (b.valid &&
+                if (b.valid() &&
                     (b.blockAddr & (enabled_sets - 1)) != s) {
                     evict(b, sink, out);
                 }
@@ -207,6 +231,7 @@ Cache::resizeTo(std::uint64_t enabled_sets, unsigned enabled_ways,
 
     enabledSets_ = enabled_sets;
     enabledWays_ = enabled_ways;
+    updateAccessConstants();
     return out;
 }
 
@@ -252,7 +277,7 @@ Cache::checkInvariants() const
     for (std::uint64_t s = 0; s < geom_.numSets(); ++s) {
         for (unsigned w = 0; w < geom_.assoc; ++w) {
             const Block &b = blockAt(s, w);
-            if (!b.valid)
+            if (!b.valid())
                 continue;
             if (s >= enabledSets_ || w >= enabledWays_)
                 return false; // valid block in a disabled frame

@@ -30,39 +30,6 @@ Hierarchy::l2Access(Addr addr, bool is_write)
     return r.hit;
 }
 
-MemAccessResult
-Hierarchy::instAccess(Addr addr)
-{
-    MemAccessResult out;
-    AccessResult l1 = il1_->access(addr, false);
-    out.l1Hit = l1.hit;
-    out.latency = params_.l1Latency;
-    // Instruction blocks are never dirty, so no writeback possible.
-    if (!l1.hit) {
-        out.l2Hit = l2Access(addr, false);
-        out.latency += out.l2Hit ? params_.l2Latency : memPenalty();
-    }
-    return out;
-}
-
-MemAccessResult
-Hierarchy::dataAccess(Addr addr, bool is_write)
-{
-    MemAccessResult out;
-    AccessResult l1 = dl1_->access(addr, is_write);
-    out.l1Hit = l1.hit;
-    out.latency = params_.l1Latency;
-    if (!l1.hit) {
-        out.l2Hit = l2Access(addr, false);
-        out.latency += out.l2Hit ? params_.l2Latency : memPenalty();
-    }
-    if (l1.writeback) {
-        out.writeback = true;
-        l2Access(l1.writebackAddr, true);
-    }
-    return out;
-}
-
 WritebackSink
 Hierarchy::l1WritebackSink()
 {

@@ -60,11 +60,48 @@ class Hierarchy
     Hierarchy(Cache *il1, Cache *dl1, const CacheGeometry &l2_geom,
               const HierarchyParams &params);
 
-    /** Instruction fetch of the block containing @p addr. */
-    MemAccessResult instAccess(Addr addr);
+    /**
+     * Instruction fetch of the block containing @p addr. Inline: the
+     * cores call this on every fetch-group boundary, and the L1-hit
+     * fast path is two loads and an add.
+     */
+    MemAccessResult
+    instAccess(Addr addr)
+    {
+        MemAccessResult out;
+        AccessResult l1 = il1_->access(addr, false);
+        out.l1Hit = l1.hit;
+        out.latency = params_.l1Latency;
+        // Instruction blocks are never dirty, so no writeback
+        // possible.
+        if (!l1.hit) {
+            out.l2Hit = l2Access(addr, false);
+            out.latency +=
+                out.l2Hit ? params_.l2Latency : memPenalty();
+        }
+        return out;
+    }
 
-    /** Data access; @p is_write marks stores. */
-    MemAccessResult dataAccess(Addr addr, bool is_write);
+    /** Data access; @p is_write marks stores. Inline: once per
+     *  simulated load/store. */
+    MemAccessResult
+    dataAccess(Addr addr, bool is_write)
+    {
+        MemAccessResult out;
+        AccessResult l1 = dl1_->access(addr, is_write);
+        out.l1Hit = l1.hit;
+        out.latency = params_.l1Latency;
+        if (!l1.hit) {
+            out.l2Hit = l2Access(addr, false);
+            out.latency +=
+                out.l2Hit ? params_.l2Latency : memPenalty();
+        }
+        if (l1.writeback) {
+            out.writeback = true;
+            l2Access(l1.writebackAddr, true);
+        }
+        return out;
+    }
 
     /**
      * Sink for L1 flush/resize writebacks: drains the block into L2

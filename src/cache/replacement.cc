@@ -8,15 +8,15 @@ namespace rcache
 std::uint64_t
 LruPolicy::touch(std::uint64_t)
 {
-    return ++stamp_;
+    return nextStamp();
 }
 
 unsigned
-LruPolicy::victim(const std::vector<ReplChoice> &ways)
+LruPolicy::victim(const ReplChoice *ways, std::size_t n)
 {
-    rc_assert(!ways.empty());
+    rc_assert(n != 0);
     unsigned best = 0;
-    for (unsigned i = 1; i < ways.size(); ++i) {
+    for (unsigned i = 1; i < n; ++i) {
         if (ways[i].meta < ways[best].meta)
             best = i;
     }
@@ -34,10 +34,10 @@ RandomPolicy::touch(std::uint64_t old_meta)
 }
 
 unsigned
-RandomPolicy::victim(const std::vector<ReplChoice> &ways)
+RandomPolicy::victim(const ReplChoice *, std::size_t n)
 {
-    rc_assert(!ways.empty());
-    return static_cast<unsigned>(rng_.nextBelow(ways.size()));
+    rc_assert(n != 0);
+    return pickWay(n);
 }
 
 std::unique_ptr<ReplacementPolicy>

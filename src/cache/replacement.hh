@@ -5,6 +5,12 @@
  * Policies operate on an opaque per-block metadata word owned by the
  * cache; the policy decides how to update it on touch/fill and how to
  * pick a victim among the enabled ways of a set.
+ *
+ * Metadata contract: the cache stores metadata in 48 bits (its block
+ * frames pack valid/dirty into the top bits of the same word), so
+ * policies must keep values below 2^48. The built-ins comply by
+ * construction — the LRU stamp would need ~2.8e14 touches to
+ * overflow, and random ignores metadata entirely.
  */
 
 #ifndef RCACHE_CACHE_REPLACEMENT_HH
@@ -27,47 +33,82 @@ struct ReplChoice
     std::uint64_t meta;
 };
 
+/**
+ * Discriminator the cache uses to dispatch the built-in policies
+ * through an inline fast path instead of two virtual calls per
+ * access. Custom subclasses report Custom and take the (still
+ * correct, merely slower) virtual route.
+ */
+enum class ReplKind : std::uint8_t
+{
+    Lru,
+    Random,
+    Custom,
+};
+
 /** Abstract replacement policy. */
 class ReplacementPolicy
 {
   public:
     virtual ~ReplacementPolicy() = default;
 
+    /** Which inline fast path (if any) implements this policy. */
+    virtual ReplKind kind() const { return ReplKind::Custom; }
+
     /** Metadata for a block just touched (hit) or filled. */
     virtual std::uint64_t touch(std::uint64_t old_meta) = 0;
 
     /**
-     * Pick a victim way among @p ways (already restricted to enabled
-     * ways). Invalid ways are preferred by the cache before this is
-     * consulted, so all entries are valid when called.
+     * Pick a victim way among the @p n @p ways (already restricted to
+     * enabled ways). Invalid ways are preferred by the cache before
+     * this is consulted, so all entries are valid when called.
      */
-    virtual unsigned victim(const std::vector<ReplChoice> &ways) = 0;
+    virtual unsigned victim(const ReplChoice *ways, std::size_t n) = 0;
+
+    /** Convenience overload for tests and callers holding a vector. */
+    unsigned victim(const std::vector<ReplChoice> &ways)
+    {
+        return victim(ways.data(), ways.size());
+    }
 
     /** Human-readable policy name. */
     virtual std::string name() const = 0;
 };
 
 /** True LRU via a global access stamp. */
-class LruPolicy : public ReplacementPolicy
+class LruPolicy final : public ReplacementPolicy
 {
   public:
+    ReplKind kind() const override { return ReplKind::Lru; }
     std::uint64_t touch(std::uint64_t old_meta) override;
-    unsigned victim(const std::vector<ReplChoice> &ways) override;
+    unsigned victim(const ReplChoice *ways, std::size_t n) override;
+    using ReplacementPolicy::victim;
     std::string name() const override { return "lru"; }
+
+    /** The touch fast path: a fresh global stamp (inline). */
+    std::uint64_t nextStamp() { return ++stamp_; }
 
   private:
     std::uint64_t stamp_ = 0;
 };
 
 /** Uniform random victim selection (deterministic seed). */
-class RandomPolicy : public ReplacementPolicy
+class RandomPolicy final : public ReplacementPolicy
 {
   public:
     explicit RandomPolicy(std::uint64_t seed = 1);
 
+    ReplKind kind() const override { return ReplKind::Random; }
     std::uint64_t touch(std::uint64_t old_meta) override;
-    unsigned victim(const std::vector<ReplChoice> &ways) override;
+    unsigned victim(const ReplChoice *ways, std::size_t n) override;
+    using ReplacementPolicy::victim;
     std::string name() const override { return "random"; }
+
+    /** The victim fast path: a uniform way index (inline rng). */
+    unsigned pickWay(std::size_t n_ways)
+    {
+        return static_cast<unsigned>(rng_.nextBelow(n_ways));
+    }
 
   private:
     Rng rng_;

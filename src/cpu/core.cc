@@ -12,7 +12,8 @@ Core::Core(const CoreParams &params, Hierarchy &hier,
       bpred_(params.bpred),
       mshr_(params.mshrs),
       wb_(params.wbEntries, params.wbDrainLatency),
-      fetchSlots_(params.fetchWidth)
+      fetchSlots_(params.fetchWidth),
+      il1BlockBits_(hier.il1().geometry().blockBits())
 {
 }
 
@@ -26,27 +27,6 @@ Core::resetTiming()
     curFetchBlock_ = ~Addr{0};
     blockReady_ = 0;
     groupRemaining_ = 0;
-}
-
-std::uint64_t
-Core::fetchInst(const MicroInst &inst)
-{
-    // The i-cache SRAM is read once per fetch group: on every block
-    // transition and again each time a group's worth of instructions
-    // has been consumed from the same block (a new fetch cycle).
-    const Addr blk = inst.pc >> hier_.il1().geometry().blockBits();
-    if (blk != curFetchBlock_ || groupRemaining_ == 0) {
-        const std::uint64_t t = nextFetchCycle_;
-        MemAccessResult res = hier_.instAccess(inst.pc);
-        notifyIl1(res.l1Hit, t);
-        blockReady_ = t + res.latency - 1;
-        curFetchBlock_ = blk;
-        groupRemaining_ = params_.fetchWidth;
-    }
-    --groupRemaining_;
-    const std::uint64_t fc = fetchSlots_.alloc(blockReady_);
-    nextFetchCycle_ = std::max(nextFetchCycle_, fc);
-    return fc;
 }
 
 void
@@ -73,44 +53,6 @@ Core::resolveBranch(const MicroInst &inst,
         redirectFetch(nextFetchCycle_ + 1);
     }
     return !correct;
-}
-
-void
-Core::notifyIl1(bool hit, std::uint64_t cycle)
-{
-    if (il1Policy_)
-        il1Policy_->onAccess(!hit, cycle);
-}
-
-void
-Core::notifyDl1(bool hit, std::uint64_t cycle)
-{
-    if (dl1Policy_)
-        dl1Policy_->onAccess(!hit, cycle);
-}
-
-void
-Core::countInst(const MicroInst &inst, CoreActivity &activity)
-{
-    ++activity.insts;
-    switch (inst.op) {
-      case OpClass::IntAlu:
-        ++activity.intOps;
-        break;
-      case OpClass::FpAlu:
-        ++activity.fpOps;
-        break;
-      case OpClass::Load:
-        ++activity.loads;
-        break;
-      case OpClass::Store:
-        ++activity.stores;
-        break;
-      case OpClass::Branch:
-        ++activity.branches;
-        ++activity.intOps;
-        break;
-    }
 }
 
 } // namespace rcache

@@ -63,17 +63,13 @@ class SlotAllocator
     std::uint64_t
     alloc(std::uint64_t t)
     {
-        if (t > cycle_) {
-            cycle_ = t;
-            used_ = 1;
-            return t;
-        }
-        if (used_ < width_) {
-            ++used_;
-            return cycle_;
-        }
-        ++cycle_;
-        used_ = 1;
+        // Branchless: request times hover around the allocator's
+        // cycle, so the three-way split is unpredictable and cmovs
+        // beat branches here.
+        const bool newer = t > cycle_;
+        const bool full = used_ >= width_;
+        cycle_ = newer ? t : (full ? cycle_ + 1 : cycle_);
+        used_ = (newer || full) ? 1 : used_ + 1;
         return cycle_;
     }
 
@@ -128,8 +124,29 @@ class Core
     /**
      * Fetch one instruction: accesses the i-cache when crossing into a
      * new block, applies fetch bandwidth, and returns the fetch cycle.
+     * Inline: runs once per simulated instruction.
      */
-    std::uint64_t fetchInst(const MicroInst &inst);
+    std::uint64_t
+    fetchInst(const MicroInst &inst)
+    {
+        // The i-cache SRAM is read once per fetch group: on every
+        // block transition and again each time a group's worth of
+        // instructions has been consumed from the same block (a new
+        // fetch cycle).
+        const Addr blk = inst.pc >> il1BlockBits_;
+        if (blk != curFetchBlock_ || groupRemaining_ == 0) {
+            const std::uint64_t t = nextFetchCycle_;
+            MemAccessResult res = hier_.instAccess(inst.pc);
+            notifyIl1(res.l1Hit, t);
+            blockReady_ = t + res.latency - 1;
+            curFetchBlock_ = blk;
+            groupRemaining_ = params_.fetchWidth;
+        }
+        --groupRemaining_;
+        const std::uint64_t fc = fetchSlots_.alloc(blockReady_);
+        nextFetchCycle_ = std::max(nextFetchCycle_, fc);
+        return fc;
+    }
 
     /** Force the next fetch to re-access the i-cache at @p cycle. */
     void redirectFetch(std::uint64_t cycle);
@@ -142,11 +159,20 @@ class Core
     bool resolveBranch(const MicroInst &inst,
                        std::uint64_t complete_cycle);
 
-    void notifyIl1(bool hit, std::uint64_t cycle);
-    void notifyDl1(bool hit, std::uint64_t cycle);
+    void
+    notifyIl1(bool hit, std::uint64_t cycle)
+    {
+        if (il1Policy_)
+            il1Policy_->onAccess(!hit, cycle);
+    }
 
-    /** Tally @p inst into @p activity (everything except cycles). */
-    static void countInst(const MicroInst &inst, CoreActivity &activity);
+    void
+    notifyDl1(bool hit, std::uint64_t cycle)
+    {
+        if (dl1Policy_)
+            dl1Policy_->onAccess(!hit, cycle);
+    }
+
 
     CoreParams params_;
     Hierarchy &hier_;
@@ -158,6 +184,10 @@ class Core
     WritebackBuffer wb_;
 
     SlotAllocator fetchSlots_;
+
+    /** log2(i-cache block size), hoisted out of the per-instruction
+     *  fetch path (geometry is immutable for a core's lifetime). */
+    unsigned il1BlockBits_;
 
     /** Fetch engine state. */
     std::uint64_t nextFetchCycle_ = 0;

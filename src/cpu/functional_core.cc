@@ -1,5 +1,7 @@
 #include "cpu/functional_core.hh"
 
+#include <algorithm>
+
 namespace rcache
 {
 
@@ -24,12 +26,12 @@ FunctionalCore::run(Workload &workload, std::uint64_t num_insts)
     // non-monotonic cycles, so the byte-cycle integral is untouched.
     const unsigned block_bits = hier_.il1().geometry().blockBits();
 
-    for (std::uint64_t i = 0; i < num_insts; ++i) {
-        const MicroInst inst = workload.next();
-
-        // Fetch: real hierarchy access on block transitions; group
-        // re-reads of the current (hence MRU) block are guaranteed
-        // hits, so only the policy hears about them.
+    // Batched drain, same as the timing cores: one virtual dispatch
+    // per workloadBatchSize instructions.
+    forEachBatched(workload, num_insts, [&](const MicroInst &inst) {
+        // Fetch: real hierarchy access on block transitions;
+        // group re-reads of the current (hence MRU) block are
+        // guaranteed hits, so only the policy hears about them.
         const Addr blk = inst.pc >> block_bits;
         if (blk != curFetchBlock_) {
             MemAccessResult res = hier_.instAccess(inst.pc);
@@ -65,7 +67,7 @@ FunctionalCore::run(Workload &workload, std::uint64_t num_insts)
           default:
             break;
         }
-    }
+    });
     instsRun_ += num_insts;
 }
 

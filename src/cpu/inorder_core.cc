@@ -24,37 +24,50 @@ InOrderCore::run(Workload &workload, std::uint64_t num_insts)
     std::uint64_t stall_until = 0;
     std::uint64_t last_complete = 0;
 
-    for (std::uint64_t i = 0; i < num_insts; ++i) {
-        const MicroInst inst = workload.next();
-
+    // Drain the workload in batches (forEachBatched): one virtual
+    // nextBatch call per workloadBatchSize instructions instead of
+    // one next() each.
+    std::uint64_t i = 0;
+    forEachBatched(workload, num_insts, [&](const MicroInst &inst) {
         const std::uint64_t fc = fetchInst(inst);
 
+        // The ring reads are safe for any dep distance (the
+        // index wraps), so the unpredictable "has a producer"
+        // tests can resolve as conditional moves.
         std::uint64_t ready =
             std::max({fc + params_.frontendDepth, last_issue,
                       stall_until});
-        if (inst.dep1 && inst.dep1 <= i) {
-            ready = std::max(
-                ready, complete_ring[(i - inst.dep1) % depRing]);
-        }
-        if (inst.dep2 && inst.dep2 <= i) {
-            ready = std::max(
-                ready, complete_ring[(i - inst.dep2) % depRing]);
-        }
+        const bool use1 = inst.dep1 && inst.dep1 <= i;
+        const std::uint64_t p1 =
+            complete_ring[(i - inst.dep1) % depRing];
+        ready = std::max(ready, use1 ? p1 : 0);
+        const bool use2 = inst.dep2 && inst.dep2 <= i;
+        const std::uint64_t p2 =
+            complete_ring[(i - inst.dep2) % depRing];
+        ready = std::max(ready, use2 ? p2 : 0);
 
         const std::uint64_t ic = issue_slots.alloc(ready);
         last_issue = ic;
 
+        // Execute (the instruction-mix tallies ride along so the
+        // op class is dispatched once, not twice).
+        ++activity.insts;
         std::uint64_t complete;
         switch (inst.op) {
           case OpClass::Load:
           case OpClass::Store: {
             const bool is_write = inst.op == OpClass::Store;
+            if (is_write)
+                ++activity.stores;
+            else
+                ++activity.loads;
             MemAccessResult res =
                 hier_.dataAccess(inst.effAddr, is_write);
             notifyDl1(res.l1Hit, ic);
             complete = ic + res.latency;
             if (!res.l1Hit) {
-                // Blocking: the whole pipeline waits for the fill.
+                // Blocking: the whole pipeline waits for the
+                // fill.
                 stall_until = std::max(stall_until, complete);
             }
             if (res.writeback) {
@@ -63,6 +76,19 @@ InOrderCore::run(Workload &workload, std::uint64_t num_insts)
             }
             break;
           }
+          case OpClass::Branch:
+            ++activity.branches;
+            ++activity.intOps;
+            complete = ic + inst.latency;
+            break;
+          case OpClass::FpAlu:
+            ++activity.fpOps;
+            complete = ic + inst.latency;
+            break;
+          case OpClass::IntAlu:
+            ++activity.intOps;
+            complete = ic + inst.latency;
+            break;
           default:
             complete = ic + inst.latency;
             break;
@@ -77,9 +103,8 @@ InOrderCore::run(Workload &workload, std::uint64_t num_insts)
 
         complete_ring[i % depRing] = complete;
         last_complete = std::max(last_complete, complete);
-
-        countInst(inst, activity);
-    }
+        ++i;
+    });
 
     activity.cycles = last_complete + 1;
     return activity;

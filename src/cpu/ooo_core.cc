@@ -27,57 +27,88 @@ OooCore::run(Workload &workload, std::uint64_t num_insts)
     // Earliest cycle the next commit may happen (writeback stalls).
     std::uint64_t commit_floor = 0;
 
-    for (std::uint64_t i = 0; i < num_insts; ++i) {
-        const MicroInst inst = workload.next();
+    // Rolling ring cursors: robSize/lsqSize are runtime values, so
+    // `i % size` is a hardware divide on the per-instruction path;
+    // increment-and-wrap tracks the same index for one compare.
+    std::size_t rob_idx = 0;
+    std::size_t lsq_idx = 0;
 
+    // Drain the workload in batches (forEachBatched): one virtual
+    // nextBatch call per workloadBatchSize instructions instead of
+    // one next() each.
+    std::uint64_t i = 0;
+    forEachBatched(workload, num_insts, [&](const MicroInst &inst) {
         const std::uint64_t fc = fetchInst(inst);
 
-        // Dispatch: frontend depth, bandwidth, ROB and LSQ occupancy.
+        // Dispatch: frontend depth, bandwidth, ROB and LSQ
+        // occupancy.
         std::uint64_t dmin = fc + params_.frontendDepth;
         if (i >= params_.robSize) {
-            dmin = std::max(dmin,
-                            commit_ring[i % params_.robSize] + 1);
+            dmin = std::max(dmin, commit_ring[rob_idx] + 1);
         }
         const bool is_mem =
             inst.op == OpClass::Load || inst.op == OpClass::Store;
         if (is_mem && mem_count >= params_.lsqSize) {
-            dmin = std::max(
-                dmin, lsq_ring[mem_count % params_.lsqSize] + 1);
+            dmin = std::max(dmin, lsq_ring[lsq_idx] + 1);
         }
         const std::uint64_t dc = dispatch_slots.alloc(dmin);
 
-        // Ready when producers complete.
+        // Ready when producers complete. The ring reads are safe
+        // for any dep distance (the index wraps), so the
+        // unpredictable "has a producer" tests can resolve as
+        // conditional moves instead of branches.
         std::uint64_t ready = dc;
-        if (inst.dep1 && inst.dep1 <= i) {
-            ready = std::max(
-                ready, complete_ring[(i - inst.dep1) % depRing]);
-        }
-        if (inst.dep2 && inst.dep2 <= i) {
-            ready = std::max(
-                ready, complete_ring[(i - inst.dep2) % depRing]);
-        }
+        const bool use1 = inst.dep1 && inst.dep1 <= i;
+        const std::uint64_t p1 =
+            complete_ring[(i - inst.dep1) % depRing];
+        ready = std::max(ready, use1 ? p1 : 0);
+        const bool use2 = inst.dep2 && inst.dep2 <= i;
+        const std::uint64_t p2 =
+            complete_ring[(i - inst.dep2) % depRing];
+        ready = std::max(ready, use2 ? p2 : 0);
 
-        // Execute.
+        // Execute (the instruction-mix tallies ride along so the
+        // op class is dispatched once, not twice).
+        ++activity.insts;
         std::uint64_t complete;
         switch (inst.op) {
           case OpClass::Load: {
-            MemAccessResult res = hier_.dataAccess(inst.effAddr, false);
+            ++activity.loads;
+            MemAccessResult res =
+                hier_.dataAccess(inst.effAddr, false);
             notifyDl1(res.l1Hit, ready);
             if (res.l1Hit) {
                 complete = ready + res.latency;
             } else {
-                // Non-blocking: the fill occupies an MSHR; secondary
-                // misses merge; a full MSHR file delays the fill.
+                // Non-blocking: the fill occupies an MSHR;
+                // secondary misses merge; a full MSHR file
+                // delays the fill.
                 complete = mshr_.miss(inst.effAddr >> dblock_bits,
                                       ready, res.latency);
             }
             if (res.writeback)
-                complete = std::max(complete, wb_.insert(ready) + 1);
+                complete =
+                    std::max(complete, wb_.insert(ready) + 1);
             break;
           }
           case OpClass::Store:
-            // Address generation only; the cache is written at commit.
+            // Address generation only; the cache is written at
+            // commit.
+            ++activity.stores;
             complete = ready + 1;
+            break;
+          case OpClass::Branch:
+            ++activity.branches;
+            ++activity.intOps;
+            complete = ready + inst.latency;
+            break;
+          case OpClass::FpAlu:
+            ++activity.fpOps;
+            complete = ready + inst.latency;
+            break;
+          case OpClass::IntAlu:
+            ++activity.intOps;
+            complete = ready + inst.latency;
             break;
           default:
             complete = ready + inst.latency;
@@ -90,10 +121,12 @@ OooCore::run(Workload &workload, std::uint64_t num_insts)
         last_commit = cc;
 
         if (inst.op == OpClass::Store) {
-            MemAccessResult res = hier_.dataAccess(inst.effAddr, true);
+            MemAccessResult res =
+                hier_.dataAccess(inst.effAddr, true);
             notifyDl1(res.l1Hit, cc);
             if (!res.l1Hit) {
-                // The fill occupies an MSHR but does not hold commit.
+                // The fill occupies an MSHR but does not hold
+                // commit.
                 mshr_.miss(inst.effAddr >> dblock_bits, cc,
                            res.latency);
             }
@@ -109,14 +142,17 @@ OooCore::run(Workload &workload, std::uint64_t num_insts)
         }
 
         complete_ring[i % depRing] = complete;
-        commit_ring[i % params_.robSize] = cc;
+        commit_ring[rob_idx] = cc;
+        if (++rob_idx == params_.robSize)
+            rob_idx = 0;
         if (is_mem) {
-            lsq_ring[mem_count % params_.lsqSize] = cc;
+            lsq_ring[lsq_idx] = cc;
+            if (++lsq_idx == params_.lsqSize)
+                lsq_idx = 0;
             ++mem_count;
         }
-
-        countInst(inst, activity);
-    }
+        ++i;
+    });
 
     activity.cycles = last_commit + 1;
     return activity;

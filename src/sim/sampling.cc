@@ -89,7 +89,10 @@ SamplingController::run(Core &core, Workload &workload,
             workload.skip(ff);
 
         // Warmup: rebuild cache/predictor/controller state that went
-        // stale across the skip, with no timing.
+        // stale across the skip, with no timing. Both the functional
+        // and the detailed window below drain the workload through
+        // fixed-size nextBatch batches (the cores do the batching),
+        // so neither pays a virtual next() per instruction.
         if (warm) {
             func.invalidateFetchBlock();
             func.run(workload, warm);

@@ -11,12 +11,21 @@
 #ifndef RCACHE_UTIL_RANDOM_HH
 #define RCACHE_UTIL_RANDOM_HH
 
+#include <cmath>
 #include <cstdint>
+
+#include "util/logging.hh"
 
 namespace rcache
 {
 
-/** Deterministic 64-bit PRNG (xoshiro256** seeded by splitmix64). */
+/**
+ * Deterministic 64-bit PRNG (xoshiro256** seeded by splitmix64).
+ *
+ * The draw methods are defined inline: the synthetic workload
+ * generator makes several draws per instruction, so a cross-TU call
+ * per draw is measurable on the simulation hot path.
+ */
 class Rng
 {
   public:
@@ -24,21 +33,96 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
 
     /** Uniform value in [0, bound); bound must be non-zero. */
-    std::uint64_t nextBelow(std::uint64_t bound);
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Modulo bias is irrelevant at workload scale; keep it
+        // branch-free.
+        return next() % bound;
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability @p p of true. */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /**
+     * Precomputed integer threshold such that chanceThr(threshold)
+     * consumes one draw and returns exactly chance(p) for every rng
+     * state. Derivation: chance(p) is x * 2^-53 < p for the draw
+     * x = next() >> 11 in [0, 2^53). Scaling by 2^53 is exact for
+     * doubles, so the condition is the real comparison x < p * 2^53,
+     * and for integer x that is x < ceil(p * 2^53) (no integer lies
+     * in (floor, ceil) when the bound is fractional; equality when it
+     * is integral). Callers with a fixed p hoist the threshold out of
+     * per-instruction loops, replacing an int-to-double conversion
+     * and a double compare per draw with one integer compare.
+     */
+    static std::uint64_t
+    chanceThreshold(double p)
+    {
+        const double bound = p * 9007199254740992.0; // p * 2^53
+        if (!(bound > 0.0))
+            return 0; // p <= 0 (or NaN): never true
+        const double up = std::ceil(bound);
+        if (up >= 9007199254740992.0)
+            return std::uint64_t{1} << 53; // p >= 1: always true
+        return static_cast<std::uint64_t>(up);
+    }
+
+    /** One Bernoulli draw against a chanceThreshold(p) value. */
+    bool
+    chanceThr(std::uint64_t threshold)
+    {
+        return (next() >> 11) < threshold;
+    }
 
     /** Geometric-ish draw: value in [1, max] biased toward small. */
     std::uint64_t nextGeometric(double p, std::uint64_t max);
 
+    /** nextGeometric with the success chance pre-thresholded; draws
+     *  and results match nextGeometric(p, max) exactly. */
+    std::uint64_t
+    nextGeometricThr(std::uint64_t threshold, std::uint64_t max)
+    {
+        rc_assert(max >= 1);
+        std::uint64_t v = 1;
+        while (v < max && !chanceThr(threshold))
+            ++v;
+        return v;
+    }
+
   private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
     std::uint64_t s[4];
 };
 

@@ -50,6 +50,8 @@ struct MicroInst
     bool taken = false;
     /** Actual target (branches only, taken). */
     Addr target = 0;
+
+    bool operator==(const MicroInst &o) const = default;
 };
 
 } // namespace rcache

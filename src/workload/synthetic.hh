@@ -143,12 +143,19 @@ struct BenchmarkProfile
 };
 
 /** Deterministic stream generator; see file comment. */
-class SyntheticWorkload : public Workload
+class SyntheticWorkload final : public Workload
 {
   public:
     explicit SyntheticWorkload(const BenchmarkProfile &profile);
 
     MicroInst next() override;
+    /**
+     * Tight batch fill: one virtual dispatch for the whole batch, the
+     * per-instruction work runs through the non-virtual generator with
+     * the phase caches hot. Bit-identical to n next() calls.
+     */
+    void nextBatch(MicroInst *__restrict buf,
+                   std::size_t n) override;
     void reset() override;
     /**
      * O(1) fast-forward: the phase clock jumps, the rng is re-seeded
@@ -172,32 +179,98 @@ class SyntheticWorkload : public Workload
     static constexpr std::uint64_t aliasStride = 16 * 1024;
 
   private:
+    /**
+     * The per-instruction generator state, grouped so nextBatch can
+     * run a whole batch on a stack-local copy: the copy's address
+     * never escapes, so the compiler keeps these words (touched
+     * several times per generated instruction) in registers instead
+     * of re-loading and re-storing members through `this`.
+     */
+    struct HotState
+    {
+        Rng rng;
+        std::uint64_t instCount;
+        std::uint64_t codeOffset;
+        std::uint64_t blockRemaining;
+        /** Non-negative: executing alias chunk k; negative: main
+         *  code. */
+        int aliasChunk;
+        unsigned lastLoadDist;
+    };
+
+    HotState loadHotState() const;
+    void storeHotState(const HotState &st);
+
     double phaseFactor(const PhaseSpec &spec) const;
-    Addr dataAddr();
+    Addr dataAddr(HotState &st);
+
+    /** Generate one instruction (the shared body of next() and
+     *  nextBatch(); non-virtual so batch fills inline it). */
+    void genOne(MicroInst &inst, HotState &st);
 
     /**
      * Phase-scaled values only change at phase boundaries, but the
      * straightforward computation (a 64-bit modulo plus floating
      * point) sits on the per-instruction hot path. These caches hold
-     * the value until the instruction count reaches the next
+     * the values until the instruction count reaches the next
      * boundary; the cached values are bit-identical to recomputing,
-     * so the generated stream is unchanged.
+     * so the generated stream is unchanged. The code cache covers the
+     * footprint and its hot-jump span; the data cache covers every
+     * region's quantized size and hot span.
      */
-    std::uint64_t cachedCodeFootprint();
-    double cachedDataFactor();
+    std::uint64_t cachedCodeFootprint(std::uint64_t inst_count);
+    void refreshDataGeom(std::uint64_t inst_count);
+    double phaseFactorAt(const PhaseSpec &spec,
+                         std::uint64_t inst_count) const;
     void invalidatePhaseCaches()
     {
         codeFpValidUntil_ = 0;
-        dataFactorValidUntil_ = 0;
+        dataGeomValidUntil_ = 0;
     }
+
+    /** Phase-cached derived geometry of one data region. */
+    struct RegionGeom
+    {
+        /** Quantized scaled size in bytes. */
+        std::uint64_t bytes;
+        /** Skewed-reuse hot-head span in bytes. */
+        std::uint64_t hotSpan;
+    };
 
     BenchmarkProfile profile_;
     Rng rng_;
 
     std::uint64_t codeFpCache_ = 0;
+    std::uint64_t codeHotSpanCache_ = 0;
     std::uint64_t codeFpValidUntil_ = 0;
-    double dataFactorCache_ = 1.0;
-    std::uint64_t dataFactorValidUntil_ = 0;
+    std::vector<RegionGeom> regionGeom_;
+    std::uint64_t dataGeomValidUntil_ = 0;
+
+    /** @name Per-profile constants hoisted out of genOne
+     *
+     * Bernoulli draws against a fixed probability go through
+     * Rng::chanceThr with these precomputed thresholds (exactly
+     * equivalent to Rng::chance, one integer compare per draw); the
+     * per-PC branch bias is an 8-bit hash, so all 256 clamped biases
+     * are thresholded up front too.
+     */
+    /// @{
+    std::vector<Addr> regionBases_;
+    std::vector<std::uint64_t> thrRegionHot_;
+    std::uint64_t thrDataConflict_ = 0;
+    std::uint64_t thrCodeConflict_ = 0;
+    std::uint64_t thrCodeHotWeight_ = 0;
+    std::uint64_t thrDep_ = 0;
+    std::uint64_t thrLoadUse_ = 0;
+    std::uint64_t thrBranchFrac_ = 0;
+    std::uint64_t thrDepDist_ = 0;
+    std::uint64_t thrLoadOp_ = 0;
+    std::uint64_t thrMemOp_ = 0;
+    std::uint64_t thrMemFpOp_ = 0;
+    std::uint64_t biasThr_[256] = {};
+    double memFrac_ = 0;
+    double memFpFrac_ = 0;
+    /// @}
 
     std::uint64_t instCount_ = 0;
     std::uint64_t codeOffset_ = 0;

@@ -1,5 +1,7 @@
 #include "workload/workload.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "workload/synthetic.hh"
 
@@ -13,11 +15,24 @@ Workload::skip(std::uint64_t n)
         next();
 }
 
+void
+Workload::nextBatch(MicroInst *buf, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = next();
+}
+
 TraceWorkload::TraceWorkload(std::vector<MicroInst> insts,
                              std::string name)
     : insts_(std::move(insts)), name_(std::move(name))
 {
-    rc_assert(!insts_.empty());
+    // The trace loops (next() and skip() index modulo its length), so
+    // an empty one is unusable; reject it up front with a real
+    // diagnostic instead of dividing by zero later.
+    if (insts_.empty())
+        rc_fatal("TraceWorkload '" + name_ +
+                 "': empty instruction trace (need at least one "
+                 "instruction to loop)");
 }
 
 MicroInst
@@ -26,6 +41,26 @@ TraceWorkload::next()
     MicroInst i = insts_[pos_];
     pos_ = (pos_ + 1) % insts_.size();
     return i;
+}
+
+void
+TraceWorkload::nextBatch(MicroInst *buf, std::size_t n)
+{
+    // Copy in wrap-free spans instead of taking a modulo per
+    // instruction.
+    const std::size_t len = insts_.size();
+    std::size_t filled = 0;
+    while (filled < n) {
+        const std::size_t span =
+            std::min(n - filled, len - pos_);
+        std::copy_n(insts_.begin() +
+                        static_cast<std::ptrdiff_t>(pos_),
+                    span, buf + filled);
+        filled += span;
+        pos_ += span;
+        if (pos_ == len)
+            pos_ = 0;
+    }
 }
 
 namespace
@@ -107,6 +142,39 @@ SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile)
     for (const auto &r : profile_.regions)
         totalWeight_ += r.weight;
     rc_assert(totalWeight_ > 0);
+
+    // Hoist every fixed-probability draw and per-region constant out
+    // of the per-instruction path (see the header's fast-path note).
+    regionGeom_.resize(profile_.regions.size());
+    regionBases_.reserve(profile_.regions.size());
+    thrRegionHot_.reserve(profile_.regions.size());
+    for (unsigned r = 0; r < profile_.regions.size(); ++r) {
+        regionBases_.push_back(regionBase(r));
+        thrRegionHot_.push_back(
+            Rng::chanceThreshold(profile_.regions[r].hotWeight));
+    }
+    thrDataConflict_ = Rng::chanceThreshold(profile_.dataConflictFrac);
+    thrCodeConflict_ = Rng::chanceThreshold(profile_.codeConflictFrac);
+    thrCodeHotWeight_ = Rng::chanceThreshold(profile_.codeHotWeight);
+    thrDep_ = Rng::chanceThreshold(profile_.depChance);
+    thrLoadUse_ = Rng::chanceThreshold(profile_.loadUseChance);
+    thrBranchFrac_ = Rng::chanceThreshold(profile_.branchFrac);
+    thrDepDist_ = Rng::chanceThreshold(0.35);
+    for (unsigned k = 0; k < 256; ++k) {
+        const double bias_adj =
+            (static_cast<double>(k) / 256.0 - 0.5) * 0.4;
+        const double bias = std::min(
+            0.98, std::max(0.05, profile_.takenBias + bias_adj));
+        biasThr_[k] = Rng::chanceThreshold(bias);
+    }
+    memFrac_ = profile_.loadFrac + profile_.storeFrac;
+    memFpFrac_ = memFrac_ + profile_.fpFrac;
+    // The op-class pick `u < frac` cascade over one nextDouble() is
+    // the same draw compared against three constants, so it
+    // thresholds like any other fixed-probability chance.
+    thrLoadOp_ = Rng::chanceThreshold(profile_.loadFrac);
+    thrMemOp_ = Rng::chanceThreshold(memFrac_);
+    thrMemFpOp_ = Rng::chanceThreshold(memFpFrac_);
 }
 
 void
@@ -137,41 +205,57 @@ SyntheticWorkload::skip(std::uint64_t n)
 }
 
 std::uint64_t
-SyntheticWorkload::cachedCodeFootprint()
+SyntheticWorkload::cachedCodeFootprint(std::uint64_t inst_count)
 {
-    if (instCount_ >= codeFpValidUntil_) {
-        codeFpCache_ = currentCodeFootprint();
+    if (inst_count >= codeFpValidUntil_) {
+        codeFpCache_ = quantize(
+            static_cast<double>(profile_.codeFootprint) *
+            phaseFactorAt(profile_.codePhase, inst_count));
+        codeHotSpanCache_ = std::max<std::uint64_t>(
+            64, static_cast<std::uint64_t>(
+                    static_cast<double>(codeFpCache_) *
+                    profile_.codeHotFrac));
         codeFpValidUntil_ =
-            phaseBoundaryAfter(profile_.codePhase, instCount_);
+            phaseBoundaryAfter(profile_.codePhase, inst_count);
     }
     return codeFpCache_;
 }
 
-double
-SyntheticWorkload::cachedDataFactor()
+void
+SyntheticWorkload::refreshDataGeom(std::uint64_t inst_count)
 {
-    if (instCount_ >= dataFactorValidUntil_) {
-        dataFactorCache_ = phaseFactor(profile_.dataPhase);
-        dataFactorValidUntil_ =
-            phaseBoundaryAfter(profile_.dataPhase, instCount_);
+    const double factor =
+        phaseFactorAt(profile_.dataPhase, inst_count);
+    for (unsigned r = 0; r < profile_.regions.size(); ++r) {
+        const DataRegion &region = profile_.regions[r];
+        const std::uint64_t bytes =
+            region.phased
+                ? quantize(static_cast<double>(region.bytes) * factor)
+                : quantize(static_cast<double>(region.bytes));
+        regionGeom_[r].bytes = bytes;
+        regionGeom_[r].hotSpan = std::max<std::uint64_t>(
+            64, static_cast<std::uint64_t>(
+                    static_cast<double>(bytes) * region.hotFrac));
     }
-    return dataFactorCache_;
+    dataGeomValidUntil_ =
+        phaseBoundaryAfter(profile_.dataPhase, inst_count);
 }
 
 double
-SyntheticWorkload::phaseFactor(const PhaseSpec &spec) const
+SyntheticWorkload::phaseFactorAt(const PhaseSpec &spec,
+                                 std::uint64_t inst_count) const
 {
     switch (spec.kind) {
       case PhaseKind::Constant:
         return spec.hi;
       case PhaseKind::Periodic:
-        return static_cast<double>(instCount_ % spec.periodInsts) <
+        return static_cast<double>(inst_count % spec.periodInsts) <
                        spec.dutyHi *
                            static_cast<double>(spec.periodInsts)
                    ? spec.hi
                    : spec.lo;
       case PhaseKind::Drift: {
-        const std::uint64_t chunk = instCount_ / spec.periodInsts;
+        const std::uint64_t chunk = inst_count / spec.periodInsts;
         const double u =
             static_cast<double>(mix64(profile_.seed * 31 + chunk) &
                                 0xfff) /
@@ -180,6 +264,12 @@ SyntheticWorkload::phaseFactor(const PhaseSpec &spec) const
       }
     }
     rc_panic("bad phase kind");
+}
+
+double
+SyntheticWorkload::phaseFactor(const PhaseSpec &spec) const
+{
+    return phaseFactorAt(spec, instCount_);
 }
 
 std::uint64_t
@@ -200,19 +290,37 @@ SyntheticWorkload::currentRegionBytes(unsigned r) const
                     phaseFactor(profile_.dataPhase));
 }
 
+SyntheticWorkload::HotState
+SyntheticWorkload::loadHotState() const
+{
+    return {rng_,        instCount_,    codeOffset_,
+            blockRemaining_, aliasChunk_, lastLoadDist_};
+}
+
+void
+SyntheticWorkload::storeHotState(const HotState &st)
+{
+    rng_ = st.rng;
+    instCount_ = st.instCount;
+    codeOffset_ = st.codeOffset;
+    blockRemaining_ = st.blockRemaining;
+    aliasChunk_ = st.aliasChunk;
+    lastLoadDist_ = st.lastLoadDist;
+}
+
 Addr
-SyntheticWorkload::dataAddr()
+SyntheticWorkload::dataAddr(HotState &st)
 {
     // Alias-set access: associativity pressure independent of size.
     if (profile_.dataConflictBlocks > 0 &&
-        rng_.chance(profile_.dataConflictFrac)) {
+        st.rng.chanceThr(thrDataConflict_)) {
         const std::uint64_t k =
-            rng_.nextBelow(profile_.dataConflictBlocks);
+            st.rng.nextBelow(profile_.dataConflictBlocks);
         return conflictBase + k * aliasStride;
     }
 
     // Pick a region by weight.
-    double pick = rng_.nextDouble() * totalWeight_;
+    double pick = st.rng.nextDouble() * totalWeight_;
     unsigned r = 0;
     for (; r + 1 < profile_.regions.size(); ++r) {
         if (pick < profile_.regions[r].weight)
@@ -220,107 +328,126 @@ SyntheticWorkload::dataAddr()
         pick -= profile_.regions[r].weight;
     }
 
+    if (st.instCount >= dataGeomValidUntil_)
+        refreshDataGeom(st.instCount);
+    const RegionGeom &geom = regionGeom_[r];
     const DataRegion &region = profile_.regions[r];
-    const std::uint64_t bytes =
-        region.phased
-            ? quantize(static_cast<double>(region.bytes) *
-                       cachedDataFactor())
-            : quantize(static_cast<double>(region.bytes));
     std::uint64_t offset;
     if (region.stride == 0) {
         // Skewed random reuse: most accesses land in the hot head.
-        std::uint64_t span = bytes;
-        if (region.hotWeight > 0 && rng_.chance(region.hotWeight)) {
-            span = std::max<std::uint64_t>(
-                64, static_cast<std::uint64_t>(
-                        static_cast<double>(bytes) * region.hotFrac));
+        // hotWeight <= 0 must consume no draw (the guard order
+        // matters, not just the threshold being 0).
+        std::uint64_t span = geom.bytes;
+        if (region.hotWeight > 0) {
+            span = st.rng.chanceThr(thrRegionHot_[r]) ? geom.hotSpan
+                                                      : span;
         }
-        offset = rng_.nextBelow(span / 8) * 8;
+        offset = st.rng.nextBelow(span / 8) * 8;
     } else {
         // Equivalent to (cursor + stride) % bytes; strides are
         // normally below the region size, so the wrap is a subtract
         // and the division almost never runs.
-        std::uint64_t c = cursors_[r] + profile_.regions[r].stride;
-        if (c >= bytes) {
-            c -= bytes;
-            if (c >= bytes)
-                c %= bytes;
+        std::uint64_t c = cursors_[r] + region.stride;
+        if (c >= geom.bytes) {
+            c -= geom.bytes;
+            if (c >= geom.bytes)
+                c %= geom.bytes;
         }
         cursors_[r] = c;
         offset = c;
     }
-    return regionBase(r) + offset;
+    return regionBases_[r] + offset;
 }
 
 MicroInst
 SyntheticWorkload::next()
 {
     MicroInst inst;
+    HotState st = loadHotState();
+    genOne(inst, st);
+    storeHotState(st);
+    return inst;
+}
 
-    const std::uint64_t footprint = cachedCodeFootprint();
-    if (aliasChunk_ < 0) {
+void
+SyntheticWorkload::nextBatch(MicroInst *__restrict buf, std::size_t n)
+{
+    // __restrict plus a stack-local HotState: the output buffer is
+    // caller stack space (never an alias of this object) and the hot
+    // generator state lives in a local whose address does not escape,
+    // so the compiler keeps it in registers across the whole batch.
+    HotState st = loadHotState();
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroInst inst{};
+        genOne(inst, st);
+        buf[i] = inst;
+    }
+    storeHotState(st);
+}
+
+void
+SyntheticWorkload::genOne(MicroInst &inst, HotState &st)
+{
+    const std::uint64_t footprint =
+        cachedCodeFootprint(st.instCount);
+    if (st.aliasChunk < 0) {
         // The offset advances by 4 per instruction, so the wrap is
         // rare; pay the division only then.
-        if (codeOffset_ >= footprint)
-            codeOffset_ %= footprint;
-        inst.pc = codeBase + codeOffset_;
+        if (st.codeOffset >= footprint)
+            st.codeOffset %= footprint;
+        inst.pc = codeBase + st.codeOffset;
     } else {
-        codeOffset_ %= codeAliasChunkBytes;
+        st.codeOffset %= codeAliasChunkBytes;
         inst.pc = codeAliasBase +
-                  static_cast<Addr>(aliasChunk_) * aliasStride +
-                  codeOffset_;
+                  static_cast<Addr>(st.aliasChunk) * aliasStride +
+                  st.codeOffset;
     }
 
-    if (blockRemaining_ == 0) {
-        // Block-ending branch with a per-PC direction bias.
+    if (st.blockRemaining == 0) {
+        // Block-ending branch with a per-PC direction bias (all 256
+        // clamped biases are pre-thresholded in the constructor).
         inst.op = OpClass::Branch;
-        const double bias_adj =
-            (static_cast<double>(mix64(inst.pc) & 0xff) / 256.0 -
-             0.5) *
-            0.4;
-        const double bias = std::min(
-            0.98, std::max(0.05, profile_.takenBias + bias_adj));
-        inst.taken = rng_.chance(bias);
+        inst.taken =
+            st.rng.chanceThr(biasThr_[mix64(inst.pc) & 0xff]);
         if (inst.taken) {
-            if (aliasChunk_ < 0 && profile_.codeConflictBlocks > 0 &&
-                rng_.chance(profile_.codeConflictFrac)) {
+            if (st.aliasChunk < 0 &&
+                profile_.codeConflictBlocks > 0 &&
+                st.rng.chanceThr(thrCodeConflict_)) {
                 // Call into an aliasing library chunk.
-                aliasChunk_ = static_cast<int>(
-                    rng_.nextBelow(profile_.codeConflictBlocks));
-                codeOffset_ = 0;
+                st.aliasChunk = static_cast<int>(
+                    st.rng.nextBelow(profile_.codeConflictBlocks));
+                st.codeOffset = 0;
                 inst.target =
                     codeAliasBase +
-                    static_cast<Addr>(aliasChunk_) * aliasStride;
+                    static_cast<Addr>(st.aliasChunk) * aliasStride;
             } else {
                 // Jump within the main footprint, skewed hot.
-                aliasChunk_ = -1;
-                std::uint64_t span = footprint;
-                if (rng_.chance(profile_.codeHotWeight)) {
-                    span = std::max<std::uint64_t>(
-                        64, static_cast<std::uint64_t>(
-                                static_cast<double>(footprint) *
-                                profile_.codeHotFrac));
-                }
-                codeOffset_ = rng_.nextBelow(span) & ~std::uint64_t{15};
-                inst.target = codeBase + codeOffset_;
+                st.aliasChunk = -1;
+                const std::uint64_t span =
+                    st.rng.chanceThr(thrCodeHotWeight_)
+                        ? codeHotSpanCache_
+                        : footprint;
+                st.codeOffset =
+                    st.rng.nextBelow(span) & ~std::uint64_t{15};
+                inst.target = codeBase + st.codeOffset;
             }
         } else {
-            codeOffset_ += 4;
+            st.codeOffset += 4;
         }
-        blockRemaining_ = rng_.nextGeometric(profile_.branchFrac, 32);
+        st.blockRemaining =
+            st.rng.nextGeometricThr(thrBranchFrac_, 32);
     } else {
-        --blockRemaining_;
-        codeOffset_ += 4;
+        --st.blockRemaining;
+        st.codeOffset += 4;
 
-        const double u = rng_.nextDouble();
-        const double mem_frac = profile_.loadFrac + profile_.storeFrac;
-        if (u < profile_.loadFrac) {
+        const std::uint64_t u = st.rng.next() >> 11;
+        if (u < thrLoadOp_) {
             inst.op = OpClass::Load;
-            inst.effAddr = dataAddr();
-        } else if (u < mem_frac) {
+            inst.effAddr = dataAddr(st);
+        } else if (u < thrMemOp_) {
             inst.op = OpClass::Store;
-            inst.effAddr = dataAddr();
-        } else if (u < mem_frac + profile_.fpFrac) {
+            inst.effAddr = dataAddr(st);
+        } else if (u < thrMemFpOp_) {
             inst.op = OpClass::FpAlu;
             inst.latency = profile_.fpLatency;
         } else {
@@ -329,22 +456,26 @@ SyntheticWorkload::next()
     }
 
     // Register dependences.
-    if (rng_.chance(profile_.depChance)) {
-        inst.dep1 = static_cast<std::uint8_t>(
-            rng_.nextGeometric(0.35, profile_.maxDepDist));
+    if (st.rng.chanceThr(thrDep_)) {
+        inst.dep1 =
+            static_cast<std::uint8_t>(st.rng.nextGeometricThr(
+                thrDepDist_, profile_.maxDepDist));
     }
-    if (lastLoadDist_ >= 1 && lastLoadDist_ <= profile_.maxDepDist &&
-        rng_.chance(profile_.loadUseChance)) {
-        inst.dep2 = static_cast<std::uint8_t>(lastLoadDist_);
+    if (st.lastLoadDist >= 1 &&
+        st.lastLoadDist <= profile_.maxDepDist) {
+        // The draw's outcome selects a value, not a code path, so it
+        // compiles to a conditional move.
+        inst.dep2 = st.rng.chanceThr(thrLoadUse_)
+                        ? static_cast<std::uint8_t>(st.lastLoadDist)
+                        : inst.dep2;
     }
 
     if (inst.op == OpClass::Load)
-        lastLoadDist_ = 0;
-    if (lastLoadDist_ < 255)
-        ++lastLoadDist_;
+        st.lastLoadDist = 0;
+    if (st.lastLoadDist < 255)
+        ++st.lastLoadDist;
 
-    ++instCount_;
-    return inst;
+    ++st.instCount;
 }
 
 } // namespace rcache

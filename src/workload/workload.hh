@@ -6,6 +6,9 @@
 #ifndef RCACHE_WORKLOAD_WORKLOAD_HH
 #define RCACHE_WORKLOAD_WORKLOAD_HH
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,27 @@
 
 namespace rcache
 {
+
+/**
+ * Batch size the CPU models use when draining a workload. One batch
+ * of MicroInsts lives on the consumer's stack (~5 KB at 128), small
+ * enough to stay cache-resident while large enough to amortize the
+ * virtual nextBatch dispatch down to noise per instruction.
+ */
+inline constexpr std::size_t workloadBatchSize = 128;
+
+class Workload;
+
+/**
+ * Drain @p n instructions of @p wl through fixed-size nextBatch
+ * batches, invoking @p body(inst) once per instruction in stream
+ * order. The shared scaffold of every CPU model's run loop: one
+ * stack-resident batch, one virtual dispatch per batch, a short tail
+ * batch at the end.
+ */
+template <typename Body>
+inline void forEachBatched(Workload &wl, std::uint64_t n,
+                           Body &&body);
 
 /** A reproducible dynamic instruction stream. */
 class Workload
@@ -22,6 +46,15 @@ class Workload
 
     /** Produce the next instruction (streams are unbounded). */
     virtual MicroInst next() = 0;
+
+    /**
+     * Produce the next @p n instructions into @p buf. Exactly
+     * equivalent to n calls to next() — the stream is identical
+     * whatever mix of next()/nextBatch() drains it — but costs one
+     * virtual dispatch per batch instead of one per instruction.
+     * Generators override the default loop with a tight fill.
+     */
+    virtual void nextBatch(MicroInst *buf, std::size_t n);
 
     /** Restart the stream from the beginning (same sequence). */
     virtual void reset() = 0;
@@ -41,13 +74,18 @@ class Workload
 };
 
 /** Fixed recorded sequence, for unit tests. */
-class TraceWorkload : public Workload
+class TraceWorkload final : public Workload
 {
   public:
+    /**
+     * @param insts recorded sequence; must be non-empty (an empty
+     *        trace has no stream to loop and is reported fatally)
+     */
     explicit TraceWorkload(std::vector<MicroInst> insts,
                            std::string name = "trace");
 
     MicroInst next() override;
+    void nextBatch(MicroInst *buf, std::size_t n) override;
     void reset() override { pos_ = 0; }
     void skip(std::uint64_t n) override
     {
@@ -60,6 +98,23 @@ class TraceWorkload : public Workload
     std::size_t pos_ = 0;
     std::string name_;
 };
+
+template <typename Body>
+inline void
+forEachBatched(Workload &wl, std::uint64_t n, Body &&body)
+{
+    MicroInst batch[workloadBatchSize];
+    std::uint64_t done = 0;
+    while (done < n) {
+        const std::size_t fill =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                workloadBatchSize, n - done));
+        wl.nextBatch(batch, fill);
+        done += fill;
+        for (std::size_t k = 0; k < fill; ++k)
+            body(batch[k]);
+    }
+}
 
 } // namespace rcache
 

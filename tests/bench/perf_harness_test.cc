@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Perf-harness contract tests: the registry is populated, every
+ * benchmark runs at tiny sizes and yields sane numbers, and the
+ * BENCH_*.json serialization is well-formed (CI fails the perf smoke
+ * job on malformed output, so the shape is load-bearing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/harness/perf_harness.hh"
+
+namespace rcache::bench
+{
+
+namespace
+{
+
+BenchOptions
+tinyOptions()
+{
+    BenchOptions opts;
+    opts.items = 3000;
+    opts.repetitions = 1;
+    return opts;
+}
+
+} // namespace
+
+TEST(PerfHarnessTest, RegistryCoversTheHotPaths)
+{
+    std::vector<std::string> names;
+    for (const BenchSpec &spec : perfBenches()) {
+        names.push_back(spec.name);
+        EXPECT_FALSE(spec.description.empty()) << spec.name;
+    }
+    EXPECT_NE(std::find(names.begin(), names.end(), "detailed_ooo"),
+              names.end());
+    EXPECT_NE(
+        std::find(names.begin(), names.end(), "detailed_inorder"),
+        names.end());
+    EXPECT_NE(
+        std::find(names.begin(), names.end(), "workload_batch"),
+        names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "cache_access_stream"),
+              names.end());
+}
+
+TEST(PerfHarnessTest, EveryBenchmarkProducesSaneNumbers)
+{
+    const BenchOptions opts = tinyOptions();
+    for (const BenchSpec &spec : perfBenches()) {
+        const BenchResult r = spec.run(opts);
+        EXPECT_EQ(r.name, spec.name);
+        EXPECT_GT(r.throughput, 0.0) << spec.name;
+        EXPECT_GT(r.wallSeconds, 0.0) << spec.name;
+        EXPECT_EQ(r.items, opts.items) << spec.name;
+        EXPECT_EQ(r.repetitions, opts.repetitions) << spec.name;
+        EXPECT_FALSE(r.unit.empty()) << spec.name;
+    }
+}
+
+TEST(PerfHarnessTest, JsonSerializationIsWellFormed)
+{
+    BenchResult r;
+    r.name = "detailed_ooo";
+    r.unit = "Minst/s";
+    r.throughput = 12.5;
+    r.wallSeconds = 0.08;
+    r.items = 1000000;
+    r.repetitions = 3;
+    r.config = {{"app", "compress"}, {"mode", "detailed"}};
+
+    const std::string json = benchJson(r);
+    // Structural checks a JSON parser would enforce: balanced braces,
+    // required keys, no trailing comma before a closing brace.
+    EXPECT_NE(json.find("\"name\": \"detailed_ooo\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"unit\": \"Minst/s\""), std::string::npos);
+    EXPECT_NE(json.find("\"throughput\": 12.5"), std::string::npos);
+    EXPECT_NE(json.find("\"items\": 1000000"), std::string::npos);
+    EXPECT_NE(json.find("\"repetitions\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"app\": \"compress\""), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(json.find(",}"), std::string::npos);
+    EXPECT_EQ(json.find(", }"), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(PerfHarnessTest, WriteBenchJsonRoundTrips)
+{
+    BenchResult r;
+    r.name = "unit_test";
+    r.unit = "Mops/s";
+    r.throughput = 1.25;
+    r.wallSeconds = 0.5;
+    r.items = 100;
+    r.repetitions = 2;
+
+    std::string err;
+    ASSERT_TRUE(writeBenchJson(r, ::testing::TempDir(), &err)) << err;
+    const std::string path =
+        ::testing::TempDir() + "/BENCH_unit_test.json";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), benchJson(r));
+    std::remove(path.c_str());
+}
+
+TEST(PerfHarnessTest, WriteBenchJsonReportsUnwritableDir)
+{
+    BenchResult r;
+    r.name = "nope";
+    std::string err;
+    EXPECT_FALSE(
+        writeBenchJson(r, "/nonexistent-dir-for-rcache-test", &err));
+    EXPECT_NE(err.find("cannot write"), std::string::npos);
+}
+
+} // namespace rcache::bench

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Replacement under resizing: after Cache::resizeTo shrinks the
+ * enabled ways, victims must be chosen only among the enabled ways —
+ * for the inline LRU fast path, the inline random fast path, and
+ * again after re-enabling ways. (The inline dispatch added for the
+ * hot-path overhaul must honor exactly the same enabled-way bounds
+ * the virtual policies did.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+/** 32 KB, 4-way, 32 B blocks, 1 KB subarrays: 256 sets, minSets 32. */
+CacheGeometry
+geom4way()
+{
+    return CacheGeometry{32 * 1024, 4, 32, 1024};
+}
+
+/** k-th distinct block address mapping to set 0 at full size. */
+Addr
+set0Addr(unsigned k)
+{
+    return static_cast<Addr>(k) * 256 * 32;
+}
+
+} // namespace
+
+TEST(ReplacementResizeTest, LruVictimsOnlyAmongEnabledWays)
+{
+    Cache c("c", geom4way(), std::make_unique<LruPolicy>());
+
+    // Fill set 0's four ways in order: way w holds set0Addr(w).
+    for (unsigned k = 0; k < 4; ++k)
+        EXPECT_FALSE(c.access(set0Addr(k), false).hit);
+    for (unsigned k = 0; k < 4; ++k)
+        EXPECT_TRUE(c.probe(set0Addr(k)));
+
+    // Disable ways 2 and 3: their blocks are flushed.
+    const FlushResult flushed = c.resizeTo(256, 2);
+    EXPECT_GT(flushed.invalidated, 0u);
+    EXPECT_TRUE(c.probe(set0Addr(0)));
+    EXPECT_TRUE(c.probe(set0Addr(1)));
+    EXPECT_FALSE(c.probe(set0Addr(2)));
+    EXPECT_FALSE(c.probe(set0Addr(3)));
+    EXPECT_TRUE(c.checkInvariants());
+
+    // Touch block 0 so block 1 is LRU, then force an eviction. The
+    // victim must be block 1 (the LRU among *enabled* ways); if the
+    // policy considered the disabled ways it would pick one of their
+    // (invalid) frames instead and block 1 would survive.
+    EXPECT_TRUE(c.access(set0Addr(0), false).hit);
+    EXPECT_FALSE(c.access(set0Addr(4), false).hit);
+    EXPECT_TRUE(c.probe(set0Addr(0)));
+    EXPECT_TRUE(c.probe(set0Addr(4)));
+    EXPECT_FALSE(c.probe(set0Addr(1)));
+    EXPECT_TRUE(c.checkInvariants());
+
+    // Repeatedly evict; valid blocks must never appear in a disabled
+    // frame (checkInvariants enforces exactly that).
+    for (unsigned k = 5; k < 40; ++k) {
+        EXPECT_FALSE(c.access(set0Addr(k), (k & 1) != 0).hit);
+        ASSERT_TRUE(c.checkInvariants());
+    }
+    EXPECT_EQ(c.enabledWays(), 2u);
+}
+
+TEST(ReplacementResizeTest, LruAfterReEnablingWays)
+{
+    Cache c("c", geom4way(), std::make_unique<LruPolicy>());
+    c.resizeTo(256, 1);
+    for (unsigned k = 0; k < 3; ++k)
+        c.access(set0Addr(k), false);
+    EXPECT_TRUE(c.checkInvariants());
+
+    // Re-enable all four ways: fills use the empty frames first, then
+    // LRU applies across all four.
+    c.resizeTo(256, 4);
+    for (unsigned k = 10; k < 14; ++k)
+        EXPECT_FALSE(c.access(set0Addr(k), false).hit);
+    EXPECT_TRUE(c.checkInvariants());
+
+    // All four enabled frames are now valid; next miss evicts the
+    // oldest fill (k=10 survives only if the victim scan is wrong).
+    EXPECT_FALSE(c.access(set0Addr(20), false).hit);
+    EXPECT_FALSE(c.probe(set0Addr(10)));
+    for (unsigned k = 11; k < 14; ++k)
+        EXPECT_TRUE(c.probe(set0Addr(k)));
+    EXPECT_TRUE(c.checkInvariants());
+}
+
+TEST(ReplacementResizeTest, RandomVictimsOnlyAmongEnabledWays)
+{
+    Cache c("c", geom4way(), std::make_unique<RandomPolicy>(7));
+
+    for (unsigned k = 0; k < 4; ++k)
+        c.access(set0Addr(k), false);
+    c.resizeTo(256, 2);
+    EXPECT_TRUE(c.checkInvariants());
+
+    // Both enabled frames hold blocks; every conflict miss must evict
+    // exactly one of the two current residents, never touch a
+    // disabled frame, and over many draws both ways must be chosen.
+    Addr resident[2] = {set0Addr(0), set0Addr(1)};
+    bool evicted_way[2] = {false, false};
+    for (unsigned k = 4; k < 300; ++k) {
+        const Addr incoming = set0Addr(k);
+        EXPECT_FALSE(c.access(incoming, false).hit);
+        ASSERT_TRUE(c.checkInvariants());
+
+        const bool kept0 = c.probe(resident[0]);
+        const bool kept1 = c.probe(resident[1]);
+        ASSERT_NE(kept0, kept1)
+            << "eviction must remove exactly one enabled resident";
+        ASSERT_TRUE(c.probe(incoming));
+        const unsigned victim = kept0 ? 1 : 0;
+        evicted_way[victim] = true;
+        resident[victim] = incoming;
+    }
+    EXPECT_TRUE(evicted_way[0]);
+    EXPECT_TRUE(evicted_way[1]);
+    EXPECT_EQ(c.enabledWays(), 2u);
+}
+
+TEST(ReplacementResizeTest, RandomVictimsAfterSetDownsize)
+{
+    // Downsizing sets moves the conflict pressure to a smaller mask;
+    // random victims must still respect the enabled ways there.
+    Cache c("c", geom4way(), std::make_unique<RandomPolicy>(11));
+    c.resizeTo(32, 2);
+    EXPECT_TRUE(c.checkInvariants());
+
+    // Distinct blocks mapping to set 0 under the 32-set mask.
+    auto addr = [](unsigned k) {
+        return static_cast<Addr>(k) * 32 * 32;
+    };
+    c.access(addr(0), true);
+    c.access(addr(1), true);
+    for (unsigned k = 2; k < 200; ++k) {
+        c.access(addr(k), (k & 1) != 0);
+        ASSERT_TRUE(c.checkInvariants());
+    }
+    EXPECT_EQ(c.enabledSets(), 32u);
+    EXPECT_EQ(c.enabledWays(), 2u);
+}
+
+} // namespace rcache

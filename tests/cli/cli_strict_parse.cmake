@@ -135,6 +135,17 @@ check_rejects_oneline("bad_cli_test.scn:4: axis 'nope'"
                       scenario check ${BAD_SCN})
 file(REMOVE ${BAD_SCN})
 
+# ---- bench subcommand
+check_rejects_oneline("unknown option '--bogus' for 'bench'"
+                      bench --bogus 1)
+check_rejects_oneline("must be > 0" bench --insts 0)
+check_rejects_oneline("must be > 0" bench --reps 0)
+check_rejects_oneline("non-negative integer" bench --reps abc)
+check_rejects_oneline("no benchmark matches filter"
+                      bench --filter nosuchbench)
+check_prints("detailed_ooo" bench --list)
+check_prints("--out-dir" bench --help)
+
 # ---- happy paths still exit 0
 check_accepts(list-apps)
 check_accepts(--help)

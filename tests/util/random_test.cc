@@ -109,4 +109,52 @@ TEST(RngTest, StreamHasNoShortCycle)
     EXPECT_EQ(seen.size(), 10000u);
 }
 
+TEST(RngTest, ChanceThresholdMatchesChanceExactly)
+{
+    // The workload generator replaces chance(p) with one integer
+    // compare against chanceThreshold(p) on its hot path; the two
+    // must agree draw for draw, for awkward p values included, or
+    // generated streams fork.
+    const double ps[] = {
+        0.0,  -0.25, 1.0,  1.5,  0.5,   0.25,  0.3,
+        0.15, 0.35,  0.85, 0.98, 0.05,  1e-12, 1.0 - 1e-12,
+        0.1,  0.7,   0.6,  0.9,  1e-300};
+    for (double p : ps) {
+        const std::uint64_t thr = Rng::chanceThreshold(p);
+        Rng a(101), b(101);
+        for (int i = 0; i < 20000; ++i) {
+            ASSERT_EQ(a.chance(p), b.chanceThr(thr))
+                << "p=" << p << " draw " << i;
+        }
+    }
+}
+
+TEST(RngTest, ChanceThresholdMatchesOnRandomProbabilities)
+{
+    Rng pgen(555);
+    for (int k = 0; k < 200; ++k) {
+        const double p = pgen.nextDouble();
+        const std::uint64_t thr = Rng::chanceThreshold(p);
+        Rng a(k), b(k);
+        for (int i = 0; i < 2000; ++i) {
+            ASSERT_EQ(a.chance(p), b.chanceThr(thr))
+                << "p=" << p << " draw " << i;
+        }
+    }
+}
+
+TEST(RngTest, GeometricThresholdMatchesGeometric)
+{
+    const double ps[] = {0.15, 0.35, 0.5, 0.05, 0.98};
+    for (double p : ps) {
+        const std::uint64_t thr = Rng::chanceThreshold(p);
+        Rng a(77), b(77);
+        for (int i = 0; i < 20000; ++i) {
+            ASSERT_EQ(a.nextGeometric(p, 32),
+                      b.nextGeometricThr(thr, 32))
+                << "p=" << p << " draw " << i;
+        }
+    }
+}
+
 } // namespace rcache

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Batched streaming contract tests: Workload::nextBatch must be
+ * bit-identical to the same number of next() calls, for every
+ * generator and any batch-size mix, and TraceWorkload must reject an
+ * empty trace instead of dividing by zero in skip().
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "workload/profiles.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+/** Pull @p n instructions one at a time. */
+std::vector<MicroInst>
+drainSingly(Workload &wl, std::size_t n)
+{
+    std::vector<MicroInst> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(wl.next());
+    return out;
+}
+
+/** Pull @p n instructions through nextBatch with a mix of batch
+ *  sizes, including 1 and sizes around workloadBatchSize. */
+std::vector<MicroInst>
+drainBatched(Workload &wl, std::size_t n)
+{
+    static const std::size_t sizes[] = {
+        1, 7, workloadBatchSize - 1, workloadBatchSize, 33,
+    };
+    std::vector<MicroInst> out(n);
+    std::size_t filled = 0;
+    unsigned turn = 0;
+    while (filled < n) {
+        const std::size_t want = std::min(
+            sizes[turn++ % (sizeof(sizes) / sizeof(sizes[0]))],
+            n - filled);
+        wl.nextBatch(out.data() + filled, want);
+        filled += want;
+    }
+    return out;
+}
+
+/** A workload that only implements next(), to exercise the default
+ *  nextBatch. */
+class CountingWorkload : public Workload
+{
+  public:
+    MicroInst
+    next() override
+    {
+        MicroInst i;
+        i.pc = 0x1000 + 4 * n_;
+        i.effAddr = n_ * 64;
+        i.op = (n_ % 3 == 0) ? OpClass::Load : OpClass::IntAlu;
+        ++n_;
+        return i;
+    }
+    void reset() override { n_ = 0; }
+    std::string name() const override { return "counting"; }
+
+  private:
+    std::uint64_t n_ = 0;
+};
+
+} // namespace
+
+TEST(BatchIdentityTest, SyntheticAllProfilesMatchPerInstStream)
+{
+    constexpr std::size_t n = 30000;
+    for (const BenchmarkProfile &profile : spec2000Suite()) {
+        SyntheticWorkload singly(profile);
+        SyntheticWorkload batched(profile);
+        const auto a = drainSingly(singly, n);
+        const auto b = drainBatched(batched, n);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(a[i], b[i])
+                << profile.name << ": divergence at instruction " << i;
+        }
+    }
+}
+
+TEST(BatchIdentityTest, SyntheticBatchThenSinglyContinuesStream)
+{
+    // Mixing the two drain styles mid-stream must not fork the
+    // sequence either.
+    const BenchmarkProfile profile = profileByName("gcc");
+    SyntheticWorkload reference(profile);
+    SyntheticWorkload mixed(profile);
+
+    const auto expect = drainSingly(reference, 4096);
+
+    MicroInst buf[workloadBatchSize];
+    std::vector<MicroInst> got;
+    while (got.size() < 4096) {
+        if (got.size() % 2 == 0 && got.size() + 100 <= 4096) {
+            mixed.nextBatch(buf, 100);
+            got.insert(got.end(), buf, buf + 100);
+        } else {
+            got.push_back(mixed.next());
+        }
+    }
+    got.resize(4096);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(expect[i], got[i]) << "divergence at " << i;
+}
+
+TEST(BatchIdentityTest, TraceWorkloadBatchWrapsAround)
+{
+    std::vector<MicroInst> insts(10);
+    for (unsigned i = 0; i < insts.size(); ++i) {
+        insts[i].pc = 0x4000 + 4 * i;
+        insts[i].latency = static_cast<std::uint8_t>(i + 1);
+    }
+    TraceWorkload singly(insts);
+    TraceWorkload batched(insts);
+    const auto a = drainSingly(singly, 64);
+    const auto b = drainBatched(batched, 64);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "divergence at " << i;
+}
+
+TEST(BatchIdentityTest, DefaultNextBatchMatchesNext)
+{
+    CountingWorkload singly, batched;
+    const auto a = drainSingly(singly, 500);
+    const auto b = drainBatched(batched, 500);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "divergence at " << i;
+}
+
+TEST(TraceWorkloadDeathTest, EmptyTraceIsRejected)
+{
+    EXPECT_EXIT(TraceWorkload(std::vector<MicroInst>{}),
+                ::testing::ExitedWithCode(1),
+                "empty instruction trace");
+}
+
+} // namespace rcache

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness/perf_harness.hh"
 #include "runner/shard.hh"
 #include "runner/sweep_runner.hh"
 #include "scenario/scenario_spec.hh"
@@ -58,6 +59,8 @@ usage(std::ostream &os, int code)
           "file\n"
           "  rcache-sim record [options]    record a profile's "
           "stream to a trace file\n"
+          "  rcache-sim bench [options]     time the simulator's hot "
+          "paths, write BENCH_*.json\n"
           "  rcache-sim scenario check f..  validate scenario files\n"
           "  rcache-sim scenario print f    print a scenario's "
           "canonical form\n"
@@ -101,7 +104,8 @@ struct Args
 bool
 isFlag(const std::string &key)
 {
-    return key == "--progress" || key == "--help";
+    return key == "--progress" || key == "--help" ||
+           key == "--quick" || key == "--list";
 }
 
 /** The per-cache design-point options (--il1-... and --dl1-...). */
@@ -140,6 +144,9 @@ knownOptions(const std::string &cmd)
             keys.push_back(k);
     } else if (cmd == "record") {
         add({"--insts", "--app", "--out"});
+    } else if (cmd == "bench") {
+        add({"--quick", "--list", "--insts", "--reps", "--filter",
+             "--out-dir"});
     }
     // list-apps takes no options beyond --help.
     return keys;
@@ -157,6 +164,9 @@ commandPurpose(const std::string &cmd)
         return "drive a recorded trace file through a design point";
     if (cmd == "record")
         return "record a profile's stream to a trace file";
+    if (cmd == "bench")
+        return "time the simulator's hot paths and write "
+               "machine-readable BENCH_*.json perf records";
     if (cmd == "list-apps")
         return "print the benchmark suite names";
     return "";
@@ -202,6 +212,12 @@ optionHelp(const std::string &key)
          "functional cache/predictor warmup insts per period "
          "(default N/5)"},
         {"--app", "profile to run (see list-apps)"},
+        {"--quick",
+         "small items/reps for smoke runs (still writes JSON)"},
+        {"--list", "print the registered benchmarks and exit"},
+        {"--reps", "timed repetitions per benchmark (default 3)"},
+        {"--filter", "run only benchmarks whose name contains SUB"},
+        {"--out-dir", "directory for BENCH_*.json (default .)"},
         {"--trace", "trace file to replay"},
         {"--name", "workload label (default 'trace')"},
     };
@@ -808,6 +824,38 @@ cmdRecord(const Args &args)
     return 0;
 }
 
+// --------------------------------------------------------------- bench
+
+int
+cmdBench(const Args &args)
+{
+    if (args.flags.count("--list")) {
+        for (const auto &spec : rcache::bench::perfBenches())
+            std::cout << spec.name << ": " << spec.description
+                      << '\n';
+        return 0;
+    }
+
+    rcache::bench::BenchOptions opts;
+    if (args.flags.count("--quick")) {
+        opts.items = 300000;
+        opts.repetitions = 2;
+    }
+    const auto items = parseU64(args, "--insts", opts.items);
+    const auto reps = parseU64(args, "--reps", opts.repetitions);
+    if (!items || !reps)
+        return 2;
+    if (*items == 0 || *reps == 0) {
+        std::cerr << "rcache-sim: bench --insts/--reps must be > 0\n";
+        return 2;
+    }
+    opts.items = *items;
+    opts.repetitions = static_cast<unsigned>(*reps);
+    opts.filter = args.get("--filter", "");
+    opts.outDir = args.get("--out-dir", ".");
+    return rcache::bench::runPerfBenches(opts);
+}
+
 int
 cmdListApps()
 {
@@ -829,7 +877,8 @@ main(int argc, char **argv)
 
     const bool known_cmd = cmd == "sweep" || cmd == "run" ||
                            cmd == "replay" || cmd == "record" ||
-                           cmd == "scenario" || cmd == "list-apps";
+                           cmd == "bench" || cmd == "scenario" ||
+                           cmd == "list-apps";
     if (!known_cmd) {
         std::cerr << "rcache-sim: unknown subcommand '" << cmd
                   << "' (try 'rcache-sim --help')\n";
@@ -854,5 +903,7 @@ main(int argc, char **argv)
         return cmdReplay(*args);
     if (cmd == "record")
         return cmdRecord(*args);
+    if (cmd == "bench")
+        return cmdBench(*args);
     return cmdListApps();
 }
