@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "cpu/functional_core.hh"
+#include "sim/multi_core_system.hh"
 #include "sim/system.hh"
 #include "util/numformat.hh"
 #include "workload/profiles.hh"
@@ -117,6 +118,33 @@ functionalRun(const BenchOptions &opts)
 }
 
 BenchResult
+multicoreRun(const BenchOptions &opts)
+{
+    // Two OoO cores, a gcc+m88ksim mix, the default quantum: the
+    // multi-programmed sweep's inner loop. Items are split across the
+    // cores so the benchmark retires opts.items instructions total
+    // and the throughput is comparable with detailed_ooo.
+    const std::uint64_t per_core = std::max<std::uint64_t>(
+        opts.items / 2, 1);
+    const double best = bestWallSeconds(opts.repetitions, [&] {
+        SystemConfig cfg = SystemConfig::base();
+        cfg.cores = 2;
+        MultiCoreSystem sys(cfg);
+        consume(sys.run({profileByName("gcc"),
+                         profileByName("m88ksim")},
+                        per_core)
+                    .aggregate.cycles);
+    });
+    return makeResult(
+        "multicore_shared_l2", "Minst/s", per_core * 2,
+        opts.repetitions, best,
+        {{"mix", "gcc+m88ksim"},
+         {"insts_per_core", std::to_string(per_core)},
+         {"cores", "2"},
+         {"mode", "detailed"}});
+}
+
+BenchResult
 workloadBatch(const BenchOptions &opts)
 {
     const double best = bestWallSeconds(opts.repetitions, [&] {
@@ -192,6 +220,9 @@ perfBenches()
          }},
         {"sampled_ooo", "sampled-mode OoO System run",
          [](const BenchOptions &o) { return sampledRun(o); }},
+        {"multicore_shared_l2",
+         "2-core multi-programmed run over one shared L2",
+         [](const BenchOptions &o) { return multicoreRun(o); }},
         {"functional_warmup",
          "FunctionalCore state-only advance (sampling warmup path)",
          [](const BenchOptions &o) { return functionalRun(o); }},

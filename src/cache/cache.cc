@@ -145,10 +145,15 @@ Cache::fillOnMiss(Block *row, Addr block_addr, bool is_write)
     }
 
     Block &victim = row[victim_way];
-    if (victim.valid() && victim.dirty()) {
-        ++writebacks_;
-        res.writeback = true;
-        res.writebackAddr = victim.blockAddr << blockBits_;
+    if (victim.valid()) {
+        if (victim.dirty()) {
+            ++writebacks_;
+            res.writeback = true;
+            res.writebackAddr = victim.blockAddr << blockBits_;
+        }
+        if (evictionObserver_)
+            evictionObserver_(victim.blockAddr << blockBits_,
+                              victim.dirty());
     }
 
     victim.blockAddr = block_addr;
@@ -182,6 +187,8 @@ Cache::evict(Block &b, const WritebackSink &sink, FlushResult &out)
         if (sink)
             sink(b.blockAddr << geom_.blockBits());
     }
+    if (evictionObserver_)
+        evictionObserver_(b.blockAddr << geom_.blockBits(), b.dirty());
     b.clearValidDirty();
 }
 

@@ -6,9 +6,26 @@ namespace rcache
 Hierarchy::Hierarchy(Cache *il1, Cache *dl1,
                      const CacheGeometry &l2_geom,
                      const HierarchyParams &params)
-    : il1_(il1), dl1_(dl1), l2_("l2", l2_geom), params_(params)
+    : il1_(il1),
+      dl1_(dl1),
+      ownedL2_(std::make_unique<Cache>("l2", l2_geom)),
+      l2_(ownedL2_.get()),
+      params_(params)
 {
     rc_assert(il1_ && dl1_);
+}
+
+Hierarchy::Hierarchy(Cache *il1, Cache *dl1, SharedL2 &shared_l2,
+                     unsigned core_id, const HierarchyParams &params)
+    : il1_(il1),
+      dl1_(dl1),
+      l2_(&shared_l2.cache()),
+      sharedL2_(&shared_l2),
+      coreId_(core_id),
+      params_(params)
+{
+    rc_assert(il1_ && dl1_);
+    rc_assert(core_id < shared_l2.numCores());
 }
 
 std::uint64_t
@@ -16,13 +33,22 @@ Hierarchy::memPenalty() const
 {
     return params_.l2Latency + params_.memBaseLatency +
            params_.memCyclesPer8Bytes *
-               (l2_.geometry().blockSize / 8);
+               (l2_->geometry().blockSize / 8);
 }
 
 bool
 Hierarchy::l2Access(Addr addr, bool is_write)
 {
-    AccessResult r = l2_.access(addr, is_write);
+    if (sharedL2_) {
+        const SharedL2Outcome r =
+            sharedL2_->access(coreId_, addr, is_write);
+        if (r.memRead)
+            ++memReads_;
+        if (r.memWrite)
+            ++memWrites_;
+        return r.hit;
+    }
+    AccessResult r = l2_->access(addr, is_write);
     if (!r.hit)
         ++memReads_; // block fill from memory
     if (r.writeback)
@@ -39,7 +65,10 @@ Hierarchy::l1WritebackSink()
 void
 Hierarchy::resetStats()
 {
-    l2_.resetStats();
+    // The shared L2's stats span all cores; resetting it from one
+    // core's hierarchy would silently clobber the others' history.
+    if (!sharedL2_)
+        l2_->resetStats();
     memReads_.reset();
     memWrites_.reset();
 }

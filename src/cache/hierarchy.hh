@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "cache/cache.hh"
+#include "cache/shared_l2.hh"
 #include "stats/stats.hh"
 
 namespace rcache
@@ -59,6 +60,17 @@ class Hierarchy
      */
     Hierarchy(Cache *il1, Cache *dl1, const CacheGeometry &l2_geom,
               const HierarchyParams &params);
+
+    /**
+     * Multi-core form: route L2 traffic to @p shared_l2 (owned by the
+     * caller, shared between the cores' hierarchies, must outlive
+     * this) attributed to @p core_id. Timing is identical to an owned
+     * L2 of the same geometry; only the attribution differs. The
+     * memReads()/memWrites() counters then report this core's share
+     * of the memory traffic.
+     */
+    Hierarchy(Cache *il1, Cache *dl1, SharedL2 &shared_l2,
+              unsigned core_id, const HierarchyParams &params);
 
     /**
      * Instruction fetch of the block containing @p addr. Inline: the
@@ -116,11 +128,17 @@ class Hierarchy
 
     Cache &il1() { return *il1_; }
     Cache &dl1() { return *dl1_; }
-    Cache &l2() { return l2_; }
-    const Cache &l2() const { return l2_; }
+    Cache &l2() { return *l2_; }
+    const Cache &l2() const { return *l2_; }
 
     std::uint64_t memReads() const { return memReads_.value(); }
     std::uint64_t memWrites() const { return memWrites_.value(); }
+
+    /** Attached shared L2, or null in the owned-L2 (single-core)
+     *  form. */
+    SharedL2 *sharedL2() { return sharedL2_; }
+    /** Attribution id presented to the shared L2 (0 when owned). */
+    unsigned coreId() const { return coreId_; }
 
     const HierarchyParams &params() const { return params_; }
 
@@ -132,7 +150,12 @@ class Hierarchy
 
     Cache *il1_;
     Cache *dl1_;
-    Cache l2_;
+    /** Owned L2 (single-core form); null when sharedL2_ is attached. */
+    std::unique_ptr<Cache> ownedL2_;
+    /** The L2 this hierarchy talks to: ownedL2_ or the shared cache. */
+    Cache *l2_;
+    SharedL2 *sharedL2_ = nullptr;
+    unsigned coreId_ = 0;
     HierarchyParams params_;
 
     Counter memReads_;

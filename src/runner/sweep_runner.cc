@@ -2,12 +2,28 @@
 
 #include <algorithm>
 
+#include "sim/multi_core_system.hh"
+
 namespace rcache
 {
 
 RunResult
 executeRunJob(const RunJob &job)
 {
+    // A single core would silently simulate only mixProfiles[0];
+    // every layer above validates this (ParamSpace::build, the CLI),
+    // so reaching here is a caller bug.
+    rc_assert(job.cfg.cores > 1 || job.mixProfiles.size() <= 1);
+    if (job.cfg.cores > 1) {
+        MultiCoreSystem sys(job.cfg);
+        const std::vector<BenchmarkProfile> mix =
+            job.mixProfiles.empty()
+                ? std::vector<BenchmarkProfile>{job.profile}
+                : job.mixProfiles;
+        return sys
+            .run(mix, job.insts, job.il1, job.dl1, job.sampling)
+            .aggregate;
+    }
     SyntheticWorkload wl(job.profile);
     System sys(job.cfg);
     return sys.run(wl, job.insts, job.il1, job.dl1, job.sampling);

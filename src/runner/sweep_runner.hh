@@ -38,14 +38,25 @@ struct RunJob
     std::string label;
     BenchmarkProfile profile;
     SystemConfig cfg;
+    /** Instructions per core (every core runs this many). */
     std::uint64_t insts = 0;
     ResizeSetup il1;
     ResizeSetup dl1;
     /** Full detail by default; see sim/sampling.hh. */
     SamplingConfig sampling;
+    /**
+     * Multi-core workload mix, cycled across cfg.cores cores; empty
+     * runs `profile` on every core. Ignored when cfg.cores == 1 (the
+     * single-core path depends only on `profile`).
+     */
+    std::vector<BenchmarkProfile> mixProfiles;
 };
 
-/** Run @p job on a fresh System; pure function of the job spec. */
+/**
+ * Run @p job on a fresh System (cfg.cores == 1, the exact single-core
+ * semantics) or MultiCoreSystem (cfg.cores > 1, returning the
+ * aggregate result); pure function of the job spec either way.
+ */
 RunResult executeRunJob(const RunJob &job);
 
 /** See file comment. */

@@ -4,6 +4,7 @@
 
 #include "util/logging.hh"
 #include "util/numformat.hh"
+#include "workload/profiles.hh"
 
 namespace rcache
 {
@@ -75,6 +76,33 @@ makeApplier(const std::string &name, const std::string &value,
             p.cfg.il1.assoc = static_cast<unsigned>(v);
             p.cfg.dl1.assoc = static_cast<unsigned>(v);
         });
+    }
+    if (name == "cores") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v) || v == 0 || v > 64)
+            return failAxis(name, "wants 1..64 cores, got '" + value +
+                                      "'",
+                            err);
+        return Applier([v](DesignPoint &p) {
+            p.cfg.cores = static_cast<unsigned>(v);
+        });
+    }
+    if (name == "quantum") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v) || v == 0)
+            return failAxis(name,
+                            "wants a positive instruction count, "
+                            "got '" +
+                                value + "'",
+                            err);
+        return Applier(
+            [v](DesignPoint &p) { p.cfg.quantumInsts = v; });
+    }
+    if (name == "mix") {
+        std::string why;
+        if (!mixByName(value, &why))
+            return failAxis(name, why, err);
+        return Applier([value](DesignPoint &p) { p.mix = value; });
     }
     if (name == "sample.interval") {
         unsigned long long v = 0;
@@ -203,6 +231,80 @@ ParamSpace::build(const ScenarioSpec &spec, std::string *err)
             *err = "side 'both' supports only strategy 'static' "
                    "(each side is profiled separately)";
         return std::nullopt;
+    }
+
+    // A 'mix' axis replaces the workload dimension: enumerating it
+    // against several apps would duplicate every mix cell once per
+    // app. Insist the app list is a single label.
+    const Axis *mix_axis = findAxis("mix");
+    if (mix_axis && spec.apps.size() != 1) {
+        if (err)
+            *err = "a 'mix' axis names the workloads itself; pin "
+                   "[workloads] apps to exactly one (label) app";
+        return std::nullopt;
+    }
+
+    // A K-program mix needs K cores in every cell it can land in —
+    // cycling fills extra cores, but a missing core would silently
+    // drop programs from the simulation. Mixes and core counts
+    // combine freely (independent axes), so worst cell = widest mix
+    // vs fewest cores.
+    std::size_t widest_mix = 1;
+    std::string widest_name;
+    const auto noteMix = [&](const std::string &name) {
+        const std::size_t n =
+            1 + static_cast<std::size_t>(
+                    std::count(name.begin(), name.end(), '+'));
+        if (n > widest_mix) {
+            widest_mix = n;
+            widest_name = name;
+        }
+    };
+    if (mix_axis) {
+        for (const std::string &v : mix_axis->values)
+            noteMix(v);
+    } else {
+        for (const std::string &app : spec.apps)
+            noteMix(app);
+    }
+    const Axis *cores_axis = findAxis("cores");
+    std::uint64_t fewest_cores = spec.system.cores;
+    if (cores_axis) {
+        fewest_cores = ~std::uint64_t{0};
+        for (const std::string &v : cores_axis->values) {
+            unsigned long long n = 0;
+            parseU64Strict(v, n); // validated by makeApplier above
+            fewest_cores = std::min<std::uint64_t>(fewest_cores, n);
+        }
+    }
+    if (widest_mix > fewest_cores) {
+        if (err)
+            *err = "mix '" + widest_name + "' runs " +
+                   std::to_string(widest_mix) +
+                   " programs but only " +
+                   std::to_string(fewest_cores) +
+                   " core(s) are configured; set [cores] count or a "
+                   "cores axis to at least " +
+                   std::to_string(widest_mix);
+        return std::nullopt;
+    }
+
+    // The round-robin quantum only governs full-detail runs (sampled
+    // runs interleave whole sampling periods), so a quantum axis in
+    // an always-sampled scenario would enumerate cells whose rows are
+    // all identical.
+    if (findAxis("quantum")) {
+        const Axis *si = findAxis("sample.interval");
+        const bool full_detail_reachable =
+            si ? hasValue(si, "0") : !spec.sampling.enabled();
+        if (!full_detail_reachable) {
+            if (err)
+                *err = "a 'quantum' axis has no effect under sampled "
+                       "simulation (cores interleave whole sampling "
+                       "periods); drop the axis or sweep "
+                       "sample.interval with a 0 (full-detail) value";
+            return std::nullopt;
+        }
     }
 
     std::vector<std::size_t> geom_axes;

@@ -20,6 +20,9 @@
  *   core.*                          core widths/buffers
  *   energy.<key>                    energy-model constants
  *   sample.interval                 sampling period (0 = full detail)
+ *   cores                           core count (multi-core system)
+ *   quantum                         round-robin quantum (insts)
+ *   mix                             workload mix ("gcc+m88ksim")
  *
  * Validation happens at build() time (and per-axis at parse time via
  * validateAxis), so a ParamSpace that builds cleanly can enumerate
@@ -47,6 +50,13 @@ struct DesignPoint
     Organization org = Organization::SelectiveSets;
     Strategy strategy = Strategy::Static;
     SamplingConfig sampling;
+    /**
+     * Workload-mix override from a 'mix' axis ("gcc+m88ksim"); empty
+     * means the cell's app names the workload. When non-empty the
+     * cell's app is only an enumeration label — the sweep engine
+     * simulates this mix instead (validated at build() time).
+     */
+    std::string mix;
     /**
      * Axis coordinates that produced this point, as
      * "name=value;name=value" in axis order (empty for an axis-free

@@ -96,6 +96,28 @@ coreModelToken(CoreModel m)
     return m == CoreModel::InOrder ? "inorder" : "ooo";
 }
 
+std::optional<std::vector<CoreModel>>
+parseCoreModelListToken(const std::string &t)
+{
+    std::vector<CoreModel> models;
+    for (const std::string &item : splitPlusList(t)) {
+        auto m = parseCoreModelToken(item);
+        if (!m)
+            return std::nullopt;
+        models.push_back(*m);
+    }
+    return models;
+}
+
+std::string
+coreModelListToken(const std::vector<CoreModel> &models)
+{
+    std::string out;
+    for (std::size_t i = 0; i < models.size(); ++i)
+        out += (i ? "+" : "") + coreModelToken(models[i]);
+    return out;
+}
+
 const std::vector<SystemKeyU64> &
 systemKeysU64()
 {
@@ -330,6 +352,7 @@ class Parser
     bool handleKey(const std::string &key, const std::string &value);
     bool keyScenario(const std::string &key, const std::string &value);
     bool keySystem(const std::string &key, const std::string &value);
+    bool keyCores(const std::string &key, const std::string &value);
     bool keyWorkloads(const std::string &key, const std::string &value);
     bool keyAxes(const std::string &key, const std::string &value);
     bool keySampling(const std::string &key, const std::string &value);
@@ -356,8 +379,9 @@ class Parser
 bool
 Parser::handleSection(const std::string &name)
 {
-    static const char *known[] = {"scenario", "system", "workloads",
-                                  "axes", "sampling", "search"};
+    static const char *known[] = {"scenario", "system", "cores",
+                                  "workloads", "axes", "sampling",
+                                  "search"};
     if (std::find_if(std::begin(known), std::end(known),
                      [&](const char *k) { return name == k; }) ==
         std::end(known)) {
@@ -427,6 +451,38 @@ Parser::keySystem(const std::string &key, const std::string &value)
 }
 
 bool
+Parser::keyCores(const std::string &key, const std::string &value)
+{
+    if (key == "count") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v) || v == 0 || v > 64)
+            return fail("count wants 1..64 cores, got '" + value +
+                        "'");
+        spec_.system.cores = static_cast<unsigned>(v);
+        return true;
+    }
+    if (key == "quantum") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v) || v == 0)
+            return fail("quantum wants a positive instruction count, "
+                        "got '" +
+                        value + "'");
+        spec_.system.quantumInsts = v;
+        return true;
+    }
+    if (key == "models") {
+        auto models = parseCoreModelListToken(value);
+        if (!models)
+            return fail("models wants '+'-joined ooo|inorder entries "
+                        "(e.g. ooo+inorder), got '" +
+                        value + "'");
+        spec_.system.coreModels = std::move(*models);
+        return true;
+    }
+    return fail("unknown key '" + key + "' in [cores]");
+}
+
+bool
 Parser::keyWorkloads(const std::string &key, const std::string &value)
 {
     if (key != "apps")
@@ -435,15 +491,16 @@ Parser::keyWorkloads(const std::string &key, const std::string &value)
         spec_.apps.clear();
         return true;
     }
-    const auto names = suiteNames();
     std::vector<std::string> apps;
     for (const std::string &item : splitCommas(value)) {
         if (item.empty())
             return fail("apps wants 'all' or a comma-separated list "
-                        "of profile names");
-        if (std::find(names.begin(), names.end(), item) == names.end())
-            return fail("unknown app '" + item +
-                        "' (see 'rcache-sim list-apps')");
+                        "of profile or mix names");
+        // An app may be a '+'-joined multi-programmed mix; validate
+        // every component.
+        std::string why;
+        if (!mixByName(item, &why))
+            return fail(why);
         apps.push_back(item);
     }
     if (apps.empty())
@@ -603,6 +660,8 @@ Parser::handleKey(const std::string &key, const std::string &value)
         return keyScenario(key, value);
     if (section_ == "system")
         return keySystem(key, value);
+    if (section_ == "cores")
+        return keyCores(key, value);
     if (section_ == "workloads")
         return keyWorkloads(key, value);
     if (section_ == "axes")
@@ -740,6 +799,19 @@ ScenarioSpec::print(std::ostream &os) const
     if (!sys.str().empty())
         os << "\n[system]\n" << sys.str();
 
+    // [cores]: likewise only the keys that differ from the
+    // single-core defaults.
+    std::ostringstream cores;
+    if (system.cores != base.cores)
+        cores << "count = " << system.cores << '\n';
+    if (system.quantumInsts != base.quantumInsts)
+        cores << "quantum = " << system.quantumInsts << '\n';
+    if (system.coreModels != base.coreModels)
+        cores << "models = " << coreModelListToken(system.coreModels)
+              << '\n';
+    if (!cores.str().empty())
+        os << "\n[cores]\n" << cores.str();
+
     os << "\n[workloads]\n";
     if (apps.empty())
         os << "apps = all\n";
@@ -805,6 +877,8 @@ systemConfigKey(const SystemConfig &cfg)
         os << '|' << shortestDouble(cfg.energy.*(k.field));
     os << '|' << organizationToken(cfg.il1Org) << '|'
        << organizationToken(cfg.dl1Org);
+    os << '|' << cfg.cores << '|' << cfg.quantumInsts << '|'
+       << coreModelListToken(cfg.coreModels);
     return os.str();
 }
 

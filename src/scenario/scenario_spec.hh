@@ -25,6 +25,11 @@
  *     [search]
  *     strategy = static
  *
+ * A [cores] section (count/quantum/models) selects the
+ * multi-programmed shared-L2 system, and [workloads] apps accepts
+ * '+'-joined mixes ("gcc+m88ksim") cycled across the cores; see
+ * sim/multi_core_system.hh.
+ *
  * Sections may appear in any order and may be omitted (defaults
  * apply); every key inside a section must belong to that section.
  * Parsing is strict in the CLI's style: the first malformed line
@@ -184,6 +189,11 @@ std::optional<CoreModel> parseCoreModelToken(const std::string &t);
 /** Short org token used in reports ("none"/"ways"/"sets"/"hybrid"). */
 std::string organizationToken(Organization org);
 std::string coreModelToken(CoreModel m);
+/** '+'-joined per-core model list ("ooo+inorder"); nullopt on any
+ *  unknown entry. */
+std::optional<std::vector<CoreModel>>
+parseCoreModelListToken(const std::string &t);
+std::string coreModelListToken(const std::vector<CoreModel> &models);
 /// @}
 
 } // namespace rcache

@@ -31,17 +31,71 @@ cacheSideOf(SweepSide side)
 }
 
 /** Memo key of a cell's baseline: the full scenario-visible system
- *  identity plus the sampling shape (insts are sweep-constant). */
+ *  identity (core count/quantum/models included via systemConfigKey)
+ *  plus the sampling shape (insts are sweep-constant). @p workload is
+ *  the effective workload name — the mix override when a 'mix' axis
+ *  set one, else the cell's app. */
 std::string
 baselineKey(const SystemConfig &cfg, const SamplingConfig &sampling,
-            const std::string &app)
+            const std::string &workload)
 {
     std::ostringstream os;
-    os << app << '|' << systemConfigKey(cfg) << '|'
+    os << workload << '|' << systemConfigKey(cfg) << '|'
        << sampleModeName(sampling.mode) << '|'
        << sampling.intervalInsts << '|' << sampling.detailedInsts
        << '|' << sampling.warmupInsts;
     return os.str();
+}
+
+/** One [workloads] entry: a profile, or a '+'-joined mix. */
+struct AppEntry
+{
+    /** The name as written (the CSV app column). */
+    std::string name;
+    /** Resolved components (size 1 for a plain profile). */
+    std::vector<BenchmarkProfile> mix;
+};
+
+/** The workload a cell actually simulates, after any 'mix' axis
+ *  override. */
+struct EffectiveWorkload
+{
+    /** Label profile handed to Experiment: the first component
+     *  carrying the full mix name (what labels/memo keys show). */
+    BenchmarkProfile label;
+    std::vector<BenchmarkProfile> mix;
+};
+
+EffectiveWorkload
+effectiveWorkload(const AppEntry &entry, const DesignPoint &p)
+{
+    EffectiveWorkload eff;
+    if (p.mix.empty()) {
+        eff.mix = entry.mix;
+        eff.label = entry.mix.front();
+        eff.label.name = entry.name;
+    } else {
+        // Validated by ParamSpace::build; failure here is a bug.
+        auto mix = mixByName(p.mix);
+        rc_assert(mix);
+        eff.mix = std::move(*mix);
+        eff.label = eff.mix.front();
+        eff.label.name = p.mix;
+    }
+    return eff;
+}
+
+/** Attach the mix to every job of a multi-programmed cell (a
+ *  one-component mix rides on job.profile alone). */
+void
+attachMix(std::vector<RunJob>::iterator begin,
+          std::vector<RunJob>::iterator end,
+          const EffectiveWorkload &eff)
+{
+    if (eff.mix.size() <= 1)
+        return;
+    for (auto it = begin; it != end; ++it)
+        it->mixProfiles = eff.mix;
 }
 
 /** One owned, not-yet-completed cell. Batch offsets are filled in
@@ -118,12 +172,22 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
         return fail("--resume names the output file itself; drop "
                     "--out");
 
-    std::vector<BenchmarkProfile> apps;
+    std::vector<AppEntry> apps;
     if (spec.apps.empty()) {
-        apps = spec2000Suite();
+        for (BenchmarkProfile &p : spec2000Suite()) {
+            AppEntry entry;
+            entry.name = p.name;
+            entry.mix = {std::move(p)};
+            apps.push_back(std::move(entry));
+        }
     } else {
-        for (const std::string &name : spec.apps)
-            apps.push_back(profileByName(name));
+        for (const std::string &name : spec.apps) {
+            std::string err;
+            auto mix = mixByName(name, &err);
+            if (!mix)
+                return fail(err);
+            apps.push_back({name, std::move(*mix)});
+        }
     }
 
     const std::size_t npoints = space.numPoints();
@@ -253,8 +317,10 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
         while (next < plans.size() &&
                (next == first || batch.size() < chunk_min_jobs)) {
             CellPlan &plan = plans[next];
-            const BenchmarkProfile &profile = apps[plan.app];
             const DesignPoint &p = plan.point;
+            const EffectiveWorkload eff =
+                effectiveWorkload(apps[plan.app], p);
+            const BenchmarkProfile &profile = eff.label;
 
             Experiment exp(p.cfg, spec.insts);
             exp.setSampling(p.sampling);
@@ -267,16 +333,19 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                 chunk_base_at[plan.baseKey] = batch.size();
                 new_bases.emplace_back(plan.baseKey, batch.size());
                 batch.push_back(exp.baselineJob(profile));
+                attachMix(batch.end() - 1, batch.end(), eff);
             }
 
             if (p.side == SweepSide::Both) {
                 auto d = exp.staticSearchJobs(
                     profile, CacheSide::DCache, p.org);
+                attachMix(d.begin(), d.end(), eff);
                 plan.off = batch.size();
                 plan.count = d.size();
                 batch.insert(batch.end(), d.begin(), d.end());
                 auto ij = exp.staticSearchJobs(
                     profile, CacheSide::ICache, p.org);
+                attachMix(ij.begin(), ij.end(), eff);
                 plan.ioff = batch.size();
                 plan.icount = ij.size();
                 batch.insert(batch.end(), ij.begin(), ij.end());
@@ -286,6 +355,7 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                     exp.searchCandidates(side, p.org, p.strategy);
                 auto jobs =
                     exp.searchJobs(profile, side, p.org, p.strategy);
+                attachMix(jobs.begin(), jobs.end(), eff);
                 plan.off = batch.size();
                 plan.count = jobs.size();
                 batch.insert(batch.end(), jobs.begin(), jobs.end());
@@ -318,9 +388,12 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
             Experiment exp(plan.point.cfg, spec.insts);
             exp.setSampling(plan.point.sampling);
             phase2_at[i - first] = phase2.size();
+            const EffectiveWorkload eff =
+                effectiveWorkload(apps[plan.app], plan.point);
             phase2.push_back(exp.bothStaticJob(
-                apps[plan.app], plan.point.org, iout.bestLevel,
+                eff.label, plan.point.org, iout.bestLevel,
                 douts[i - first].bestLevel));
+            attachMix(phase2.end() - 1, phase2.end(), eff);
         }
         const auto results2 = runner.run(phase2);
         total_runs += phase2.size();

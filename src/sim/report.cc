@@ -47,6 +47,45 @@ writeRunReport(std::ostream &os, const RunResult &r)
        << TextTable::num(r.edp(), 0) << '\n';
 }
 
+void
+writeMultiCoreReport(std::ostream &os, const MultiCoreResult &r)
+{
+    os << "multi-core run: " << r.aggregate.workload << " on "
+       << r.perCore.size() << " cores (shared L2)\n"
+       << "  aggregate: " << r.aggregate.insts << " insts, makespan "
+       << r.aggregate.cycles << " cycles, total energy "
+       << TextTable::num(r.aggregate.energy.total()) << " nJ, E.D "
+       << TextTable::num(r.aggregate.edp(), 0) << '\n';
+
+    TextTable l2({"core", "workload", "l2 acc", "l2 miss%",
+                  "mem r/w", "resident", "peak", "evicted by others",
+                  "evicted others"});
+    for (std::size_t c = 0; c < r.l2PerCore.size(); ++c) {
+        const SharedL2CoreStats &s = r.l2PerCore[c];
+        const double miss_pct =
+            s.accesses ? 100.0 * static_cast<double>(s.misses) /
+                             static_cast<double>(s.accesses)
+                       : 0.0;
+        l2.addRow({std::to_string(c), r.perCore[c].workload,
+                   std::to_string(s.accesses),
+                   TextTable::pct(miss_pct),
+                   std::to_string(s.memReads) + "/" +
+                       std::to_string(s.memWrites),
+                   std::to_string(s.residentBlocks),
+                   std::to_string(s.peakResidentBlocks),
+                   std::to_string(s.evictionsByOthers),
+                   std::to_string(s.evictedOthers)});
+    }
+    os << "\nshared-L2 contention (total " << r.l2Totals.accesses
+       << " accesses, " << r.l2Totals.misses << " misses):\n";
+    l2.print(os);
+
+    for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+        os << "\ncore " << c << ":\n";
+        writeRunReport(os, r.perCore[c]);
+    }
+}
+
 namespace
 {
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/multi_core_system.hh"
 #include "sim/system.hh"
 
 namespace rcache
@@ -21,6 +22,13 @@ namespace rcache
 
 /** Write a full one-run summary (timing, misses, energy, sizes). */
 void writeRunReport(std::ostream &os, const RunResult &r);
+
+/**
+ * Write a multi-core run: the aggregate summary, one per-core
+ * summary each, and the shared-L2 contention table (per-core
+ * attribution, occupancy, cross-core evictions).
+ */
+void writeMultiCoreReport(std::ostream &os, const MultiCoreResult &r);
 
 /** One labelled design point for a comparison report. */
 struct ComparisonEntry

@@ -26,6 +26,22 @@ SamplingConfig::shapeError(std::uint64_t interval,
     return nullptr;
 }
 
+SamplingConfig::PeriodShape
+SamplingConfig::periodShape(std::uint64_t remaining) const
+{
+    PeriodShape s;
+    if (remaining >= intervalInsts) {
+        s.detailed = detailedInsts;
+        s.warmup = warmupInsts;
+        s.fastForward = intervalInsts - s.warmup - s.detailed;
+    } else {
+        s.detailed = std::min(detailedInsts, remaining);
+        s.warmup = std::min(warmupInsts, remaining - s.detailed);
+        s.fastForward = remaining - s.detailed - s.warmup;
+    }
+    return s;
+}
+
 void
 SamplingConfig::validate() const
 {
@@ -69,20 +85,11 @@ SamplingController::run(Core &core, Workload &workload,
 
     std::uint64_t done = 0;
     while (done < num_insts) {
-        // Period shape: full periods use the configured split; the
-        // tail keeps the measurement window at the expense of
-        // fast-forward so every period ends measured.
-        const std::uint64_t remaining = num_insts - done;
-        std::uint64_t detail, warm, ff;
-        if (remaining >= cfg_.intervalInsts) {
-            detail = cfg_.detailedInsts;
-            warm = cfg_.warmupInsts;
-            ff = cfg_.intervalInsts - warm - detail;
-        } else {
-            detail = std::min(cfg_.detailedInsts, remaining);
-            warm = std::min(cfg_.warmupInsts, remaining - detail);
-            ff = remaining - detail - warm;
-        }
+        const SamplingConfig::PeriodShape shape =
+            cfg_.periodShape(num_insts - done);
+        const std::uint64_t detail = shape.detailed;
+        const std::uint64_t warm = shape.warmup;
+        const std::uint64_t ff = shape.fastForward;
 
         // Fast-forward: workload position only; nothing simulated.
         if (ff)

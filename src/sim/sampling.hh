@@ -91,6 +91,23 @@ struct SamplingConfig
         return {SampleMode::Sampled, interval, detailed, warmup};
     }
 
+    /**
+     * How one period carves up when @p remaining instructions are
+     * left: full periods use the configured split; a short tail keeps
+     * the measurement window at the expense of fast-forward so every
+     * period ends measured. Shared by SamplingController and the
+     * multi-core system's per-core sampled loop so the two cannot
+     * drift (a drift would break the 1-core-vs-single-core accuracy
+     * relationship).
+     */
+    struct PeriodShape
+    {
+        std::uint64_t fastForward = 0;
+        std::uint64_t warmup = 0;
+        std::uint64_t detailed = 0;
+    };
+    PeriodShape periodShape(std::uint64_t remaining) const;
+
     /** @name Derived defaults
      * The single source for the documented `--sample` /
      * `RCACHE_SAMPLE` defaulting rules, shared by the CLI and the

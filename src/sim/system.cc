@@ -24,6 +24,9 @@ System::System(const SystemConfig &cfg)
       dl1_("dl1", cfg.dl1, cfg.dl1Org),
       hier_(&il1_.cache(), &dl1_.cache(), cfg.l2, cfg.lat)
 {
+    // Multi-core configs go through MultiCoreSystem; accepting one
+    // here would silently simulate only core 0.
+    rc_assert(cfg.cores == 1);
 }
 
 void

@@ -53,6 +53,35 @@ struct SystemConfig
     Organization dl1Org = Organization::None;
     EnergyParams energy = EnergyParams::defaults018um();
 
+    /** @name Multi-core extension (sim/multi_core_system.hh)
+     * cores == 1 (the default) is the classic single-core System,
+     * whose behavior these fields never affect. cores > 1 selects the
+     * multi-programmed shared-L2 system: N cores with private L1s
+     * (each a copy of il1/dl1 above) over one shared L2 of the l2
+     * geometry, advanced in a deterministic round-robin interleave of
+     * quantumInsts instructions per turn.
+     */
+    /// @{
+    unsigned cores = 1;
+    /** Round-robin interleave granularity in instructions
+     *  (full-detail runs only: sampled runs interleave whole
+     *  sampling periods instead). */
+    std::uint64_t quantumInsts = 50000;
+    /**
+     * Per-core timing models, cycled when shorter than cores (empty:
+     * every core uses coreModel above). Lets one system mix in-order
+     * and out-of-order cores.
+     */
+    std::vector<CoreModel> coreModels;
+    /// @}
+
+    /** Timing model of core @p i under the cycling rule above. */
+    CoreModel modelOfCore(unsigned i) const
+    {
+        return coreModels.empty() ? coreModel
+                                  : coreModels[i % coreModels.size()];
+    }
+
     /** The paper's Table 2 base system. */
     static SystemConfig base() { return {}; }
 

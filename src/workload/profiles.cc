@@ -1,5 +1,7 @@
 #include "workload/profiles.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace rcache
@@ -259,6 +261,46 @@ suiteNames()
     for (const auto &p : spec2000Suite())
         names.push_back(p.name);
     return names;
+}
+
+std::vector<std::string>
+splitPlusList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        std::size_t end = text.find('+', begin);
+        if (end == std::string::npos)
+            end = text.size();
+        out.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return out;
+}
+
+std::optional<std::vector<BenchmarkProfile>>
+mixByName(const std::string &name, std::string *err)
+{
+    const std::vector<BenchmarkProfile> suite = spec2000Suite();
+    std::vector<BenchmarkProfile> mix;
+    for (const std::string &item : splitPlusList(name)) {
+        const auto it =
+            std::find_if(suite.begin(), suite.end(),
+                         [&](const BenchmarkProfile &p) {
+                             return p.name == item;
+                         });
+        if (item.empty() || it == suite.end()) {
+            if (err)
+                *err = item.empty()
+                           ? "mix '" + name +
+                                 "' has an empty component"
+                           : "unknown app '" + item +
+                                 "' (see 'rcache-sim list-apps')";
+            return std::nullopt;
+        }
+        mix.push_back(*it);
+    }
+    return mix;
 }
 
 } // namespace rcache

@@ -18,6 +18,7 @@
 #ifndef RCACHE_WORKLOAD_PROFILES_HH
 #define RCACHE_WORKLOAD_PROFILES_HH
 
+#include <optional>
 #include <vector>
 
 #include "workload/synthetic.hh"
@@ -33,6 +34,34 @@ BenchmarkProfile profileByName(const std::string &name);
 
 /** The 12 names, in suite order. */
 std::vector<std::string> suiteNames();
+
+/**
+ * @name Workload mixes
+ * A mix name joins profile names with '+' ("gcc+mcf"): the
+ * multi-programmed workload the multi-core system cycles across its
+ * cores (core i runs component i mod size). A plain profile name is
+ * the 1-element mix. Everywhere an app name is accepted (scenario
+ * [workloads], the mix axis, the CLI's --mix) a mix name is too.
+ */
+/// @{
+
+/**
+ * Split a '+'-joined list into its raw components ("a+b" -> {"a",
+ * "b"}); empty components (leading/trailing/doubled '+') are
+ * preserved so callers can reject them with a precise message. The
+ * one splitter shared by mix names and the scenario layer's
+ * core-model lists.
+ */
+std::vector<std::string> splitPlusList(const std::string &text);
+
+/**
+ * Resolve @p name into its component profiles. On failure (empty
+ * component or unknown profile) returns nullopt and, when @p err is
+ * non-null, fills it with a one-line explanation.
+ */
+std::optional<std::vector<BenchmarkProfile>>
+mixByName(const std::string &name, std::string *err = nullptr);
+/// @}
 
 } // namespace rcache
 

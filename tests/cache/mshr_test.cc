@@ -1,7 +1,10 @@
-/** @file Unit tests for TimedPool, MshrFile, WritebackBuffer. */
+/** @file Unit tests for TimedPool, MshrFile, WritebackBuffer —
+ *  including their contract across Cache::resizeTo (in-flight fills
+ *  whose target ways/sets get disabled). */
 
 #include <gtest/gtest.h>
 
+#include "cache/cache.hh"
 #include "cache/mshr.hh"
 
 namespace rcache
@@ -121,5 +124,135 @@ TEST(WritebackBufferTest, EightEntryBurst)
         EXPECT_EQ(wb.insert(0), 0u);
     EXPECT_EQ(wb.insert(0), 12u);
 }
+
+/**
+ * @name Structural hazards across resizeTo
+ *
+ * The CPU models drive a functional cache and the timing pools side
+ * by side: a miss fills the cache immediately and registers a
+ * busy-until window in the MSHR file. When a resize disables the
+ * frame an in-flight fill landed in, the two views intentionally
+ * diverge — the *contents* are flushed (the paper's semantics) while
+ * the *timing* window keeps running (the fill already occupied the
+ * miss pipeline; disabling the frame cannot un-spend those cycles).
+ * These tests pin that contract, which the cores rely on.
+ */
+/// @{
+
+/** 1 KB / 2-way / 32 B blocks / 256 B subarrays: 16 sets, minSets 8. */
+static CacheGeometry
+resizeGeom()
+{
+    return CacheGeometry{1024, 2, 32, 256};
+}
+
+TEST(MshrResizeTest, InFlightFillToDisabledWaySurvivesInTiming)
+{
+    Cache c("c", resizeGeom());
+    MshrFile m(4);
+
+    // Two blocks of set 2: the first fill lands in way 0, the second
+    // (the one with the fill window we track) in way 1.
+    const Addr kept = 0x40;            // block 2, set 2
+    const Addr moved = 0x40 + 16 * 32; // block 18, set 2
+    EXPECT_FALSE(c.access(kept, false).hit);
+    EXPECT_FALSE(c.access(moved, false).hit);
+    const std::uint64_t fill_at = m.miss(moved >> 5, 100, 50);
+    EXPECT_EQ(fill_at, 150u);
+
+    // Disable way 1 while the fill window is still open: the
+    // contents are flushed, the timing window is untouched (the miss
+    // pipeline cycles are already spent).
+    c.resizeTo(16, 1);
+    EXPECT_TRUE(c.probe(kept));
+    EXPECT_FALSE(c.probe(moved));
+    EXPECT_TRUE(c.checkInvariants());
+    EXPECT_TRUE(m.inFlight(moved >> 5, 120));
+
+    // The re-access inside the window is a miss in the cache but a
+    // *secondary* miss in the MSHR file: it merges with the in-flight
+    // fill instead of consuming a new slot.
+    EXPECT_FALSE(c.access(moved, false).hit);
+    EXPECT_EQ(m.miss(moved >> 5, 120, 50), fill_at);
+    EXPECT_EQ(m.secondaryMisses(), 1u);
+}
+
+TEST(MshrResizeTest, SetDownsizeFlushesFilledBlockButKeepsWindow)
+{
+    Cache c("c", resizeGeom());
+    MshrFile m(4);
+
+    // Fill a block whose set index (15) disappears when the cache
+    // drops to 8 sets.
+    const Addr addr = 15 * 32;
+    EXPECT_FALSE(c.access(addr, false).hit);
+    m.miss(addr >> 5, 0, 40);
+
+    const FlushResult fr = c.resizeTo(8, 2);
+    EXPECT_EQ(fr.invalidated, 1u);
+    EXPECT_FALSE(c.probe(addr));
+    EXPECT_TRUE(c.checkInvariants());
+
+    // Timing: still in flight inside the window, reclaimed after.
+    EXPECT_TRUE(m.inFlight(addr >> 5, 30));
+    EXPECT_FALSE(m.inFlight(addr >> 5, 50));
+    // After the window a re-miss is primary again (no stale merge).
+    EXPECT_EQ(m.miss(addr >> 5, 60, 40), 100u);
+    EXPECT_EQ(m.secondaryMisses(), 0u);
+}
+
+TEST(MshrResizeTest, ResizeWritebackBurstStallsThroughBuffer)
+{
+    Cache c("c", resizeGeom());
+    WritebackBuffer wb(2, 12); // 2 entries, 12-cycle drain
+
+    // Dirty three blocks of distinct sets >= 8, all flushed by the
+    // set-downsize below.
+    for (Addr set : {8, 9, 10})
+        EXPECT_FALSE(c.access(set * 32, true).hit);
+
+    // Route the resize's writeback sink through the buffer the way a
+    // core's policy sink does, at resize cycle 1000: the two free
+    // slots absorb the first two victims, the third stalls until a
+    // slot drains at 1012.
+    std::vector<std::uint64_t> starts;
+    const FlushResult fr = c.resizeTo(8, 2, [&](Addr) {
+        starts.push_back(wb.insert(1000));
+    });
+    EXPECT_EQ(fr.writebacks, 3u);
+    ASSERT_EQ(starts.size(), 3u);
+    EXPECT_EQ(starts[0], 1000u);
+    EXPECT_EQ(starts[1], 1000u);
+    EXPECT_EQ(starts[2], 1012u);
+    EXPECT_EQ(wb.stallCycles(), 12u);
+    EXPECT_TRUE(c.checkInvariants());
+}
+
+TEST(MshrResizeTest, UpsizeReflushDoesNotDisturbOtherWindows)
+{
+    Cache c("c", resizeGeom());
+    MshrFile m(2);
+
+    // Small configuration: 8 sets enabled. Fill a block that maps to
+    // set 2 under 8 sets but to set 10 under 16 sets — upsizing must
+    // flush it (index changes), while an unrelated in-flight window
+    // stays busy and still serializes a later primary miss.
+    c.resizeTo(8, 2);
+    const Addr moved = 10 * 32; // block_addr 10: set 2 of 8, 10 of 16
+    EXPECT_FALSE(c.access(moved, false).hit);
+    EXPECT_TRUE(c.probe(moved));
+
+    m.miss(0x100, 0, 30);
+    m.miss(0x200, 0, 30); // file full until 30
+
+    c.resizeTo(16, 2);
+    EXPECT_FALSE(c.probe(moved));
+    EXPECT_TRUE(c.checkInvariants());
+
+    // The resize took no MSHR slot: a third primary miss still waits
+    // for the earliest in-flight fill, exactly as before the resize.
+    EXPECT_EQ(m.miss(0x300, 5, 30), 60u);
+}
+/// @}
 
 } // namespace rcache

@@ -1,0 +1,130 @@
+/** @file
+ * Tests for SharedL2: per-core attribution, occupancy conservation,
+ * and cross-core eviction classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_l2.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+/** 1 KB / 2-way / 32 B blocks: 16 sets, 32 frames — small enough to
+ *  force evictions with a handful of fills. */
+CacheGeometry
+tinyGeom()
+{
+    return CacheGeometry{1024, 2, 32, 256};
+}
+
+/** Address mapping to @p set with tag index @p k (distinct k give
+ *  distinct blocks in the same set). */
+Addr
+addrInSet(std::uint64_t set, std::uint64_t k)
+{
+    return (set + k * 16) * 32; // 16 sets, 32-byte blocks
+}
+
+} // namespace
+
+TEST(SharedL2Test, AttributesHitsAndMissesPerCore)
+{
+    SharedL2 l2(tinyGeom(), 2);
+
+    // Core 0: miss then hit on the same block.
+    EXPECT_FALSE(l2.access(0, addrInSet(0, 0), false).hit);
+    EXPECT_TRUE(l2.access(0, addrInSet(0, 0), false).hit);
+    // Core 1: one miss on its own block.
+    EXPECT_FALSE(l2.access(1, addrInSet(1, 0), false).hit);
+
+    const SharedL2CoreStats &c0 = l2.coreStats(0);
+    const SharedL2CoreStats &c1 = l2.coreStats(1);
+    EXPECT_EQ(c0.accesses, 2u);
+    EXPECT_EQ(c0.hits, 1u);
+    EXPECT_EQ(c0.misses, 1u);
+    EXPECT_EQ(c0.memReads, 1u);
+    EXPECT_EQ(c1.accesses, 1u);
+    EXPECT_EQ(c1.misses, 1u);
+
+    // Per-core sums equal the cache's own aggregates.
+    const SharedL2CoreStats t = l2.totals();
+    EXPECT_EQ(t.accesses, l2.cache().accesses());
+    EXPECT_EQ(t.misses, l2.cache().misses());
+    EXPECT_EQ(t.accesses, 3u);
+}
+
+TEST(SharedL2Test, CrossCoreEvictionIsClassified)
+{
+    SharedL2 l2(tinyGeom(), 2);
+
+    // Core 0 fills both ways of set 3.
+    l2.access(0, addrInSet(3, 0), false);
+    l2.access(0, addrInSet(3, 1), false);
+    // Core 1 misses into the same set: the LRU victim is core 0's.
+    l2.access(1, addrInSet(3, 2), false);
+
+    EXPECT_EQ(l2.coreStats(0).evictionsByOthers, 1u);
+    EXPECT_EQ(l2.coreStats(0).evictionsBySelf, 0u);
+    EXPECT_EQ(l2.coreStats(1).evictedOthers, 1u);
+    EXPECT_EQ(l2.coreStats(0).residentBlocks, 1u);
+    EXPECT_EQ(l2.coreStats(1).residentBlocks, 1u);
+
+    // A third fill by core 0 now evicts one of the set's two blocks
+    // (LRU: its own remaining one).
+    l2.access(0, addrInSet(3, 3), false);
+    EXPECT_EQ(l2.coreStats(0).evictionsBySelf, 1u);
+}
+
+TEST(SharedL2Test, OccupancyConservation)
+{
+    SharedL2 l2(tinyGeom(), 3);
+
+    // A deterministic pseudo-random pounding from three cores.
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const unsigned core = (x >> 33) % 3;
+        const Addr addr = (x >> 17) % (64 * 1024);
+        l2.access(core, addr, (x & 1) != 0);
+    }
+
+    const SharedL2CoreStats t = l2.totals();
+    for (unsigned c = 0; c < 3; ++c) {
+        const SharedL2CoreStats &s = l2.coreStats(c);
+        EXPECT_EQ(s.fills - s.evictionsBySelf - s.evictionsByOthers,
+                  s.residentBlocks)
+            << "core " << c;
+        EXPECT_LE(s.residentBlocks, s.peakResidentBlocks);
+        EXPECT_EQ(s.hits + s.misses, s.accesses);
+    }
+    // Residency never exceeds the frame count, and every frame filled
+    // is accounted to exactly one core.
+    const CacheGeometry g = tinyGeom();
+    EXPECT_LE(t.residentBlocks, g.numSets() * g.assoc);
+    EXPECT_EQ(t.accesses, l2.cache().accesses());
+    EXPECT_EQ(t.misses, l2.cache().misses());
+    // Eviction bookkeeping balances: every cross-core eviction has
+    // exactly one evictor.
+    EXPECT_EQ(t.evictionsByOthers, t.evictedOthers);
+}
+
+TEST(SharedL2Test, DirtyVictimChargesEvictingCore)
+{
+    SharedL2 l2(tinyGeom(), 2);
+
+    // Core 0 dirties both ways of set 5.
+    l2.access(0, addrInSet(5, 0), true);
+    l2.access(0, addrInSet(5, 1), true);
+    // Core 1's fill evicts a dirty victim: the memory write is
+    // attributed to core 1 (the access that caused the traffic).
+    const SharedL2Outcome out = l2.access(1, addrInSet(5, 2), false);
+    EXPECT_TRUE(out.memWrite);
+    EXPECT_EQ(l2.coreStats(1).memWrites, 1u);
+    EXPECT_EQ(l2.coreStats(0).memWrites, 0u);
+}
+
+} // namespace rcache

@@ -96,6 +96,39 @@ check_rejects_oneline("unknown strategy 'bogus'"
 check_rejects_oneline("at least one" sweep --apps ",")
 check_rejects_oneline("wants icache|dcache|both" sweep --side left)
 
+# ---- multi-core flags
+check_rejects_oneline("wants 1..64" sweep --apps ammp --cores 0)
+check_rejects_oneline("wants 1..64" run --app ammp --cores 65)
+check_rejects_oneline("--quantum must be > 0"
+                      run --app ammp --cores 2 --quantum 0)
+check_rejects_oneline("unknown app 'nosuch'"
+                      run --mix gcc+nosuch)
+check_rejects_oneline("empty component" run --mix gcc+)
+check_rejects_oneline("--mix conflicts with --app"
+                      run --app ammp --mix gcc+swim)
+check_rejects_oneline("--mix conflicts with --apps"
+                      sweep --apps ammp --mix gcc+swim)
+check_rejects_oneline("need --cores >= 2"
+                      run --mix gcc+swim --cores 1 --insts 1000)
+check_rejects_oneline("need --cores >= 3"
+                      run --mix gcc+swim+ammp --cores 2 --insts 1000)
+check_rejects_oneline("--quantum needs --cores > 1"
+                      run --app gcc --quantum 1000 --insts 1000)
+check_rejects_oneline("no effect under --sample"
+                      run --mix gcc+swim --sample 20000
+                      --quantum 1000 --insts 40000)
+check_rejects_oneline("no effect under --sample"
+                      sweep --mix gcc+swim --sample 20000
+                      --quantum 1000 --insts 40000)
+check_rejects_oneline("unknown option '--cores' for 'replay'"
+                      replay --trace t.bin --cores 2)
+# A multi-program mix must never silently run only its first
+# component: sweeping it without enough cores is rejected up front.
+check_rejects_oneline("set \\[cores\\] count or a cores axis"
+                      sweep --apps gcc+m88ksim --insts 1000)
+check_rejects_oneline("set \\[cores\\] count or a cores axis"
+                      sweep --mix gcc+swim --cores 1 --insts 1000)
+
 # ---- sampling flags
 check_rejects_oneline("wants a period > 0"
                       run --app ammp --sample 0)

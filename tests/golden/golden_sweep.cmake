@@ -1,0 +1,39 @@
+# Golden-reference sweep check, run as a ctest against the real
+# binary:
+#
+#   cmake -DRCACHE_SIM=<rcache-sim> -DSCENARIO=<file.scn>
+#         -DGOLDEN=<file.golden.csv> -DOUT=<scratch.csv>
+#         -P golden_sweep.cmake
+#
+# Runs the sweep (2 workers, so the parallel path is the one pinned)
+# and byte-compares the CSV against the checked-in golden file. Any
+# drift in the rng draw sequence, cache/energy accounting, sampling
+# extrapolation, or report formatting fails loudly. To regenerate
+# after a reviewed contract change, see the header comment in the
+# .scn files.
+
+foreach(var RCACHE_SIM SCENARIO GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_sweep.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${RCACHE_SIM} sweep --scenario ${SCENARIO} --jobs 2
+          --out ${OUT}
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sweep failed (exit ${rc}): ${stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "golden mismatch: ${OUT} differs from ${GOLDEN} — the "
+          "pinned rng/stat/report contract drifted. If the change is "
+          "intentional and reviewed, regenerate the golden file (see "
+          "its .scn header).")
+endif()

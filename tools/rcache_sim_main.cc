@@ -131,11 +131,13 @@ knownOptions(const std::string &cmd)
     if (cmd == "sweep") {
         add({"--scenario", "--shard", "--resume", "--insts", "--jobs",
              "--assoc", "--apps", "--orgs", "--strategies", "--side",
-             "--format", "--out", "--progress", "--sample",
-             "--sample-detail", "--sample-warmup"});
+             "--cores", "--mix", "--quantum", "--format", "--out",
+             "--progress", "--sample", "--sample-detail",
+             "--sample-warmup"});
     } else if (cmd == "run") {
-        add({"--insts", "--assoc", "--app", "--sample",
-             "--sample-detail", "--sample-warmup"});
+        add({"--insts", "--assoc", "--app", "--cores", "--mix",
+             "--quantum", "--sample", "--sample-detail",
+             "--sample-warmup"});
         for (const auto &k : setupKeys())
             keys.push_back(k);
     } else if (cmd == "replay") {
@@ -212,6 +214,14 @@ optionHelp(const std::string &key)
          "functional cache/predictor warmup insts per period "
          "(default N/5)"},
         {"--app", "profile to run (see list-apps)"},
+        {"--cores",
+         "simulate N cores with private L1s over one shared L2 "
+         "(default 1; with --mix, the mix size)"},
+        {"--mix",
+         "'+'-joined workload mix cycled across the cores "
+         "(e.g. gcc+m88ksim)"},
+        {"--quantum",
+         "round-robin interleave quantum in insts (default 50000)"},
         {"--quick",
          "small items/reps for smoke runs (still writes JSON)"},
         {"--list", "print the registered benchmarks and exit"},
@@ -442,6 +452,69 @@ baseConfig(const Args &args)
     return cfg;
 }
 
+/**
+ * Apply --cores/--quantum to @p cfg. @p default_cores lets --mix
+ * default the core count to the mix size.
+ */
+bool
+applyCores(const Args &args, SystemConfig &cfg,
+           std::uint64_t default_cores)
+{
+    const auto cores = parseU64(args, "--cores", default_cores);
+    const auto quantum =
+        parseU64(args, "--quantum", cfg.quantumInsts);
+    if (!cores || !quantum)
+        return false;
+    if (*cores == 0 || *cores > 64) {
+        std::cerr << "rcache-sim: --cores wants 1..64\n";
+        return false;
+    }
+    if (*quantum == 0) {
+        std::cerr << "rcache-sim: --quantum must be > 0\n";
+        return false;
+    }
+    cfg.cores = static_cast<unsigned>(*cores);
+    cfg.quantumInsts = *quantum;
+    return true;
+}
+
+/** Resolve --mix into its component profiles. */
+std::optional<std::vector<BenchmarkProfile>>
+parseMix(const Args &args)
+{
+    std::string err;
+    auto mix = mixByName(args.get("--mix", ""), &err);
+    if (!mix)
+        std::cerr << "rcache-sim: " << err << '\n';
+    return mix;
+}
+
+/**
+ * Reject an explicit --quantum that cannot take effect: the quantum
+ * only governs the multi-core full-detail interleave (sampled runs
+ * interleave whole sampling periods; a single core has no
+ * interleave). Mirrors the scenario layer's dead-quantum-axis check.
+ */
+bool
+checkQuantumEffective(const Args &args, const SystemConfig &cfg,
+                      const SamplingConfig &sampling)
+{
+    if (!args.has("--quantum"))
+        return true;
+    if (cfg.cores <= 1) {
+        std::cerr << "rcache-sim: --quantum needs --cores > 1 (a "
+                     "single core has no interleave)\n";
+        return false;
+    }
+    if (sampling.enabled()) {
+        std::cerr << "rcache-sim: --quantum has no effect under "
+                     "--sample (cores interleave whole sampling "
+                     "periods)\n";
+        return false;
+    }
+    return true;
+}
+
 // --------------------------------------------------------------- sweep
 
 /**
@@ -455,10 +528,19 @@ scenarioFromFlags(const Args &args)
     ScenarioSpec spec;
     spec.name = "cli";
 
+    if (args.has("--apps") && args.has("--mix")) {
+        std::cerr << "rcache-sim: --mix conflicts with --apps (a mix "
+                     "IS the app list; sweep several mixes with "
+                     "--apps gcc+mcf,... plus --cores)\n";
+        return std::nullopt;
+    }
     if (args.has("--apps")) {
         for (const auto &name : splitList(args.get("--apps", ""))) {
-            if (!lookupProfile(name))
+            std::string err;
+            if (!mixByName(name, &err)) {
+                std::cerr << "rcache-sim: " << err << '\n';
                 return std::nullopt;
+            }
             spec.apps.push_back(name);
         }
         if (spec.apps.empty()) {
@@ -466,6 +548,12 @@ scenarioFromFlags(const Args &args)
                          "profile name\n";
             return std::nullopt;
         }
+    }
+    if (args.has("--mix")) {
+        const auto mix = parseMix(args);
+        if (!mix)
+            return std::nullopt;
+        spec.apps.push_back(args.get("--mix", ""));
     }
 
     Axis org_axis{"org", {}};
@@ -516,9 +604,19 @@ scenarioFromFlags(const Args &args)
     spec.search.side = *side;
 
     const auto insts = parseInsts(args);
-    const auto cfg = baseConfig(args);
+    auto cfg = baseConfig(args);
     const auto sampling = parseSampling(args);
     if (!insts || !cfg || !sampling)
+        return std::nullopt;
+    // --mix alone defaults the core count to the mix size, so
+    // `sweep --mix gcc+m88ksim` is a 2-core sweep out of the box.
+    const std::uint64_t default_cores =
+        args.has("--mix")
+            ? splitPlusList(args.get("--mix", "")).size()
+            : 1;
+    if (!applyCores(args, *cfg, default_cores))
+        return std::nullopt;
+    if (!checkQuantumEffective(args, *cfg, *sampling))
         return std::nullopt;
     spec.insts = *insts;
     spec.system = *cfg;
@@ -536,8 +634,8 @@ cmdSweep(const Args &args)
         // would make two sources of truth.
         for (const char *conflict :
              {"--apps", "--orgs", "--strategies", "--side", "--insts",
-              "--assoc", "--sample", "--sample-detail",
-              "--sample-warmup"}) {
+              "--assoc", "--cores", "--mix", "--quantum", "--sample",
+              "--sample-detail", "--sample-warmup"}) {
             if (args.has(conflict)) {
                 std::cerr << "rcache-sim: " << conflict
                           << " conflicts with --scenario (the "
@@ -729,25 +827,63 @@ applyOrgs(const Args &args, SystemConfig &cfg,
 int
 cmdRun(const Args &args)
 {
-    if (!args.has("--app")) {
+    if (!args.has("--app") && !args.has("--mix")) {
         std::cerr << "rcache-sim: run needs --app NAME (see "
-                     "list-apps)\n";
+                     "list-apps) or --mix A+B\n";
         return 2;
     }
-    const auto profile = lookupProfile(args.get("--app", ""));
+    if (args.has("--app") && args.has("--mix")) {
+        std::cerr << "rcache-sim: --mix conflicts with --app (the "
+                     "mix names the workloads)\n";
+        return 2;
+    }
+
+    std::vector<BenchmarkProfile> mix;
+    if (args.has("--mix")) {
+        const auto m = parseMix(args);
+        if (!m)
+            return 2;
+        mix = *m;
+    } else {
+        const auto profile = lookupProfile(args.get("--app", ""));
+        if (!profile)
+            return 2;
+        mix = {*profile};
+    }
+
     const auto il1 = parseSetup(args, "il1");
     const auto dl1 = parseSetup(args, "dl1");
     auto cfg = baseConfig(args);
     const auto insts = parseInsts(args);
     const auto sampling = parseSampling(args);
-    if (!profile || !il1 || !dl1 || !cfg || !insts || !sampling)
+    if (!il1 || !dl1 || !cfg || !insts || !sampling)
+        return 2;
+    if (!applyCores(args, *cfg, mix.size()))
         return 2;
     if (!applyOrgs(args, *cfg, *il1, *dl1))
         return 2;
+    // Cycling fills extra cores, but a missing core would silently
+    // drop programs from the simulation.
+    if (mix.size() > cfg->cores) {
+        std::cerr << "rcache-sim: --mix runs " << mix.size()
+                  << " programs but --cores is " << cfg->cores
+                  << "; need --cores >= " << mix.size() << '\n';
+        return 2;
+    }
+    if (!checkQuantumEffective(args, *cfg, *sampling))
+        return 2;
+
+    if (cfg->cores > 1) {
+        MultiCoreSystem sys(*cfg);
+        writeMultiCoreReport(
+            std::cout,
+            sys.run(mix, *insts, *il1, *dl1, *sampling));
+        return 0;
+    }
 
     RunJob job;
-    job.label = profile->name + "/point";
-    job.profile = *profile;
+    job.label = mix.front().name + "/point";
+    job.profile = mix.front();
     job.cfg = *cfg;
     job.insts = *insts;
     job.il1 = *il1;
