@@ -8,6 +8,7 @@
 #include "cpu/functional_core.hh"
 #include "sim/multi_core_system.hh"
 #include "sim/system.hh"
+#include "util/logging.hh"
 #include "util/numformat.hh"
 #include "workload/profiles.hh"
 
@@ -301,14 +302,13 @@ runPerfBenches(const BenchOptions &opts)
         std::fflush(stdout);
         std::string err;
         if (!writeBenchJson(r, opts.outDir, &err)) {
-            std::fprintf(stderr, "rcache-sim: %s\n", err.c_str());
+            RC_LOG(error, err);
             ++failures;
         }
     }
     if (ran == 0) {
-        std::fprintf(stderr,
-                     "rcache-sim: no benchmark matches filter '%s'\n",
-                     opts.filter.c_str());
+        RC_LOG(error,
+               "no benchmark matches filter '" + opts.filter + "'");
         return 2;
     }
     return failures ? 1 : 0;

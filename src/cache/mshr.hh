@@ -90,6 +90,9 @@ class MshrFile
     std::uint64_t secondaryMisses() const { return secondary_; }
     unsigned capacity() const { return pool_.capacity(); }
 
+    /** Fills in flight at @p now (telemetry occupancy sampling). */
+    unsigned busyAt(std::uint64_t now) const { return pool_.busyAt(now); }
+
     void reset();
 
   private:
@@ -123,6 +126,9 @@ class WritebackBuffer
 
     std::uint64_t inserted() const { return inserted_; }
     std::uint64_t stallCycles() const { return stallCycles_; }
+
+    /** Writebacks still draining at @p now (telemetry sampling). */
+    unsigned busyAt(std::uint64_t now) const { return pool_.busyAt(now); }
 
     void reset();
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/resize_policy.hh"
+#include "telemetry/resize_events.hh"
 
 namespace rcache
 {
@@ -77,9 +78,21 @@ class DynamicMissRatioController : public ResizePolicy
         return levelTrace_;
     }
 
+    /**
+     * Attach resize-decision telemetry (telemetry off = default
+     * null recorder, which keeps interval boundaries on their
+     * untouched fast path — one pointer test per boundary, nothing
+     * per access).
+     */
+    void setTelemetry(const ResizeTelemetry &telemetry)
+    {
+        telem_ = telemetry;
+    }
+
   private:
     DynamicParams params_;
     unsigned sizeBoundLevel_;
+    ResizeTelemetry telem_;
 
     std::uint64_t accessesInInterval_ = 0;
     std::uint64_t missesInInterval_ = 0;

@@ -25,6 +25,7 @@
 #include "core/resize_policy.hh"
 #include "cpu/branch_predictor.hh"
 #include "energy/energy_model.hh"
+#include "telemetry/probe.hh"
 #include "workload/workload.hh"
 
 namespace rcache
@@ -120,6 +121,15 @@ class Core
     const WritebackBuffer &writebackBuffer() const { return wb_; }
     const CoreParams &params() const { return params_; }
 
+    /**
+     * Attach a telemetry probe (null to detach). With a probe, run()
+     * drains the workload in sampleInterval()-sized chunks and calls
+     * probe->onSample after each; the chunking is timing-invisible
+     * (see telemetry/probe.hh). With no probe, run() keeps its single
+     * unchunked drain.
+     */
+    void setProbe(CoreProbe *probe) { probe_ = probe; }
+
   protected:
     /**
      * Fetch one instruction: accesses the i-cache when crossing into a
@@ -178,6 +188,7 @@ class Core
     Hierarchy &hier_;
     ResizePolicy *il1Policy_;
     ResizePolicy *dl1Policy_;
+    CoreProbe *probe_ = nullptr;
 
     BranchPredictor bpred_;
     MshrFile mshr_;

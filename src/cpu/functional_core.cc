@@ -28,7 +28,7 @@ FunctionalCore::run(Workload &workload, std::uint64_t num_insts)
 
     // Batched drain, same as the timing cores: one virtual dispatch
     // per workloadBatchSize instructions.
-    forEachBatched(workload, num_insts, [&](const MicroInst &inst) {
+    const auto body = [&](const MicroInst &inst) {
         // Fetch: real hierarchy access on block transitions;
         // group re-reads of the current (hence MRU) block are
         // guaranteed hits, so only the policy hears about them.
@@ -67,7 +67,24 @@ FunctionalCore::run(Workload &workload, std::uint64_t num_insts)
           default:
             break;
         }
-    });
+    };
+
+    if (!probe_) {
+        forEachBatched(workload, num_insts, body);
+    } else {
+        // Probed: chunked drain over the same member state —
+        // stream-identical to the single drain (telemetry/probe.hh).
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(1, probe_->sampleInterval());
+        std::uint64_t done = 0;
+        while (done < num_insts) {
+            const std::uint64_t chunk =
+                std::min(num_insts - done, stride);
+            forEachBatched(workload, chunk, body);
+            done += chunk;
+            probe_->onWarmupSample(done);
+        }
+    }
     instsRun_ += num_insts;
 }
 

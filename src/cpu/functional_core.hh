@@ -27,6 +27,7 @@
 #include "cache/hierarchy.hh"
 #include "core/resize_policy.hh"
 #include "cpu/branch_predictor.hh"
+#include "telemetry/probe.hh"
 #include "workload/workload.hh"
 
 namespace rcache
@@ -63,6 +64,10 @@ class FunctionalCore
 
     std::uint64_t instsRun() const { return instsRun_; }
 
+    /** Attach a telemetry probe (null to detach); probed runs call
+     *  probe->onWarmupSample every sampleInterval() instructions. */
+    void setProbe(CoreProbe *probe) { probe_ = probe; }
+
   private:
     Hierarchy &hier_;
     BranchPredictor &bpred_;
@@ -73,6 +78,7 @@ class FunctionalCore
     Addr curFetchBlock_ = ~Addr{0};
     unsigned groupRemaining_ = 0;
     std::uint64_t instsRun_ = 0;
+    CoreProbe *probe_ = nullptr;
 };
 
 } // namespace rcache

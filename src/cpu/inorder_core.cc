@@ -28,7 +28,7 @@ InOrderCore::run(Workload &workload, std::uint64_t num_insts)
     // nextBatch call per workloadBatchSize instructions instead of
     // one next() each.
     std::uint64_t i = 0;
-    forEachBatched(workload, num_insts, [&](const MicroInst &inst) {
+    const auto body = [&](const MicroInst &inst) {
         const std::uint64_t fc = fetchInst(inst);
 
         // The ring reads are safe for any dep distance (the
@@ -104,7 +104,25 @@ InOrderCore::run(Workload &workload, std::uint64_t num_insts)
         complete_ring[i % depRing] = complete;
         last_complete = std::max(last_complete, complete);
         ++i;
-    });
+    };
+
+    if (!probe_) {
+        forEachBatched(workload, num_insts, body);
+    } else {
+        // Probed: drain in sample-interval chunks over the same
+        // locals — stream- and timing-identical to the single drain
+        // above (telemetry/probe.hh).
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(1, probe_->sampleInterval());
+        std::uint64_t done = 0;
+        while (done < num_insts) {
+            const std::uint64_t chunk =
+                std::min(num_insts - done, stride);
+            forEachBatched(workload, chunk, body);
+            done += chunk;
+            probe_->onSample(done, last_complete + 1, activity);
+        }
+    }
 
     activity.cycles = last_complete + 1;
     return activity;

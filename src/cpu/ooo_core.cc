@@ -37,7 +37,7 @@ OooCore::run(Workload &workload, std::uint64_t num_insts)
     // nextBatch call per workloadBatchSize instructions instead of
     // one next() each.
     std::uint64_t i = 0;
-    forEachBatched(workload, num_insts, [&](const MicroInst &inst) {
+    const auto body = [&](const MicroInst &inst) {
         const std::uint64_t fc = fetchInst(inst);
 
         // Dispatch: frontend depth, bandwidth, ROB and LSQ
@@ -152,7 +152,25 @@ OooCore::run(Workload &workload, std::uint64_t num_insts)
             ++mem_count;
         }
         ++i;
-    });
+    };
+
+    if (!probe_) {
+        forEachBatched(workload, num_insts, body);
+    } else {
+        // Probed: drain in sample-interval chunks over the same
+        // locals — stream- and timing-identical to the single drain
+        // above (telemetry/probe.hh).
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(1, probe_->sampleInterval());
+        std::uint64_t done = 0;
+        while (done < num_insts) {
+            const std::uint64_t chunk =
+                std::min(num_insts - done, stride);
+            forEachBatched(workload, chunk, body);
+            done += chunk;
+            probe_->onSample(done, last_commit + 1, activity);
+        }
+    }
 
     activity.cycles = last_commit + 1;
     return activity;

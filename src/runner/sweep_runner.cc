@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/multi_core_system.hh"
+#include "telemetry/trace_events.hh"
 
 namespace rcache
 {
@@ -21,12 +22,14 @@ executeRunJob(const RunJob &job)
                 ? std::vector<BenchmarkProfile>{job.profile}
                 : job.mixProfiles;
         return sys
-            .run(mix, job.insts, job.il1, job.dl1, job.sampling)
+            .run(mix, job.insts, job.il1, job.dl1, job.sampling,
+                 job.telemetry)
             .aggregate;
     }
     SyntheticWorkload wl(job.profile);
     System sys(job.cfg);
-    return sys.run(wl, job.insts, job.il1, job.dl1, job.sampling);
+    return sys.run(wl, job.insts, job.il1, job.dl1, job.sampling,
+                   job.telemetry);
 }
 
 SweepRunner::SweepRunner(unsigned num_jobs)
@@ -62,6 +65,21 @@ SweepRunner::runSerial(const std::vector<RunJob> &jobs)
     return results;
 }
 
+RunResult
+SweepRunner::tracedExecute(const RunJob &job) const
+{
+    if (!trace_)
+        return executeRunJob(job);
+    const auto begin = trace_->now();
+    RunResult res = executeRunJob(job);
+    TraceEventRecorder::Args args{{"label", job.label}};
+    if (!job.tracePoint.empty())
+        args.emplace_back("point", job.tracePoint);
+    trace_->completeSpan(job.label, begin, trace_->now(),
+                         std::move(args));
+    return res;
+}
+
 std::vector<RunResult>
 SweepRunner::run(const std::vector<RunJob> &jobs) const
 {
@@ -72,7 +90,7 @@ SweepRunner::run(const std::vector<RunJob> &jobs) const
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             if (cancelRequested())
                 break;
-            results[i] = executeRunJob(jobs[i]);
+            results[i] = tracedExecute(jobs[i]);
             reportProgress(++done, jobs.size(), jobs[i]);
         }
         return results;
@@ -85,7 +103,7 @@ SweepRunner::run(const std::vector<RunJob> &jobs) const
         pool_->submit([this, &jobs, &results, done, i] {
             if (cancelRequested())
                 return;
-            results[i] = executeRunJob(jobs[i]);
+            results[i] = tracedExecute(jobs[i]);
             reportProgress(done->fetch_add(1) + 1, jobs.size(),
                            jobs[i]);
         });

@@ -31,6 +31,8 @@
 namespace rcache
 {
 
+class TraceEventRecorder;
+
 /** One self-contained design point: everything a run needs. */
 struct RunJob
 {
@@ -50,6 +52,15 @@ struct RunJob
      * single-core path depends only on `profile`).
      */
     std::vector<BenchmarkProfile> mixProfiles;
+
+    /**
+     * Telemetry request/output for this job, or null (off). The bundle
+     * must outlive the job's execution; it is written only by the one
+     * worker running the job, so per-job bundles need no locking.
+     */
+    RunTelemetry *telemetry = nullptr;
+    /** Design-point coordinates for runner trace spans ("k=v ..."). */
+    std::string tracePoint;
 };
 
 /**
@@ -86,6 +97,14 @@ class SweepRunner
     void setProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
     /**
+     * Attach a Chrome trace-event recorder: every executed job gets a
+     * complete span named by its label, tagged with its tracePoint
+     * and recorded on the worker thread that ran it. Null detaches.
+     * The recorder must outlive every run() call that sees it.
+     */
+    void setTrace(TraceEventRecorder *trace) { trace_ = trace; }
+
+    /**
      * Ask a run() in flight (on another thread) to stop early. Jobs
      * not yet started are skipped and keep default-constructed
      * results (insts == 0 marks them unrun); running jobs complete.
@@ -111,8 +130,10 @@ class SweepRunner
   private:
     void reportProgress(std::size_t done, std::size_t total,
                         const RunJob &job) const;
+    RunResult tracedExecute(const RunJob &job) const;
 
     unsigned parallelism_;
+    TraceEventRecorder *trace_ = nullptr;
     /** Built in the constructor when parallelism_ > 1. */
     std::unique_ptr<ThreadPool> pool_;
     mutable std::mutex progressMtx_;

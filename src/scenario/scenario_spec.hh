@@ -104,6 +104,27 @@ struct SearchSpec
     bool operator==(const SearchSpec &o) const = default;
 };
 
+/**
+ * Telemetry sidecar outputs for a scenario sweep ([telemetry]
+ * section). All paths are empty by default — telemetry is opt-in and
+ * provably absent from the simulated runs when off. CLI flags of the
+ * same name override these per invocation (src/telemetry/ has the
+ * recorders; the sweep engine owns the files).
+ */
+struct TelemetrySpec
+{
+    /** Interval-timeline JSONL path ("" = off). */
+    std::string timeline;
+    /** Resize-decision event-trace JSONL path ("" = off). */
+    std::string events;
+    /** Chrome trace-event JSON path for runner spans ("" = off). */
+    std::string traceEvents;
+    /** Timeline sampling interval, instructions per sample. */
+    std::uint64_t interval = 10000;
+
+    bool operator==(const TelemetrySpec &o) const = default;
+};
+
 /** See file comment. */
 struct ScenarioSpec
 {
@@ -117,6 +138,7 @@ struct ScenarioSpec
     /** Swept axes, outermost first. */
     std::vector<Axis> axes;
     SamplingConfig sampling;
+    TelemetrySpec telemetry;
     SearchSpec search;
 
     bool operator==(const ScenarioSpec &o) const = default;

@@ -5,9 +5,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "sim/experiment.hh"
+#include "telemetry/run_telemetry.hh"
+#include "telemetry/timeline.hh"
+#include "telemetry/trace_events.hh"
 #include "workload/profiles.hh"
 
 namespace rcache
@@ -264,7 +269,37 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
         plans.push_back(std::move(plan));
     }
 
+    // ---- telemetry sidecars (all optional; see SweepOptions). Files
+    // open before the first chunk so an early failure aborts the
+    // sweep rather than losing telemetry at the end.
+    const bool want_timeline = !opt.timelinePath.empty();
+    const bool want_events = !opt.eventsPath.empty();
+    std::ofstream timeline_os, events_os;
+    if (want_timeline) {
+        timeline_os.open(opt.timelinePath,
+                         std::ios::binary | std::ios::trunc);
+        if (!timeline_os)
+            return fail("cannot write '" + opt.timelinePath + "'");
+    }
+    if (want_events) {
+        events_os.open(opt.eventsPath,
+                       std::ios::binary | std::ios::trunc);
+        if (!events_os)
+            return fail("cannot write '" + opt.eventsPath + "'");
+    }
+    std::ofstream trace_os;
+    std::optional<TraceEventRecorder> trace;
+    if (!opt.traceEventsPath.empty()) {
+        trace_os.open(opt.traceEventsPath,
+                      std::ios::binary | std::ios::trunc);
+        if (!trace_os)
+            return fail("cannot write '" + opt.traceEventsPath + "'");
+        trace.emplace();
+    }
+
     SweepRunner runner(opt.jobs);
+    if (trace)
+        runner.setTrace(&*trace);
     if (opt.progress) {
         runner.setProgress([](std::size_t done, std::size_t total,
                               const RunJob &job) {
@@ -321,6 +356,7 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
             const EffectiveWorkload eff =
                 effectiveWorkload(apps[plan.app], p);
             const BenchmarkProfile &profile = eff.label;
+            const std::size_t plan_jobs_begin = batch.size();
 
             Experiment exp(p.cfg, spec.insts);
             exp.setSampling(p.sampling);
@@ -360,14 +396,68 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                 plan.count = jobs.size();
                 batch.insert(batch.end(), jobs.begin(), jobs.end());
             }
+            if (trace) {
+                // Design-point coordinates for the runner spans.
+                std::ostringstream pt;
+                pt << "cell=" << plan.cell << ";app="
+                   << apps[plan.app].name << ";org="
+                   << organizationToken(p.org) << ";strategy="
+                   << strategyName(p.strategy) << ";side="
+                   << sweepSideName(p.side);
+                if (!p.axes.empty())
+                    pt << ';' << p.axes;
+                for (std::size_t k = plan_jobs_begin;
+                     k < batch.size(); ++k)
+                    batch[k].tracePoint = pt.str();
+            }
             ++next;
         }
+
+        // -- per-job telemetry bundles. Allocated only after the
+        // batch vector is final: job.telemetry points into `bundles`,
+        // and annotating jobs after a reallocating push_back would be
+        // fine, but assigning pointers before one would not.
+        std::vector<std::unique_ptr<RunTelemetry>> bundles;
+        const auto attachTelemetry = [&](std::vector<RunJob> &jobs) {
+            if (!want_timeline && !want_events)
+                return;
+            for (RunJob &job : jobs) {
+                auto t = std::make_unique<RunTelemetry>();
+                t->timelineInterval =
+                    want_timeline ? opt.timelineInterval : 0;
+                t->resizeEvents = want_events;
+                job.telemetry = t.get();
+                bundles.push_back(std::move(t));
+            }
+        };
+        const auto writeTelemetry =
+            [&](const std::vector<RunJob> &jobs) {
+                for (const RunJob &job : jobs) {
+                    if (!job.telemetry)
+                        continue;
+                    if (want_timeline)
+                        writeTimelineJsonl(timeline_os,
+                                           job.telemetry->timeline,
+                                           job.label);
+                    if (want_events)
+                        writeResizeEventsJsonl(
+                            events_os,
+                            job.telemetry->events.events(),
+                            job.label);
+                }
+            };
+        attachTelemetry(batch);
 
         // -- run it and publish the chunk's baselines
         const auto results = runner.run(batch);
         total_runs += batch.size();
-        for (const auto &[key, idx] : new_bases)
+        for (const auto &[key, idx] : new_bases) {
             baseline_memo[key] = results[idx];
+            if (trace)
+                trace->instant("baseline-memo",
+                               {{"label", batch[idx].label}});
+        }
+        writeTelemetry(batch);
 
         // -- both-sides cells: second phase at the profiled levels
         std::vector<RunJob> phase2;
@@ -394,9 +484,23 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                 eff.label, plan.point.org, iout.bestLevel,
                 douts[i - first].bestLevel));
             attachMix(phase2.end() - 1, phase2.end(), eff);
+            if (trace) {
+                std::ostringstream pt;
+                pt << "cell=" << plan.cell << ";app="
+                   << apps[plan.app].name << ";org="
+                   << organizationToken(plan.point.org)
+                   << ";strategy="
+                   << strategyName(plan.point.strategy)
+                   << ";side=" << sweepSideName(plan.point.side);
+                if (!plan.point.axes.empty())
+                    pt << ';' << plan.point.axes;
+                phase2.back().tracePoint = pt.str();
+            }
         }
+        attachTelemetry(phase2);
         const auto results2 = runner.run(phase2);
         total_runs += phase2.size();
+        writeTelemetry(phase2);
 
         // -- reduce and write the chunk, in cell order
         std::vector<SweepRecord> records;
@@ -430,8 +534,26 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
             buffered.insert(buffered.end(), records.begin(),
                             records.end());
         }
+        if (want_timeline)
+            timeline_os.flush();
+        if (want_events)
+            events_os.flush();
+        if (trace)
+            trace->instant(
+                "chunk-flush",
+                {{"cells", std::to_string(next - first)},
+                 {"jobs", std::to_string(batch.size() +
+                                         phase2.size())}});
     }
     const auto t1 = std::chrono::steady_clock::now();
+
+    if (trace) {
+        trace->write(trace_os);
+        trace_os.flush();
+        if (!trace_os)
+            return fail("error writing '" + opt.traceEventsPath +
+                        "'");
+    }
 
     if (!stream_csv) {
         if (opt.format == "json")

@@ -33,6 +33,7 @@
 #ifndef RCACHE_SCENARIO_SCENARIO_SWEEP_HH
 #define RCACHE_SCENARIO_SCENARIO_SWEEP_HH
 
+#include <cstdint>
 #include <string>
 
 #include "runner/shard.hh"
@@ -62,6 +63,30 @@ struct SweepOptions
     bool progress = false;
     /** Suppress the "sweep: N runs in ..." stderr summary (tests). */
     bool quiet = false;
+
+    /**
+     * @name Telemetry sidecars (see src/telemetry/). All off (empty)
+     * by default; a scenario's [telemetry] section seeds these and
+     * CLI flags of the same name override. Enabling them never
+     * perturbs the sweep CSV: the simulated runs are bit-identical
+     * with telemetry on or off.
+     *
+     * Row ordering caveat: timeline/event rows stream out chunk by
+     * chunk in job order, and for side=both scenarios the job order
+     * within a chunk depends on the chunk boundaries, which scale
+     * with --jobs. Rows carry their job label, so consumers should
+     * group by label rather than rely on file order.
+     */
+    /// @{
+    /** Interval-timeline JSONL path ("" = off). */
+    std::string timelinePath;
+    /** Resize-decision event-trace JSONL path ("" = off). */
+    std::string eventsPath;
+    /** Chrome trace-event JSON path for runner spans ("" = off). */
+    std::string traceEventsPath;
+    /** Timeline sampling interval, instructions per sample. */
+    std::uint64_t timelineInterval = 10000;
+    /// @}
 };
 
 /**

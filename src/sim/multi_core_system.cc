@@ -6,6 +6,8 @@
 #include "cpu/functional_core.hh"
 #include "cpu/inorder_core.hh"
 #include "cpu/ooo_core.hh"
+#include "telemetry/run_telemetry.hh"
+#include "telemetry/timeline.hh"
 #include "workload/synthetic.hh"
 
 namespace rcache
@@ -150,7 +152,8 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
                      std::uint64_t insts_per_core,
                      const ResizeSetup &il1_setup,
                      const ResizeSetup &dl1_setup,
-                     const SamplingConfig &sampling)
+                     const SamplingConfig &sampling,
+                     RunTelemetry *telemetry)
 {
     rc_assert(!ran_);
     ran_ = true;
@@ -185,6 +188,54 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
         }
         lane->remaining = insts_per_core;
         lanes.push_back(std::move(lane));
+    }
+
+    // ---- telemetry: per-lane resize-event sinks and timeline
+    // recorders. Recorders live outside the loop and outlast every
+    // quantum; rows are harvested in core order at the end.
+    std::vector<std::unique_ptr<TimelineRecorder>> recorders;
+    if (telemetry) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            CoreLane &lane = *lanes[c];
+            if (telemetry->resizeEvents) {
+                const ResizeTelemetry sink{&telemetry->events, c,
+                                           cfg_.core.wbDrainLatency};
+                if (auto *dyn =
+                        dynamic_cast<DynamicMissRatioController *>(
+                            lane.il1Policy.get()))
+                    dyn->setTelemetry(sink);
+                if (auto *dyn =
+                        dynamic_cast<DynamicMissRatioController *>(
+                            lane.dl1Policy.get()))
+                    dyn->setTelemetry(sink);
+            }
+            if (telemetry->wantsTimeline()) {
+                TimelineSources src;
+                src.core = c;
+                src.il1 = &lane.il1.cache();
+                src.dl1 = &lane.dl1.cache();
+                src.il1ExtraTagBits = lane.il1.extraTagBits();
+                src.dl1ExtraTagBits = lane.dl1.extraTagBits();
+                src.l2Accesses = [this, c] {
+                    return l2_.coreStats(c).accesses;
+                };
+                src.l2Misses = [this, c] {
+                    return l2_.coreStats(c).misses;
+                };
+                src.memAccesses = [&lane] {
+                    return lane.hier.memReads() +
+                           lane.hier.memWrites();
+                };
+                src.l2SizeBytes = l2_.cache().geometry().size;
+                src.timingCore = lane.core.get();
+                src.energy = &cfg_.energy;
+                recorders.push_back(std::make_unique<TimelineRecorder>(
+                    src, telemetry->timelineInterval));
+                lane.core->setProbe(recorders.back().get());
+                if (lane.func)
+                    lane.func->setProbe(recorders.back().get());
+            }
+        }
     }
 
     // ---- advance in deterministic round-robin turns. Full-detail
@@ -386,6 +437,13 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
             ? static_cast<double>(out.l2Totals.misses) /
                   static_cast<double>(out.l2Totals.accesses)
             : 0;
+
+    // ---- harvest timelines, core order
+    for (auto &rec : recorders) {
+        auto rows = rec->takeRows();
+        telemetry->timeline.insert(telemetry->timeline.end(),
+                                   rows.begin(), rows.end());
+    }
     return out;
 }
 

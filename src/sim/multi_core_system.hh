@@ -99,7 +99,8 @@ class MultiCoreSystem
                         std::uint64_t insts_per_core,
                         const ResizeSetup &il1_setup = {},
                         const ResizeSetup &dl1_setup = {},
-                        const SamplingConfig &sampling = {});
+                        const SamplingConfig &sampling = {},
+                        RunTelemetry *telemetry = nullptr);
 
     const SystemConfig &config() const { return cfg_; }
     SharedL2 &sharedL2() { return l2_; }

@@ -76,6 +76,7 @@ SamplingController::run(Core &core, Workload &workload,
     FunctionalCore func(hier_, core.predictor(),
                         core.params().fetchWidth, il1Policy_,
                         dl1Policy_);
+    func.setProbe(probe_);
 
     SampledStats s;
     CacheActivity il1_sum, dl1_sum;

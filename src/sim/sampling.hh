@@ -175,8 +175,17 @@ class SamplingController
     SampledStats run(Core &core, Workload &workload,
                      std::uint64_t num_insts);
 
+    /**
+     * Attach a telemetry probe: the detailed windows sample through
+     * the timing core (the caller attaches it there) and warmup
+     * spans sample through the FunctionalCore this controller builds,
+     * which is what this hook threads it into.
+     */
+    void setProbe(CoreProbe *probe) { probe_ = probe; }
+
   private:
     SamplingConfig cfg_;
+    CoreProbe *probe_ = nullptr;
     Hierarchy &hier_;
     ResizableCache &il1_;
     ResizableCache &dl1_;

@@ -1,7 +1,11 @@
 #include "sim/system.hh"
 
+#include <optional>
+
 #include "cpu/inorder_core.hh"
 #include "cpu/ooo_core.hh"
+#include "telemetry/run_telemetry.hh"
+#include "telemetry/timeline.hh"
 
 namespace rcache
 {
@@ -59,7 +63,7 @@ System::makePolicy(ResizableCache &cache, const ResizeSetup &setup)
 RunResult
 System::run(Workload &workload, std::uint64_t num_insts,
             const ResizeSetup &il1_setup, const ResizeSetup &dl1_setup,
-            const SamplingConfig &sampling)
+            const SamplingConfig &sampling, RunTelemetry *telemetry)
 {
     rc_assert(!ran_);
     ran_ = true;
@@ -67,6 +71,17 @@ System::run(Workload &workload, std::uint64_t num_insts,
 
     auto il1_policy = makePolicy(il1_, il1_setup);
     auto dl1_policy = makePolicy(dl1_, dl1_setup);
+
+    if (telemetry && telemetry->resizeEvents) {
+        const ResizeTelemetry sink{&telemetry->events, 0,
+                                   cfg_.core.wbDrainLatency};
+        if (auto *dyn = dynamic_cast<DynamicMissRatioController *>(
+                il1_policy.get()))
+            dyn->setTelemetry(sink);
+        if (auto *dyn = dynamic_cast<DynamicMissRatioController *>(
+                dl1_policy.get()))
+            dyn->setTelemetry(sink);
+    }
 
     std::unique_ptr<Core> core;
     if (cfg_.coreModel == CoreModel::OutOfOrder) {
@@ -79,6 +94,26 @@ System::run(Workload &workload, std::uint64_t num_insts,
                                              dl1_policy.get());
     }
 
+    std::optional<TimelineRecorder> recorder;
+    if (telemetry && telemetry->wantsTimeline()) {
+        TimelineSources src;
+        src.core = 0;
+        src.il1 = &il1_.cache();
+        src.dl1 = &dl1_.cache();
+        src.il1ExtraTagBits = il1_.extraTagBits();
+        src.dl1ExtraTagBits = dl1_.extraTagBits();
+        src.l2Accesses = [this] { return hier_.l2().accesses(); };
+        src.l2Misses = [this] { return hier_.l2().misses(); };
+        src.memAccesses = [this] {
+            return hier_.memReads() + hier_.memWrites();
+        };
+        src.l2SizeBytes = hier_.l2().geometry().size;
+        src.timingCore = core.get();
+        src.energy = &cfg_.energy;
+        recorder.emplace(src, telemetry->timelineInterval);
+        core->setProbe(&*recorder);
+    }
+
     RunResult res;
     res.workload = workload.name();
     ProcessorEnergyModel energy(cfg_.energy);
@@ -87,6 +122,8 @@ System::run(Workload &workload, std::uint64_t num_insts,
         SamplingController sampler(sampling, hier_, il1_, dl1_,
                                    il1_policy.get(),
                                    dl1_policy.get());
+        if (recorder)
+            sampler.setProbe(&*recorder);
         const SampledStats s =
             sampler.run(*core, workload, num_insts);
 
@@ -137,6 +174,12 @@ System::run(Workload &workload, std::uint64_t num_insts,
     if (auto *dyn = dynamic_cast<DynamicMissRatioController *>(
             dl1_policy.get())) {
         res.dl1LevelTrace = dyn->levelTrace();
+    }
+
+    if (recorder) {
+        auto rows = recorder->takeRows();
+        telemetry->timeline.insert(telemetry->timeline.end(),
+                                   rows.begin(), rows.end());
     }
     return res;
 }

@@ -28,6 +28,8 @@
 namespace rcache
 {
 
+struct RunTelemetry;
+
 /** Which CPU timing model to use. */
 enum class CoreModel
 {
@@ -148,11 +150,14 @@ class System
      *
      * @param sampling fully detailed by default; a Sampled config
      *        fast-forwards between measured windows (sim/sampling.hh)
+     * @param telemetry optional observation request/output bundle
+     *        (telemetry/run_telemetry.hh); null = off, zero impact
      */
     RunResult run(Workload &workload, std::uint64_t num_insts,
                   const ResizeSetup &il1_setup = {},
                   const ResizeSetup &dl1_setup = {},
-                  const SamplingConfig &sampling = {});
+                  const SamplingConfig &sampling = {},
+                  RunTelemetry *telemetry = nullptr);
 
     ResizableCache &il1() { return il1_; }
     ResizableCache &dl1() { return dl1_; }

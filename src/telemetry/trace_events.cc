@@ -1,0 +1,110 @@
+/** @file Chrome trace-event recording and serialization. */
+
+#include "telemetry/trace_events.hh"
+
+namespace rcache
+{
+namespace
+{
+
+/** Minimal JSON string escape (quotes, backslashes, control chars). */
+void writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+int TraceEventRecorder::tidOfCurrentThread()
+{
+    const auto id = std::this_thread::get_id();
+    auto it = tids_.find(id);
+    if (it == tids_.end())
+        it = tids_.emplace(id, static_cast<int>(tids_.size())).first;
+    return it->second;
+}
+
+void TraceEventRecorder::completeSpan(const std::string &name,
+                                      Clock::time_point begin,
+                                      Clock::time_point end, Args args)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(Event{name, 'X', micros(begin),
+                            micros(end) - micros(begin),
+                            tidOfCurrentThread(), std::move(args)});
+}
+
+void TraceEventRecorder::instant(const std::string &name, Args args)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(Event{name, 'i', micros(Clock::now()), 0,
+                            tidOfCurrentThread(), std::move(args)});
+}
+
+std::size_t TraceEventRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+void TraceEventRecorder::write(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event &ev : events_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n{\"name\":";
+        writeJsonString(os, ev.name);
+        os << ",\"ph\":\"" << ev.phase << '"'
+           << ",\"ts\":" << ev.tsMicros;
+        if (ev.phase == 'X')
+            os << ",\"dur\":" << ev.durMicros;
+        if (ev.phase == 'i')
+            os << ",\"s\":\"t\"";
+        os << ",\"pid\":0,\"tid\":" << ev.tid;
+        if (!ev.args.empty()) {
+            os << ",\"args\":{";
+            bool firstArg = true;
+            for (const auto &[key, value] : ev.args) {
+                if (!firstArg)
+                    os << ',';
+                firstArg = false;
+                writeJsonString(os, key);
+                os << ':';
+                writeJsonString(os, value);
+            }
+            os << '}';
+        }
+        os << '}';
+    }
+    os << "\n]}\n";
+}
+
+} // namespace rcache

@@ -7,8 +7,78 @@ namespace rcache
 
 namespace
 {
-std::atomic<bool> verboseFlag{true};
+
+/** Threshold seeded from RCACHE_LOG exactly once (thread-safe local
+ *  static init); an unreadable value falls back to the default so a
+ *  typo can never silence warnings below it. */
+std::atomic<int> &
+levelFlag()
+{
+    static std::atomic<int> level{[] {
+        LogLevel l = LogLevel::info;
+        if (const char *env = std::getenv("RCACHE_LOG")) {
+            if (!parseLogLevel(env, l) && *env)
+                std::fprintf(stderr,
+                             "warn: RCACHE_LOG wants "
+                             "error|warn|info|debug, got '%s'\n",
+                             env);
+        }
+        return static_cast<int>(l);
+    }()};
+    return level;
+}
+
 } // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::error:
+        return "error";
+      case LogLevel::warn:
+        return "warn";
+      case LogLevel::info:
+        return "info";
+      case LogLevel::debug:
+        return "debug";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(const std::string &text, LogLevel &out)
+{
+    for (LogLevel l : {LogLevel::error, LogLevel::warn, LogLevel::info,
+                       LogLevel::debug}) {
+        if (text == logLevelName(l)) {
+            out = l;
+            return true;
+        }
+    }
+    return false;
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelFlag().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelFlag().store(static_cast<int>(level),
+                      std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           levelFlag().load(std::memory_order_relaxed);
+}
 
 void
 logMessage(const char *prefix, const std::string &msg)
@@ -35,26 +105,27 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    logMessage("warn", msg);
+    if (logEnabled(LogLevel::warn))
+        logMessage("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (verboseFlag.load(std::memory_order_relaxed))
+    if (logEnabled(LogLevel::info))
         logMessage("info", msg);
 }
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag.store(verbose, std::memory_order_relaxed);
+    setLogLevel(verbose ? LogLevel::info : LogLevel::warn);
 }
 
 bool
 verbose()
 {
-    return verboseFlag.load(std::memory_order_relaxed);
+    return logEnabled(LogLevel::info);
 }
 
 } // namespace rcache

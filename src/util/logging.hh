@@ -5,6 +5,14 @@
  * panic() is for internal invariant violations (simulator bugs) and
  * aborts; fatal() is for user/configuration errors and exits cleanly;
  * warn() and inform() report conditions without stopping the run.
+ *
+ * Non-terminating output is leveled: every message carries a LogLevel
+ * and only prints when at or below the global threshold. The
+ * threshold starts from the RCACHE_LOG environment variable
+ * (error|warn|info|debug, read once at first use; default info) and
+ * can be moved at runtime with setLogLevel(). RC_LOG(level, msg) is
+ * the generic leveled entry point; rc_warn/rc_inform are the warn-
+ * and info-level shorthands that predate it.
  */
 
 #ifndef RCACHE_UTIL_LOGGING_HH
@@ -17,6 +25,34 @@
 namespace rcache
 {
 
+/**
+ * Message severities, most to least severe. Enumerators are lowercase
+ * so RC_LOG(warn, ...) reads like a level name at the call site.
+ */
+enum class LogLevel
+{
+    error = 0,
+    warn = 1,
+    info = 2,
+    debug = 3,
+};
+
+/** Printable level name ("error"/"warn"/"info"/"debug"). */
+const char *logLevelName(LogLevel level);
+
+/** Parse a level name; returns false and leaves @p out alone on an
+ *  unknown name. */
+bool parseLogLevel(const std::string &text, LogLevel &out);
+
+/** The current global threshold (messages above it are dropped). */
+LogLevel logLevel();
+
+/** Move the global threshold. */
+void setLogLevel(LogLevel level);
+
+/** @return whether a message at @p level would print right now. */
+bool logEnabled(LogLevel level);
+
 /** Print a formatted message with a severity prefix to stderr. */
 void logMessage(const char *prefix, const std::string &msg);
 
@@ -28,13 +64,16 @@ void logMessage(const char *prefix, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 
-/** Report a suspicious-but-survivable condition. */
+/** Report a suspicious-but-survivable condition (warn level). */
 void warnImpl(const std::string &msg);
 
-/** Report an informational status message. */
+/** Report an informational status message (info level). */
 void informImpl(const std::string &msg);
 
-/** Enable/disable inform() output globally (benches silence it). */
+/**
+ * Legacy verbosity switch: true restores the default info threshold,
+ * false drops to warn (benches silence inform() this way).
+ */
 void setVerbose(bool verbose);
 
 /** @return whether inform() output is currently enabled. */
@@ -46,6 +85,17 @@ bool verbose();
 #define rc_fatal(msg) ::rcache::fatalImpl(__FILE__, __LINE__, (msg))
 #define rc_warn(msg) ::rcache::warnImpl((msg))
 #define rc_inform(msg) ::rcache::informImpl((msg))
+
+/**
+ * Leveled logging: RC_LOG(warn, "...") / RC_LOG(debug, "...").
+ * @p level is a bare LogLevel enumerator name; the message argument
+ * is not evaluated when the level is disabled.
+ */
+#define RC_LOG(level, msg)                                                 \
+    do {                                                                   \
+        if (::rcache::logEnabled(::rcache::LogLevel::level))               \
+            ::rcache::logMessage(#level, (msg));                           \
+    } while (0)
 
 /**
  * Internal invariant check. Unlike assert(), stays on in release builds;

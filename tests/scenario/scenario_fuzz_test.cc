@@ -148,6 +148,21 @@ randomSpec(Rng &rng, int idx)
         addAxis("lat.l2",
                 {std::to_string(1 + rng.nextBelow(64))});
 
+    // ---- [telemetry]: output paths and the sampling grid. Paths
+    // must survive the strict value parser ('#' starts a comment,
+    // surrounding whitespace is trimmed), so keep them plain.
+    if (rng.chance(0.3))
+        spec.telemetry.timeline =
+            "out/tl-" + std::to_string(rng.nextBelow(100)) + ".jsonl";
+    if (rng.chance(0.3))
+        spec.telemetry.events =
+            "out/ev-" + std::to_string(rng.nextBelow(100)) + ".jsonl";
+    if (rng.chance(0.3))
+        spec.telemetry.traceEvents =
+            "out/trace-" + std::to_string(rng.nextBelow(100)) + ".json";
+    if (rng.chance(0.3))
+        spec.telemetry.interval = 1 + rng.nextBelow(1000000);
+
     // ---- [sampling]: a valid shape.
     if (rng.chance(0.5)) {
         const std::uint64_t interval = 1 + rng.nextBelow(1000000);
@@ -260,6 +275,10 @@ TEST(ScenarioFuzzTest, MalformedInputsGetOneLineDiagnostics)
         "[axes]\nnosuch = 1\n",
         "[axes]\nassoc = 0\n",
         "[axes]\nside = left\n",
+        "[telemetry]\ninterval = 0\n",
+        "[telemetry]\ninterval = soon\n",
+        "[telemetry]\ntimeline =\n",
+        "[telemetry]\nnosuch = 1\n",
         "[sampling]\ninterval = x\n",
         "[sampling]\ndetail = 5\n",
         "[sampling]\ninterval = 10\ndetail = 20\n",

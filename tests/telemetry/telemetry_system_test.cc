@@ -1,0 +1,186 @@
+/** @file
+ * End-to-end telemetry tests against a real System run.
+ *
+ * The load-bearing property is non-perturbation: attaching a
+ * RunTelemetry bundle must not change a single simulated number.
+ * RunResult has no operator==, so the twin runs are compared
+ * field-by-field. The remaining tests pin the observation contract:
+ * timeline rows sample the run on the requested grid, and the resize
+ * event stream agrees with the controller's own level trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/system.hh"
+#include "telemetry/run_telemetry.hh"
+#include "workload/profiles.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+constexpr std::uint64_t kInsts = 100000;
+constexpr std::uint64_t kTimelineInterval = 5000;
+
+SystemConfig dynConfig()
+{
+    SystemConfig cfg = SystemConfig::base();
+    cfg.dl1Org = Organization::SelectiveSets;
+    return cfg;
+}
+
+ResizeSetup dynSetup()
+{
+    DynamicParams dyn;
+    dyn.intervalAccesses = 1024;
+    dyn.missBound = 32;
+    return ResizeSetup{Strategy::Dynamic, 0, dyn};
+}
+
+/** Run the reference workload, optionally observed. */
+RunResult runOnce(RunTelemetry *telemetry)
+{
+    SyntheticWorkload wl(profileByName("gcc"));
+    System sys(dynConfig());
+    return sys.run(wl, kInsts, {}, dynSetup(), {}, telemetry);
+}
+
+} // namespace
+
+TEST(TelemetrySystemTest, AttachedBundleDoesNotPerturbTheRun)
+{
+    RunTelemetry telem;
+    telem.timelineInterval = kTimelineInterval;
+    telem.resizeEvents = true;
+    ASSERT_TRUE(telem.enabled());
+
+    const RunResult off = runOnce(nullptr);
+    const RunResult on = runOnce(&telem);
+
+    EXPECT_EQ(on.workload, off.workload);
+    EXPECT_EQ(on.insts, off.insts);
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_DOUBLE_EQ(on.energy.total(), off.energy.total());
+    EXPECT_DOUBLE_EQ(on.avgIl1Bytes, off.avgIl1Bytes);
+    EXPECT_DOUBLE_EQ(on.avgDl1Bytes, off.avgDl1Bytes);
+    EXPECT_DOUBLE_EQ(on.il1MissRatio, off.il1MissRatio);
+    EXPECT_DOUBLE_EQ(on.dl1MissRatio, off.dl1MissRatio);
+    EXPECT_DOUBLE_EQ(on.l2MissRatio, off.l2MissRatio);
+    EXPECT_EQ(on.il1Resizes, off.il1Resizes);
+    EXPECT_EQ(on.dl1Resizes, off.dl1Resizes);
+    EXPECT_EQ(on.il1LevelTrace, off.il1LevelTrace);
+    EXPECT_EQ(on.dl1LevelTrace, off.dl1LevelTrace);
+
+    // ...and it did observe something.
+    EXPECT_FALSE(telem.timeline.empty());
+    EXPECT_FALSE(telem.events.empty());
+}
+
+TEST(TelemetrySystemTest, TimelineSamplesTheRequestedGrid)
+{
+    RunTelemetry telem;
+    telem.timelineInterval = kTimelineInterval;
+    runOnce(&telem);
+
+    const auto &rows = telem.timeline;
+    ASSERT_EQ(rows.size(), kInsts / kTimelineInterval);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const TimelineRow &row = rows[i];
+        EXPECT_EQ(row.core, 0u);
+        EXPECT_EQ(row.seq, i);
+        EXPECT_EQ(row.phase, "detail");
+        // Full detail: samples land exactly on the interval grid.
+        EXPECT_EQ(row.insts, (i + 1) * kTimelineInterval);
+        EXPECT_GT(row.ipc, 0.0);
+        EXPECT_GT(row.energy, 0.0);
+        // The i-cache never resizes in this setup.
+        EXPECT_EQ(row.il1Bytes, 32 * 1024u);
+        EXPECT_EQ(row.dl1Bytes,
+                  static_cast<std::uint64_t>(row.dl1Sets) *
+                      row.dl1Ways * 32u);
+        if (i > 0) {
+            EXPECT_GT(row.insts, rows[i - 1].insts);
+            EXPECT_GT(row.cycles, rows[i - 1].cycles);
+        }
+    }
+    EXPECT_EQ(rows.back().insts, kInsts);
+}
+
+TEST(TelemetrySystemTest, EventsAgreeWithTheControllerLevelTrace)
+{
+    RunTelemetry telem;
+    telem.resizeEvents = true;
+    const RunResult res = runOnce(&telem);
+
+    const auto &events = telem.events.events();
+    // One event per interval boundary, same boundaries the level
+    // trace records.
+    ASSERT_EQ(events.size(), res.dl1LevelTrace.size());
+    ASSERT_FALSE(events.empty());
+
+    std::uint64_t resizes = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const ResizeEvent &ev = events[i];
+        EXPECT_EQ(ev.core, 0u);
+        EXPECT_EQ(ev.cache, "dl1");
+        EXPECT_EQ(ev.interval, i + 1);
+        EXPECT_EQ(ev.toLevel, res.dl1LevelTrace[i]);
+        EXPECT_EQ(ev.resized(), ev.reason == ResizeReason::grow ||
+                                    ev.reason == ResizeReason::shrink);
+        if (ev.resized())
+            ++resizes;
+        // A decision never moves more than one level.
+        EXPECT_LE(ev.fromLevel > ev.toLevel ? ev.fromLevel - ev.toLevel
+                                            : ev.toLevel - ev.fromLevel,
+                  1u);
+        EXPECT_EQ(ev.fromLevel == ev.toLevel, ev.fromBytes == ev.toBytes);
+        // Flush costs only appear on actual transitions.
+        if (!ev.resized()) {
+            EXPECT_EQ(ev.flushInvalidated, 0u);
+            EXPECT_EQ(ev.flushWritebacks, 0u);
+            EXPECT_EQ(ev.transitionCycles, 0u);
+        }
+    }
+    EXPECT_EQ(resizes, res.dl1Resizes);
+}
+
+TEST(TelemetrySystemTest, JsonlWritersAreDeterministicAndLabeled)
+{
+    RunTelemetry telem;
+    telem.timelineInterval = kTimelineInterval;
+    telem.resizeEvents = true;
+    runOnce(&telem);
+
+    std::ostringstream a, b;
+    writeTimelineJsonl(a, telem.timeline, "gcc/point");
+    writeTimelineJsonl(b, telem.timeline, "gcc/point");
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("\"job\":\"gcc/point\""), std::string::npos);
+
+    std::ostringstream unlabeled;
+    writeTimelineJsonl(unlabeled, telem.timeline);
+    EXPECT_EQ(unlabeled.str().find("\"job\""), std::string::npos);
+
+    std::ostringstream ev1, ev2;
+    writeResizeEventsJsonl(ev1, telem.events.events(), "gcc/point");
+    writeResizeEventsJsonl(ev2, telem.events.events(), "gcc/point");
+    EXPECT_EQ(ev1.str(), ev2.str());
+    EXPECT_NE(ev1.str().find("\"job\":\"gcc/point\""),
+              std::string::npos);
+    EXPECT_NE(ev1.str().find("\"cache\":\"dl1\""), std::string::npos);
+}
+
+TEST(TelemetrySystemTest, DisabledBundleRecordsNothing)
+{
+    RunTelemetry telem; // both layers off
+    EXPECT_FALSE(telem.enabled());
+    runOnce(&telem);
+    EXPECT_TRUE(telem.timeline.empty());
+    EXPECT_TRUE(telem.events.empty());
+}
+
+} // namespace rcache

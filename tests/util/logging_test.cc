@@ -7,12 +7,88 @@
 namespace rcache
 {
 
+/** Restores the entry threshold so level tests can't leak state. */
+class LogLevelGuard
+{
+  public:
+    LogLevelGuard() : saved_(logLevel()) {}
+    ~LogLevelGuard() { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
 TEST(LoggingTest, VerboseToggle)
 {
+    LogLevelGuard guard;
     setVerbose(false);
     EXPECT_FALSE(verbose());
     setVerbose(true);
     EXPECT_TRUE(verbose());
+}
+
+TEST(LoggingTest, LevelThresholdGatesEachSeverity)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::error);
+    EXPECT_TRUE(logEnabled(LogLevel::error));
+    EXPECT_FALSE(logEnabled(LogLevel::warn));
+    EXPECT_FALSE(logEnabled(LogLevel::info));
+    EXPECT_FALSE(logEnabled(LogLevel::debug));
+
+    setLogLevel(LogLevel::warn);
+    EXPECT_TRUE(logEnabled(LogLevel::warn));
+    EXPECT_FALSE(logEnabled(LogLevel::info));
+
+    setLogLevel(LogLevel::debug);
+    EXPECT_TRUE(logEnabled(LogLevel::error));
+    EXPECT_TRUE(logEnabled(LogLevel::debug));
+}
+
+TEST(LoggingTest, VerboseMapsOntoLevels)
+{
+    LogLevelGuard guard;
+    setVerbose(false);
+    EXPECT_EQ(logLevel(), LogLevel::warn);
+    EXPECT_TRUE(logEnabled(LogLevel::warn));
+    EXPECT_FALSE(logEnabled(LogLevel::info));
+    setVerbose(true);
+    EXPECT_EQ(logLevel(), LogLevel::info);
+    EXPECT_TRUE(verbose());
+}
+
+TEST(LoggingTest, LevelNamesRoundTrip)
+{
+    for (LogLevel l : {LogLevel::error, LogLevel::warn, LogLevel::info,
+                       LogLevel::debug}) {
+        LogLevel parsed = LogLevel::error;
+        EXPECT_TRUE(parseLogLevel(logLevelName(l), parsed));
+        EXPECT_EQ(parsed, l);
+    }
+    LogLevel out = LogLevel::info;
+    EXPECT_FALSE(parseLogLevel("loud", out));
+    EXPECT_EQ(out, LogLevel::info) << "failed parse must not write";
+    EXPECT_FALSE(parseLogLevel("", out));
+}
+
+TEST(LoggingTest, RcLogMacroRespectsThreshold)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::warn);
+    // The message expression must not be evaluated when disabled.
+    bool touched = false;
+    const auto make = [&] {
+        touched = true;
+        return std::string("dbg");
+    };
+    RC_LOG(debug, make());
+    EXPECT_FALSE(touched);
+    testing::internal::CaptureStderr();
+    RC_LOG(warn, "visible");
+    RC_LOG(info, "hidden");
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: visible"), std::string::npos);
+    EXPECT_EQ(err.find("hidden"), std::string::npos);
 }
 
 TEST(LoggingDeathTest, PanicAborts)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json perf records.
+
+Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--fail-below PCT]
+
+Each directory holds the machine-readable records written by
+`rcache-sim bench` (one BENCH_<name>.json per benchmark spec). The
+report lists, per spec, the baseline and current throughput and the
+relative delta; specs present on only one side are reported as
+added/missing. Throughput is higher-is-better everywhere.
+
+Exit status: 0 on success, 1 when --fail-below PCT is given and any
+common spec regressed by more than PCT percent, 2 on usage/IO errors.
+Without --fail-below the script is report-only (CI uses it that way:
+machine noise makes a hard gate on shared runners too flaky to be the
+default).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(dirpath):
+    records = {}
+    for path in sorted(Path(dirpath).glob("BENCH_*.json")):
+        try:
+            with open(path) as f:
+                rec = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            raise SystemExit(f"bench_diff: {path}: {e}")
+        for field in ("name", "throughput", "unit"):
+            if field not in rec:
+                raise SystemExit(
+                    f"bench_diff: {path}: missing field '{field}'")
+        records[rec["name"]] = rec
+    if not records:
+        raise SystemExit(
+            f"bench_diff: no BENCH_*.json records in {dirpath}")
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="compare BENCH_*.json perf records")
+    ap.add_argument("baseline", help="directory of baseline records")
+    ap.add_argument("current", help="directory of current records")
+    ap.add_argument(
+        "--fail-below",
+        type=float,
+        metavar="PCT",
+        help="exit 1 if any spec's throughput regressed by more "
+        "than PCT percent (default: report only)",
+    )
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    cur = load_records(args.current)
+
+    names = sorted(set(base) | set(cur))
+    width = max(len(n) for n in names)
+    regressions = []
+
+    print(f"{'benchmark':<{width}} {'baseline':>12} {'current':>12} "
+          f"{'delta':>8}")
+    for name in names:
+        b = base.get(name)
+        c = cur.get(name)
+        if b is None:
+            print(f"{name:<{width}} {'-':>12} "
+                  f"{c['throughput']:>12.2f}    added")
+            continue
+        if c is None:
+            print(f"{name:<{width}} {b['throughput']:>12.2f} "
+                  f"{'-':>12}  missing")
+            continue
+        if b["unit"] != c["unit"]:
+            raise SystemExit(
+                f"bench_diff: {name}: unit mismatch "
+                f"({b['unit']} vs {c['unit']})")
+        if b["throughput"] <= 0:
+            raise SystemExit(
+                f"bench_diff: {name}: non-positive baseline "
+                f"throughput")
+        delta = 100.0 * (c["throughput"] / b["throughput"] - 1.0)
+        print(f"{name:<{width}} {b['throughput']:>12.2f} "
+              f"{c['throughput']:>12.2f} {delta:>+7.2f}%")
+        if args.fail_below is not None and -delta > args.fail_below:
+            regressions.append((name, delta))
+
+    if regressions:
+        for name, delta in regressions:
+            print(f"bench_diff: {name} regressed {delta:+.2f}% "
+                  f"(limit -{args.fail_below}%)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
  *   run       one explicit design point, full run report
  *   replay    drive a recorded trace file through one design point
  *   scenario  check/print scenario files
+ *   inspect   summarize telemetry artifacts (timelines, event traces)
  *   list-apps print the benchmark suite names
  *
  * Both sweep paths converge on the scenario engine
@@ -37,6 +38,9 @@
 #include "scenario/scenario_sweep.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "telemetry/inspect.hh"
+#include "telemetry/run_telemetry.hh"
+#include "telemetry/trace_events.hh"
 #include "workload/profiles.hh"
 #include "workload/trace_io.hh"
 
@@ -64,6 +68,8 @@ usage(std::ostream &os, int code)
           "  rcache-sim scenario check f..  validate scenario files\n"
           "  rcache-sim scenario print f    print a scenario's "
           "canonical form\n"
+          "  rcache-sim inspect [options]   summarize telemetry "
+          "artifacts\n"
           "  rcache-sim list-apps           print the benchmark "
           "suite\n"
           "\n"
@@ -133,13 +139,17 @@ knownOptions(const std::string &cmd)
              "--assoc", "--apps", "--orgs", "--strategies", "--side",
              "--cores", "--mix", "--quantum", "--format", "--out",
              "--progress", "--sample", "--sample-detail",
-             "--sample-warmup"});
+             "--sample-warmup", "--timeline", "--events",
+             "--trace-events", "--timeline-interval"});
     } else if (cmd == "run") {
         add({"--insts", "--assoc", "--app", "--cores", "--mix",
              "--quantum", "--sample", "--sample-detail",
-             "--sample-warmup"});
+             "--sample-warmup", "--timeline", "--events",
+             "--trace-events", "--timeline-interval"});
         for (const auto &k : setupKeys())
             keys.push_back(k);
+    } else if (cmd == "inspect") {
+        add({"--timeline", "--events", "--window"});
     } else if (cmd == "replay") {
         add({"--insts", "--assoc", "--trace", "--name"});
         for (const auto &k : setupKeys())
@@ -169,6 +179,9 @@ commandPurpose(const std::string &cmd)
     if (cmd == "bench")
         return "time the simulator's hot paths and write "
                "machine-readable BENCH_*.json perf records";
+    if (cmd == "inspect")
+        return "summarize telemetry artifacts: decision counts by "
+               "reason, size residency, oscillations";
     if (cmd == "list-apps")
         return "print the benchmark suite names";
     return "";
@@ -230,6 +243,20 @@ optionHelp(const std::string &key)
         {"--out-dir", "directory for BENCH_*.json (default .)"},
         {"--trace", "trace file to replay"},
         {"--name", "workload label (default 'trace')"},
+        {"--timeline",
+         "per-core interval-timeline file (run/sweep write it — "
+         "JSONL, or CSV when a run's FILE ends in .csv; inspect "
+         "reads it)"},
+        {"--events",
+         "resize-decision event-trace JSONL (run/sweep write it; "
+         "inspect reads it)"},
+        {"--trace-events",
+         "write Chrome trace-event JSON of runner spans to FILE "
+         "(load in Perfetto / chrome://tracing)"},
+        {"--timeline-interval",
+         "timeline sample period in insts (default 10000)"},
+        {"--window",
+         "oscillation window in controller intervals (default 3)"},
     };
     auto it = help.find(key);
     if (it != help.end())
@@ -666,6 +693,24 @@ cmdSweep(const Args &args)
     opt.outPath = args.get("--out", "");
     opt.resumePath = args.get("--resume", "");
     opt.progress = args.flags.count("--progress") != 0;
+
+    // Telemetry: the scenario's [telemetry] section seeds the
+    // defaults, explicit flags override per invocation. These are
+    // pure output options, so they do not conflict with --scenario.
+    opt.timelinePath =
+        args.get("--timeline", spec->telemetry.timeline);
+    opt.eventsPath = args.get("--events", spec->telemetry.events);
+    opt.traceEventsPath =
+        args.get("--trace-events", spec->telemetry.traceEvents);
+    const auto tl_interval = parseU64(args, "--timeline-interval",
+                                      spec->telemetry.interval);
+    if (!tl_interval)
+        return 2;
+    if (*tl_interval == 0) {
+        std::cerr << "rcache-sim: --timeline-interval must be > 0\n";
+        return 2;
+    }
+    opt.timelineInterval = *tl_interval;
     if (args.has("--shard")) {
         std::string err;
         auto shard = ShardSpec::parse(args.get("--shard", ""), &err);
@@ -873,23 +918,94 @@ cmdRun(const Args &args)
     if (!checkQuantumEffective(args, *cfg, *sampling))
         return 2;
 
+    // ---- telemetry requests (all off unless asked for)
+    const std::string timeline_path = args.get("--timeline", "");
+    const std::string events_path = args.get("--events", "");
+    const std::string trace_path = args.get("--trace-events", "");
+    const auto tl_interval =
+        parseU64(args, "--timeline-interval", 10000);
+    if (!tl_interval)
+        return 2;
+    if (*tl_interval == 0) {
+        std::cerr << "rcache-sim: --timeline-interval must be > 0\n";
+        return 2;
+    }
+    RunTelemetry telem;
+    telem.timelineInterval =
+        timeline_path.empty() ? 0 : *tl_interval;
+    telem.resizeEvents = !events_path.empty();
+    RunTelemetry *telem_ptr = telem.enabled() ? &telem : nullptr;
+    std::optional<TraceEventRecorder> trace;
+    if (!trace_path.empty())
+        trace.emplace();
+
+    const std::string label = args.has("--mix")
+                                  ? args.get("--mix", "") + "/point"
+                                  : mix.front().name + "/point";
+    const auto span_begin =
+        trace ? trace->now() : TraceEventRecorder::Clock::time_point{};
+
     if (cfg->cores > 1) {
         MultiCoreSystem sys(*cfg);
-        writeMultiCoreReport(
-            std::cout,
-            sys.run(mix, *insts, *il1, *dl1, *sampling));
-        return 0;
+        const MultiCoreResult res =
+            sys.run(mix, *insts, *il1, *dl1, *sampling, telem_ptr);
+        if (trace)
+            trace->completeSpan(label, span_begin, trace->now(),
+                                {{"label", label}});
+        writeMultiCoreReport(std::cout, res);
+    } else {
+        RunJob job;
+        job.label = label;
+        job.profile = mix.front();
+        job.cfg = *cfg;
+        job.insts = *insts;
+        job.il1 = *il1;
+        job.dl1 = *dl1;
+        job.sampling = *sampling;
+        job.telemetry = telem_ptr;
+        const RunResult res = executeRunJob(job);
+        if (trace)
+            trace->completeSpan(label, span_begin, trace->now(),
+                                {{"label", label}});
+        writeRunReport(std::cout, res);
     }
 
-    RunJob job;
-    job.label = mix.front().name + "/point";
-    job.profile = mix.front();
-    job.cfg = *cfg;
-    job.insts = *insts;
-    job.il1 = *il1;
-    job.dl1 = *dl1;
-    job.sampling = *sampling;
-    writeRunReport(std::cout, executeRunJob(job));
+    // ---- telemetry sidecars
+    const auto openOut = [](const std::string &path,
+                            std::ofstream &os) {
+        os.open(path, std::ios::binary | std::ios::trunc);
+        if (!os)
+            std::cerr << "rcache-sim: cannot write '" << path
+                      << "'\n";
+        return static_cast<bool>(os);
+    };
+    if (!timeline_path.empty()) {
+        std::ofstream os;
+        if (!openOut(timeline_path, os))
+            return 2;
+        const bool csv =
+            timeline_path.size() >= 4 &&
+            timeline_path.compare(timeline_path.size() - 4, 4,
+                                  ".csv") == 0;
+        if (csv) {
+            writeTimelineCsvHeader(os, false);
+            writeTimelineCsv(os, telem.timeline);
+        } else {
+            writeTimelineJsonl(os, telem.timeline);
+        }
+    }
+    if (!events_path.empty()) {
+        std::ofstream os;
+        if (!openOut(events_path, os))
+            return 2;
+        writeResizeEventsJsonl(os, telem.events.events());
+    }
+    if (trace) {
+        std::ofstream os;
+        if (!openOut(trace_path, os))
+            return 2;
+        trace->write(os);
+    }
     return 0;
 }
 
@@ -992,6 +1108,55 @@ cmdBench(const Args &args)
     return rcache::bench::runPerfBenches(opts);
 }
 
+// ------------------------------------------------------------- inspect
+
+int
+cmdInspect(const Args &args)
+{
+    if (!args.has("--timeline") && !args.has("--events")) {
+        std::cerr << "rcache-sim: inspect needs --timeline FILE "
+                     "and/or --events FILE\n";
+        return 2;
+    }
+    const auto window = parseU64(args, "--window", 3);
+    if (!window)
+        return 2;
+    if (*window == 0) {
+        std::cerr << "rcache-sim: --window must be > 0\n";
+        return 2;
+    }
+
+    try {
+        if (args.has("--timeline")) {
+            const std::string path = args.get("--timeline", "");
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                std::cerr << "rcache-sim: cannot open '" << path
+                          << "'\n";
+                return 2;
+            }
+            printTimelineSummary(std::cout, summarizeTimeline(in));
+        }
+        if (args.has("--events")) {
+            const std::string path = args.get("--events", "");
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                std::cerr << "rcache-sim: cannot open '" << path
+                          << "'\n";
+                return 2;
+            }
+            if (args.has("--timeline"))
+                std::cout << '\n';
+            printEventsSummary(std::cout,
+                               summarizeEvents(in, *window));
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "rcache-sim: " << e.what() << '\n';
+        return 2;
+    }
+    return 0;
+}
+
 int
 cmdListApps()
 {
@@ -1014,7 +1179,7 @@ main(int argc, char **argv)
     const bool known_cmd = cmd == "sweep" || cmd == "run" ||
                            cmd == "replay" || cmd == "record" ||
                            cmd == "bench" || cmd == "scenario" ||
-                           cmd == "list-apps";
+                           cmd == "inspect" || cmd == "list-apps";
     if (!known_cmd) {
         std::cerr << "rcache-sim: unknown subcommand '" << cmd
                   << "' (try 'rcache-sim --help')\n";
@@ -1041,5 +1206,7 @@ main(int argc, char **argv)
         return cmdRecord(*args);
     if (cmd == "bench")
         return cmdBench(*args);
+    if (cmd == "inspect")
+        return cmdInspect(*args);
     return cmdListApps();
 }
