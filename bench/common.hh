@@ -5,8 +5,8 @@
  * Every bench binary reads RCACHE_INSTS (instructions per simulated
  * run; default 800000) and RCACHE_APPS (comma-separated subset of
  * profile names) from the environment so the full suite can be scaled
- * to the machine at hand; the sampling-aware benches (fig4, fig9)
- * additionally honor RCACHE_SAMPLE (see benchSampling below). The paper ran 2 billion instructions per
+ * to the machine at hand; the engine-aware benches (fig4, fig9)
+ * additionally honor RCACHE_SAMPLE (see benchEngine below). The paper ran 2 billion instructions per
  * data point on SimpleScalar; the shapes reported in EXPERIMENTS.md
  * are stable from a few hundred thousand instructions up.
  */
@@ -104,14 +104,14 @@ benchJobs()
 }
 
 /**
- * Sampling shape from RCACHE_SAMPLE=interval[,detail[,warmup]]
- * (instructions; unset, empty, or a 0 interval = full detail;
- * detail defaults to interval/10, warmup to interval/5). Sampled
- * bench tables are comparable across RCACHE_JOBS values but NOT
- * against full-detail tables — see the README's sampling section.
+ * Engine selection from RCACHE_SAMPLE=interval[,detail[,warmup]]
+ * (instructions; unset, empty, or a 0 interval = the full-detail
+ * engine; detail defaults to interval/10, warmup to interval/5).
+ * Sampled bench tables are comparable across RCACHE_JOBS values but
+ * NOT against full-detail tables — see the README's Engines section.
  */
-inline SamplingConfig
-benchSampling()
+inline EngineSpec
+benchEngine()
 {
     const char *env = std::getenv("RCACHE_SAMPLE");
     if (!env || !*env)
@@ -147,7 +147,7 @@ benchSampling()
         rc_fatal("RCACHE_SAMPLE: " + std::string(err) + " (got '" +
                  text + "')");
     }
-    return SamplingConfig::sampled(interval, detail, warmup);
+    return EngineSpec::makeSampled(interval, detail, warmup);
 }
 
 /** Profiles to run (RCACHE_APPS=ammp,gcc,... or the full suite). */
@@ -195,11 +195,12 @@ banner(const std::string &what, const std::string &paper_ref)
     std::cout << "=== " << what << " ===\n"
               << "reproduces: " << paper_ref << "\n"
               << "instructions/run: " << runInsts() << "\n";
-    const SamplingConfig s = benchSampling();
-    if (s.enabled()) {
-        std::cout << "sampling: period " << s.intervalInsts
-                  << ", detail " << s.detailedInsts << ", warmup "
-                  << s.warmupInsts
+    const EngineSpec e = benchEngine();
+    if (e.sampled()) {
+        std::cout << "engine: sampled, period "
+                  << e.sampling.intervalInsts << ", detail "
+                  << e.sampling.detailedInsts << ", warmup "
+                  << e.sampling.warmupInsts
                   << " (not comparable to full-detail tables)\n";
     }
     std::cout << '\n';

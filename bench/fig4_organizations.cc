@@ -61,7 +61,7 @@ main()
             cfg.il1.assoc = assoc;
             cfg.dl1.assoc = assoc;
             Experiment exp(cfg, insts);
-            exp.setSampling(bench::benchSampling());
+            exp.setEngine(bench::benchEngine());
 
             struct Slice
             {

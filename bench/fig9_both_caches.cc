@@ -38,7 +38,7 @@ main()
     const auto apps = bench::suite(spec);
     const std::uint64_t insts = bench::runInsts(spec);
     Experiment exp(spec.system, insts);
-    exp.setSampling(bench::benchSampling());
+    exp.setEngine(bench::benchEngine());
     SweepRunner runner(bench::benchJobs());
     const auto org = spec.search.org;
 

@@ -5,7 +5,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "analytic/analytic_engine.hh"
+#include "core/size_schedule.hh"
 #include "cpu/functional_core.hh"
+#include "runner/sweep_runner.hh"
 #include "sim/multi_core_system.hh"
 #include "sim/system.hh"
 #include "util/logging.hh"
@@ -76,16 +79,16 @@ BenchResult
 sampledRun(const BenchOptions &opts)
 {
     // The sampled engine's shape: measure 1/10 of each period after a
-    // 1/5 warmup (the defaults the CLI derives from --sample).
+    // 1/5 warmup (the defaults the CLI derives from --engine sampled).
     const std::uint64_t interval =
         std::max<std::uint64_t>(opts.items / 4, 1000);
-    const SamplingConfig sampling = SamplingConfig::sampled(
+    const EngineSpec engine = EngineSpec::makeSampled(
         interval, SamplingConfig::defaultDetail(interval),
         SamplingConfig::defaultWarmup(interval));
     const double best = bestWallSeconds(opts.repetitions, [&] {
         SyntheticWorkload wl(profileByName(benchApp));
         System sys(SystemConfig::base());
-        consume(sys.run(wl, opts.items, {}, {}, sampling).cycles);
+        consume(sys.run(wl, opts.items, {}, {}, engine).cycles);
     });
     return makeResult(
         "sampled_ooo", "Minst/s", opts.items, opts.repetitions, best,
@@ -143,6 +146,78 @@ multicoreRun(const BenchOptions &opts)
          {"insts_per_core", std::to_string(per_core)},
          {"cores", "2"},
          {"mode", "detailed"}});
+}
+
+/**
+ * The analytic engine's reason to exist, measured: price a
+ * fig4-shaped dcache size x assoc grid once with per-geometry
+ * detailed runs and once with a single shared stack-distance pass,
+ * and record the wall-clock ratio. The headline number (throughput /
+ * wall_seconds) is the analytic side; the detailed side and the
+ * speedup ride along in the config block so tools/bench_diff.py can
+ * gate on them.
+ */
+BenchResult
+analyticMrc(const BenchOptions &opts)
+{
+    // Grid: the selective-ways static schedule plus the full-size
+    // baseline, at two associativities — one detailed run per
+    // geometry versus one analytic pass for all of them.
+    std::vector<RunJob> jobs;
+    for (unsigned assoc : {2u, 8u}) {
+        SystemConfig cfg = SystemConfig::base();
+        cfg.il1.assoc = assoc;
+        cfg.dl1.assoc = assoc;
+        cfg.dl1Org = Organization::SelectiveWays;
+        RunJob base;
+        base.label = "mrc/a" + std::to_string(assoc) + "/full";
+        base.profile = profileByName(benchApp);
+        base.cfg = cfg;
+        base.insts = opts.items;
+        jobs.push_back(base);
+        const auto sched = buildSchedule(cfg.dl1Org, cfg.dl1);
+        for (unsigned lvl = 0; lvl < sched.size(); ++lvl) {
+            RunJob j = base;
+            j.label = "mrc/a" + std::to_string(assoc) + "/L" +
+                      std::to_string(lvl);
+            j.dl1.strategy = Strategy::Static;
+            j.dl1.staticLevel = lvl;
+            jobs.push_back(j);
+        }
+    }
+
+    const double detailed_s =
+        bestWallSeconds(opts.repetitions, [&] {
+            std::uint64_t sink = 0;
+            for (const RunJob &j : jobs)
+                sink += executeRunJob(j).dl1Misses;
+            consume(sink);
+        });
+    const double analytic_s =
+        bestWallSeconds(opts.repetitions, [&] {
+            AnalyticPass pass(profileByName(benchApp), opts.items);
+            for (const RunJob &j : jobs)
+                pass.addConfig(j.cfg);
+            pass.run();
+            std::uint64_t sink = 0;
+            for (RunJob j : jobs) {
+                j.engine = EngineSpec::makeAnalytic();
+                sink += priceAnalyticJob(j, pass).dl1Misses;
+            }
+            consume(sink);
+        });
+    const double speedup =
+        analytic_s > 0 ? detailed_s / analytic_s : 0;
+
+    return makeResult(
+        "analytic_mrc", "Minst/s", opts.items,
+        opts.repetitions, analytic_s,
+        {{"app", benchApp},
+         {"insts", std::to_string(opts.items)},
+         {"geometries", std::to_string(jobs.size())},
+         {"detailed_wall_seconds", shortestDouble(detailed_s)},
+         {"speedup_vs_detailed", shortestDouble(speedup)},
+         {"mode", "analytic"}});
 }
 
 BenchResult
@@ -219,8 +294,12 @@ perfBenches()
              return detailedRun("detailed_inorder", CoreModel::InOrder,
                                 o);
          }},
-        {"sampled_ooo", "sampled-mode OoO System run",
+        {"sampled_ooo", "sampled-engine OoO System run",
          [](const BenchOptions &o) { return sampledRun(o); }},
+        {"analytic_mrc",
+         "analytic miss-ratio pass vs per-geometry detailed runs "
+         "over a fig4-shaped grid",
+         [](const BenchOptions &o) { return analyticMrc(o); }},
         {"multicore_shared_l2",
          "2-core multi-programmed run over one shared L2",
          [](const BenchOptions &o) { return multicoreRun(o); }},

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Streaming per-set stack-distance profile (Mattson et al. 1970).
+ *
+ * True LRU has the inclusion property: the content of an A-way set is
+ * exactly the A most-recently-used distinct blocks mapping to that
+ * set. So one pass that maintains, per set, a move-to-front stack of
+ * the maxWays most recent blocks and histograms the depth at which
+ * each access finds its block prices *every* associativity 1..maxWays
+ * at once: an access hits in an A-way cache iff its per-set stack
+ * depth is < A. Per-set refinement (one profile per enabled-set
+ * count) extends this to every sets x ways geometry an organization's
+ * schedule offers.
+ *
+ * The counts are exact, not approximate: for a fixed (sets, ways)
+ * within this profile's range they equal the detailed Cache model's
+ * access/miss counters on the same stream (Cache's LRU replacement is
+ * true LRU over the enabled ways, and a static-resized run never
+ * changes geometry mid-stream). tests/analytic/ pins this equality
+ * per geometry against full System runs.
+ *
+ * Cost: the stacks are maxWays entries deep (associativities here are
+ * <= 8), so an access is a short shift loop over one cache-resident
+ * row — not a tree. The classic hash-map + order-statistic-tree
+ * formulation is only needed for unbounded distances; a set-
+ * associative L1 never needs distances beyond its associativity.
+ */
+
+#ifndef RCACHE_ANALYTIC_STACK_PROFILE_HH
+#define RCACHE_ANALYTIC_STACK_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+/** See file comment. */
+class StackDistanceProfile
+{
+  public:
+    /**
+     * @param sets enabled set count (power of two)
+     * @param max_ways deepest associativity to price (>= 1)
+     * @param block_bits log2(block size) of the cache being modelled
+     */
+    StackDistanceProfile(std::uint64_t sets, unsigned max_ways,
+                         unsigned block_bits)
+        : sets_(sets),
+          setMask_(sets - 1),
+          maxWays_(max_ways),
+          blockBits_(block_bits),
+          stacks_(sets * max_ways, invalidBlock),
+          hist_(max_ways, 0)
+    {
+        rc_assert(sets_ > 0 && (sets_ & setMask_) == 0);
+        rc_assert(maxWays_ > 0);
+    }
+
+    /** Record one access to byte address @p addr. */
+    void
+    access(Addr addr)
+    {
+        const Addr blk = addr >> blockBits_;
+        Addr *stack = &stacks_[(blk & setMask_) * maxWays_];
+        ++accesses_;
+        // Move-to-front with a simultaneous shift: after the loop the
+        // stack holds the maxWays most-recent distinct blocks of this
+        // set in recency order. Finding blk at depth d means exactly
+        // d distinct blocks intervened since its last access.
+        Addr cur = blk;
+        for (unsigned d = 0; d < maxWays_; ++d) {
+            const Addr evicted = stack[d];
+            stack[d] = cur;
+            if (evicted == blk) {
+                ++hist_[d];
+                return;
+            }
+            cur = evicted;
+        }
+        // Cold or deeper than maxWays: a miss at every priced
+        // associativity (the deepest entry just fell off, which is
+        // precisely the truncated-LRU eviction).
+    }
+
+    std::uint64_t sets() const { return sets_; }
+    unsigned maxWays() const { return maxWays_; }
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Hits of an LRU cache with this set count and @p ways ways. */
+    std::uint64_t
+    hits(unsigned ways) const
+    {
+        rc_assert(ways >= 1 && ways <= maxWays_);
+        std::uint64_t h = 0;
+        for (unsigned d = 0; d < ways; ++d)
+            h += hist_[d];
+        return h;
+    }
+
+    /** Misses of an LRU cache with this set count and @p ways ways. */
+    std::uint64_t misses(unsigned ways) const
+    {
+        return accesses_ - hits(ways);
+    }
+
+  private:
+    /** No real block address is all-ones (addresses are shifted down
+     *  by blockBits), so this marks an empty stack slot. */
+    static constexpr Addr invalidBlock = ~Addr{0};
+
+    std::uint64_t sets_;
+    std::uint64_t setMask_;
+    unsigned maxWays_;
+    unsigned blockBits_;
+    std::uint64_t accesses_ = 0;
+    /** Row-major: stacks_[set * maxWays_ + depth]. */
+    std::vector<Addr> stacks_;
+    /** hist_[d] = accesses found at depth d (hits for ways > d). */
+    std::vector<std::uint64_t> hist_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_ANALYTIC_STACK_PROFILE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analytic/analytic_engine.hh"
 #include "sim/multi_core_system.hh"
 #include "telemetry/trace_events.hh"
 
@@ -15,6 +16,8 @@ executeRunJob(const RunJob &job)
     // every layer above validates this (ParamSpace::build, the CLI),
     // so reaching here is a caller bug.
     rc_assert(job.cfg.cores > 1 || job.mixProfiles.size() <= 1);
+    if (job.engine.analytic())
+        return runAnalyticJob(job);
     if (job.cfg.cores > 1) {
         MultiCoreSystem sys(job.cfg);
         const std::vector<BenchmarkProfile> mix =
@@ -22,13 +25,13 @@ executeRunJob(const RunJob &job)
                 ? std::vector<BenchmarkProfile>{job.profile}
                 : job.mixProfiles;
         return sys
-            .run(mix, job.insts, job.il1, job.dl1, job.sampling,
+            .run(mix, job.insts, job.il1, job.dl1, job.engine,
                  job.telemetry)
             .aggregate;
     }
     SyntheticWorkload wl(job.profile);
     System sys(job.cfg);
-    return sys.run(wl, job.insts, job.il1, job.dl1, job.sampling,
+    return sys.run(wl, job.insts, job.il1, job.dl1, job.engine,
                    job.telemetry);
 }
 

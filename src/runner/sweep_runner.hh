@@ -44,8 +44,8 @@ struct RunJob
     std::uint64_t insts = 0;
     ResizeSetup il1;
     ResizeSetup dl1;
-    /** Full detail by default; see sim/sampling.hh. */
-    SamplingConfig sampling;
+    /** Engine selection; full detail by default (sim/engine.hh). */
+    EngineSpec engine;
     /**
      * Multi-core workload mix, cycled across cfg.cores cores; empty
      * runs `profile` on every core. Ignored when cfg.cores == 1 (the
@@ -65,8 +65,11 @@ struct RunJob
 
 /**
  * Run @p job on a fresh System (cfg.cores == 1, the exact single-core
- * semantics) or MultiCoreSystem (cfg.cores > 1, returning the
- * aggregate result); pure function of the job spec either way.
+ * semantics), MultiCoreSystem (cfg.cores > 1, returning the aggregate
+ * result), or — for job.engine == analytic — a fresh single-job
+ * AnalyticPass (src/analytic/analytic_engine.hh; sweeps share one
+ * pass across jobs instead of coming through here). Pure function of
+ * the job spec every way.
  */
 RunResult executeRunJob(const RunJob &job);
 

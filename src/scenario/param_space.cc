@@ -114,14 +114,14 @@ makeApplier(const std::string &name, const std::string &value,
                             err);
         if (v == 0)
             return Applier(
-                [](DesignPoint &p) { p.sampling = SamplingConfig{}; });
+                [](DesignPoint &p) { p.engine = EngineSpec{}; });
         const std::uint64_t detail = SamplingConfig::defaultDetail(v);
         const std::uint64_t warmup = SamplingConfig::defaultWarmup(v);
         if (const char *why =
                 SamplingConfig::shapeError(v, detail, warmup))
             return failAxis(name, why, err);
         return Applier([v, detail, warmup](DesignPoint &p) {
-            p.sampling = SamplingConfig::sampled(v, detail, warmup);
+            p.engine = EngineSpec::makeSampled(v, detail, warmup);
         });
     }
     for (const auto &k : systemKeysU64()) {
@@ -296,13 +296,46 @@ ParamSpace::build(const ScenarioSpec &spec, std::string *err)
     if (findAxis("quantum")) {
         const Axis *si = findAxis("sample.interval");
         const bool full_detail_reachable =
-            si ? hasValue(si, "0") : !spec.sampling.enabled();
+            si ? hasValue(si, "0")
+               : spec.engine.mode == EngineMode::Full;
         if (!full_detail_reachable) {
             if (err)
                 *err = "a 'quantum' axis has no effect under sampled "
                        "simulation (cores interleave whole sampling "
                        "periods); drop the axis or sweep "
                        "sample.interval with a 0 (full-detail) value";
+            return std::nullopt;
+        }
+    }
+
+    // The analytic engine prices static single-core geometries only
+    // (src/analytic/). A sample.interval axis is rejected outright:
+    // its values silently switch the whole cell to another engine,
+    // which under an analytic scenario can only be a mistake.
+    if (spec.engine.analytic()) {
+        if (dynamic_reachable) {
+            if (err)
+                *err = "the analytic engine prices static "
+                       "geometries only; strategy 'dynamic' needs "
+                       "the full or sampled engine";
+            return std::nullopt;
+        }
+        bool multi_core_reachable = spec.system.cores > 1;
+        if (cores_axis)
+            for (const std::string &v : cores_axis->values)
+                multi_core_reachable |= v != "1";
+        if (multi_core_reachable) {
+            if (err)
+                *err = "the analytic engine supports single-core "
+                       "configurations only; drop [cores] / the "
+                       "cores axis or use the full engine";
+            return std::nullopt;
+        }
+        if (findAxis("sample.interval")) {
+            if (err)
+                *err = "a 'sample.interval' axis cannot combine "
+                       "with the analytic engine (its values would "
+                       "silently switch engines per cell)";
             return std::nullopt;
         }
     }
@@ -372,7 +405,7 @@ ParamSpace::point(std::size_t idx) const
     p.side = spec_.search.side;
     p.org = spec_.search.org;
     p.strategy = spec_.search.strategy;
-    p.sampling = spec_.sampling;
+    p.engine = spec_.engine;
 
     const auto c = coords(idx);
     std::string axes;

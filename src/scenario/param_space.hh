@@ -5,9 +5,9 @@
  * A scenario's axes span a grid; ParamSpace enumerates its cross
  * product in row-major order (first axis outermost) and materializes
  * each point as a DesignPoint — a complete SystemConfig plus the
- * search coordinates (side, organization, strategy) and sampling
- * shape, ready for the experiment driver to expand into per-level /
- * per-parameter ResizeSetup candidates.
+ * search coordinates (side, organization, strategy) and engine
+ * selection, ready for the experiment driver to expand into
+ * per-level / per-parameter ResizeSetup candidates.
  *
  * The axis registry maps axis names onto the scenario key tables
  * (scenario_spec.hh), so everything that can be fixed in [system] /
@@ -19,7 +19,8 @@
  *   lat.*                           hierarchy latencies
  *   core.*                          core widths/buffers
  *   energy.<key>                    energy-model constants
- *   sample.interval                 sampling period (0 = full detail)
+ *   sample.interval                 sampled engine period (0 = full
+ *                                   detail; not valid with analytic)
  *   cores                           core count (multi-core system)
  *   quantum                         round-robin quantum (insts)
  *   mix                             workload mix ("gcc+m88ksim")
@@ -49,7 +50,7 @@ struct DesignPoint
     SweepSide side = SweepSide::DCache;
     Organization org = Organization::SelectiveSets;
     Strategy strategy = Strategy::Static;
-    SamplingConfig sampling;
+    EngineSpec engine;
     /**
      * Workload-mix override from a 'mix' axis ("gcc+m88ksim"); empty
      * means the cell's app names the workload. When non-empty the

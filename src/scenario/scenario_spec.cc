@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "scenario/param_space.hh"
+#include "util/logging.hh"
 #include "util/numformat.hh"
 #include "workload/profiles.hh"
 
@@ -355,10 +356,13 @@ class Parser
     bool keyCores(const std::string &key, const std::string &value);
     bool keyWorkloads(const std::string &key, const std::string &value);
     bool keyAxes(const std::string &key, const std::string &value);
+    bool keyEngine(const std::string &key, const std::string &value);
     bool keySampling(const std::string &key, const std::string &value);
     bool keyTelemetry(const std::string &key, const std::string &value);
     bool keySearch(const std::string &key, const std::string &value);
     bool finish();
+    bool finishEngine();
+    bool finishSampling();
 
     bool parseListU64(const std::string &value,
                       std::vector<std::uint64_t> &out);
@@ -371,9 +375,15 @@ class Parser
     std::string section_;
     ScenarioSpec spec_;
 
-    /** [sampling] accumulators, resolved in finish(). */
+    /** [engine] / deprecated-[sampling] accumulators, resolved in
+     *  finish(). The two sections share the shape accumulators; a
+     *  file may only use one of them. */
+    bool sawEngine_ = false;
+    bool sawSampling_ = false;
+    std::optional<EngineMode> engMode_;
     std::uint64_t sampInterval_ = 0;
     std::optional<std::uint64_t> sampDetail_, sampWarmup_;
+    int engineLine_ = 0;
     int samplingLine_ = 0;
 };
 
@@ -381,16 +391,24 @@ bool
 Parser::handleSection(const std::string &name)
 {
     static const char *known[] = {"scenario", "system", "cores",
-                                  "workloads", "axes", "sampling",
-                                  "telemetry", "search"};
+                                  "workloads", "axes", "engine",
+                                  "sampling", "telemetry", "search"};
     if (std::find_if(std::begin(known), std::end(known),
                      [&](const char *k) { return name == k; }) ==
         std::end(known)) {
         return fail("unknown section '[" + name + "]'");
     }
     section_ = name;
-    if (name == "sampling")
+    if (name == "engine") {
+        sawEngine_ = true;
+        engineLine_ = line_;
+    }
+    if (name == "sampling") {
+        sawSampling_ = true;
         samplingLine_ = line_;
+        RC_LOG(warn, file_ + ": [sampling] is deprecated; use "
+                     "[engine] with mode = sampled");
+    }
     return true;
 }
 
@@ -531,6 +549,46 @@ Parser::keyAxes(const std::string &key, const std::string &value)
         return fail(why);
     spec_.axes.push_back(std::move(axis));
     return true;
+}
+
+bool
+Parser::keyEngine(const std::string &key, const std::string &value)
+{
+    if (key == "mode") {
+        if (engMode_)
+            return fail("duplicate 'mode' key in [engine]");
+        auto mode = parseEngineModeToken(value);
+        if (!mode)
+            return fail("mode wants full|sampled|analytic, got '" +
+                        value + "'");
+        engMode_ = *mode;
+        return true;
+    }
+    unsigned long long v = 0;
+    const bool ok = parseU64Strict(value, v);
+    if (key == "interval") {
+        if (!ok || v == 0)
+            return fail("interval wants a positive instruction "
+                        "count, got '" +
+                        value + "'");
+        sampInterval_ = v;
+        return true;
+    }
+    if (key == "detail") {
+        if (!ok || v == 0)
+            return fail("detail wants a positive integer, got '" +
+                        value + "'");
+        sampDetail_ = v;
+        return true;
+    }
+    if (key == "warmup") {
+        if (!ok)
+            return fail("warmup wants a non-negative integer, got '" +
+                        value + "'");
+        sampWarmup_ = v;
+        return true;
+    }
+    return fail("unknown key '" + key + "' in [engine]");
 }
 
 bool
@@ -694,6 +752,8 @@ Parser::handleKey(const std::string &key, const std::string &value)
         return keyWorkloads(key, value);
     if (section_ == "axes")
         return keyAxes(key, value);
+    if (section_ == "engine")
+        return keyEngine(key, value);
     if (section_ == "sampling")
         return keySampling(key, value);
     if (section_ == "telemetry")
@@ -702,13 +762,43 @@ Parser::handleKey(const std::string &key, const std::string &value)
 }
 
 bool
-Parser::finish()
+Parser::finishEngine()
+{
+    line_ = engineLine_;
+    if (!engMode_)
+        return fail("[engine] needs a 'mode = full|sampled|analytic' "
+                    "key");
+    if (*engMode_ != EngineMode::Sampled) {
+        if (sampInterval_ || sampDetail_ || sampWarmup_)
+            return fail("interval/detail/warmup only apply to "
+                        "mode = sampled");
+        spec_.engine = EngineSpec{*engMode_, {}};
+        return true;
+    }
+    const std::uint64_t interval =
+        sampInterval_ ? sampInterval_
+                      : SamplingConfig{}.intervalInsts;
+    const std::uint64_t detail =
+        sampDetail_ ? *sampDetail_
+                    : SamplingConfig::defaultDetail(interval);
+    const std::uint64_t warmup =
+        sampWarmup_ ? *sampWarmup_
+                    : SamplingConfig::defaultWarmup(interval);
+    if (const char *why =
+            SamplingConfig::shapeError(interval, detail, warmup))
+        return fail(why);
+    spec_.engine = EngineSpec::makeSampled(interval, detail, warmup);
+    return true;
+}
+
+bool
+Parser::finishSampling()
 {
     line_ = samplingLine_;
     if (sampInterval_ == 0) {
         if (sampDetail_ || sampWarmup_)
             return fail("detail/warmup need a sampling interval > 0");
-        spec_.sampling = SamplingConfig{};
+        spec_.engine = EngineSpec{};
         return true;
     }
     const std::uint64_t detail =
@@ -720,8 +810,23 @@ Parser::finish()
     if (const char *why = SamplingConfig::shapeError(sampInterval_,
                                                      detail, warmup))
         return fail(why);
-    spec_.sampling =
-        SamplingConfig::sampled(sampInterval_, detail, warmup);
+    spec_.engine =
+        EngineSpec::makeSampled(sampInterval_, detail, warmup);
+    return true;
+}
+
+bool
+Parser::finish()
+{
+    if (sawEngine_ && sawSampling_) {
+        line_ = std::max(engineLine_, samplingLine_);
+        return fail("use either [engine] or the deprecated "
+                    "[sampling] section, not both");
+    }
+    if (sawEngine_)
+        return finishEngine();
+    if (sawSampling_)
+        return finishSampling();
     return true;
 }
 
@@ -854,11 +959,17 @@ ScenarioSpec::print(std::ostream &os) const
             printList(os, ax.name.c_str(), ax.values);
     }
 
-    if (sampling.enabled()) {
-        os << "\n[sampling]\n"
-           << "interval = " << sampling.intervalInsts << '\n'
-           << "detail = " << sampling.detailedInsts << '\n'
-           << "warmup = " << sampling.warmupInsts << '\n';
+    // Canonical engine form: always [engine], never the deprecated
+    // [sampling] shim; full detail (the default) prints nothing.
+    if (engine.mode != EngineMode::Full) {
+        os << "\n[engine]\n"
+           << "mode = " << engineName(engine.mode) << '\n';
+        if (engine.mode == EngineMode::Sampled) {
+            os << "interval = " << engine.sampling.intervalInsts
+               << '\n'
+               << "detail = " << engine.sampling.detailedInsts << '\n'
+               << "warmup = " << engine.sampling.warmupInsts << '\n';
+        }
     }
 
     // [telemetry]: only keys that differ from the all-off defaults.

@@ -3,8 +3,8 @@
  * Declarative scenario specs: the design-space description layer.
  *
  * A scenario file describes one design-space sweep — the base system,
- * the workloads, the swept axes, the sampling shape, and the search
- * configuration — in a line-oriented `key = value` format:
+ * the workloads, the swept axes, the simulation engine, and the
+ * search configuration — in a line-oriented `key = value` format:
  *
  *     # fig4: static ways-vs-sets across associativities
  *     [scenario]
@@ -30,6 +30,14 @@
  * '+'-joined mixes ("gcc+m88ksim") cycled across the cores; see
  * sim/multi_core_system.hh.
  *
+ * An [engine] section selects the simulation engine (sim/engine.hh):
+ * `mode = full|sampled|analytic`, with `interval`/`detail`/`warmup`
+ * describing the period shape when mode is sampled. The deprecated
+ * [sampling] section still parses (interval = 0 maps to full detail,
+ * anything else to a sampled engine, with an RC_LOG(warn)
+ * deprecation notice); a file may use one of the two sections, not
+ * both, and print() always emits the canonical [engine] form.
+ *
  * Sections may appear in any order and may be omitted (defaults
  * apply); every key inside a section must belong to that section.
  * Parsing is strict in the CLI's style: the first malformed line
@@ -53,7 +61,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/sampling.hh"
+#include "sim/engine.hh"
 #include "sim/search_grid.hh"
 #include "sim/system.hh"
 
@@ -137,7 +145,12 @@ struct ScenarioSpec
     std::vector<std::string> apps;
     /** Swept axes, outermost first. */
     std::vector<Axis> axes;
-    SamplingConfig sampling;
+    /**
+     * Engine selection ([engine] section; the deprecated [sampling]
+     * section parses into the same field). Canonical form: the
+     * sampling shape is default-constructed unless mode == Sampled.
+     */
+    EngineSpec engine;
     TelemetrySpec telemetry;
     SearchSpec search;
 

@@ -9,10 +9,12 @@
 #include <optional>
 #include <sstream>
 
+#include "analytic/analytic_engine.hh"
 #include "sim/experiment.hh"
 #include "telemetry/run_telemetry.hh"
 #include "telemetry/timeline.hh"
 #include "telemetry/trace_events.hh"
+#include "util/logging.hh"
 #include "workload/profiles.hh"
 
 namespace rcache
@@ -37,18 +39,19 @@ cacheSideOf(SweepSide side)
 
 /** Memo key of a cell's baseline: the full scenario-visible system
  *  identity (core count/quantum/models included via systemConfigKey)
- *  plus the sampling shape (insts are sweep-constant). @p workload is
- *  the effective workload name — the mix override when a 'mix' axis
- *  set one, else the cell's app. */
+ *  plus the engine selection (insts are sweep-constant). @p workload
+ *  is the effective workload name — the mix override when a 'mix'
+ *  axis set one, else the cell's app. */
 std::string
-baselineKey(const SystemConfig &cfg, const SamplingConfig &sampling,
+baselineKey(const SystemConfig &cfg, const EngineSpec &engine,
             const std::string &workload)
 {
     std::ostringstream os;
     os << workload << '|' << systemConfigKey(cfg) << '|'
-       << sampleModeName(sampling.mode) << '|'
-       << sampling.intervalInsts << '|' << sampling.detailedInsts
-       << '|' << sampling.warmupInsts;
+       << engineName(engine.mode) << '|'
+       << engine.sampling.intervalInsts << '|'
+       << engine.sampling.detailedInsts << '|'
+       << engine.sampling.warmupInsts;
     return os.str();
 }
 
@@ -156,7 +159,7 @@ cellRecord(const CellPlan &plan, const std::string &app,
     r.bestCycles = out.best.cycles;
     r.avgIl1Bytes = out.best.avgIl1Bytes;
     r.avgDl1Bytes = out.best.avgDl1Bytes;
-    r.sampled = out.best.sampled;
+    r.engine = out.best.engine;
     return r;
 }
 
@@ -269,6 +272,34 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
         plans.push_back(std::move(plan));
     }
 
+    // ---- analytic engine: one shared stack-distance pass per
+    // distinct (workload, stream shape) pair prices every cell that
+    // shares it — that is the whole point of the engine. Register
+    // every remaining cell's configuration up front (a pass cannot
+    // learn new geometries once it has run), then run each pass
+    // lazily the first time a chunk prices against it. All the jobs
+    // of a cell share the cell's full geometry, so registering the
+    // design point covers its baseline and every candidate.
+    std::map<std::string, std::unique_ptr<AnalyticPass>> passes;
+    if (spec.engine.analytic()) {
+        for (const CellPlan &plan : plans) {
+            const EffectiveWorkload eff =
+                effectiveWorkload(apps[plan.app], plan.point);
+            auto &pass = passes[AnalyticPass::streamKey(
+                plan.point.cfg, eff.label.name, spec.insts)];
+            if (!pass)
+                pass = std::make_unique<AnalyticPass>(eff.label,
+                                                      spec.insts);
+            pass->addConfig(plan.point.cfg);
+        }
+        if (!opt.timelinePath.empty() || !opt.eventsPath.empty() ||
+            !opt.traceEventsPath.empty())
+            RC_LOG(warn,
+                   "analytic engine: telemetry sidecars record "
+                   "nothing (analytic cells run no timed "
+                   "simulation)");
+    }
+
     // ---- telemetry sidecars (all optional; see SweepOptions). Files
     // open before the first chunk so an early failure aborts the
     // sweep rather than losing telemetry at the end.
@@ -300,6 +331,24 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
     SweepRunner runner(opt.jobs);
     if (trace)
         runner.setTrace(&*trace);
+    // Analytic cells never touch the runner: each job is priced from
+    // its shared pass, in job order, so every downstream reduction,
+    // CSV row, and resume/shard contract is untouched (and the
+    // report is trivially byte-identical for any --jobs value).
+    const auto execute = [&](const std::vector<RunJob> &jobs) {
+        if (!spec.engine.analytic())
+            return runner.run(jobs);
+        std::vector<RunResult> out;
+        out.reserve(jobs.size());
+        for (const RunJob &job : jobs) {
+            AnalyticPass &pass = *passes.at(AnalyticPass::streamKey(
+                job.cfg, job.profile.name, job.insts));
+            if (!pass.ran())
+                pass.run();
+            out.push_back(priceAnalyticJob(job, pass));
+        }
+        return out;
+    };
     if (opt.progress) {
         runner.setProgress([](std::size_t done, std::size_t total,
                               const RunJob &job) {
@@ -359,11 +408,11 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
             const std::size_t plan_jobs_begin = batch.size();
 
             Experiment exp(p.cfg, spec.insts);
-            exp.setSampling(p.sampling);
+            exp.setEngine(p.engine);
             exp.setSearchGrid(grid);
 
             plan.baseKey =
-                baselineKey(exp.config(), p.sampling, profile.name);
+                baselineKey(exp.config(), p.engine, profile.name);
             if (!baseline_memo.count(plan.baseKey) &&
                 !chunk_base_at.count(plan.baseKey)) {
                 chunk_base_at[plan.baseKey] = batch.size();
@@ -449,7 +498,7 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
         attachTelemetry(batch);
 
         // -- run it and publish the chunk's baselines
-        const auto results = runner.run(batch);
+        const auto results = execute(batch);
         total_runs += batch.size();
         for (const auto &[key, idx] : new_bases) {
             baseline_memo[key] = results[idx];
@@ -476,7 +525,7 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                 base, {results.begin() + plan.ioff,
                        results.begin() + plan.ioff + plan.icount});
             Experiment exp(plan.point.cfg, spec.insts);
-            exp.setSampling(plan.point.sampling);
+            exp.setEngine(plan.point.engine);
             phase2_at[i - first] = phase2.size();
             const EffectiveWorkload eff =
                 effectiveWorkload(apps[plan.app], plan.point);
@@ -498,7 +547,7 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
             }
         }
         attachTelemetry(phase2);
-        const auto results2 = runner.run(phase2);
+        const auto results2 = execute(phase2);
         total_runs += phase2.size();
         writeTelemetry(phase2);
 

@@ -21,11 +21,11 @@ Experiment::Experiment(const SystemConfig &cfg,
 }
 
 void
-Experiment::setSampling(const SamplingConfig &sampling)
+Experiment::setEngine(const EngineSpec &engine)
 {
-    sampling.validate();
+    engine.validate();
     std::lock_guard<std::mutex> lk(memoMtx_);
-    sampling_ = sampling;
+    engine_ = engine;
     baselineMemo_.clear();
 }
 
@@ -117,7 +117,7 @@ Experiment::baselineJob(const BenchmarkProfile &profile) const
     job.profile = profile;
     job.cfg = cfg_;
     job.insts = numInsts_;
-    job.sampling = sampling_;
+    job.engine = engine_;
     return job;
 }
 
@@ -136,7 +136,7 @@ Experiment::runPoint(const BenchmarkProfile &profile,
     job.insts = numInsts_;
     job.il1 = il1_setup;
     job.dl1 = dl1_setup;
-    job.sampling = sampling_;
+    job.engine = engine_;
     return executeRunJob(job);
 }
 
@@ -214,7 +214,7 @@ Experiment::searchJobs(const BenchmarkProfile &profile, CacheSide side,
         job.profile = profile;
         job.cfg = cfg;
         job.insts = numInsts_;
-        job.sampling = sampling_;
+        job.engine = engine_;
         (side == CacheSide::DCache ? job.dl1 : job.il1) = cand.setup;
         jobs.push_back(std::move(job));
     }
@@ -301,7 +301,7 @@ Experiment::bothStaticJob(const BenchmarkProfile &profile,
     job.cfg.il1Org = org;
     job.cfg.dl1Org = org;
     job.insts = numInsts_;
-    job.sampling = sampling_;
+    job.engine = engine_;
     job.il1 = ResizeSetup{Strategy::Static, il1_level, {}};
     job.dl1 = ResizeSetup{Strategy::Static, dl1_level, {}};
     return job;

@@ -153,13 +153,14 @@ class Experiment
     const SweepRunner *runner() const { return runner_; }
 
     /**
-     * Apply @p sampling to every job this experiment enumerates from
+     * Apply @p engine to every job this experiment enumerates from
      * now on (baselines included, so normalizations compare like with
      * like). Defaults to full detail. Clears the baseline memo: a
-     * memoized full-detail baseline must not normalize sampled runs.
+     * memoized full-detail baseline must not normalize runs of
+     * another engine.
      */
-    void setSampling(const SamplingConfig &sampling);
-    const SamplingConfig &sampling() const { return sampling_; }
+    void setEngine(const EngineSpec &engine);
+    const EngineSpec &engine() const { return engine_; }
 
     /** Override the dynamic-controller profiling grid (defaults
      *  reproduce the paper's). */
@@ -317,7 +318,7 @@ class Experiment
 
     SystemConfig cfg_;
     std::uint64_t numInsts_;
-    SamplingConfig sampling_;
+    EngineSpec engine_;
     SearchGrid grid_;
     const SweepRunner *runner_ = nullptr;
     mutable std::mutex memoMtx_;

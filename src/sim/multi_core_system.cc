@@ -152,14 +152,16 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
                      std::uint64_t insts_per_core,
                      const ResizeSetup &il1_setup,
                      const ResizeSetup &dl1_setup,
-                     const SamplingConfig &sampling,
+                     const EngineSpec &engine,
                      RunTelemetry *telemetry)
 {
     rc_assert(!ran_);
     ran_ = true;
     rc_assert(!mix.empty());
     rc_assert(insts_per_core > 0);
-    sampling.validate();
+    engine.validate();
+    if (engine.analytic())
+        rc_fatal("the analytic engine supports single-core runs only");
 
     // ---- build the lanes
     std::vector<std::unique_ptr<CoreLane>> lanes;
@@ -180,7 +182,7 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
                 cfg_.core, lane->hier, lane->il1Policy.get(),
                 lane->dl1Policy.get());
         }
-        if (sampling.enabled()) {
+        if (engine.sampled()) {
             lane->func = std::make_unique<FunctionalCore>(
                 lane->hier, lane->core->predictor(),
                 cfg_.core.fetchWidth, lane->il1Policy.get(),
@@ -251,9 +253,9 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
                 continue;
 
             std::uint64_t detail;
-            if (sampling.enabled()) {
+            if (engine.sampled()) {
                 const SamplingConfig::PeriodShape shape =
-                    sampling.periodShape(lane.remaining);
+                    engine.sampling.periodShape(lane.remaining);
                 if (shape.fastForward)
                     lane.workload.skip(shape.fastForward);
                 if (shape.warmup) {
@@ -321,7 +323,7 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
         CoreLane &lane = *lane_ptr;
         RunResult r;
         r.workload = lane.workload.name();
-        r.sampled = sampling.enabled();
+        r.engine = engine.mode;
         r.measuredInsts = lane.measured;
         r.warmupInsts = lane.warmed;
 
@@ -359,6 +361,14 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
         r.avgDl1Bytes = cyc > 0 ? lane.dl1Act.byteCycles / cyc : 0;
         r.il1MissRatio = lane.il1Act.missRatio();
         r.dl1MissRatio = lane.dl1Act.missRatio();
+        r.il1Accesses = scaleCount(
+            static_cast<std::uint64_t>(lane.il1Act.accesses), scale);
+        r.il1Misses = scaleCount(
+            static_cast<std::uint64_t>(lane.il1Act.misses), scale);
+        r.dl1Accesses = scaleCount(
+            static_cast<std::uint64_t>(lane.dl1Act.accesses), scale);
+        r.dl1Misses = scaleCount(
+            static_cast<std::uint64_t>(lane.dl1Act.misses), scale);
         r.l2MissRatio = lane.l2Accesses > 0
                             ? lane.l2Misses / lane.l2Accesses
                             : 0;
@@ -387,10 +397,14 @@ MultiCoreSystem::run(const std::vector<BenchmarkProfile> &mix,
             name += (i ? "+" : "") + mix[i].name;
         agg.workload = std::move(name);
     }
-    agg.sampled = sampling.enabled();
+    agg.engine = engine.mode;
     double total_l2_accesses = 0;
     for (const RunResult &r : out.perCore) {
         agg.insts += r.insts;
+        agg.il1Accesses += r.il1Accesses;
+        agg.il1Misses += r.il1Misses;
+        agg.dl1Accesses += r.dl1Accesses;
+        agg.dl1Misses += r.dl1Misses;
         agg.cycles = std::max(agg.cycles, r.cycles);
         accumulate(agg.activity, r.activity);
         agg.activity.cycles =

@@ -27,7 +27,7 @@
  * controller state carries across quanta; pipeline state does not),
  * so a core's cycle count is the sum of its quantum cycles.
  *
- * Sampled runs (SamplingConfig::Sampled) interleave at period
+ * Sampled runs (EngineMode::Sampled) interleave at period
  * granularity instead: each round-robin turn executes one full
  * fast-forward/warmup/detailed period of that core's stream, and the
  * per-core measurements extrapolate per core (each core has its own
@@ -99,7 +99,7 @@ class MultiCoreSystem
                         std::uint64_t insts_per_core,
                         const ResizeSetup &il1_setup = {},
                         const ResizeSetup &dl1_setup = {},
-                        const SamplingConfig &sampling = {},
+                        const EngineSpec &engine = {},
                         RunTelemetry *telemetry = nullptr);
 
     const SystemConfig &config() const { return cfg_; }

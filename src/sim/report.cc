@@ -38,10 +38,13 @@ writeRunReport(std::ostream &os, const RunResult &r)
        << TextTable::bytesKb(r.avgIl1Bytes) << " (" << r.il1Resizes
        << " resizes), d-L1 " << TextTable::bytesKb(r.avgDl1Bytes)
        << " (" << r.dl1Resizes << " resizes)\n";
-    if (r.sampled) {
+    if (r.engine == EngineMode::Sampled) {
         os << "  sampled: " << r.measuredInsts << " measured + "
            << r.warmupInsts << " warmup of " << r.insts
            << " insts; cycles/energy are extrapolated\n";
+    } else if (r.engine == EngineMode::Analytic) {
+        os << "  analytic: hit/miss counts exact (LRU); "
+              "cycles/energy are modelled, not measured\n";
     }
     os << r.energy << "  energy-delay product: "
        << TextTable::num(r.edp(), 0) << '\n';
@@ -144,7 +147,7 @@ sweepCsvHeader()
         "interval_accesses,miss_bound,size_bound_bytes,"
         "ed_reduction_pct,perf_degradation_pct,size_reduction_pct,"
         "baseline_edp,best_edp,baseline_cycles,best_cycles,"
-        "avg_il1_bytes,avg_dl1_bytes,mode";
+        "avg_il1_bytes,avg_dl1_bytes,engine";
     return header;
 }
 
@@ -174,7 +177,7 @@ writeSweepCsvRows(std::ostream &os,
            << ',' << r.baselineCycles << ',' << r.bestCycles << ','
            << numField(r.avgIl1Bytes) << ','
            << numField(r.avgDl1Bytes) << ','
-           << (r.sampled ? "sampled" : "full") << '\n';
+           << engineName(r.engine) << '\n';
     }
 }
 
@@ -275,12 +278,10 @@ readSweepCsv(std::istream &is, std::string *err)
         if (!parseU64Strict(f[16], u))
             return failWith(line_no, "bad best_cycles");
         r.bestCycles = u;
-        if (f[19] == "sampled")
-            r.sampled = true;
-        else if (f[19] == "full")
-            r.sampled = false;
+        if (const auto mode = parseEngineModeToken(f[19]))
+            r.engine = *mode;
         else
-            return failWith(line_no, "bad mode '" + f[19] + "'");
+            return failWith(line_no, "bad engine '" + f[19] + "'");
         records.push_back(std::move(r));
     }
     return records;
@@ -315,8 +316,8 @@ writeSweepJson(std::ostream &os,
            << ", \"best_cycles\": " << r.bestCycles
            << ", \"avg_il1_bytes\": " << numField(r.avgIl1Bytes)
            << ", \"avg_dl1_bytes\": " << numField(r.avgDl1Bytes)
-           << ", \"mode\": \""
-           << (r.sampled ? "sampled" : "full") << "\"}"
+           << ", \"engine\": \"" << engineName(r.engine)
+           << "\"}"
            << (i + 1 < records.size() ? "," : "") << '\n';
     }
     os << "]\n";
@@ -328,7 +329,7 @@ writeSweepTable(std::ostream &os,
 {
     TextTable t({"app", "org", "strategy", "side", "axes", "E*D red",
                  "perf deg", "size red", "avg i-L1", "avg d-L1",
-                 "mode"});
+                 "engine"});
     for (const auto &r : records) {
         t.addRow({r.app, r.org, r.strategy, r.side,
                   r.axes.empty() ? "-" : r.axes,
@@ -337,7 +338,7 @@ writeSweepTable(std::ostream &os,
                   TextTable::pct(r.sizeReductionPct),
                   TextTable::bytesKb(r.avgIl1Bytes),
                   TextTable::bytesKb(r.avgDl1Bytes),
-                  r.sampled ? "sampled" : "full"});
+                  engineName(r.engine)});
     }
     t.print(os);
 }

@@ -85,13 +85,12 @@ struct SweepRecord
     double avgIl1Bytes = 0;
     double avgDl1Bytes = 0;
     /**
-     * Provenance: true when the cell's runs were sampled
-     * extrapolations. Written as a trailing "mode" column so sampled
-     * and full-detail reports are never byte-indistinguishable
-     * (mixing them in one comparison is invalid — see the README's
-     * sampling section).
+     * Provenance: which engine produced the cell's runs. Written as a
+     * trailing "engine" column so full-detail, sampled, and analytic
+     * reports are never byte-indistinguishable (mixing engines in one
+     * comparison is invalid — see the README's Engines section).
      */
-    bool sampled = false;
+    EngineMode engine = EngineMode::Full;
 };
 
 /**

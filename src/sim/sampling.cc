@@ -7,12 +7,6 @@
 namespace rcache
 {
 
-std::string
-sampleModeName(SampleMode mode)
-{
-    return mode == SampleMode::Sampled ? "sampled" : "full";
-}
-
 const char *
 SamplingConfig::shapeError(std::uint64_t interval,
                            std::uint64_t detailed,
@@ -45,8 +39,6 @@ SamplingConfig::periodShape(std::uint64_t remaining) const
 void
 SamplingConfig::validate() const
 {
-    if (!enabled())
-        return;
     if (const char *err =
             shapeError(intervalInsts, detailedInsts, warmupInsts))
         rc_fatal(std::string("bad sampling config: ") + err);
@@ -66,7 +58,6 @@ SamplingController::SamplingController(const SamplingConfig &cfg,
       dl1Policy_(dl1_policy)
 {
     cfg_.validate();
-    rc_assert(cfg_.enabled());
 }
 
 SampledStats

@@ -40,22 +40,14 @@
 namespace rcache
 {
 
-/** Whether a run is fully detailed or sampled. */
-enum class SampleMode
-{
-    /** Every instruction through the timing core (the default). */
-    Full,
-    /** Fast-forward / warmup / detailed periods (see file comment). */
-    Sampled,
-};
-
-/** Printable mode name ("full" / "sampled"). */
-std::string sampleModeName(SampleMode mode);
-
-/** Shape of one sampling period. */
+/**
+ * Shape of one sampling period. Pure shape: whether a run samples at
+ * all is the engine's call (EngineSpec in sim/engine.hh, which
+ * replaced the old SampleMode enum) — this struct only says how the
+ * periods carve up once it does.
+ */
 struct SamplingConfig
 {
-    SampleMode mode = SampleMode::Full;
     /** Total instructions per period (fast-forward + warmup +
      *  detailed). */
     std::uint64_t intervalInsts = 100000;
@@ -64,8 +56,6 @@ struct SamplingConfig
     /** FunctionalCore instructions warming cache/predictor/controller
      *  state before each detailed window (no timing, not measured). */
     std::uint64_t warmupInsts = 20000;
-
-    bool enabled() const { return mode == SampleMode::Sampled; }
 
     bool operator==(const SamplingConfig &o) const = default;
 
@@ -80,15 +70,15 @@ struct SamplingConfig
                                   std::uint64_t detailed,
                                   std::uint64_t warmup);
 
-    /** Fatal if enabled with a malformed shape. */
+    /** Fatal on a malformed shape. */
     void validate() const;
 
-    /** A sampled config with the given shape. */
+    /** A config with the given shape. */
     static SamplingConfig sampled(std::uint64_t interval,
                                   std::uint64_t detailed,
                                   std::uint64_t warmup)
     {
-        return {SampleMode::Sampled, interval, detailed, warmup};
+        return {interval, detailed, warmup};
     }
 
     /**

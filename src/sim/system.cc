@@ -1,5 +1,6 @@
 #include "sim/system.hh"
 
+#include <cmath>
 #include <optional>
 
 #include "cpu/inorder_core.hh"
@@ -63,11 +64,14 @@ System::makePolicy(ResizableCache &cache, const ResizeSetup &setup)
 RunResult
 System::run(Workload &workload, std::uint64_t num_insts,
             const ResizeSetup &il1_setup, const ResizeSetup &dl1_setup,
-            const SamplingConfig &sampling, RunTelemetry *telemetry)
+            const EngineSpec &engine, RunTelemetry *telemetry)
 {
     rc_assert(!ran_);
     ran_ = true;
-    sampling.validate();
+    engine.validate();
+    if (engine.analytic())
+        rc_fatal("the analytic engine does not run Systems; dispatch "
+                 "through executeRunJob");
 
     auto il1_policy = makePolicy(il1_, il1_setup);
     auto dl1_policy = makePolicy(dl1_, dl1_setup);
@@ -118,16 +122,16 @@ System::run(Workload &workload, std::uint64_t num_insts,
     res.workload = workload.name();
     ProcessorEnergyModel energy(cfg_.energy);
 
-    if (sampling.enabled()) {
-        SamplingController sampler(sampling, hier_, il1_, dl1_,
-                                   il1_policy.get(),
+    if (engine.sampled()) {
+        SamplingController sampler(engine.sampling, hier_, il1_,
+                                   dl1_, il1_policy.get(),
                                    dl1_policy.get());
         if (recorder)
             sampler.setProbe(&*recorder);
         const SampledStats s =
             sampler.run(*core, workload, num_insts);
 
-        res.sampled = true;
+        res.engine = EngineMode::Sampled;
         res.measuredInsts = s.measuredInsts;
         res.warmupInsts = s.warmupInsts;
         res.activity = s.activity;
@@ -142,6 +146,14 @@ System::run(Workload &workload, std::uint64_t num_insts,
         res.il1MissRatio = s.il1MissRatio;
         res.dl1MissRatio = s.dl1MissRatio;
         res.l2MissRatio = s.l2MissRatio;
+        res.il1Accesses = static_cast<std::uint64_t>(
+            std::llround(s.il1.accesses));
+        res.il1Misses = static_cast<std::uint64_t>(
+            std::llround(s.il1.misses));
+        res.dl1Accesses = static_cast<std::uint64_t>(
+            std::llround(s.dl1.accesses));
+        res.dl1Misses = static_cast<std::uint64_t>(
+            std::llround(s.dl1.misses));
     } else {
         res.activity = core->run(workload, num_insts);
         res.insts = res.activity.insts;
@@ -162,6 +174,10 @@ System::run(Workload &workload, std::uint64_t num_insts,
         res.il1MissRatio = il1_.cache().missRatio();
         res.dl1MissRatio = dl1_.cache().missRatio();
         res.l2MissRatio = hier_.l2().missRatio();
+        res.il1Accesses = il1_.cache().accesses();
+        res.il1Misses = il1_.cache().misses();
+        res.dl1Accesses = dl1_.cache().accesses();
+        res.dl1Misses = dl1_.cache().misses();
     }
 
     res.il1Resizes = il1_.cache().resizes();

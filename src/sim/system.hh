@@ -22,7 +22,7 @@
 #include "core/static_policy.hh"
 #include "cpu/core.hh"
 #include "energy/energy_model.hh"
-#include "sim/sampling.hh"
+#include "sim/engine.hh"
 #include "workload/workload.hh"
 
 namespace rcache
@@ -122,15 +122,30 @@ struct RunResult
     std::vector<unsigned> il1LevelTrace;
     std::vector<unsigned> dl1LevelTrace;
 
-    /** @name Sampling provenance
-     * Full-detail runs measure every instruction (measuredInsts ==
-     * insts). Sampled runs report how much of the stream went through
-     * the timing core; cycles/energy are extrapolations.
+    /** @name Engine provenance
+     * Which engine produced this result (sim/engine.hh). Full-detail
+     * runs measure every instruction (measuredInsts == insts).
+     * Sampled runs report how much of the stream went through the
+     * timing core; cycles/energy are extrapolations. Analytic runs
+     * never touch a timing core (measuredInsts == 0): counts are
+     * exact for LRU, cycles are a CPI model.
      */
     /// @{
-    bool sampled = false;
+    EngineMode engine = EngineMode::Full;
     std::uint64_t measuredInsts = 0;
     std::uint64_t warmupInsts = 0;
+    /// @}
+
+    /** @name L1 event counts
+     * Exact for full and analytic runs, extrapolated (rounded once)
+     * for sampled runs. These are what the analytic exactness gate
+     * compares, and they feed the miss ratios above.
+     */
+    /// @{
+    std::uint64_t il1Accesses = 0;
+    std::uint64_t il1Misses = 0;
+    std::uint64_t dl1Accesses = 0;
+    std::uint64_t dl1Misses = 0;
     /// @}
 
     /** The paper's metric: processor energy x delay. */
@@ -148,15 +163,18 @@ class System
      * Run @p num_insts instructions of @p workload with the given
      * per-cache resizing setups. Single use.
      *
-     * @param sampling fully detailed by default; a Sampled config
-     *        fast-forwards between measured windows (sim/sampling.hh)
+     * @param engine fully detailed by default; a sampled spec
+     *        fast-forwards between measured windows (sim/sampling.hh).
+     *        The analytic engine never reaches a System — it is
+     *        dispatched in executeRunJob (runner/sweep_runner.hh) and
+     *        asking for it here is fatal.
      * @param telemetry optional observation request/output bundle
      *        (telemetry/run_telemetry.hh); null = off, zero impact
      */
     RunResult run(Workload &workload, std::uint64_t num_insts,
                   const ResizeSetup &il1_setup = {},
                   const ResizeSetup &dl1_setup = {},
-                  const SamplingConfig &sampling = {},
+                  const EngineSpec &engine = {},
                   RunTelemetry *telemetry = nullptr);
 
     ResizableCache &il1() { return il1_; }

@@ -114,11 +114,15 @@ check_rejects_oneline("need --cores >= 3"
                       run --mix gcc+swim+ammp --cores 2 --insts 1000)
 check_rejects_oneline("--quantum needs --cores > 1"
                       run --app gcc --quantum 1000 --insts 1000)
-check_rejects_oneline("no effect under --sample"
+check_rejects_oneline("no effect under a sampled engine"
                       run --mix gcc+swim --sample 20000
                       --quantum 1000 --insts 40000)
-check_rejects_oneline("no effect under --sample"
+check_rejects_oneline("no effect under a sampled engine"
                       sweep --mix gcc+swim --sample 20000
+                      --quantum 1000 --insts 40000)
+check_rejects_oneline("no effect under a sampled engine"
+                      run --mix gcc+swim --engine
+                      sampled:interval=20000
                       --quantum 1000 --insts 40000)
 check_rejects_oneline("unknown option '--cores' for 'replay'"
                       replay --trace t.bin --cores 2)
@@ -129,7 +133,35 @@ check_rejects_oneline("set \\[cores\\] count or a cores axis"
 check_rejects_oneline("set \\[cores\\] count or a cores axis"
                       sweep --mix gcc+swim --cores 1 --insts 1000)
 
-# ---- sampling flags
+# ---- engine selection
+check_rejects_oneline("unknown engine 'bogus'"
+                      run --app ammp --engine bogus)
+check_rejects_oneline("takes no options"
+                      run --app ammp --engine analytic:detail=5)
+check_rejects_oneline("unknown engine option 'frob'"
+                      run --app ammp --engine sampled:frob=1)
+check_rejects_oneline("duplicate engine option 'interval'"
+                      run --app ammp
+                      --engine sampled:interval=10,interval=20)
+check_rejects_oneline("need interval=N"
+                      run --app ammp --engine sampled:detail=100)
+check_rejects_oneline("'interval' must be > 0"
+                      run --app ammp --engine sampled:interval=0)
+check_rejects_oneline("must fit in the sample period"
+                      run --app ammp
+                      --engine sampled:interval=1000,detail=900,warmup=200)
+check_rejects_oneline("conflict with --engine"
+                      run --app ammp --engine analytic --sample 1000)
+# The analytic engine's validity envelope is enforced up front.
+check_rejects_oneline("single core only"
+                      run --mix gcc+swim --engine analytic
+                      --insts 1000)
+check_rejects_oneline("prices static geometries only"
+                      run --app ammp --engine analytic
+                      --dl1-org ways --dl1-strategy dynamic
+                      --insts 1000)
+
+# ---- deprecated sampling flags (accepted, mapped, warned)
 check_rejects_oneline("wants a period > 0"
                       run --app ammp --sample 0)
 check_rejects_oneline("need --sample"
@@ -184,11 +216,18 @@ check_accepts(list-apps)
 check_accepts(--help)
 check_accepts(run --app ammp --insts 20000
               --sample 10000 --sample-detail 2000 --sample-warmup 1000)
+check_accepts(run --app ammp --insts 20000 --engine analytic)
+check_accepts(run --app ammp --insts 20000
+              --engine sampled:interval=10000,detail=2000,warmup=1000)
+check_accepts(sweep --apps ammp --insts 20000 --engine analytic)
 
 # ---- per-subcommand --help is generated from the option allowlists
 check_prints("--scenario" sweep --help)
 check_prints("--shard" sweep --help)
 check_prints("--il1-org" run --help)
+check_prints("--engine" run --help)
+check_prints("--engine" sweep --help)
+check_prints("deprecated" run --help)
 check_prints("--trace" replay --help)
 check_prints("design-space sweep" sweep --help)
 check_prints("check FILE" scenario --help)

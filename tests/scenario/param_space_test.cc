@@ -70,7 +70,7 @@ TEST(ParamSpaceTest, AxesPerturbTheRightKnobs)
     const DesignPoint base = space.point(0);
     EXPECT_EQ(base.cfg.il1.assoc, 2u);
     EXPECT_EQ(base.cfg.lat.l2Latency, 12u);
-    EXPECT_FALSE(base.sampling.enabled());
+    EXPECT_EQ(base.engine.mode, EngineMode::Full);
 
     // Last point: every axis at its second value.
     const DesignPoint far = space.point(31);
@@ -79,9 +79,9 @@ TEST(ParamSpaceTest, AxesPerturbTheRightKnobs)
     EXPECT_EQ(far.cfg.lat.l2Latency, 24u);
     EXPECT_DOUBLE_EQ(far.cfg.energy.clockPerCycle, 15.0);
     EXPECT_EQ(far.cfg.coreModel, CoreModel::InOrder);
-    ASSERT_TRUE(far.sampling.enabled());
-    EXPECT_EQ(far.sampling.intervalInsts, 100000u);
-    EXPECT_EQ(far.sampling.detailedInsts,
+    ASSERT_TRUE(far.engine.sampled());
+    EXPECT_EQ(far.engine.sampling.intervalInsts, 100000u);
+    EXPECT_EQ(far.engine.sampling.detailedInsts,
               SamplingConfig::defaultDetail(100000));
 }
 
@@ -106,6 +106,39 @@ TEST(ParamSpaceTest, RejectsInvalidCombinations)
     EXPECT_FALSE(validateAxis(Axis{"nope", {"1"}}, &err));
     EXPECT_NE(err.find("unknown axis"), std::string::npos);
     EXPECT_FALSE(validateAxis(Axis{"assoc", {"potato"}}, &err));
+}
+
+TEST(ParamSpaceTest, AnalyticEngineRejectsIncompatibleSpaces)
+{
+    std::string err;
+
+    // Dynamic strategies (even only axis-reachable) cannot be priced.
+    ScenarioSpec dyn =
+        specWithAxes({Axis{"strategy", {"static", "dynamic"}}});
+    dyn.engine = EngineSpec::makeAnalytic();
+    EXPECT_FALSE(ParamSpace::build(dyn, &err));
+    EXPECT_NE(err.find("analytic"), std::string::npos);
+
+    // Multi-core systems are out of the engine's validity envelope.
+    ScenarioSpec multi = specWithAxes({});
+    multi.engine = EngineSpec::makeAnalytic();
+    multi.system.cores = 2;
+    EXPECT_FALSE(ParamSpace::build(multi, &err));
+    EXPECT_NE(err.find("single-core"), std::string::npos);
+
+    // A sample.interval axis would silently switch engines per cell.
+    ScenarioSpec sax =
+        specWithAxes({Axis{"sample.interval", {"0", "100000"}}});
+    sax.engine = EngineSpec::makeAnalytic();
+    EXPECT_FALSE(ParamSpace::build(sax, &err));
+    EXPECT_NE(err.find("sample.interval"), std::string::npos);
+
+    // The static single-core shape the engine exists for builds, and
+    // every enumerated point carries the analytic engine.
+    ScenarioSpec ok = specWithAxes({Axis{"org", {"ways", "sets"}}});
+    ok.engine = EngineSpec::makeAnalytic();
+    const ParamSpace space = buildOk(ok);
+    EXPECT_TRUE(space.point(1).engine.analytic());
 }
 
 TEST(ParamSpaceTest, CoordsInvertEnumeration)

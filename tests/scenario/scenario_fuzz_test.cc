@@ -3,7 +3,7 @@
  *
  * 1. Round-trip: for a few hundred randomized-but-valid
  *    ScenarioSpecs (random [system]/[cores] overrides, apps and
- *    mixes, axes drawn from the registry, sampling shapes, search
+ *    mixes, axes drawn from the registry, engine selections, search
  *    grids), parse(print(spec)) == spec bit-for-bit — the canonical
  *    serialization loses nothing, including shortest-round-trip
  *    doubles.
@@ -163,16 +163,23 @@ randomSpec(Rng &rng, int idx)
     if (rng.chance(0.3))
         spec.telemetry.interval = 1 + rng.nextBelow(1000000);
 
-    // ---- [sampling]: a valid shape.
+    // ---- [engine]: full (the default), a valid sampled shape, or
+    // analytic (build() may reject analytic spaces — the round-trip
+    // only needs parse/print, and the build fuzz tolerates both).
     if (rng.chance(0.5)) {
-        const std::uint64_t interval = 1 + rng.nextBelow(1000000);
-        const std::uint64_t detail = 1 + rng.nextBelow(interval);
-        const std::uint64_t warmup =
-            rng.nextBelow(interval - detail + 1);
-        EXPECT_EQ(SamplingConfig::shapeError(interval, detail, warmup),
-                  nullptr);
-        spec.sampling =
-            SamplingConfig::sampled(interval, detail, warmup);
+        if (rng.chance(0.3)) {
+            spec.engine = EngineSpec::makeAnalytic();
+        } else {
+            const std::uint64_t interval = 1 + rng.nextBelow(1000000);
+            const std::uint64_t detail = 1 + rng.nextBelow(interval);
+            const std::uint64_t warmup =
+                rng.nextBelow(interval - detail + 1);
+            EXPECT_EQ(
+                SamplingConfig::shapeError(interval, detail, warmup),
+                nullptr);
+            spec.engine =
+                EngineSpec::makeSampled(interval, detail, warmup);
+        }
     }
 
     // ---- [search]
@@ -283,6 +290,16 @@ TEST(ScenarioFuzzTest, MalformedInputsGetOneLineDiagnostics)
         "[sampling]\ndetail = 5\n",
         "[sampling]\ninterval = 10\ndetail = 20\n",
         "[sampling]\nperiod = 10\n",
+        "[engine]\ninterval = 10\n",
+        "[engine]\nmode = quick\n",
+        "[engine]\nmode = full\ninterval = 10\n",
+        "[engine]\nmode = analytic\ndetail = 5\n",
+        "[engine]\nmode = sampled\ninterval = 0\n",
+        "[engine]\nmode = sampled\ninterval = 10\ndetail = 20\n",
+        "[engine]\nmode = full\nmode = sampled\n",
+        "[engine]\nnosuch = 1\n",
+        "[engine]\nmode = full\n[sampling]\ninterval = 10\n",
+        "[sampling]\ninterval = 10\n[engine]\nmode = full\n",
         "[search]\nstrategy = none\n",
         "[search]\norg = none\n",
         "[search]\nside = middle\n",

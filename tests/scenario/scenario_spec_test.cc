@@ -84,8 +84,8 @@ TEST(ScenarioSpecTest, ParseReadsEverySection)
     EXPECT_EQ(spec.axes[0].name, "org");
     EXPECT_EQ(spec.axes[2].values,
               (std::vector<std::string>{"60", "120"}));
-    EXPECT_TRUE(spec.sampling.enabled());
-    EXPECT_EQ(spec.sampling.intervalInsts, 100000u);
+    EXPECT_TRUE(spec.engine.sampled());
+    EXPECT_EQ(spec.engine.sampling.intervalInsts, 100000u);
     EXPECT_EQ(spec.search.strategy, Strategy::Dynamic);
     EXPECT_EQ(spec.search.side, SweepSide::ICache);
     EXPECT_EQ(spec.search.dynGrid.intervals,
@@ -111,6 +111,49 @@ TEST(ScenarioSpecTest, PrintParseRoundTrips)
         // byte-identical.
         EXPECT_EQ(spec.printToString(), again.printToString());
     }
+}
+
+TEST(ScenarioSpecTest, EngineSectionSelectsTheEngine)
+{
+    // [engine] is the canonical surface for all three modes.
+    EXPECT_EQ(parseOk("[engine]\nmode = full\n").engine,
+              EngineSpec{});
+    EXPECT_TRUE(
+        parseOk("[engine]\nmode = analytic\n").engine.analytic());
+    const ScenarioSpec s = parseOk(
+        "[engine]\nmode = sampled\ninterval = 50000\ndetail = "
+        "5000\nwarmup = 10000\n");
+    EXPECT_EQ(s.engine, EngineSpec::makeSampled(50000, 5000, 10000));
+    // mode = sampled without a shape takes the default period.
+    EXPECT_EQ(parseOk("[engine]\nmode = sampled\n").engine.sampling,
+              SamplingConfig{});
+
+    // The deprecated [sampling] section maps onto the same field:
+    // interval = 0 means the full engine, anything else sampled.
+    EXPECT_EQ(parseOk("[sampling]\ninterval = 0\n").engine,
+              EngineSpec{});
+    EXPECT_EQ(parseOk("[sampling]\ninterval = 50000\n").engine,
+              EngineSpec::makeSampled(
+                  50000, SamplingConfig::defaultDetail(50000),
+                  SamplingConfig::defaultWarmup(50000)));
+
+    // Shim round-trip: a spec parsed from [sampling] prints as the
+    // canonical [engine] form, and parse(print(spec)) == spec.
+    for (const char *text :
+         {"[sampling]\ninterval = 60000\ndetail = 6000\n",
+          "[engine]\nmode = analytic\n",
+          "[engine]\nmode = sampled\ninterval = 70000\n"}) {
+        const ScenarioSpec spec = parseOk(text);
+        const std::string printed = spec.printToString();
+        EXPECT_EQ(printed.find("[sampling]"), std::string::npos)
+            << printed;
+        EXPECT_EQ(parseOk(printed), spec) << printed;
+    }
+    // The full-detail default prints no [engine] section at all.
+    EXPECT_EQ(parseOk("[sampling]\ninterval = 0\n")
+                  .printToString()
+                  .find("[engine]"),
+              std::string::npos);
 }
 
 TEST(ScenarioSpecTest, DiagnosticsCarryFileAndLine)
@@ -156,6 +199,16 @@ TEST(ScenarioSpecTest, RejectsMalformedInput)
               std::string::npos);
     EXPECT_NE(parseErr("[search]\nmiss-fractions = 0.5,2\n")
                   .find("(0, 1)"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[engine]\ninterval = 10\n")
+                  .find("needs a 'mode"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[engine]\nmode = analytic\ninterval = 10\n")
+                  .find("mode = sampled"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[engine]\nmode = full\n"
+                       "[sampling]\ninterval = 10\n")
+                  .find("not both"),
               std::string::npos);
 }
 

@@ -31,12 +31,12 @@ mixOf(const std::string &name)
 
 MultiCoreResult
 runMix(const std::string &mix, unsigned cores,
-       const SamplingConfig &sampling = {})
+       const EngineSpec &engine = {})
 {
     SystemConfig cfg = SystemConfig::base();
     cfg.cores = cores;
     MultiCoreSystem sys(cfg);
-    return sys.run(mixOf(mix), kInsts, {}, {}, sampling);
+    return sys.run(mixOf(mix), kInsts, {}, {}, engine);
 }
 
 } // namespace
@@ -162,16 +162,16 @@ TEST(MultiCoreSystemTest, MixedCoreModels)
 
 TEST(MultiCoreSystemTest, SampledRunExtrapolatesPerCore)
 {
-    const SamplingConfig sampling =
-        SamplingConfig::sampled(20000, 2000, 4000);
-    const MultiCoreResult r = runMix("gcc+m88ksim", 2, sampling);
-    const MultiCoreResult again = runMix("gcc+m88ksim", 2, sampling);
+    const EngineSpec engine =
+        EngineSpec::makeSampled(20000, 2000, 4000);
+    const MultiCoreResult r = runMix("gcc+m88ksim", 2, engine);
+    const MultiCoreResult again = runMix("gcc+m88ksim", 2, engine);
 
     EXPECT_EQ(r.aggregate.cycles, again.aggregate.cycles);
     EXPECT_DOUBLE_EQ(r.aggregate.energy.total(),
                      again.aggregate.energy.total());
     for (const RunResult &c : r.perCore) {
-        EXPECT_TRUE(c.sampled);
+        EXPECT_EQ(c.engine, EngineMode::Sampled);
         EXPECT_EQ(c.insts, kInsts);
         EXPECT_GT(c.measuredInsts, 0u);
         EXPECT_LT(c.measuredInsts, kInsts);

@@ -128,7 +128,7 @@ TEST(ReportTest, SweepCsvRoundTripsExactly)
     SweepRecord empty_axes = sampleRecord();
     empty_axes.cell = 8;
     empty_axes.axes.clear();
-    empty_axes.sampled = true;
+    empty_axes.engine = EngineMode::Sampled;
     std::ostringstream first;
     writeSweepCsv(first, {plain, empty_axes});
 
@@ -141,7 +141,7 @@ TEST(ReportTest, SweepCsvRoundTripsExactly)
     EXPECT_EQ(records->front().axes, "assoc=4;org=sets");
     EXPECT_DOUBLE_EQ(records->front().perfDegradationPct,
                      0.5722431103582171);
-    EXPECT_TRUE(records->back().sampled);
+    EXPECT_EQ(records->back().engine, EngineMode::Sampled);
 
     std::ostringstream second;
     writeSweepCsv(second, *records);
@@ -192,21 +192,24 @@ TEST(ReportTest, SweepTableListsEveryRecord)
     EXPECT_NE(s.find("4.0K"), std::string::npos);
 }
 
-TEST(ReportTest, SweepWritersCarrySampledProvenance)
+TEST(ReportTest, SweepWritersCarryEngineProvenance)
 {
     SweepRecord full = sampleRecord();
     SweepRecord sampled = sampleRecord();
-    sampled.sampled = true;
+    sampled.engine = EngineMode::Sampled;
+    SweepRecord analytic = sampleRecord();
+    analytic.engine = EngineMode::Analytic;
 
     std::ostringstream csv;
-    writeSweepCsv(csv, {full, sampled});
-    EXPECT_NE(csv.str().find(",mode\n"), std::string::npos);
+    writeSweepCsv(csv, {full, sampled, analytic});
+    EXPECT_NE(csv.str().find(",engine\n"), std::string::npos);
     EXPECT_NE(csv.str().find(",full\n"), std::string::npos);
     EXPECT_NE(csv.str().find(",sampled\n"), std::string::npos);
+    EXPECT_NE(csv.str().find(",analytic\n"), std::string::npos);
 
     std::ostringstream json;
-    writeSweepJson(json, {sampled});
-    EXPECT_NE(json.str().find("\"mode\": \"sampled\""),
+    writeSweepJson(json, {analytic});
+    EXPECT_NE(json.str().find("\"engine\": \"analytic\""),
               std::string::npos);
 
     std::ostringstream table;

@@ -21,32 +21,33 @@ namespace
 
 /** The sampling shape the accuracy gate (and CI smoke) runs: 5% of
  *  each period measured, 10% functionally warmed, 85% skipped. */
-SamplingConfig
-gateConfig()
+EngineSpec
+gateEngine()
 {
-    return SamplingConfig::sampled(200000, 10000, 20000);
+    return EngineSpec::makeSampled(200000, 10000, 20000);
 }
 
 RunJob
 sampledBaselineJob(const std::string &app, std::uint64_t insts,
-                   const SamplingConfig &sampling)
+                   const EngineSpec &engine)
 {
     RunJob job;
     job.label = app + "/sampled";
     job.profile = profileByName(app);
     job.cfg = SystemConfig::base();
     job.insts = insts;
-    job.sampling = sampling;
+    job.engine = engine;
     return job;
 }
 
 } // namespace
 
-TEST(SamplingConfigTest, DefaultIsFullDetail)
+TEST(SamplingConfigTest, DefaultEngineIsFullDetail)
 {
-    SamplingConfig cfg;
-    EXPECT_FALSE(cfg.enabled());
-    cfg.validate(); // never fatal when disabled
+    EngineSpec spec;
+    EXPECT_EQ(spec.mode, EngineMode::Full);
+    EXPECT_FALSE(spec.sampled());
+    spec.sampling.validate(); // default shape is well-formed
 }
 
 TEST(SamplingConfigTest, ValidateRejectsMalformedShapes)
@@ -76,10 +77,11 @@ TEST(SamplingConfigTest, ShapeCheckIsOverflowSafe)
 TEST(SampledRunTest, CoversWholeStreamAndReportsCoverage)
 {
     const RunJob job = sampledBaselineJob(
-        "ammp", 400000, SamplingConfig::sampled(100000, 10000, 20000));
+        "ammp", 400000,
+        EngineSpec::makeSampled(100000, 10000, 20000));
     const RunResult res = executeRunJob(job);
 
-    EXPECT_TRUE(res.sampled);
+    EXPECT_EQ(res.engine, EngineMode::Sampled);
     EXPECT_EQ(res.insts, 400000u);
     // 4 periods x 10k measured, 4 x 20k warmed.
     EXPECT_EQ(res.measuredInsts, 40000u);
@@ -93,9 +95,9 @@ TEST(SampledRunTest, CoversWholeStreamAndReportsCoverage)
 
 TEST(SampledRunTest, FullDetailRunsReportFullCoverage)
 {
-    RunJob job = sampledBaselineJob("ammp", 50000, SamplingConfig{});
+    RunJob job = sampledBaselineJob("ammp", 50000, EngineSpec{});
     const RunResult res = executeRunJob(job);
-    EXPECT_FALSE(res.sampled);
+    EXPECT_EQ(res.engine, EngineMode::Full);
     EXPECT_EQ(res.measuredInsts, res.insts);
     EXPECT_EQ(res.warmupInsts, 0u);
 }
@@ -103,7 +105,8 @@ TEST(SampledRunTest, FullDetailRunsReportFullCoverage)
 TEST(SampledRunTest, TailShorterThanPeriodStaysMeasured)
 {
     const RunJob job = sampledBaselineJob(
-        "gcc", 130000, SamplingConfig::sampled(100000, 10000, 20000));
+        "gcc", 130000,
+        EngineSpec::makeSampled(100000, 10000, 20000));
     const RunResult res = executeRunJob(job);
     // Period 1 is a full 100k; the 30k tail keeps its full detail
     // window and warmup and gives up fast-forward.
@@ -115,7 +118,7 @@ TEST(SampledRunTest, TailShorterThanPeriodStaysMeasured)
 TEST(SampledRunTest, RunShorterThanDetailIsAllMeasured)
 {
     const RunJob job = sampledBaselineJob(
-        "gcc", 6000, SamplingConfig::sampled(100000, 10000, 20000));
+        "gcc", 6000, EngineSpec::makeSampled(100000, 10000, 20000));
     const RunResult res = executeRunJob(job);
     EXPECT_EQ(res.measuredInsts, 6000u);
     EXPECT_EQ(res.warmupInsts, 0u);
@@ -123,7 +126,8 @@ TEST(SampledRunTest, RunShorterThanDetailIsAllMeasured)
 
 TEST(SampledRunTest, DeterministicAcrossRepeats)
 {
-    const RunJob job = sampledBaselineJob("vpr", 300000, gateConfig());
+    const RunJob job =
+        sampledBaselineJob("vpr", 300000, gateEngine());
     const RunResult a = executeRunJob(job);
     const RunResult b = executeRunJob(job);
     EXPECT_EQ(a.cycles, b.cycles);
@@ -135,7 +139,7 @@ TEST(SampledRunTest, DeterministicAcrossRepeats)
 TEST(SampledRunTest, ParallelMatchesSerialBitExactly)
 {
     Experiment exp(SystemConfig::base(), 200000);
-    exp.setSampling(gateConfig());
+    exp.setEngine(gateEngine());
     std::vector<RunJob> jobs;
     for (const auto &app : {"ammp", "gcc", "swim", "vortex"}) {
         jobs.push_back(exp.baselineJob(profileByName(app)));
@@ -163,25 +167,25 @@ TEST(SampledRunTest, ParallelMatchesSerialBitExactly)
 TEST(SampledRunTest, SampledSweepJobsCarryTheConfig)
 {
     Experiment exp(SystemConfig::base(), 200000);
-    exp.setSampling(gateConfig());
+    exp.setEngine(gateEngine());
     const auto jobs = exp.staticSearchJobs(
         profileByName("ammp"), CacheSide::DCache,
         Organization::SelectiveWays);
     ASSERT_FALSE(jobs.empty());
     for (const auto &job : jobs)
-        EXPECT_TRUE(job.sampling.enabled());
+        EXPECT_TRUE(job.engine.sampled());
     EXPECT_TRUE(exp.baselineJob(profileByName("ammp"))
-                    .sampling.enabled());
+                    .engine.sampled());
 }
 
-TEST(SampledRunTest, SettingSamplingClearsBaselineMemo)
+TEST(SampledRunTest, SettingEngineClearsBaselineMemo)
 {
     Experiment exp(SystemConfig::base(), 60000);
     const RunResult full = exp.baseline(profileByName("ammp"));
-    EXPECT_FALSE(full.sampled);
-    exp.setSampling(gateConfig());
+    EXPECT_EQ(full.engine, EngineMode::Full);
+    exp.setEngine(gateEngine());
     const RunResult sampled = exp.baseline(profileByName("ammp"));
-    EXPECT_TRUE(sampled.sampled);
+    EXPECT_EQ(sampled.engine, EngineMode::Sampled);
 }
 
 /**
@@ -200,7 +204,7 @@ TEST(SamplingAccuracyGate, StaticSearchMatchesFullDetail)
 
     Experiment full(SystemConfig::base(), insts);
     Experiment sampled(SystemConfig::base(), insts);
-    sampled.setSampling(gateConfig());
+    sampled.setEngine(gateEngine());
 
     unsigned agree = 0;
     double max_rel_ed_err = 0;
@@ -221,8 +225,8 @@ TEST(SamplingAccuracyGate, StaticSearchMatchesFullDetail)
         EXPECT_LE((s.best.measuredInsts + s.best.warmupInsts) * 5,
                   s.best.insts)
             << profile.name;
-        EXPECT_TRUE(s.best.sampled);
-        EXPECT_FALSE(f.best.sampled);
+        EXPECT_EQ(s.best.engine, EngineMode::Sampled);
+        EXPECT_EQ(f.best.engine, EngineMode::Full);
     }
     EXPECT_GE(agree, 10u)
         << "sampled search diverged; max relative-E.D error "

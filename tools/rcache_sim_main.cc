@@ -36,11 +36,13 @@
 #include "runner/sweep_runner.hh"
 #include "scenario/scenario_spec.hh"
 #include "scenario/scenario_sweep.hh"
+#include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "telemetry/inspect.hh"
 #include "telemetry/run_telemetry.hh"
 #include "telemetry/trace_events.hh"
+#include "util/logging.hh"
 #include "workload/profiles.hh"
 #include "workload/trace_io.hh"
 
@@ -138,12 +140,12 @@ knownOptions(const std::string &cmd)
         add({"--scenario", "--shard", "--resume", "--insts", "--jobs",
              "--assoc", "--apps", "--orgs", "--strategies", "--side",
              "--cores", "--mix", "--quantum", "--format", "--out",
-             "--progress", "--sample", "--sample-detail",
+             "--progress", "--engine", "--sample", "--sample-detail",
              "--sample-warmup", "--timeline", "--events",
              "--trace-events", "--timeline-interval"});
     } else if (cmd == "run") {
         add({"--insts", "--assoc", "--app", "--cores", "--mix",
-             "--quantum", "--sample", "--sample-detail",
+             "--quantum", "--engine", "--sample", "--sample-detail",
              "--sample-warmup", "--timeline", "--events",
              "--trace-events", "--timeline-interval"});
         for (const auto &k : setupKeys())
@@ -220,12 +222,15 @@ optionHelp(const std::string &key)
         {"--format", "csv|json|table (default: csv)"},
         {"--out", "write the report/trace to FILE, not stdout"},
         {"--progress", "per-job progress on stderr"},
-        {"--sample", "sampled simulation with period N insts"},
+        {"--engine",
+         "simulation engine: full | sampled[:interval=N,detail=N,"
+         "warmup=N] | analytic (default full)"},
+        {"--sample",
+         "deprecated: --engine sampled with period N insts"},
         {"--sample-detail",
-         "measured insts per period (default N/10)"},
+         "deprecated: sampled-engine measured insts (default N/10)"},
         {"--sample-warmup",
-         "functional cache/predictor warmup insts per period "
-         "(default N/5)"},
+         "deprecated: sampled-engine warmup insts (default N/5)"},
         {"--app", "profile to run (see list-apps)"},
         {"--cores",
          "simulate N cores with private L1s over one shared L2 "
@@ -390,18 +395,43 @@ lookupProfile(const std::string &name)
     return profileByName(name);
 }
 
-/** Resolve the --sample* options into a SamplingConfig. */
-std::optional<SamplingConfig>
-parseSampling(const Args &args)
+/**
+ * Resolve --engine (and the deprecated --sample* trio, accepted and
+ * mapped with a warning) into an EngineSpec. The two surfaces
+ * conflict: --engine is the one source of truth when present.
+ * @p legacy_used is set when the deprecated trio supplied the spec;
+ * the caller emits the deprecation warning once the whole command
+ * validates (rejections must stay one-line diagnostics).
+ */
+std::optional<EngineSpec>
+parseEngine(const Args &args, bool *legacy_used = nullptr)
 {
+    const bool legacy = args.has("--sample") ||
+                        args.has("--sample-detail") ||
+                        args.has("--sample-warmup");
+    if (args.has("--engine")) {
+        if (legacy) {
+            std::cerr << "rcache-sim: --sample/--sample-detail/"
+                         "--sample-warmup conflict with --engine "
+                         "(fold them into --engine "
+                         "sampled:interval=N,...)\n";
+            return std::nullopt;
+        }
+        std::string err;
+        auto spec = parseEngineArg(args.get("--engine", ""), &err);
+        if (!spec) {
+            std::cerr << "rcache-sim: --engine: " << err << '\n';
+            return std::nullopt;
+        }
+        return spec;
+    }
     if (!args.has("--sample")) {
-        if (args.has("--sample-detail") ||
-            args.has("--sample-warmup")) {
+        if (legacy) {
             std::cerr << "rcache-sim: --sample-detail/--sample-warmup "
                          "need --sample N\n";
             return std::nullopt;
         }
-        return SamplingConfig{};
+        return EngineSpec{};
     }
     const auto interval = parseU64(args, "--sample", 0);
     if (!interval)
@@ -423,7 +453,18 @@ parseSampling(const Args &args)
         std::cerr << "rcache-sim: " << err << "\n";
         return std::nullopt;
     }
-    return SamplingConfig::sampled(*interval, *detail, *warmup);
+    if (legacy_used)
+        *legacy_used = true;
+    return EngineSpec::makeSampled(*interval, *detail, *warmup);
+}
+
+/** The deferred deprecation warning for the --sample* trio. */
+void
+warnLegacySampleFlags()
+{
+    RC_LOG(warn, "--sample/--sample-detail/--sample-warmup are "
+                 "deprecated; use --engine "
+                 "sampled:interval=N[,detail=N,warmup=N]");
 }
 
 std::optional<Organization>
@@ -524,7 +565,7 @@ parseMix(const Args &args)
  */
 bool
 checkQuantumEffective(const Args &args, const SystemConfig &cfg,
-                      const SamplingConfig &sampling)
+                      const EngineSpec &engine)
 {
     if (!args.has("--quantum"))
         return true;
@@ -533,10 +574,37 @@ checkQuantumEffective(const Args &args, const SystemConfig &cfg,
                      "single core has no interleave)\n";
         return false;
     }
-    if (sampling.enabled()) {
-        std::cerr << "rcache-sim: --quantum has no effect under "
-                     "--sample (cores interleave whole sampling "
-                     "periods)\n";
+    if (engine.sampled()) {
+        std::cerr << "rcache-sim: --quantum has no effect under a "
+                     "sampled engine (cores interleave whole "
+                     "sampling periods)\n";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Reject engine/design-point combinations the analytic engine cannot
+ * price, with CLI-grade messages (the lower layers would rc_fatal).
+ */
+bool
+checkAnalyticCompatible(const EngineSpec &engine,
+                        const SystemConfig &cfg,
+                        const ResizeSetup &il1, const ResizeSetup &dl1)
+{
+    if (!engine.analytic())
+        return true;
+    if (cfg.cores > 1) {
+        std::cerr << "rcache-sim: --engine analytic supports a "
+                     "single core only (see the README's Engines "
+                     "section)\n";
+        return false;
+    }
+    if (il1.strategy == Strategy::Dynamic ||
+        dl1.strategy == Strategy::Dynamic) {
+        std::cerr << "rcache-sim: --engine analytic prices static "
+                     "geometries only; dynamic strategies need the "
+                     "full or sampled engine\n";
         return false;
     }
     return true;
@@ -550,7 +618,7 @@ checkQuantumEffective(const Args &args, const SystemConfig &cfg,
  * historical row order), everything else fixes the base point.
  */
 std::optional<ScenarioSpec>
-scenarioFromFlags(const Args &args)
+scenarioFromFlags(const Args &args, bool *legacy_used)
 {
     ScenarioSpec spec;
     spec.name = "cli";
@@ -632,8 +700,8 @@ scenarioFromFlags(const Args &args)
 
     const auto insts = parseInsts(args);
     auto cfg = baseConfig(args);
-    const auto sampling = parseSampling(args);
-    if (!insts || !cfg || !sampling)
+    const auto engine = parseEngine(args, legacy_used);
+    if (!insts || !cfg || !engine)
         return std::nullopt;
     // --mix alone defaults the core count to the mix size, so
     // `sweep --mix gcc+m88ksim` is a 2-core sweep out of the box.
@@ -643,11 +711,11 @@ scenarioFromFlags(const Args &args)
             : 1;
     if (!applyCores(args, *cfg, default_cores))
         return std::nullopt;
-    if (!checkQuantumEffective(args, *cfg, *sampling))
+    if (!checkQuantumEffective(args, *cfg, *engine))
         return std::nullopt;
     spec.insts = *insts;
     spec.system = *cfg;
-    spec.sampling = *sampling;
+    spec.engine = *engine;
     return spec;
 }
 
@@ -656,13 +724,14 @@ cmdSweep(const Args &args)
 {
     // ---- resolve the scenario: a file, or the grid flags
     std::optional<ScenarioSpec> spec;
+    bool legacy_sample = false;
     if (args.has("--scenario")) {
         // The scenario file owns the grid; mixing it with grid flags
         // would make two sources of truth.
         for (const char *conflict :
              {"--apps", "--orgs", "--strategies", "--side", "--insts",
-              "--assoc", "--cores", "--mix", "--quantum", "--sample",
-              "--sample-detail", "--sample-warmup"}) {
+              "--assoc", "--cores", "--mix", "--quantum", "--engine",
+              "--sample", "--sample-detail", "--sample-warmup"}) {
             if (args.has(conflict)) {
                 std::cerr << "rcache-sim: " << conflict
                           << " conflicts with --scenario (the "
@@ -678,7 +747,7 @@ cmdSweep(const Args &args)
             return 2;
         }
     } else {
-        spec = scenarioFromFlags(args);
+        spec = scenarioFromFlags(args, &legacy_sample);
         if (!spec)
             return 2;
     }
@@ -721,6 +790,8 @@ cmdSweep(const Args &args)
         opt.shard = *shard;
     }
 
+    if (legacy_sample)
+        warnLegacySampleFlags();
     return runScenarioSweep(*spec, opt);
 }
 
@@ -900,8 +971,9 @@ cmdRun(const Args &args)
     const auto dl1 = parseSetup(args, "dl1");
     auto cfg = baseConfig(args);
     const auto insts = parseInsts(args);
-    const auto sampling = parseSampling(args);
-    if (!il1 || !dl1 || !cfg || !insts || !sampling)
+    bool legacy_sample = false;
+    const auto engine = parseEngine(args, &legacy_sample);
+    if (!il1 || !dl1 || !cfg || !insts || !engine)
         return 2;
     if (!applyCores(args, *cfg, mix.size()))
         return 2;
@@ -915,8 +987,12 @@ cmdRun(const Args &args)
                   << "; need --cores >= " << mix.size() << '\n';
         return 2;
     }
-    if (!checkQuantumEffective(args, *cfg, *sampling))
+    if (!checkQuantumEffective(args, *cfg, *engine))
         return 2;
+    if (!checkAnalyticCompatible(*engine, *cfg, *il1, *dl1))
+        return 2;
+    if (legacy_sample)
+        warnLegacySampleFlags();
 
     // ---- telemetry requests (all off unless asked for)
     const std::string timeline_path = args.get("--timeline", "");
@@ -948,7 +1024,7 @@ cmdRun(const Args &args)
     if (cfg->cores > 1) {
         MultiCoreSystem sys(*cfg);
         const MultiCoreResult res =
-            sys.run(mix, *insts, *il1, *dl1, *sampling, telem_ptr);
+            sys.run(mix, *insts, *il1, *dl1, *engine, telem_ptr);
         if (trace)
             trace->completeSpan(label, span_begin, trace->now(),
                                 {{"label", label}});
@@ -961,7 +1037,7 @@ cmdRun(const Args &args)
         job.insts = *insts;
         job.il1 = *il1;
         job.dl1 = *dl1;
-        job.sampling = *sampling;
+        job.engine = *engine;
         job.telemetry = telem_ptr;
         const RunResult res = executeRunJob(job);
         if (trace)
