@@ -9,6 +9,8 @@
 #include "core/size_schedule.hh"
 #include "cpu/functional_core.hh"
 #include "runner/sweep_runner.hh"
+#include "scenario/scenario_spec.hh"
+#include "search/adaptive_search.hh"
 #include "sim/multi_core_system.hh"
 #include "sim/system.hh"
 #include "util/logging.hh"
@@ -220,6 +222,86 @@ analyticMrc(const BenchOptions &opts)
          {"mode", "analytic"}});
 }
 
+/**
+ * The adaptive autotuner end to end: successive halving over the
+ * analytic -> sampled -> full fidelity ladder on a fig4-shaped
+ * dcache grid. The headline number is the per-cell instruction
+ * budget over the tuner's wall clock (same items contract as every
+ * other bench: items == opts.items); the pruning itself is tracked
+ * by the planned detailed instruction counts and their ratio in the
+ * config block — CI's perf-smoke job gates detailed_inst_reduction
+ * >= 5x.
+ */
+BenchResult
+adaptiveSearch(const BenchOptions &opts)
+{
+    // Per-cell instruction budget and sampling period scale with
+    // --insts so smoke runs stay fast; the reduction ratio is
+    // structural (grid size x promote fractions x the sampled
+    // engine's 1/10 detail fraction), so it holds at every scale.
+    // The grid covers both cache sides so the analytic round prunes
+    // 48 cells down to two full-detail finalists; finalists tend to
+    // be high-associativity cells with deep static-level schedules
+    // (many candidate runs each), which is why the promote fractions
+    // are steep — the ratio is dominated by how few cells reach full
+    // detail.
+    const std::uint64_t insts =
+        std::max<std::uint64_t>(opts.items / 8, 20000);
+    std::ostringstream scn;
+    scn << "[scenario]\n"
+        << "name = bench-adaptive\n"
+        << "insts = " << insts << "\n\n"
+        << "[workloads]\n"
+        << "apps = gcc,swim,m88ksim\n\n"
+        << "[axes]\n"
+        << "side = dcache,icache\n"
+        << "assoc = 2,4,8,16\n"
+        << "org = ways,sets\n\n"
+        << "[search]\n"
+        << "strategy = static\n"
+        << "mode = adaptive\n"
+        << "ladder = analytic,sampled,full\n"
+        << "promote = 0.2,0.15\n"
+        << "min-survivors = 2\n"
+        << "sample-interval = " << insts / 4 << "\n";
+    std::string err;
+    const auto spec = ScenarioSpec::parseText(
+        scn.str(), "bench-adaptive", &err);
+    if (!spec)
+        rc_fatal("bench-adaptive scenario: " + err);
+
+    TuneOptions topt;
+    topt.jobs = 1;
+    topt.quiet = true;
+    topt.emitOutputs = false;
+    TuneStats stats;
+    const double best = bestWallSeconds(opts.repetitions, [&] {
+        stats = TuneStats{};
+        if (runAdaptiveSearch(*spec, topt, &stats) != 0)
+            rc_fatal("bench-adaptive tune failed");
+        consume(stats.winner.bestEdp);
+    });
+    const double reduction =
+        stats.detailedInsts > 0
+            ? static_cast<double>(stats.exhaustiveDetailedInsts) /
+                  static_cast<double>(stats.detailedInsts)
+            : 0;
+    return makeResult(
+        "adaptive_search", "Minst/s", opts.items,
+        opts.repetitions, best,
+        {{"apps", "gcc+swim+m88ksim"},
+         {"insts_per_cell", std::to_string(insts)},
+         {"cells", std::to_string(stats.cells)},
+         {"rounds", std::to_string(stats.rounds)},
+         {"ladder", "analytic,sampled,full"},
+         {"detailed_insts_adaptive",
+          std::to_string(stats.detailedInsts)},
+         {"detailed_insts_exhaustive",
+          std::to_string(stats.exhaustiveDetailedInsts)},
+         {"detailed_inst_reduction", shortestDouble(reduction)},
+         {"mode", "adaptive"}});
+}
+
 BenchResult
 workloadBatch(const BenchOptions &opts)
 {
@@ -300,6 +382,10 @@ perfBenches()
          "analytic miss-ratio pass vs per-geometry detailed runs "
          "over a fig4-shaped grid",
          [](const BenchOptions &o) { return analyticMrc(o); }},
+        {"adaptive_search",
+         "successive-halving autotune of a fig4-shaped grid over "
+         "the analytic/sampled/full ladder",
+         [](const BenchOptions &o) { return adaptiveSearch(o); }},
         {"multicore_shared_l2",
          "2-core multi-programmed run over one shared L2",
          [](const BenchOptions &o) { return multicoreRun(o); }},

@@ -549,4 +549,34 @@ runAnalyticJob(const RunJob &job)
     return priceAnalyticJob(job, pass);
 }
 
+void
+AnalyticBatch::registerConfig(const SystemConfig &cfg,
+                              const BenchmarkProfile &workload,
+                              std::uint64_t insts)
+{
+    auto &pass =
+        passes_[AnalyticPass::streamKey(cfg, workload.name, insts)];
+    if (!pass)
+        pass = std::make_unique<AnalyticPass>(workload, insts);
+    pass->addConfig(cfg);
+}
+
+std::vector<RunResult>
+AnalyticBatch::price(const std::vector<RunJob> &jobs)
+{
+    // Jobs are priced in order from shared passes, so every
+    // downstream reduction, CSV row, and decision-log line is
+    // byte-identical for any --jobs value without touching a runner.
+    std::vector<RunResult> out;
+    out.reserve(jobs.size());
+    for (const RunJob &job : jobs) {
+        AnalyticPass &pass = *passes_.at(AnalyticPass::streamKey(
+            job.cfg, job.profile.name, job.insts));
+        if (!pass.ran())
+            pass.run();
+        out.push_back(priceAnalyticJob(job, pass));
+    }
+    return out;
+}
+
 } // namespace rcache

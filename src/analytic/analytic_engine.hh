@@ -177,8 +177,34 @@ RunResult priceAnalyticJob(const RunJob &job, const AnalyticPass &pass);
  * The single-job path executeRunJob dispatches to: build a private
  * AnalyticPass for this job alone, run it, price it. Sweeps instead
  * share one pass across every job with the same stream key — that is
- * the engine's entire point — via scenario/scenario_sweep.cc.
+ * the engine's entire point — via AnalyticBatch below.
+ *
+ * Batch pricing: one AnalyticPass per distinct (workload,
+ * stream-shape) pair prices every job that shares it. Register every
+ * configuration the batch will ever see up front (a pass cannot
+ * learn new geometries once it has run), then price job lists in
+ * order; each pass streams its workload lazily the first time a job
+ * prices against it. The exhaustive sweep engine and the adaptive
+ * search share this one implementation, so their per-job results
+ * cannot drift.
  */
+class AnalyticBatch
+{
+  public:
+    /** Register one future job's configuration. @p workload is the
+     *  effective workload name (the profile jobs will carry). */
+    void registerConfig(const SystemConfig &cfg,
+                        const BenchmarkProfile &workload,
+                        std::uint64_t insts);
+
+    /** Price @p jobs in order, running passes on first use. Every
+     *  job's config must have been registered. */
+    std::vector<RunResult> price(const std::vector<RunJob> &jobs);
+
+  private:
+    std::map<std::string, std::unique_ptr<AnalyticPass>> passes_;
+};
+
 RunResult runAnalyticJob(const RunJob &job);
 
 } // namespace rcache

@@ -1,0 +1,271 @@
+#include "runner/claim.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/numformat.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+constexpr const char *metaName = "MANIFEST.meta";
+constexpr const char *scnName = "MANIFEST.scn";
+
+std::string
+join(const std::string &dir, const std::string &name)
+{
+    return dir + "/" + name;
+}
+
+bool
+writeWholeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << text;
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+std::optional<std::string>
+readWholeFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+/** Seconds since the epoch of @p path's mtime; nullopt when the file
+ *  is gone (claimed state changes race benignly with stat). */
+std::optional<std::time_t>
+mtimeOf(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return std::nullopt;
+    return st.st_mtime;
+}
+
+} // namespace
+
+bool
+writeManifest(const std::string &dir, const ManifestInfo &info,
+              std::string *err)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        if (err)
+            *err = "cannot create manifest directory '" + dir +
+                   "': " + ec.message();
+        return false;
+    }
+    // The scenario text is written (atomically — a losing creator
+    // re-publishes it after the winner's commit, and readers must
+    // never catch a truncated window) before the meta file, whose
+    // O_EXCL create is the commit point: a manifest without meta is
+    // "still being created", one with it is immutable. Exactly one
+    // concurrent creator wins the create.
+    if (!atomicWriteFile(join(dir, scnName), info.scenarioText, err))
+        return false;
+    const int fd = ::open(join(dir, metaName).c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        if (err)
+            *err = errno == EEXIST
+                       ? "manifest already exists in '" + dir + "'"
+                       : "cannot create '" + join(dir, metaName) +
+                             "': " + std::strerror(errno);
+        return false;
+    }
+    std::ostringstream meta;
+    meta << "mode = " << info.mode << "\nshards = " << info.shards
+         << "\n";
+    const std::string text = meta.str();
+    const bool ok =
+        ::write(fd, text.data(), text.size()) ==
+        static_cast<ssize_t>(text.size());
+    ::close(fd);
+    if (!ok && err)
+        *err = "cannot write '" + join(dir, metaName) + "'";
+    return ok;
+}
+
+std::optional<ManifestInfo>
+readManifest(const std::string &dir, std::string *err)
+{
+    const auto failWith = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return std::nullopt;
+    };
+    const auto meta = readWholeFile(join(dir, metaName));
+    if (!meta)
+        return failWith("no manifest in '" + dir + "' (create one "
+                        "with --claim DIR --scenario FILE --shards N)");
+    ManifestInfo info;
+    info.shards = 0;
+    std::istringstream is(*meta);
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::size_t eq = line.find(" = ");
+        if (eq == std::string::npos)
+            return failWith("malformed line in '" +
+                            join(dir, metaName) + "': " + line);
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 3);
+        if (key == "mode") {
+            if (value != "sweep" && value != "tune")
+                return failWith("unknown manifest mode '" + value +
+                                "'");
+            info.mode = value;
+        } else if (key == "shards") {
+            unsigned long long v = 0;
+            if (!parseU64Strict(value, v) || v == 0 || v > 4096)
+                return failWith("manifest shards wants 1..4096, "
+                                "got '" + value + "'");
+            info.shards = static_cast<unsigned>(v);
+        } else {
+            return failWith("unknown manifest key '" + key + "'");
+        }
+    }
+    if (info.shards == 0)
+        return failWith("manifest in '" + dir +
+                        "' is missing a shard count");
+    const auto scn = readWholeFile(join(dir, scnName));
+    if (!scn)
+        return failWith("manifest in '" + dir + "' has no '" +
+                        scnName + "'");
+    info.scenarioText = *scn;
+    return info;
+}
+
+ClaimDir::ClaimDir(std::string dir, unsigned lease_timeout_secs)
+    : dir_(std::move(dir)), timeoutSecs_(lease_timeout_secs)
+{
+}
+
+std::string
+ClaimDir::path(const std::string &name) const
+{
+    return join(dir_, name);
+}
+
+bool
+ClaimDir::takeOverIfStale(const std::string &unit) const
+{
+    const std::string lease = path(unit + ".lease");
+    const auto mtime = mtimeOf(lease);
+    if (!mtime)
+        return false; // no lease to steal
+    if (std::time(nullptr) - *mtime <=
+        static_cast<std::time_t>(timeoutSecs_))
+        return false; // fresh: its worker is alive
+    // Exactly one contender's rename succeeds; the stale lease is
+    // moved aside (kept for post-mortems) rather than unlinked so
+    // the losers fail cleanly with ENOENT.
+    const std::string aside = lease + ".stale." +
+                              std::to_string(::getpid()) + "." +
+                              std::to_string(*mtime);
+    return ::rename(lease.c_str(), aside.c_str()) == 0;
+}
+
+bool
+ClaimDir::tryClaim(const std::string &unit) const
+{
+    if (isDone(unit))
+        return false;
+    takeOverIfStale(unit);
+    const std::string lease = path(unit + ".lease");
+    const int fd =
+        ::open(lease.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false; // someone else holds it (or I/O trouble)
+    const std::string text = std::to_string(::getpid()) + "\n";
+    // Best-effort content; the lease's existence is what matters.
+    (void)!::write(fd, text.data(), text.size());
+    ::close(fd);
+    return true;
+}
+
+void
+ClaimDir::heartbeat(const std::string &unit) const
+{
+    // A null times pointer sets both timestamps to now.
+    ::utimensat(AT_FDCWD, path(unit + ".lease").c_str(), nullptr, 0);
+}
+
+bool
+ClaimDir::markDone(const std::string &unit, std::string *err) const
+{
+    if (!writeWholeFile(path(unit + ".done"), "ok\n")) {
+        if (err)
+            *err = "cannot write '" + path(unit + ".done") + "'";
+        return false;
+    }
+    ::unlink(path(unit + ".lease").c_str());
+    return true;
+}
+
+bool
+ClaimDir::isDone(const std::string &unit) const
+{
+    return std::filesystem::exists(path(unit + ".done"));
+}
+
+bool
+ClaimDir::leaseFresh(const std::string &unit) const
+{
+    const auto mtime = mtimeOf(path(unit + ".lease"));
+    return mtime && std::time(nullptr) - *mtime <=
+                        static_cast<std::time_t>(timeoutSecs_);
+}
+
+std::string
+sweepUnitName(unsigned shard)
+{
+    return "shard_" + std::to_string(shard);
+}
+
+std::string
+tuneUnitName(std::size_t round, unsigned shard)
+{
+    return "r" + std::to_string(round) + "_s" +
+           std::to_string(shard);
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &text,
+                std::string *err)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    if (!writeWholeFile(tmp, text)) {
+        if (err)
+            *err = "cannot write '" + tmp + "'";
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (err)
+            *err = "cannot publish '" + path +
+                   "': " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace rcache

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cooperative sweep orchestration: a manifest directory plus an
+ * atomic shard-claim protocol, so N independent processes (or
+ * machines over a shared filesystem) drain one scenario without a
+ * coordinator.
+ *
+ * A manifest directory holds the scenario's canonical text
+ * (MANIFEST.scn), a small MANIFEST.meta (mode + shard count), and
+ * one set of files per work unit:
+ *
+ *   <unit>.lease   held by the worker currently running the unit
+ *   <unit>.csv     the unit's output (written tmp + rename)
+ *   <unit>.done    commit marker: the output is complete
+ *
+ * Claiming is an O_CREAT|O_EXCL create of the lease file — the
+ * filesystem's atomicity is the whole locking story, so the protocol
+ * needs no daemon and survives worker crashes: a lease older than
+ * the timeout with no done marker is *stale*, and any worker may
+ * take it over by atomically renaming it aside (exactly one
+ * contender's rename succeeds) and claiming afresh. Long-running
+ * workers heartbeat their lease (mtime bump) per completed chunk so
+ * live shards are never stolen.
+ *
+ * Unit outputs commit via write-to-tmp + rename before the done
+ * marker appears, so readers never observe a partial CSV. The merge
+ * tool (search/sweep_merge.hh) re-interleaves the committed shard
+ * CSVs into the byte-identical unsharded report.
+ */
+
+#ifndef RCACHE_RUNNER_CLAIM_HH
+#define RCACHE_RUNNER_CLAIM_HH
+
+#include <optional>
+#include <string>
+
+namespace rcache
+{
+
+/** What a manifest directory describes. */
+struct ManifestInfo
+{
+    /** Canonical scenario text (ScenarioSpec::printToString). */
+    std::string scenarioText;
+    /** Work units the scenario is split into. */
+    unsigned shards = 0;
+    /** "sweep" (one unit per shard) or "tune" (one unit per
+     *  round x shard; see search/adaptive_search.hh). */
+    std::string mode = "sweep";
+};
+
+/**
+ * Create @p dir (and parents) and write its manifest. Exactly one
+ * concurrent creator wins; losers see the existing manifest via
+ * readManifest and must verify it matches what they wanted.
+ * @return false with @p err set when the manifest already exists or
+ * cannot be written.
+ */
+bool writeManifest(const std::string &dir, const ManifestInfo &info,
+                   std::string *err);
+
+/** Read a manifest directory; nullopt with @p err on a missing or
+ *  malformed manifest. */
+std::optional<ManifestInfo> readManifest(const std::string &dir,
+                                         std::string *err);
+
+/**
+ * Lease bookkeeping for one manifest directory. All operations are
+ * keyed by unit name ("shard_3", "r1_s0", ...); the class is
+ * stateless beyond its configuration and safe to use from multiple
+ * workers on the same directory — that is its purpose.
+ */
+class ClaimDir
+{
+  public:
+    /** @param leaseTimeoutSecs age beyond which a lease with no done
+     *  marker counts as stale (crashed worker). */
+    ClaimDir(std::string dir, unsigned leaseTimeoutSecs);
+
+    /** dir/<name> (for unit CSV paths etc.). */
+    std::string path(const std::string &name) const;
+
+    /**
+     * Try to claim @p unit: take over a stale lease if one is
+     * present, then create the lease atomically. @return true when
+     * this worker now holds the lease.
+     */
+    bool tryClaim(const std::string &unit) const;
+
+    /** Bump the lease mtime (call per completed chunk). */
+    void heartbeat(const std::string &unit) const;
+
+    /** Commit @p unit: create the done marker, drop the lease.
+     *  @return false with @p err when the marker cannot be written. */
+    bool markDone(const std::string &unit, std::string *err) const;
+
+    bool isDone(const std::string &unit) const;
+
+    /** A lease exists and is younger than the timeout. */
+    bool leaseFresh(const std::string &unit) const;
+
+    unsigned leaseTimeoutSecs() const { return timeoutSecs_; }
+
+  private:
+    bool takeOverIfStale(const std::string &unit) const;
+
+    std::string dir_;
+    unsigned timeoutSecs_;
+};
+
+/** The sweep work-unit name for shard @p i ("shard_<i>"). */
+std::string sweepUnitName(unsigned shard);
+
+/** The tune work-unit name for (round, shard) ("r<r>_s<i>"). */
+std::string tuneUnitName(std::size_t round, unsigned shard);
+
+/**
+ * Atomically publish @p text as @p path: write to a worker-private
+ * tmp file, then rename over the target. @return false with @p err
+ * on any I/O failure.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &text,
+                     std::string *err);
+
+} // namespace rcache
+
+#endif // RCACHE_RUNNER_CLAIM_HH

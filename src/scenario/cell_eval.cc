@@ -1,0 +1,123 @@
+#include "scenario/cell_eval.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "workload/profiles.hh"
+
+namespace rcache
+{
+
+std::vector<AppEntry>
+resolveApps(const ScenarioSpec &spec, std::string *err)
+{
+    std::vector<AppEntry> apps;
+    if (spec.apps.empty()) {
+        for (BenchmarkProfile &p : spec2000Suite()) {
+            AppEntry entry;
+            entry.name = p.name;
+            entry.mix = {std::move(p)};
+            apps.push_back(std::move(entry));
+        }
+        return apps;
+    }
+    for (const std::string &name : spec.apps) {
+        auto mix = mixByName(name, err);
+        if (!mix)
+            return {};
+        apps.push_back({name, std::move(*mix)});
+    }
+    return apps;
+}
+
+EffectiveWorkload
+effectiveWorkload(const AppEntry &entry, const DesignPoint &p)
+{
+    EffectiveWorkload eff;
+    if (p.mix.empty()) {
+        eff.mix = entry.mix;
+        eff.label = entry.mix.front();
+        eff.label.name = entry.name;
+    } else {
+        // Validated by ParamSpace::build; failure here is a bug.
+        auto mix = mixByName(p.mix);
+        rc_assert(mix);
+        eff.mix = std::move(*mix);
+        eff.label = eff.mix.front();
+        eff.label.name = p.mix;
+    }
+    return eff;
+}
+
+void
+attachMix(std::vector<RunJob>::iterator begin,
+          std::vector<RunJob>::iterator end,
+          const EffectiveWorkload &eff)
+{
+    if (eff.mix.size() <= 1)
+        return;
+    for (auto it = begin; it != end; ++it)
+        it->mixProfiles = eff.mix;
+}
+
+CacheSide
+cacheSideOf(SweepSide side)
+{
+    return side == SweepSide::ICache ? CacheSide::ICache
+                                     : CacheSide::DCache;
+}
+
+std::string
+baselineKey(const SystemConfig &cfg, const EngineSpec &engine,
+            const std::string &workload)
+{
+    std::ostringstream os;
+    os << workload << '|' << systemConfigKey(cfg) << '|'
+       << engineName(engine.mode) << '|'
+       << engine.sampling.intervalInsts << '|'
+       << engine.sampling.detailedInsts << '|'
+       << engine.sampling.warmupInsts;
+    return os.str();
+}
+
+SweepRecord
+cellRecord(std::size_t cell, const std::string &app,
+           const DesignPoint &p, const SearchOutcome &out)
+{
+    SweepRecord r;
+    r.cell = cell;
+    r.app = app;
+    r.org = organizationToken(p.org);
+    r.strategy = strategyName(p.strategy);
+    r.side = sweepSideName(p.side);
+    r.axes = p.axes;
+    r.bestLevel = out.bestLevel;
+    if (p.strategy == Strategy::Dynamic) {
+        r.intervalAccesses = out.bestParams.intervalAccesses;
+        r.missBound = out.bestParams.missBound;
+        r.sizeBoundBytes = out.bestParams.sizeBoundBytes;
+    }
+    r.edReductionPct = out.edReductionPct();
+    r.perfDegradationPct = out.perfDegradationPct();
+    if (p.side == SweepSide::Both) {
+        const double full =
+            out.baseline.avgIl1Bytes + out.baseline.avgDl1Bytes;
+        r.sizeReductionPct =
+            full == 0 ? 0
+                      : 100.0 * (1.0 - (out.best.avgIl1Bytes +
+                                        out.best.avgDl1Bytes) /
+                                           full);
+    } else {
+        r.sizeReductionPct = out.sizeReductionPct(cacheSideOf(p.side));
+    }
+    r.baselineEdp = out.baseline.edp();
+    r.bestEdp = out.best.edp();
+    r.baselineCycles = out.baseline.cycles;
+    r.bestCycles = out.best.cycles;
+    r.avgIl1Bytes = out.best.avgIl1Bytes;
+    r.avgDl1Bytes = out.best.avgDl1Bytes;
+    r.engine = out.best.engine;
+    return r;
+}
+
+} // namespace rcache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared cell-evaluation vocabulary for design-space drivers.
+ *
+ * A "cell" is one (app, design point) pair with a stable app-major
+ * global index. Two drivers evaluate cells today — the exhaustive
+ * sweep engine (scenario/scenario_sweep.cc) and the adaptive search
+ * (search/adaptive_search.cc) — and both must emit byte-identical
+ * SweepRecord rows for the same cell under the same engine. The
+ * helpers here are that shared surface: workload resolution, mix
+ * attachment, baseline memo keys, and the record a finished cell
+ * reports. Keeping them in one place is what makes the adaptive
+ * winner row provably equal to the exhaustive sweep's row for the
+ * winning cell.
+ */
+
+#ifndef RCACHE_SCENARIO_CELL_EVAL_HH
+#define RCACHE_SCENARIO_CELL_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "scenario/param_space.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+namespace rcache
+{
+
+/** One [workloads] entry: a profile, or a '+'-joined mix. */
+struct AppEntry
+{
+    /** The name as written (the CSV app column). */
+    std::string name;
+    /** Resolved components (size 1 for a plain profile). */
+    std::vector<BenchmarkProfile> mix;
+};
+
+/**
+ * Resolve a scenario's [workloads] list (empty = the whole SPEC2000
+ * suite) into AppEntry rows, in enumeration order. On an unknown
+ * name returns an empty vector and sets @p err.
+ */
+std::vector<AppEntry> resolveApps(const ScenarioSpec &spec,
+                                  std::string *err);
+
+/** The workload a cell actually simulates, after any 'mix' axis
+ *  override. */
+struct EffectiveWorkload
+{
+    /** Label profile handed to Experiment: the first component
+     *  carrying the full mix name (what labels/memo keys show). */
+    BenchmarkProfile label;
+    std::vector<BenchmarkProfile> mix;
+};
+
+EffectiveWorkload effectiveWorkload(const AppEntry &entry,
+                                    const DesignPoint &p);
+
+/** Attach the mix to every job of a multi-programmed cell (a
+ *  one-component mix rides on job.profile alone). */
+void attachMix(std::vector<RunJob>::iterator begin,
+               std::vector<RunJob>::iterator end,
+               const EffectiveWorkload &eff);
+
+/** The CacheSide a single-side sweep side resizes (not Both). */
+CacheSide cacheSideOf(SweepSide side);
+
+/** Memo key of a cell's baseline: the full scenario-visible system
+ *  identity (core count/quantum/models included via systemConfigKey)
+ *  plus the engine selection (insts are sweep-constant). @p workload
+ *  is the effective workload name — the mix override when a 'mix'
+ *  axis set one, else the cell's app. */
+std::string baselineKey(const SystemConfig &cfg,
+                        const EngineSpec &engine,
+                        const std::string &workload);
+
+/** The CSV row a finished cell reports. Both drivers build rows
+ *  through this one function. */
+SweepRecord cellRecord(std::size_t cell, const std::string &app,
+                       const DesignPoint &p,
+                       const SearchOutcome &out);
+
+} // namespace rcache
+
+#endif // RCACHE_SCENARIO_CELL_EVAL_HH

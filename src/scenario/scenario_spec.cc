@@ -65,6 +65,22 @@ parseSweepSideToken(const std::string &t)
     return std::nullopt;
 }
 
+std::string
+searchModeName(SearchMode mode)
+{
+    return mode == SearchMode::Adaptive ? "adaptive" : "exhaustive";
+}
+
+std::optional<SearchMode>
+parseSearchModeToken(const std::string &t)
+{
+    if (t == "exhaustive")
+        return SearchMode::Exhaustive;
+    if (t == "adaptive")
+        return SearchMode::Adaptive;
+    return std::nullopt;
+}
+
 std::optional<CoreModel>
 parseCoreModelToken(const std::string &t)
 {
@@ -707,6 +723,67 @@ Parser::keySearch(const std::string &key, const std::string &value)
         spec_.search.dynGrid.sizeFractions = std::move(v);
         return true;
     }
+    if (key == "mode") {
+        auto mode = parseSearchModeToken(value);
+        if (!mode)
+            return fail("mode wants exhaustive|adaptive, got '" +
+                        value + "'");
+        spec_.search.mode = *mode;
+        return true;
+    }
+    if (key == "ladder") {
+        std::vector<EngineMode> rungs;
+        for (const std::string &item : splitCommas(value)) {
+            auto m = parseEngineModeToken(item);
+            if (!m)
+                return fail("ladder wants a comma-separated list of "
+                            "full|sampled|analytic, got '" + item +
+                            "'");
+            if (std::find(rungs.begin(), rungs.end(), *m) !=
+                rungs.end())
+                return fail("ladder repeats rung '" + item + "'");
+            rungs.push_back(*m);
+        }
+        if (rungs.empty())
+            return fail("ladder wants at least one rung");
+        spec_.search.adaptive.ladder = std::move(rungs);
+        return true;
+    }
+    if (key == "promote") {
+        std::vector<double> v;
+        if (!parseListDouble(value, v))
+            return fail("promote wants a comma-separated list of "
+                        "fractions");
+        for (double f : v)
+            if (f <= 0 || f > 1)
+                return fail("promote fractions must lie in (0, 1]");
+        spec_.search.adaptive.promote = std::move(v);
+        return true;
+    }
+    if (key == "min-survivors") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v) || v == 0)
+            return fail("min-survivors wants a positive integer, "
+                        "got '" + value + "'");
+        spec_.search.adaptive.minSurvivors = v;
+        return true;
+    }
+    if (key == "rank-agree") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v))
+            return fail("rank-agree wants a non-negative integer "
+                        "(0 = off), got '" + value + "'");
+        spec_.search.adaptive.rankAgree = v;
+        return true;
+    }
+    if (key == "sample-interval") {
+        unsigned long long v = 0;
+        if (!parseU64Strict(value, v))
+            return fail("sample-interval wants an instruction count "
+                        "(0 = default), got '" + value + "'");
+        spec_.search.adaptive.sampleInterval = v;
+        return true;
+    }
     return fail("unknown key '" + key + "' in [search]");
 }
 
@@ -1011,6 +1088,32 @@ ScenarioSpec::print(std::ostream &os) const
         joinDouble("miss-fractions", search.dynGrid.missFractions);
     if (search.dynGrid.sizeFractions != default_grid.sizeFractions)
         joinDouble("size-fractions", search.dynGrid.sizeFractions);
+
+    // Adaptive-search keys: only where they differ from the
+    // defaults, so exhaustive scenarios keep their exact bytes.
+    const AdaptiveSpec default_adaptive;
+    if (search.mode != SearchMode::Exhaustive)
+        os << "mode = " << searchModeName(search.mode) << '\n';
+    if (search.adaptive.ladder != default_adaptive.ladder) {
+        os << "ladder = ";
+        for (std::size_t i = 0; i < search.adaptive.ladder.size();
+             ++i)
+            os << (i ? "," : "")
+               << engineName(search.adaptive.ladder[i]);
+        os << '\n';
+    }
+    if (search.adaptive.promote != default_adaptive.promote)
+        joinDouble("promote", search.adaptive.promote);
+    if (search.adaptive.minSurvivors !=
+        default_adaptive.minSurvivors)
+        os << "min-survivors = " << search.adaptive.minSurvivors
+           << '\n';
+    if (search.adaptive.rankAgree != default_adaptive.rankAgree)
+        os << "rank-agree = " << search.adaptive.rankAgree << '\n';
+    if (search.adaptive.sampleInterval !=
+        default_adaptive.sampleInterval)
+        os << "sample-interval = " << search.adaptive.sampleInterval
+           << '\n';
 }
 
 std::string

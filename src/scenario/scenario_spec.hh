@@ -93,6 +93,60 @@ struct Axis
     bool operator==(const Axis &o) const = default;
 };
 
+/** How `rcache-sim tune` allocates runs across the design space. */
+enum class SearchMode
+{
+    /** Every cell at the scenario's engine (the sweep default). */
+    Exhaustive,
+    /** Successive halving over the fidelity ladder (src/search/). */
+    Adaptive,
+};
+
+/** Printable mode name ("exhaustive" / "adaptive"). */
+std::string searchModeName(SearchMode mode);
+
+/** Parse a mode name; nullopt on an unknown one. */
+std::optional<SearchMode> parseSearchModeToken(const std::string &t);
+
+/**
+ * Adaptive-search configuration (`[search] mode = adaptive`): how
+ * successive halving walks the engine fidelity ladder. Consumed by
+ * src/search/adaptive_search.hh; ignored by exhaustive sweeps.
+ */
+struct AdaptiveSpec
+{
+    /**
+     * Engine per round, cheapest first; the last rung verifies the
+     * finalists and stamps the winner. Scenarios outside the
+     * analytic envelope (dynamic strategies, multi-core) start the
+     * ladder at `sampled` instead.
+     */
+    std::vector<EngineMode> ladder{EngineMode::Analytic,
+                                   EngineMode::Sampled,
+                                   EngineMode::Full};
+    /**
+     * Fraction of candidates promoted out of each non-final round,
+     * one entry per rung transition (the last entry repeats if the
+     * ladder is longer). Values lie in (0, 1].
+     */
+    std::vector<double> promote{0.25};
+    /** Never promote fewer than this many candidates. */
+    std::uint64_t minSurvivors = 4;
+    /**
+     * Early exit: stop after a non-first round whose top-K ranking
+     * exactly matches the previous round's (0 = off).
+     */
+    std::uint64_t rankAgree = 0;
+    /**
+     * Sampled-rung period budget, instructions per period (0 = the
+     * SamplingConfig default); detail and warmup follow the
+     * documented defaulting rules.
+     */
+    std::uint64_t sampleInterval = 0;
+
+    bool operator==(const AdaptiveSpec &o) const = default;
+};
+
 /**
  * Per-cell search configuration: the fixed design-point coordinates
  * (overridden by any axis of the same name) and the dynamic
@@ -108,6 +162,12 @@ struct SearchSpec
      *  Experiment::setSearchGrid (sim/search_grid.hh holds the
      *  defaults — one source of truth for both layers). */
     SearchGrid dynGrid;
+
+    /** Allocation mode for `rcache-sim tune` (sweeps are always
+     *  exhaustive regardless of this field). */
+    SearchMode mode = SearchMode::Exhaustive;
+    /** Successive-halving knobs, meaningful under mode = adaptive. */
+    AdaptiveSpec adaptive;
 
     bool operator==(const SearchSpec &o) const = default;
 };

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "analytic/analytic_engine.hh"
+#include "scenario/cell_eval.hh"
 #include "sim/experiment.hh"
 #include "telemetry/run_telemetry.hh"
 #include "telemetry/timeline.hh"
@@ -30,82 +31,6 @@ fail(const std::string &msg)
     return 2;
 }
 
-CacheSide
-cacheSideOf(SweepSide side)
-{
-    return side == SweepSide::ICache ? CacheSide::ICache
-                                     : CacheSide::DCache;
-}
-
-/** Memo key of a cell's baseline: the full scenario-visible system
- *  identity (core count/quantum/models included via systemConfigKey)
- *  plus the engine selection (insts are sweep-constant). @p workload
- *  is the effective workload name — the mix override when a 'mix'
- *  axis set one, else the cell's app. */
-std::string
-baselineKey(const SystemConfig &cfg, const EngineSpec &engine,
-            const std::string &workload)
-{
-    std::ostringstream os;
-    os << workload << '|' << systemConfigKey(cfg) << '|'
-       << engineName(engine.mode) << '|'
-       << engine.sampling.intervalInsts << '|'
-       << engine.sampling.detailedInsts << '|'
-       << engine.sampling.warmupInsts;
-    return os.str();
-}
-
-/** One [workloads] entry: a profile, or a '+'-joined mix. */
-struct AppEntry
-{
-    /** The name as written (the CSV app column). */
-    std::string name;
-    /** Resolved components (size 1 for a plain profile). */
-    std::vector<BenchmarkProfile> mix;
-};
-
-/** The workload a cell actually simulates, after any 'mix' axis
- *  override. */
-struct EffectiveWorkload
-{
-    /** Label profile handed to Experiment: the first component
-     *  carrying the full mix name (what labels/memo keys show). */
-    BenchmarkProfile label;
-    std::vector<BenchmarkProfile> mix;
-};
-
-EffectiveWorkload
-effectiveWorkload(const AppEntry &entry, const DesignPoint &p)
-{
-    EffectiveWorkload eff;
-    if (p.mix.empty()) {
-        eff.mix = entry.mix;
-        eff.label = entry.mix.front();
-        eff.label.name = entry.name;
-    } else {
-        // Validated by ParamSpace::build; failure here is a bug.
-        auto mix = mixByName(p.mix);
-        rc_assert(mix);
-        eff.mix = std::move(*mix);
-        eff.label = eff.mix.front();
-        eff.label.name = p.mix;
-    }
-    return eff;
-}
-
-/** Attach the mix to every job of a multi-programmed cell (a
- *  one-component mix rides on job.profile alone). */
-void
-attachMix(std::vector<RunJob>::iterator begin,
-          std::vector<RunJob>::iterator end,
-          const EffectiveWorkload &eff)
-{
-    if (eff.mix.size() <= 1)
-        return;
-    for (auto it = begin; it != end; ++it)
-        it->mixProfiles = eff.mix;
-}
-
 /** One owned, not-yet-completed cell. Batch offsets are filled in
  *  per chunk. */
 struct CellPlan
@@ -121,47 +46,6 @@ struct CellPlan
     std::size_t ioff = 0, icount = 0;
     std::vector<SearchCandidate> candidates;
 };
-
-SweepRecord
-cellRecord(const CellPlan &plan, const std::string &app,
-           const SearchOutcome &out)
-{
-    const DesignPoint &p = plan.point;
-    SweepRecord r;
-    r.cell = plan.cell;
-    r.app = app;
-    r.org = organizationToken(p.org);
-    r.strategy = strategyName(p.strategy);
-    r.side = sweepSideName(p.side);
-    r.axes = p.axes;
-    r.bestLevel = out.bestLevel;
-    if (p.strategy == Strategy::Dynamic) {
-        r.intervalAccesses = out.bestParams.intervalAccesses;
-        r.missBound = out.bestParams.missBound;
-        r.sizeBoundBytes = out.bestParams.sizeBoundBytes;
-    }
-    r.edReductionPct = out.edReductionPct();
-    r.perfDegradationPct = out.perfDegradationPct();
-    if (p.side == SweepSide::Both) {
-        const double full =
-            out.baseline.avgIl1Bytes + out.baseline.avgDl1Bytes;
-        r.sizeReductionPct =
-            full == 0 ? 0
-                      : 100.0 * (1.0 - (out.best.avgIl1Bytes +
-                                        out.best.avgDl1Bytes) /
-                                           full);
-    } else {
-        r.sizeReductionPct = out.sizeReductionPct(cacheSideOf(p.side));
-    }
-    r.baselineEdp = out.baseline.edp();
-    r.bestEdp = out.best.edp();
-    r.baselineCycles = out.baseline.cycles;
-    r.bestCycles = out.best.cycles;
-    r.avgIl1Bytes = out.best.avgIl1Bytes;
-    r.avgDl1Bytes = out.best.avgDl1Bytes;
-    r.engine = out.best.engine;
-    return r;
-}
 
 } // namespace
 
@@ -180,23 +64,10 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
         return fail("--resume names the output file itself; drop "
                     "--out");
 
-    std::vector<AppEntry> apps;
-    if (spec.apps.empty()) {
-        for (BenchmarkProfile &p : spec2000Suite()) {
-            AppEntry entry;
-            entry.name = p.name;
-            entry.mix = {std::move(p)};
-            apps.push_back(std::move(entry));
-        }
-    } else {
-        for (const std::string &name : spec.apps) {
-            std::string err;
-            auto mix = mixByName(name, &err);
-            if (!mix)
-                return fail(err);
-            apps.push_back({name, std::move(*mix)});
-        }
-    }
+    std::string apps_err;
+    std::vector<AppEntry> apps = resolveApps(spec, &apps_err);
+    if (apps.empty())
+        return fail(apps_err);
 
     const std::size_t npoints = space.numPoints();
     const std::size_t ncells = apps.size() * npoints;
@@ -276,21 +147,17 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
     // distinct (workload, stream shape) pair prices every cell that
     // shares it — that is the whole point of the engine. Register
     // every remaining cell's configuration up front (a pass cannot
-    // learn new geometries once it has run), then run each pass
-    // lazily the first time a chunk prices against it. All the jobs
-    // of a cell share the cell's full geometry, so registering the
-    // design point covers its baseline and every candidate.
-    std::map<std::string, std::unique_ptr<AnalyticPass>> passes;
+    // learn new geometries once it has run); AnalyticBatch runs each
+    // pass lazily the first time a chunk prices against it. All the
+    // jobs of a cell share the cell's full geometry, so registering
+    // the design point covers its baseline and every candidate.
+    AnalyticBatch analytic;
     if (spec.engine.analytic()) {
         for (const CellPlan &plan : plans) {
             const EffectiveWorkload eff =
                 effectiveWorkload(apps[plan.app], plan.point);
-            auto &pass = passes[AnalyticPass::streamKey(
-                plan.point.cfg, eff.label.name, spec.insts)];
-            if (!pass)
-                pass = std::make_unique<AnalyticPass>(eff.label,
-                                                      spec.insts);
-            pass->addConfig(plan.point.cfg);
+            analytic.registerConfig(plan.point.cfg, eff.label,
+                                    spec.insts);
         }
         if (!opt.timelinePath.empty() || !opt.eventsPath.empty() ||
             !opt.traceEventsPath.empty())
@@ -336,18 +203,8 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
     // CSV row, and resume/shard contract is untouched (and the
     // report is trivially byte-identical for any --jobs value).
     const auto execute = [&](const std::vector<RunJob> &jobs) {
-        if (!spec.engine.analytic())
-            return runner.run(jobs);
-        std::vector<RunResult> out;
-        out.reserve(jobs.size());
-        for (const RunJob &job : jobs) {
-            AnalyticPass &pass = *passes.at(AnalyticPass::streamKey(
-                job.cfg, job.profile.name, job.insts));
-            if (!pass.ran())
-                pass.run();
-            out.push_back(priceAnalyticJob(job, pass));
-        }
-        return out;
+        return spec.engine.analytic() ? analytic.price(jobs)
+                                      : runner.run(jobs);
     };
     if (opt.progress) {
         runner.setProgress([](std::size_t done, std::size_t total,
@@ -560,17 +417,17 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                 baseline_memo.at(plan.baseKey);
             SearchOutcome out;
             if (plan.point.side == SweepSide::Both) {
-                out.baseline = base;
-                out.best = results2[phase2_at[i - first]];
-                out.bestLevel = douts[i - first].bestLevel;
+                out = Experiment::reduceBoth(
+                    base, douts[i - first],
+                    results2[phase2_at[i - first]]);
             } else {
                 out = Experiment::reduceSearch(
                     base, plan.candidates,
                     {results.begin() + plan.off,
                      results.begin() + plan.off + plan.count});
             }
-            records.push_back(
-                cellRecord(plan, apps[plan.app].name, out));
+            records.push_back(cellRecord(
+                plan.cell, apps[plan.app].name, plan.point, out));
             // Candidate lists can be large (dynamic grids); drop
             // them with the chunk.
             plans[i].candidates.clear();
@@ -593,6 +450,8 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                 {{"cells", std::to_string(next - first)},
                  {"jobs", std::to_string(batch.size() +
                                          phase2.size())}});
+        if (opt.chunkDone)
+            opt.chunkDone(skip + next);
     }
     const auto t1 = std::chrono::steady_clock::now();
 

@@ -34,6 +34,7 @@
 #define RCACHE_SCENARIO_SCENARIO_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "runner/shard.hh"
@@ -63,6 +64,12 @@ struct SweepOptions
     bool progress = false;
     /** Suppress the "sweep: N runs in ..." stderr summary (tests). */
     bool quiet = false;
+    /**
+     * Called after each chunk's rows are flushed (cells completed so
+     * far). Claim workers use it as a lease heartbeat; never affects
+     * the report bytes.
+     */
+    std::function<void(std::size_t)> chunkDone;
 
     /**
      * @name Telemetry sidecars (see src/telemetry/). All off (empty)

@@ -1,0 +1,825 @@
+#include "search/adaptive_search.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+#include "analytic/analytic_engine.hh"
+#include "runner/claim.hh"
+#include "scenario/cell_eval.hh"
+#include "search/decision_log.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/numformat.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+int
+fail(const std::string &msg)
+{
+    std::cerr << "rcache-sim: " << msg << '\n';
+    return 2;
+}
+
+/** What every round evaluation reads (outlives the executors). */
+struct TuneContext
+{
+    const ParamSpace *space = nullptr;
+    const std::vector<AppEntry> *apps = nullptr;
+    std::uint64_t insts = 0;
+    SearchGrid grid;
+    std::size_t npoints = 0;
+};
+
+/** One cell of a round's batch (the tune twin of the sweep's
+ *  CellPlan; same offsets, same reductions). */
+struct CellWork
+{
+    std::size_t cell = 0;
+    std::size_t app = 0;
+    DesignPoint point;
+    std::string baseKey;
+    std::size_t off = 0, count = 0;
+    std::size_t ioff = 0, icount = 0;
+    std::vector<SearchCandidate> candidates;
+};
+
+struct RoundBatch
+{
+    std::vector<RunJob> jobs;
+    std::vector<CellWork> cells;
+    /** Baselines first seen in this batch: key -> job index. */
+    std::vector<std::pair<std::string, std::size_t>> newBases;
+};
+
+/**
+ * Enumerate @p cells' jobs under the rung's @p engine — the same
+ * baseline-memo / candidate layout the sweep engine builds, minus
+ * chunking (a round is one batch). The rung engine overrides the
+ * scenario's: that is the fidelity ladder.
+ */
+RoundBatch
+buildBatch(const TuneContext &ctx,
+           const std::vector<std::size_t> &cells,
+           const EngineSpec &engine)
+{
+    RoundBatch b;
+    std::map<std::string, std::size_t> base_at;
+    for (const std::size_t cell : cells) {
+        CellWork w;
+        w.cell = cell;
+        w.app = cell / ctx.npoints;
+        w.point = ctx.space->point(cell % ctx.npoints);
+        w.point.engine = engine;
+        const EffectiveWorkload eff =
+            effectiveWorkload((*ctx.apps)[w.app], w.point);
+
+        Experiment exp(w.point.cfg, ctx.insts);
+        exp.setEngine(engine);
+        exp.setSearchGrid(ctx.grid);
+
+        w.baseKey =
+            baselineKey(exp.config(), engine, eff.label.name);
+        if (!base_at.count(w.baseKey)) {
+            base_at[w.baseKey] = b.jobs.size();
+            b.newBases.emplace_back(w.baseKey, b.jobs.size());
+            b.jobs.push_back(exp.baselineJob(eff.label));
+            attachMix(b.jobs.end() - 1, b.jobs.end(), eff);
+        }
+
+        if (w.point.side == SweepSide::Both) {
+            auto d = exp.staticSearchJobs(eff.label,
+                                          CacheSide::DCache,
+                                          w.point.org);
+            attachMix(d.begin(), d.end(), eff);
+            w.off = b.jobs.size();
+            w.count = d.size();
+            b.jobs.insert(b.jobs.end(), d.begin(), d.end());
+            auto ij = exp.staticSearchJobs(eff.label,
+                                           CacheSide::ICache,
+                                           w.point.org);
+            attachMix(ij.begin(), ij.end(), eff);
+            w.ioff = b.jobs.size();
+            w.icount = ij.size();
+            b.jobs.insert(b.jobs.end(), ij.begin(), ij.end());
+        } else {
+            const CacheSide side = cacheSideOf(w.point.side);
+            w.candidates = exp.searchCandidates(side, w.point.org,
+                                                w.point.strategy);
+            auto jobs = exp.searchJobs(eff.label, side, w.point.org,
+                                       w.point.strategy);
+            attachMix(jobs.begin(), jobs.end(), eff);
+            w.off = b.jobs.size();
+            w.count = jobs.size();
+            b.jobs.insert(b.jobs.end(), jobs.begin(), jobs.end());
+        }
+        b.cells.push_back(std::move(w));
+    }
+    return b;
+}
+
+/**
+ * Jobs the round's single-batch schedule runs (baselines memoized,
+ * one phase-2 job per side=both cell). This is the cost model the
+ * decision log accounts with — claim workers re-run baselines their
+ * shard does not share, but every worker logs the same plan-time
+ * number, which keeps the log byte-identical across modes.
+ */
+std::size_t
+plannedRoundJobs(const TuneContext &ctx,
+                 const std::vector<std::size_t> &cells,
+                 const EngineSpec &engine)
+{
+    const RoundBatch b = buildBatch(ctx, cells, engine);
+    std::size_t n = b.jobs.size();
+    for (const CellWork &w : b.cells)
+        if (w.point.side == SweepSide::Both)
+            ++n;
+    return n;
+}
+
+/**
+ * Evaluate @p cells under @p engine and return their SweepRecords in
+ * @p cells order. Mirrors the sweep engine's execute/reduce path via
+ * the shared cell_eval vocabulary, so the rows are byte-identical to
+ * an exhaustive sweep's at the same engine.
+ */
+std::vector<SweepRecord>
+evaluateCells(const TuneContext &ctx,
+              const std::vector<std::size_t> &cells,
+              const EngineSpec &engine, unsigned jobs)
+{
+    RoundBatch b = buildBatch(ctx, cells, engine);
+
+    // Analytic rungs price through shared stack-distance passes;
+    // everything else runs on the pool. Register before running:
+    // a pass cannot learn new geometries once it has run.
+    AnalyticBatch analytic;
+    std::optional<SweepRunner> runner;
+    if (engine.analytic()) {
+        for (const CellWork &w : b.cells) {
+            const EffectiveWorkload eff =
+                effectiveWorkload((*ctx.apps)[w.app], w.point);
+            analytic.registerConfig(w.point.cfg, eff.label,
+                                    ctx.insts);
+        }
+    } else {
+        runner.emplace(jobs);
+    }
+    const auto execute = [&](const std::vector<RunJob> &js) {
+        return engine.analytic() ? analytic.price(js)
+                                 : runner->run(js);
+    };
+
+    const auto results = execute(b.jobs);
+    std::map<std::string, RunResult> bases;
+    for (const auto &[key, idx] : b.newBases)
+        bases[key] = results[idx];
+
+    // Side=both cells: second phase at the two profiled levels.
+    std::vector<RunJob> phase2;
+    std::vector<std::size_t> phase2_at(b.cells.size(), 0);
+    std::vector<SearchOutcome> douts(b.cells.size());
+    for (std::size_t i = 0; i < b.cells.size(); ++i) {
+        const CellWork &w = b.cells[i];
+        if (w.point.side != SweepSide::Both)
+            continue;
+        const RunResult &base = bases.at(w.baseKey);
+        douts[i] = Experiment::reduceStatic(
+            base, {results.begin() + w.off,
+                   results.begin() + w.off + w.count});
+        const SearchOutcome iout = Experiment::reduceStatic(
+            base, {results.begin() + w.ioff,
+                   results.begin() + w.ioff + w.icount});
+        Experiment exp(w.point.cfg, ctx.insts);
+        exp.setEngine(engine);
+        const EffectiveWorkload eff =
+            effectiveWorkload((*ctx.apps)[w.app], w.point);
+        phase2_at[i] = phase2.size();
+        phase2.push_back(exp.bothStaticJob(eff.label, w.point.org,
+                                           iout.bestLevel,
+                                           douts[i].bestLevel));
+        attachMix(phase2.end() - 1, phase2.end(), eff);
+    }
+    const auto results2 = execute(phase2);
+
+    std::vector<SweepRecord> records;
+    records.reserve(b.cells.size());
+    for (std::size_t i = 0; i < b.cells.size(); ++i) {
+        const CellWork &w = b.cells[i];
+        const RunResult &base = bases.at(w.baseKey);
+        SearchOutcome out;
+        if (w.point.side == SweepSide::Both)
+            out = Experiment::reduceBoth(base, douts[i],
+                                         results2[phase2_at[i]]);
+        else
+            out = Experiment::reduceSearch(
+                base, w.candidates,
+                {results.begin() + w.off,
+                 results.begin() + w.off + w.count});
+        records.push_back(cellRecord(
+            w.cell, (*ctx.apps)[w.app].name, w.point, out));
+    }
+    return records;
+}
+
+/**
+ * A cell's score: relative E·D (best/baseline), the paper's metric,
+ * computed in double arithmetic from SweepRecord fields — which
+ * round-trip bit-identically through CSVs, so a claim worker scoring
+ * parsed rows gets the exact bytes a local run gets. A degenerate
+ * zero-E·D baseline scores a finite sentinel that ranks last
+ * (shortestDouble of an infinity would not round-trip).
+ */
+double
+scoreOf(const SweepRecord &r)
+{
+    return r.baselineEdp > 0
+               ? r.bestEdp / r.baselineEdp
+               : std::numeric_limits<double>::max();
+}
+
+/** One record as its exact sweep-CSV row (no newline). */
+std::string
+csvRowOf(const SweepRecord &r)
+{
+    std::ostringstream os;
+    writeSweepCsvRows(os, {r});
+    std::string row = os.str();
+    if (!row.empty() && row.back() == '\n')
+        row.pop_back();
+    return row;
+}
+
+/** How a round's records get produced: locally, or cooperatively
+ *  through a claim directory. */
+class RoundExecutor
+{
+  public:
+    virtual ~RoundExecutor() = default;
+    /** Records in ascending-cell order, or nullopt with @p err. */
+    virtual std::optional<std::vector<SweepRecord>>
+    run(std::size_t round, const EngineSpec &engine,
+        const std::vector<std::size_t> &cells, std::string *err) = 0;
+};
+
+class LocalExecutor final : public RoundExecutor
+{
+  public:
+    LocalExecutor(const TuneContext &ctx, unsigned jobs)
+        : ctx_(ctx), jobs_(jobs)
+    {
+    }
+
+    std::optional<std::vector<SweepRecord>>
+    run(std::size_t, const EngineSpec &engine,
+        const std::vector<std::size_t> &cells, std::string *) override
+    {
+        return evaluateCells(ctx_, cells, engine, jobs_);
+    }
+
+  private:
+    TuneContext ctx_;
+    unsigned jobs_;
+};
+
+/**
+ * Cooperative rounds: the candidate list is dealt round-robin into
+ * `shards` units named r<round>_s<shard>; workers claim units,
+ * publish their slice as a committed CSV, and barrier on the round
+ * (claiming stale units of crashed peers) before everyone gathers
+ * the identical record set. Double evaluation after a takeover race
+ * is benign — slices are deterministic, so both writers commit the
+ * same bytes.
+ */
+class ClaimExecutor final : public RoundExecutor
+{
+  public:
+    ClaimExecutor(const TuneContext &ctx, unsigned jobs,
+                  ClaimDir claims, unsigned shards)
+        : ctx_(ctx), jobs_(jobs), claims_(std::move(claims)),
+          shards_(shards)
+    {
+    }
+
+    std::optional<std::vector<SweepRecord>>
+    run(std::size_t round, const EngineSpec &engine,
+        const std::vector<std::size_t> &cells,
+        std::string *err) override
+    {
+        std::vector<std::string> units;
+        for (unsigned u = 0; u < shards_; ++u)
+            units.push_back(tuneUnitName(round, u));
+
+        for (;;) {
+            bool progressed = false;
+            for (unsigned u = 0; u < shards_; ++u) {
+                if (claims_.isDone(units[u]) ||
+                    !claims_.tryClaim(units[u]))
+                    continue;
+                std::vector<std::size_t> mine;
+                for (std::size_t p = u; p < cells.size();
+                     p += shards_)
+                    mine.push_back(cells[p]);
+                const auto recs =
+                    evaluateCells(ctx_, mine, engine, jobs_);
+                std::ostringstream os;
+                os << sweepCsvHeader() << '\n';
+                writeSweepCsvRows(os, recs);
+                if (!atomicWriteFile(
+                        claims_.path(units[u] + ".csv"), os.str(),
+                        err))
+                    return std::nullopt;
+                if (!claims_.markDone(units[u], err))
+                    return std::nullopt;
+                progressed = true;
+            }
+            bool all_done = true;
+            for (const std::string &unit : units)
+                if (!claims_.isDone(unit))
+                    all_done = false;
+            if (all_done)
+                break;
+            if (!progressed)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+        }
+
+        std::vector<SweepRecord> all;
+        for (const std::string &unit : units) {
+            const std::string path = claims_.path(unit + ".csv");
+            std::ifstream is(path, std::ios::binary);
+            if (!is) {
+                if (err)
+                    *err = "cannot read '" + path + "'";
+                return std::nullopt;
+            }
+            std::string csv_err;
+            const auto recs = readSweepCsv(is, &csv_err);
+            if (!recs) {
+                if (err)
+                    *err = "'" + path + "': " + csv_err;
+                return std::nullopt;
+            }
+            all.insert(all.end(), recs->begin(), recs->end());
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const SweepRecord &a, const SweepRecord &b) {
+                      return a.cell < b.cell;
+                  });
+        bool covered = all.size() == cells.size();
+        for (std::size_t i = 0; covered && i < all.size(); ++i)
+            covered = all[i].cell == cells[i];
+        if (!covered) {
+            if (err)
+                *err = "claim units of round " +
+                       std::to_string(round) +
+                       " do not cover its candidate set (foreign "
+                       "or mismatched manifest directory?)";
+            return std::nullopt;
+        }
+        return all;
+    }
+
+  private:
+    TuneContext ctx_;
+    unsigned jobs_;
+    ClaimDir claims_;
+    unsigned shards_;
+};
+
+/** One fully logged round recovered from a --resume decision log. */
+struct CachedRound
+{
+    std::vector<std::size_t> cells;
+    std::vector<SweepRecord> records;
+};
+
+/**
+ * Recover the complete-round prefix of a prior decision log. The
+ * plan line must match @p planLine byte-for-byte (same scenario,
+ * same knobs); rounds are adopted only up to the first one missing
+ * its verdict line, and each score line's embedded CSV row must
+ * parse back to its cell. Returns false with @p err on a log that
+ * belongs to a different scenario or is corrupt.
+ */
+bool
+loadCachedRounds(const std::string &path, const std::string &planLine,
+                 std::vector<CachedRound> &cached, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return true; // nothing to resume: fresh start
+    std::string read_err;
+    const auto lines = readDecisionLog(in, &read_err);
+    if (!lines) {
+        *err = "--resume " + path + ": " + read_err;
+        return false;
+    }
+    if (lines->empty() || (*lines)[0].raw != planLine) {
+        *err = "--resume " + path +
+               ": plan line does not match this scenario";
+        return false;
+    }
+
+    std::size_t i = 1;
+    for (std::size_t r = 0; i < lines->size(); ++r) {
+        const DecisionLogLine &rl = (*lines)[i];
+        unsigned long long n = 0;
+        if (rl.get("event") != "round" ||
+            rl.get("round") != std::to_string(r) ||
+            !parseU64Strict(rl.get("candidates"), n))
+            break;
+        ++i;
+
+        CachedRound cr;
+        bool scores_ok = true;
+        for (std::uint64_t s = 0; s < n; ++s, ++i) {
+            if (i >= lines->size() ||
+                (*lines)[i].get("event") != "score" ||
+                (*lines)[i].get("round") != std::to_string(r)) {
+                scores_ok = false;
+                break;
+            }
+            unsigned long long cell = 0;
+            if (!parseU64Strict((*lines)[i].get("cell"), cell)) {
+                scores_ok = false;
+                break;
+            }
+            std::istringstream row_is(sweepCsvHeader() + "\n" +
+                                      (*lines)[i].get("row") + "\n");
+            std::string row_err;
+            const auto row = readSweepCsv(row_is, &row_err);
+            if (!row || row->size() != 1 ||
+                (*row)[0].cell != cell) {
+                *err = "--resume " + path + ": line " +
+                       std::to_string(i + 1) +
+                       ": corrupt score row";
+                return false;
+            }
+            cr.cells.push_back(static_cast<std::size_t>(cell));
+            cr.records.push_back((*row)[0]);
+        }
+        if (!scores_ok)
+            break;
+
+        // A round counts as cached only with its verdict line; a
+        // log cut mid-round re-runs that round (same bytes either
+        // way — everything is deterministic).
+        if (i >= lines->size())
+            break;
+        const std::string ev = (*lines)[i].get("event");
+        const bool round_matches =
+            (*lines)[i].get("round") == std::to_string(r);
+        if (ev == "promote" && round_matches) {
+            ++i;
+            cached.push_back(std::move(cr));
+            continue;
+        }
+        if (ev == "early-exit" && round_matches &&
+            i + 1 < lines->size() &&
+            (*lines)[i + 1].get("event") == "winner") {
+            cached.push_back(std::move(cr));
+            break;
+        }
+        if (ev == "winner") {
+            cached.push_back(std::move(cr));
+            break;
+        }
+        break;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+runAdaptiveSearch(const ParamSpace &space, const TuneOptions &opt,
+                  TuneStats *stats)
+{
+    const ScenarioSpec &spec = space.spec();
+    const AdaptiveSpec &ad = spec.search.adaptive;
+
+    if (spec.search.mode != SearchMode::Adaptive)
+        return fail("scenario '" + spec.name +
+                    "' is not adaptive; add 'mode = adaptive' to "
+                    "its [search] section");
+    if (ad.ladder.empty())
+        return fail("adaptive ladder is empty");
+    for (const Axis &axis : spec.axes)
+        if (axis.name == "sample.interval")
+            return fail("adaptive search drives the engine ladder "
+                        "itself; drop the sample.interval axis");
+    if (!opt.resumePath.empty() && !opt.claimDir.empty())
+        return fail("--resume and --claim are mutually exclusive "
+                    "(claim directories resume themselves)");
+    if (ad.sampleInterval) {
+        const char *why = SamplingConfig::shapeError(
+            ad.sampleInterval,
+            SamplingConfig::defaultDetail(ad.sampleInterval),
+            SamplingConfig::defaultWarmup(ad.sampleInterval));
+        if (why)
+            return fail(std::string("[search] sample-interval: ") +
+                        why);
+    }
+
+    std::string apps_err;
+    const std::vector<AppEntry> apps = resolveApps(spec, &apps_err);
+    if (apps.empty())
+        return fail(apps_err);
+    const std::size_t npoints = space.numPoints();
+    const std::size_t ncells = apps.size() * npoints;
+
+    // Materialize the rung engines and hold every rung to the same
+    // cross-cutting constraints the sweep enforces for its engine
+    // (the analytic envelope, sampled-reachability, ...).
+    std::vector<EngineSpec> rungs;
+    for (const EngineMode mode : ad.ladder) {
+        EngineSpec e;
+        if (mode == EngineMode::Analytic)
+            e = EngineSpec::makeAnalytic();
+        else if (mode == EngineMode::Sampled)
+            e = ad.sampleInterval == 0
+                    ? EngineSpec::makeSampled(SamplingConfig{})
+                    : EngineSpec::makeSampled(
+                          ad.sampleInterval,
+                          SamplingConfig::defaultDetail(
+                              ad.sampleInterval),
+                          SamplingConfig::defaultWarmup(
+                              ad.sampleInterval));
+        ScenarioSpec probe = spec;
+        probe.engine = e;
+        std::string probe_err;
+        if (!ParamSpace::build(probe, &probe_err))
+            return fail("ladder rung '" + engineName(mode) +
+                        "': " + probe_err);
+        rungs.push_back(e);
+    }
+
+    std::string ladder_tok, promote_tok;
+    for (std::size_t i = 0; i < ad.ladder.size(); ++i)
+        ladder_tok +=
+            (i ? "," : "") + engineName(ad.ladder[i]);
+    for (std::size_t i = 0; i < ad.promote.size(); ++i)
+        promote_tok +=
+            (i ? "," : "") + shortestDouble(ad.promote[i]);
+    const std::string plan_line = tunePlanLine(
+        spec.name, spec.insts, apps.size(), npoints, ncells,
+        ladder_tok, promote_tok, ad.minSurvivors, ad.rankAgree,
+        ad.sampleInterval);
+
+    TuneContext ctx;
+    ctx.space = &space;
+    ctx.apps = &apps;
+    ctx.insts = spec.insts;
+    ctx.grid = spec.search.dynGrid;
+    ctx.npoints = npoints;
+
+    // ---- executor: local, or cooperative over a manifest dir
+    std::unique_ptr<RoundExecutor> exec;
+    if (!opt.claimDir.empty()) {
+        std::string read_err;
+        auto mf = readManifest(opt.claimDir, &read_err);
+        if (!mf) {
+            if (opt.shards == 0)
+                return fail(read_err);
+            ManifestInfo info;
+            info.mode = "tune";
+            info.shards = opt.shards;
+            info.scenarioText = spec.printToString();
+            std::string write_err;
+            if (writeManifest(opt.claimDir, info, &write_err)) {
+                mf = info;
+            } else {
+                // Lost the creation race; join what the winner wrote.
+                mf = readManifest(opt.claimDir, &read_err);
+                if (!mf)
+                    return fail(write_err);
+            }
+        }
+        if (mf->mode != "tune")
+            return fail("manifest in '" + opt.claimDir + "' is a " +
+                        mf->mode + " manifest, not a tune");
+        if (mf->scenarioText != spec.printToString())
+            return fail("manifest in '" + opt.claimDir +
+                        "' was created for a different scenario");
+        if (opt.shards != 0 && opt.shards != mf->shards)
+            return fail("--shards " + std::to_string(opt.shards) +
+                        " does not match the manifest's " +
+                        std::to_string(mf->shards));
+        exec = std::make_unique<ClaimExecutor>(
+            ctx, opt.jobs,
+            ClaimDir(opt.claimDir, opt.leaseTimeoutSecs),
+            mf->shards);
+    } else {
+        exec = std::make_unique<LocalExecutor>(ctx, opt.jobs);
+    }
+
+    // ---- resume: adopt the complete-round prefix of a prior log
+    std::vector<CachedRound> cached;
+    if (!opt.resumePath.empty()) {
+        std::string resume_err;
+        if (!loadCachedRounds(opt.resumePath, plan_line, cached,
+                              &resume_err))
+            return fail(resume_err);
+    }
+
+    // ---- decision log sink
+    std::string log_text;
+    std::ofstream log_os;
+    if (!opt.logPath.empty() && opt.emitOutputs) {
+        log_os.open(opt.logPath,
+                    std::ios::binary | std::ios::trunc);
+        if (!log_os)
+            return fail("cannot write '" + opt.logPath + "'");
+    }
+    const auto emit = [&](const std::string &line) {
+        log_text += line;
+        log_text += '\n';
+        if (log_os.is_open()) {
+            log_os << line << '\n';
+            log_os.flush();
+        }
+    };
+    emit(plan_line);
+
+    // ---- cost accounting (plan arithmetic; see plannedRoundJobs)
+    std::vector<std::size_t> all_cells(ncells);
+    std::iota(all_cells.begin(), all_cells.end(), 0);
+    const std::uint64_t exhaustive_insts =
+        plannedRoundJobs(ctx, all_cells, spec.engine) *
+        spec.engine.detailedInstsFor(spec.insts);
+
+    // ---- successive halving over the ladder
+    std::vector<std::size_t> candidates = all_cells;
+    std::vector<std::size_t> prev_rank;
+    std::uint64_t detailed_insts = 0;
+    std::size_t rounds_run = 0;
+    bool early = false;
+    std::optional<SweepRecord> winner;
+    std::string winner_score;
+
+    for (std::size_t r = 0; r < rungs.size(); ++r) {
+        const EngineSpec &engine = rungs[r];
+        emit(tuneRoundLine(r, engineName(ad.ladder[r]),
+                           candidates.size()));
+        detailed_insts += plannedRoundJobs(ctx, candidates, engine) *
+                          engine.detailedInstsFor(spec.insts);
+
+        std::vector<SweepRecord> records;
+        if (r < cached.size()) {
+            if (cached[r].cells != candidates)
+                return fail("--resume " + opt.resumePath +
+                            ": round " + std::to_string(r) +
+                            " candidates do not match this "
+                            "scenario's schedule");
+            records = cached[r].records;
+        } else {
+            std::string exec_err;
+            auto recs =
+                exec->run(r, engine, candidates, &exec_err);
+            if (!recs)
+                return fail(exec_err);
+            records = std::move(*recs);
+        }
+        ++rounds_run;
+
+        std::vector<double> score(records.size());
+        std::vector<std::string> score_text(records.size());
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            score[i] = scoreOf(records[i]);
+            score_text[i] = shortestDouble(score[i]);
+            emit(tuneScoreLine(r, records[i].cell, score_text[i],
+                               csvRowOf(records[i])));
+        }
+
+        std::vector<std::size_t> order(records.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (score[a] != score[b])
+                          return score[a] < score[b];
+                      return records[a].cell < records[b].cell;
+                  });
+        std::vector<std::size_t> rank;
+        rank.reserve(order.size());
+        for (const std::size_t o : order)
+            rank.push_back(records[o].cell);
+
+        const bool final_rung = r + 1 == rungs.size();
+        if (!final_rung && ad.rankAgree > 0 && r > 0) {
+            const std::size_t k = std::min<std::size_t>(
+                ad.rankAgree,
+                std::min(rank.size(), prev_rank.size()));
+            bool agree = k > 0;
+            for (std::size_t i = 0; agree && i < k; ++i)
+                agree = rank[i] == prev_rank[i];
+            if (agree) {
+                emit(tuneEarlyExitLine(
+                    r, {rank.begin(), rank.begin() + k}));
+                early = true;
+            }
+        }
+
+        if (final_rung || early) {
+            winner = records[order[0]];
+            winner_score = score_text[order[0]];
+            emit(tuneWinnerLine(winner->cell, winner->app,
+                                winner_score,
+                                engineName(ad.ladder[r]),
+                                rounds_run, detailed_insts,
+                                exhaustive_insts));
+            break;
+        }
+
+        const double frac = ad.promote[std::min<std::size_t>(
+            r, ad.promote.size() - 1)];
+        const std::size_t keep = std::min(
+            rank.size(),
+            std::max<std::size_t>(
+                ad.minSurvivors,
+                static_cast<std::size_t>(std::ceil(
+                    frac * static_cast<double>(rank.size())))));
+        emit(tunePromoteLine(r, rank, keep));
+        candidates.assign(rank.begin(), rank.begin() + keep);
+        std::sort(candidates.begin(), candidates.end());
+        prev_rank = std::move(rank);
+    }
+    // The loop always breaks with a winner: the last rung takes the
+    // final_rung branch unconditionally.
+    rc_assert(winner);
+
+    if (opt.emitOutputs) {
+        std::ostringstream out;
+        out << sweepCsvHeader() << '\n';
+        writeSweepCsvRows(out, {*winner});
+        if (opt.outPath.empty()) {
+            std::cout << out.str();
+            std::cout.flush();
+        } else {
+            std::ofstream f(opt.outPath,
+                            std::ios::binary | std::ios::trunc);
+            if (!f)
+                return fail("cannot write '" + opt.outPath + "'");
+            f << out.str();
+            f.flush();
+            if (!f)
+                return fail("error writing '" + opt.outPath + "'");
+        }
+    }
+
+    if (stats) {
+        stats->cells = ncells;
+        stats->rounds = rounds_run;
+        stats->earlyExit = early;
+        stats->detailedInsts = detailed_insts;
+        stats->exhaustiveDetailedInsts = exhaustive_insts;
+        stats->winner = *winner;
+        stats->logText = log_text;
+    }
+
+    if (!opt.quiet) {
+        std::cerr << "tune: winner cell " << winner->cell << " ("
+                  << winner->app;
+        if (!winner->axes.empty())
+            std::cerr << ", " << winner->axes;
+        std::cerr << "), relative E.D " << winner_score << ", "
+                  << rounds_run << "/" << rungs.size() << " round(s)"
+                  << (early ? " [early exit]" : "")
+                  << ", detailed insts " << detailed_insts << " vs "
+                  << exhaustive_insts << " exhaustive";
+        if (detailed_insts > 0 && exhaustive_insts > 0)
+            std::cerr << " ("
+                      << shortestDouble(
+                             static_cast<double>(exhaustive_insts) /
+                             static_cast<double>(detailed_insts))
+                      << "x less)";
+        std::cerr << '\n';
+    }
+    return 0;
+}
+
+int
+runAdaptiveSearch(const ScenarioSpec &spec, const TuneOptions &opt,
+                  TuneStats *stats)
+{
+    std::string err;
+    const auto space = ParamSpace::build(spec, &err);
+    if (!space)
+        return fail(err);
+    return runAdaptiveSearch(*space, opt, stats);
+}
+
+} // namespace rcache

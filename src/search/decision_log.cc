@@ -1,0 +1,179 @@
+#include "search/decision_log.hh"
+
+#include <istream>
+#include <sstream>
+
+namespace rcache
+{
+
+namespace
+{
+
+std::string
+joinCells(const std::vector<std::size_t> &cells)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        os << (i ? "," : "") << cells[i];
+    return os.str();
+}
+
+} // namespace
+
+std::string
+tunePlanLine(const std::string &scenario, std::uint64_t insts,
+             std::size_t apps, std::size_t points, std::size_t cells,
+             const std::string &ladder, const std::string &promote,
+             std::uint64_t min_survivors, std::uint64_t rank_agree,
+             std::uint64_t sample_interval)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"rcache-tune-v1\",\"scenario\":\"" << scenario
+       << "\",\"insts\":" << insts << ",\"apps\":" << apps
+       << ",\"points\":" << points << ",\"cells\":" << cells
+       << ",\"ladder\":\"" << ladder << "\",\"promote\":\"" << promote
+       << "\",\"min_survivors\":" << min_survivors
+       << ",\"rank_agree\":" << rank_agree
+       << ",\"sample_interval\":" << sample_interval << "}";
+    return os.str();
+}
+
+std::string
+tuneRoundLine(std::size_t round, const std::string &engine,
+              std::size_t candidates)
+{
+    std::ostringstream os;
+    os << "{\"event\":\"round\",\"round\":" << round
+       << ",\"engine\":\"" << engine
+       << "\",\"candidates\":" << candidates << "}";
+    return os.str();
+}
+
+std::string
+tuneScoreLine(std::size_t round, std::size_t cell,
+              const std::string &score, const std::string &row)
+{
+    std::ostringstream os;
+    os << "{\"event\":\"score\",\"round\":" << round
+       << ",\"cell\":" << cell << ",\"score\":" << score
+       << ",\"row\":\"" << row << "\"}";
+    return os.str();
+}
+
+std::string
+tunePromoteLine(std::size_t round,
+                const std::vector<std::size_t> &rank,
+                std::size_t keep)
+{
+    std::ostringstream os;
+    os << "{\"event\":\"promote\",\"round\":" << round
+       << ",\"rank\":\"" << joinCells(rank) << "\",\"keep\":" << keep
+       << ",\"dropped\":" << rank.size() - keep << "}";
+    return os.str();
+}
+
+std::string
+tuneEarlyExitLine(std::size_t round,
+                  const std::vector<std::size_t> &top)
+{
+    std::ostringstream os;
+    os << "{\"event\":\"early-exit\",\"round\":" << round
+       << ",\"top\":\"" << joinCells(top) << "\"}";
+    return os.str();
+}
+
+std::string
+tuneWinnerLine(std::size_t cell, const std::string &app,
+               const std::string &score, const std::string &engine,
+               std::size_t rounds, std::uint64_t detailed_insts,
+               std::uint64_t exhaustive_detailed_insts)
+{
+    std::ostringstream os;
+    os << "{\"event\":\"winner\",\"cell\":" << cell << ",\"app\":\""
+       << app << "\",\"score\":" << score << ",\"engine\":\""
+       << engine << "\",\"rounds\":" << rounds
+       << ",\"detailed_insts\":" << detailed_insts
+       << ",\"exhaustive_detailed_insts\":"
+       << exhaustive_detailed_insts << "}";
+    return os.str();
+}
+
+std::string
+DecisionLogLine::get(const std::string &key) const
+{
+    auto it = fields.find(key);
+    return it == fields.end() ? "" : it->second;
+}
+
+std::optional<std::vector<DecisionLogLine>>
+readDecisionLog(std::istream &in, std::string *err)
+{
+    const auto failWith = [&](int line_no, const std::string &why) {
+        if (err)
+            *err = "line " + std::to_string(line_no) + ": " + why;
+        return std::nullopt;
+    };
+
+    std::vector<DecisionLogLine> out;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        DecisionLogLine parsed;
+        parsed.raw = line;
+        // Strict flat-object scan: {"k":"v",...} or {"k":123,...}.
+        // The builders emit no escapes, nesting, or whitespace, so
+        // anything else is a malformed log.
+        std::size_t i = 0;
+        const auto expect = [&](char c) {
+            if (i >= line.size() || line[i] != c)
+                return false;
+            ++i;
+            return true;
+        };
+        if (!expect('{'))
+            return failWith(line_no, "expected '{'");
+        bool first = true;
+        while (i < line.size() && line[i] != '}') {
+            if (!first && !expect(','))
+                return failWith(line_no, "expected ','");
+            first = false;
+            if (!expect('"'))
+                return failWith(line_no, "expected '\"' before key");
+            const std::size_t kend = line.find('"', i);
+            if (kend == std::string::npos)
+                return failWith(line_no, "unterminated key");
+            const std::string key = line.substr(i, kend - i);
+            i = kend + 1;
+            if (!expect(':'))
+                return failWith(line_no, "expected ':'");
+            std::string value;
+            if (i < line.size() && line[i] == '"') {
+                ++i;
+                const std::size_t vend = line.find('"', i);
+                if (vend == std::string::npos)
+                    return failWith(line_no, "unterminated value");
+                value = line.substr(i, vend - i);
+                i = vend + 1;
+            } else {
+                const std::size_t vend =
+                    line.find_first_of(",}", i);
+                if (vend == std::string::npos || vend == i)
+                    return failWith(line_no, "bad bare value");
+                value = line.substr(i, vend - i);
+                i = vend;
+            }
+            if (!parsed.fields.emplace(key, value).second)
+                return failWith(line_no,
+                                "duplicate key '" + key + "'");
+        }
+        if (!expect('}') || i != line.size())
+            return failWith(line_no, "trailing bytes after '}'");
+        if (parsed.fields.empty())
+            return failWith(line_no, "empty object");
+        out.push_back(std::move(parsed));
+    }
+    return out;
+}
+
+} // namespace rcache

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The adaptive search's decision log: a deterministic, replayable
+ * JSONL record of every allocation decision `rcache-sim tune` makes.
+ *
+ * One line per event, in execution order:
+ *
+ *   {"schema":"rcache-tune-v1","scenario":...}        the plan
+ *   {"event":"round","round":R,"engine":...}          round header
+ *   {"event":"score","round":R,"cell":C,...}          one per
+ *       candidate, ascending cell order; carries the candidate's
+ *       exact sweep-CSV row so the log alone replays the search
+ *   {"event":"promote","round":R,"rank":...}          the ranking
+ *       and survivor verdict of a non-final round
+ *   {"event":"early-exit","round":R,"top":...}        rank-agreement
+ *       stop (only when [search] rank-agree fires)
+ *   {"event":"winner","cell":C,...}                   final verdict
+ *       with detailed-instruction accounting
+ *
+ * Every byte is a pure function of the scenario spec: scores come
+ * from shortestDouble over values that round-trip bit-identically
+ * through sweep CSVs, rankings from post-barrier reductions. So the
+ * log is byte-identical across --jobs values, claim workers, and
+ * resumes — the same identity contract the golden tests pin for
+ * exhaustive sweep CSVs. Line *builders* live here so the writer
+ * (search/adaptive_search.cc) and any replayer agree on the exact
+ * bytes; the reader below parses the flat one-object-per-line form
+ * strictly, for --resume and for tests.
+ */
+
+#ifndef RCACHE_SEARCH_DECISION_LOG_HH
+#define RCACHE_SEARCH_DECISION_LOG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rcache
+{
+
+/** @name Line builders (no trailing newline) */
+/// @{
+
+/** The plan header; @p ladder / @p promote are the canonical
+ *  comma-joined token lists. */
+std::string tunePlanLine(const std::string &scenario,
+                         std::uint64_t insts, std::size_t apps,
+                         std::size_t points, std::size_t cells,
+                         const std::string &ladder,
+                         const std::string &promote,
+                         std::uint64_t minSurvivors,
+                         std::uint64_t rankAgree,
+                         std::uint64_t sampleInterval);
+
+std::string tuneRoundLine(std::size_t round,
+                          const std::string &engine,
+                          std::size_t candidates);
+
+/** @p score is already formatted (shortestDouble or "inf");
+ *  @p row is the candidate's exact sweep-CSV row. */
+std::string tuneScoreLine(std::size_t round, std::size_t cell,
+                          const std::string &score,
+                          const std::string &row);
+
+/** @p rank is the full best-first cell ranking; the first @p keep
+ *  entries survive into the next round. */
+std::string tunePromoteLine(std::size_t round,
+                            const std::vector<std::size_t> &rank,
+                            std::size_t keep);
+
+std::string tuneEarlyExitLine(std::size_t round,
+                              const std::vector<std::size_t> &top);
+
+std::string tuneWinnerLine(std::size_t cell, const std::string &app,
+                           const std::string &score,
+                           const std::string &engine,
+                           std::size_t rounds,
+                           std::uint64_t detailedInsts,
+                           std::uint64_t exhaustiveDetailedInsts);
+/// @}
+
+/** One parsed log line: the raw bytes plus its flat fields (string
+ *  values unquoted, numbers kept as written). */
+struct DecisionLogLine
+{
+    std::string raw;
+    std::map<std::string, std::string> fields;
+
+    /** "" when the field is absent. */
+    std::string get(const std::string &key) const;
+};
+
+/**
+ * Strict reader: every line must be a flat JSON object in the form
+ * the builders above emit (string or bare-number values, no nesting,
+ * no escapes). On failure returns nullopt and sets @p err to one
+ * "line N: why" message.
+ */
+std::optional<std::vector<DecisionLogLine>>
+readDecisionLog(std::istream &in, std::string *err);
+
+} // namespace rcache
+
+#endif // RCACHE_SEARCH_DECISION_LOG_HH

@@ -68,6 +68,21 @@ struct EngineSpec
     bool sampled() const { return mode == EngineMode::Sampled; }
     bool analytic() const { return mode == EngineMode::Analytic; }
 
+    /**
+     * Timing-core instructions a run of @p insts under this engine
+     * simulates in detail: all of them (full), the measured windows
+     * (sampled; equals RunResult::measuredInsts), or none
+     * (analytic). The adaptive search's cost accounting.
+     */
+    std::uint64_t detailedInstsFor(std::uint64_t insts) const
+    {
+        if (mode == EngineMode::Full)
+            return insts;
+        if (mode == EngineMode::Analytic)
+            return 0;
+        return sampling.measuredInsts(insts);
+    }
+
     bool operator==(const EngineSpec &o) const = default;
 
     /** Fatal on a malformed spec (sampled with a bad period shape, or

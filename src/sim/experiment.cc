@@ -288,6 +288,18 @@ Experiment::reduceDynamic(const RunResult &baseline,
     return reduceSearch(baseline, candidates, results);
 }
 
+SearchOutcome
+Experiment::reduceBoth(const RunResult &baseline,
+                       const SearchOutcome &dcacheOut,
+                       const RunResult &combined)
+{
+    SearchOutcome out;
+    out.baseline = baseline;
+    out.best = combined;
+    out.bestLevel = dcacheOut.bestLevel;
+    return out;
+}
+
 RunJob
 Experiment::bothStaticJob(const BenchmarkProfile &profile,
                           Organization org, unsigned il1_level,

@@ -281,6 +281,17 @@ class Experiment
     reduceDynamic(const RunResult &baseline,
                   const std::vector<DynamicParams> &grid,
                   const std::vector<RunResult> &results);
+
+    /**
+     * Assemble a side=both outcome (the Fig 9 methodology): the
+     * combined run at the two per-side profiled levels is the best
+     * point, and the reported level is the dcache side's (matching
+     * the per-side CSV convention). Shared by the sweep engine and
+     * the adaptive search so their rows cannot drift.
+     */
+    static SearchOutcome reduceBoth(const RunResult &baseline,
+                                    const SearchOutcome &dcacheOut,
+                                    const RunResult &combined);
     /// @}
 
     const SystemConfig &config() const { return cfg_; }

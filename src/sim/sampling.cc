@@ -36,6 +36,26 @@ SamplingConfig::periodShape(std::uint64_t remaining) const
     return s;
 }
 
+std::uint64_t
+SamplingConfig::measuredInsts(std::uint64_t total) const
+{
+    validate();
+    std::uint64_t measured = 0;
+    // Full periods all measure detailedInsts; only the tail differs.
+    // Collapsing them keeps this O(1) for any total/interval ratio.
+    if (total >= intervalInsts) {
+        const std::uint64_t full = total / intervalInsts;
+        measured += full * detailedInsts;
+        total -= full * intervalInsts;
+    }
+    while (total > 0) {
+        const PeriodShape s = periodShape(total);
+        measured += s.detailed;
+        total -= s.fastForward + s.warmup + s.detailed;
+    }
+    return measured;
+}
+
 void
 SamplingConfig::validate() const
 {

@@ -98,6 +98,16 @@ struct SamplingConfig
     };
     PeriodShape periodShape(std::uint64_t remaining) const;
 
+    /**
+     * Timing-core instructions a sampled run of @p total
+     * instructions measures — the sum of every period's detailed
+     * window, walked with periodShape so it equals the controller's
+     * SampledStats::measuredInsts exactly. Pure plan-time
+     * arithmetic; the adaptive search and benches use it to account
+     * detailed-simulation cost without running anything.
+     */
+    std::uint64_t measuredInsts(std::uint64_t total) const;
+
     /** @name Derived defaults
      * The single source for the documented `--sample` /
      * `RCACHE_SAMPLE` defaulting rules, shared by the CLI and the

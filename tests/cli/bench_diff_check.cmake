@@ -1,0 +1,81 @@
+# Self-check for tools/bench_diff.py, run as a ctest script:
+#
+#   cmake -DPYTHON=<python3> -DBENCH_DIFF=<tools/bench_diff.py>
+#         -DBASELINES=<bench/baselines> -DWORK_DIR=<scratch>
+#         -P bench_diff_check.cmake
+#
+# 1. Comparing the checked-in baselines against themselves reports
+#    an all-zero delta (including the geomean summary row) and
+#    passes the strict gate.
+# 2. A regressed record trips --fail-below with exit 1.
+# 3. A unit mismatch is its own exit code (3), distinct from both
+#    "regressed" (1) and "usage/IO" (2), so CI can tell "got slower"
+#    from "not comparable".
+
+foreach(var PYTHON BENCH_DIFF BASELINES WORK_DIR)
+  if(NOT ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+function(run_diff rc_var out_var)
+  execute_process(COMMAND ${PYTHON} ${BENCH_DIFF} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(${rc_var} "${rc}" PARENT_SCOPE)
+  set(${out_var} "${out}\n${err}" PARENT_SCOPE)
+endfunction()
+
+# ---- 1. self-compare: zero deltas, a geomean row, exit 0
+run_diff(rc out ${BASELINES} ${BASELINES} --fail-below 0.001)
+if(NOT rc EQUAL 0)
+  message(SEND_ERROR "self-compare expected exit 0, got ${rc}: ${out}")
+endif()
+if(NOT out MATCHES "geomean +- +- +\\+0\\.00%")
+  message(SEND_ERROR "self-compare is missing the all-zero geomean "
+                     "summary row — output was: ${out}")
+endif()
+
+# ---- fixtures: one real record, regressed / unit-flipped copies
+file(GLOB records "${BASELINES}/BENCH_*.json")
+list(GET records 0 record)
+get_filename_component(record_name ${record} NAME)
+file(READ ${record} text)
+
+file(REMOVE_RECURSE ${WORK_DIR}/regressed ${WORK_DIR}/mismatch
+     ${WORK_DIR}/base_one)
+file(MAKE_DIRECTORY ${WORK_DIR}/regressed ${WORK_DIR}/mismatch
+     ${WORK_DIR}/base_one)
+file(WRITE ${WORK_DIR}/base_one/${record_name} "${text}")
+
+string(REGEX REPLACE "\"throughput\": [0-9.eE+-]+"
+       "\"throughput\": 0.001" slow "${text}")
+file(WRITE ${WORK_DIR}/regressed/${record_name} "${slow}")
+
+string(REGEX REPLACE "\"unit\": \"[^\"]*\""
+       "\"unit\": \"bananas/s\"" flipped "${text}")
+file(WRITE ${WORK_DIR}/mismatch/${record_name} "${flipped}")
+
+# ---- 2. a regression trips the gate with exit 1
+run_diff(rc out ${WORK_DIR}/base_one ${WORK_DIR}/regressed
+         --fail-below 2)
+if(NOT rc EQUAL 1)
+  message(SEND_ERROR "regression expected exit 1, got ${rc}: ${out}")
+endif()
+if(NOT out MATCHES "regressed")
+  message(SEND_ERROR "regression diagnostic missing: ${out}")
+endif()
+
+# ---- 3. a unit mismatch is exit 3, even without --fail-below
+run_diff(rc out ${WORK_DIR}/base_one ${WORK_DIR}/mismatch)
+if(NOT rc EQUAL 3)
+  message(SEND_ERROR
+          "unit mismatch expected exit 3, got ${rc}: ${out}")
+endif()
+if(NOT out MATCHES "unit mismatch")
+  message(SEND_ERROR "unit-mismatch diagnostic missing: ${out}")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR}/regressed ${WORK_DIR}/mismatch
+     ${WORK_DIR}/base_one)

@@ -240,3 +240,78 @@ file(WRITE ${GOOD_SCN}
 check_prints("good_cli_test.scn: ok" scenario check ${GOOD_SCN})
 check_prints("org = ways,sets" scenario print ${GOOD_SCN})
 file(REMOVE ${GOOD_SCN})
+
+# ---- tune / merge / claim orchestration flags
+# Rejection that must exit with status 2 exactly (the documented
+# usage/IO code) and print one diagnostic line.
+function(check_exit2_oneline expect)
+  check_rejects_oneline("${expect}" ${ARGN})
+  execute_process(COMMAND ${RCACHE_SIM} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(SEND_ERROR
+            "expected exit 2 from: rcache-sim ${ARGN} — got ${rc}")
+  endif()
+endfunction()
+
+check_rejects_oneline("unknown option '--bogus' for 'tune'"
+                      tune --bogus 1)
+check_rejects_oneline("tune needs --scenario" tune)
+check_rejects_oneline("unknown option '--frob' for 'merge'"
+                      merge --frob)
+check_rejects_oneline("merge needs shard CSVs or a manifest" merge)
+check_rejects_oneline("option '--out' needs a value" merge --out)
+check_rejects_oneline("needs --claim DIR"
+                      sweep --apps ammp --shards 2)
+check_rejects_oneline("needs --claim DIR"
+                      sweep --apps ammp --lease-timeout 60)
+check_rejects_oneline("--out conflicts with --claim"
+                      sweep --claim nowhere --out x.csv)
+check_rejects_oneline("--resume conflicts with --claim"
+                      sweep --claim nowhere --resume x.csv)
+check_rejects_oneline("grid flags conflict with --scenario"
+                      sweep --claim nowhere --scenario x.scn
+                      --apps ammp)
+check_rejects_oneline("no manifest in 'nowhere'"
+                      sweep --claim nowhere)
+
+# A tune on a scenario without mode = adaptive names the fix; the
+# claim knobs demand --claim; resume and claim are exclusive.
+set(EXH_SCN "${CMAKE_CURRENT_BINARY_DIR}/tune_exhaustive_cli.scn")
+file(WRITE ${EXH_SCN}
+     "[scenario]\nname = exh\n[axes]\norg = ways,sets\n")
+check_rejects_oneline("add 'mode = adaptive'"
+                      tune --scenario ${EXH_SCN})
+set(ADA_SCN "${CMAKE_CURRENT_BINARY_DIR}/tune_adaptive_cli.scn")
+file(WRITE ${ADA_SCN}
+     "[scenario]\nname = ada\n[axes]\norg = ways,sets\n"
+     "[search]\nmode = adaptive\n")
+check_rejects_oneline("--shards/--lease-timeout need --claim DIR"
+                      tune --scenario ${ADA_SCN} --shards 2)
+check_rejects_oneline("--resume and --claim are mutually exclusive"
+                      tune --scenario ${ADA_SCN} --resume a.log
+                      --claim d)
+file(REMOVE ${EXH_SCN} ${ADA_SCN})
+check_prints("--claim" sweep --help)
+check_prints("--scenario" tune --help)
+check_prints("CLAIM_DIR" merge --help)
+
+# ---- missing/empty artifact inputs: one "path:line:" diagnostic,
+# exit 2 (never a stack trace or a silent empty report)
+check_exit2_oneline("no-such-artifact.jsonl:1: cannot open"
+                    inspect --events no-such-artifact.jsonl)
+check_exit2_oneline("no-such-timeline.jsonl:1: cannot open"
+                    inspect --timeline no-such-timeline.jsonl)
+check_exit2_oneline("no-such-shard.csv:1: cannot open"
+                    merge no-such-shard.csv)
+set(EMPTY_ART "${CMAKE_CURRENT_BINARY_DIR}/empty_artifact.jsonl")
+file(WRITE ${EMPTY_ART} "")
+check_exit2_oneline("empty_artifact.jsonl:1: empty file"
+                    inspect --events ${EMPTY_ART})
+set(EMPTY_CSV "${CMAKE_CURRENT_BINARY_DIR}/empty_shard.csv")
+file(WRITE ${EMPTY_CSV} "")
+check_exit2_oneline("empty_shard.csv:1: missing header"
+                    merge ${EMPTY_CSV})
+file(REMOVE ${EMPTY_ART} ${EMPTY_CSV})

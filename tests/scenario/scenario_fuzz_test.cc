@@ -213,6 +213,38 @@ randomSpec(Rng &rng, int idx)
             spec.search.dynGrid.sizeFractions.push_back(
                 static_cast<double>(rng.nextBelow(1001)) / 1000.0);
     }
+
+    // ---- [search] adaptive-tune knobs: mode and the successive-
+    // halving configuration (printed only when non-default, so they
+    // exercise both the emit and the omit paths).
+    if (rng.chance(0.4))
+        spec.search.mode = SearchMode::Adaptive;
+    if (rng.chance(0.4)) {
+        // A random non-repeating ladder: shuffle the three rungs and
+        // keep a non-empty prefix (the parser rejects repeats).
+        std::vector<EngineMode> rungs{EngineMode::Analytic,
+                                      EngineMode::Sampled,
+                                      EngineMode::Full};
+        for (std::size_t i = rungs.size(); i > 1; --i)
+            std::swap(rungs[i - 1], rungs[rng.nextBelow(i)]);
+        rungs.resize(1 + rng.nextBelow(rungs.size()));
+        spec.search.adaptive.ladder = std::move(rungs);
+    }
+    if (rng.chance(0.4)) {
+        spec.search.adaptive.promote.clear();
+        const std::size_t n = 1 + rng.nextBelow(3);
+        for (std::size_t i = 0; i < n; ++i)
+            spec.search.adaptive.promote.push_back(
+                static_cast<double>(1 + rng.nextBelow(1000)) /
+                1000.0);
+    }
+    if (rng.chance(0.3))
+        spec.search.adaptive.minSurvivors = 1 + rng.nextBelow(16);
+    if (rng.chance(0.3))
+        spec.search.adaptive.rankAgree = rng.nextBelow(8);
+    if (rng.chance(0.3))
+        spec.search.adaptive.sampleInterval =
+            1000 + rng.nextBelow(1000000);
     return spec;
 }
 
@@ -298,6 +330,16 @@ TEST(ScenarioFuzzTest, MalformedInputsGetOneLineDiagnostics)
         "[engine]\nmode = sampled\ninterval = 10\ndetail = 20\n",
         "[engine]\nmode = full\nmode = sampled\n",
         "[engine]\nnosuch = 1\n",
+        "[search]\nmode = quickest\n",
+        "[search]\nladder =\n",
+        "[search]\nladder = analytic,analytic\n",
+        "[search]\nladder = analytic,quick\n",
+        "[search]\npromote = 0\n",
+        "[search]\npromote = 1.5\n",
+        "[search]\npromote = half\n",
+        "[search]\nmin-survivors = 0\n",
+        "[search]\nrank-agree = soon\n",
+        "[search]\nsample-interval = fast\n",
         "[engine]\nmode = full\n[sampling]\ninterval = 10\n",
         "[sampling]\ninterval = 10\n[engine]\nmode = full\n",
         "[search]\nstrategy = none\n",

@@ -215,8 +215,8 @@ TEST(ScenarioSpecTest, RejectsMalformedInput)
 TEST(ScenarioSpecTest, CheckedInScenariosValidate)
 {
 #ifdef RCACHE_SCENARIO_SOURCE_DIR
-    for (const char *name : {"fig4.scn", "fig9.scn",
-                             "inorder_lowpower.scn",
+    for (const char *name : {"fig4.scn", "fig4_tune.scn",
+                             "fig9.scn", "inorder_lowpower.scn",
                              "l2_latency.scn"}) {
         const std::string path =
             std::string(RCACHE_SCENARIO_SOURCE_DIR) + "/" + name;
@@ -231,6 +231,46 @@ TEST(ScenarioSpecTest, CheckedInScenariosValidate)
 #else
     GTEST_SKIP() << "RCACHE_SCENARIO_SOURCE_DIR not defined";
 #endif
+}
+
+TEST(ScenarioSpecTest, AdaptiveSearchKeysParseAndRoundTrip)
+{
+    const ScenarioSpec spec = parseOk(R"([search]
+mode = adaptive
+ladder = analytic,sampled,full
+promote = 0.3,0.15
+min-survivors = 2
+rank-agree = 3
+sample-interval = 25000
+)");
+    EXPECT_EQ(spec.search.mode, SearchMode::Adaptive);
+    EXPECT_EQ(spec.search.adaptive.ladder,
+              (std::vector<EngineMode>{EngineMode::Analytic,
+                                       EngineMode::Sampled,
+                                       EngineMode::Full}));
+    EXPECT_EQ(spec.search.adaptive.promote,
+              (std::vector<double>{0.3, 0.15}));
+    EXPECT_EQ(spec.search.adaptive.minSurvivors, 2u);
+    EXPECT_EQ(spec.search.adaptive.rankAgree, 3u);
+    EXPECT_EQ(spec.search.adaptive.sampleInterval, 25000u);
+    EXPECT_EQ(parseOk(spec.printToString()), spec);
+
+    // Defaults: exhaustive mode, the documented ladder.
+    const ScenarioSpec plain = parseOk("[scenario]\nname = p\n");
+    EXPECT_EQ(plain.search.mode, SearchMode::Exhaustive);
+    EXPECT_EQ(plain.search.adaptive, AdaptiveSpec{});
+
+    // Malformed adaptive keys get one-line rejections.
+    EXPECT_NE(parseErr("[search]\nmode = sideways\n").find("mode"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[search]\nladder = analytic,analytic\n")
+                  .find("repeats"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[search]\npromote = 1.5\n").find("(0, 1]"),
+              std::string::npos);
+    EXPECT_NE(parseErr("[search]\nmin-survivors = 0\n")
+                  .find("positive"),
+              std::string::npos);
 }
 
 TEST(ScenarioSpecTest, SystemConfigKeyDistinguishesConfigs)

@@ -1,0 +1,320 @@
+/** @file
+ * Tests for the cooperative orchestration layer: manifest
+ * create/join, the lease lifecycle with stale takeover, merge
+ * validation, and the byte-identity of claim-mode sweeps and tunes
+ * with their single-process equivalents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "runner/claim.hh"
+#include "scenario/scenario_sweep.hh"
+#include "search/adaptive_search.hh"
+#include "search/sweep_merge.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+/** A fresh directory under the test tmpdir. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string
+pathIn(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** 2 apps x org x strategy = 8 cells, short runs. */
+ScenarioSpec
+sweepSpec()
+{
+    std::string err;
+    const auto spec = ScenarioSpec::parseText(R"([scenario]
+name = claim-test
+insts = 20000
+
+[workloads]
+apps = ammp,gcc
+
+[axes]
+org = ways,sets
+strategy = static,dynamic
+
+[search]
+intervals = 1024
+miss-fractions = 0.01
+size-fractions = 0,1
+)",
+                                              "claim-test.scn",
+                                              &err);
+    EXPECT_TRUE(spec) << err;
+    return *spec;
+}
+
+/** Adaptive variant for claim-mode tunes. */
+ScenarioSpec
+tuneSpec()
+{
+    std::string err;
+    const auto spec = ScenarioSpec::parseText(R"([scenario]
+name = claim-tune-test
+insts = 30000
+
+[workloads]
+apps = gcc,m88ksim
+
+[axes]
+assoc = 2,4
+org = ways,sets
+
+[search]
+strategy = static
+side = dcache
+mode = adaptive
+ladder = analytic,full
+promote = 0.5
+min-survivors = 2
+)",
+                                              "claim-tune.scn",
+                                              &err);
+    EXPECT_TRUE(spec) << err;
+    return *spec;
+}
+
+ClaimSweepOptions
+workerOpts(const std::string &dir, unsigned shards)
+{
+    ClaimSweepOptions opt;
+    opt.dir = dir;
+    opt.shards = shards;
+    opt.quiet = true;
+    return opt;
+}
+
+} // namespace
+
+TEST(ClaimTest, ManifestCreateReadAndDoubleCreate)
+{
+    const std::string dir = freshDir("claim_manifest");
+    ManifestInfo info;
+    info.mode = "sweep";
+    info.shards = 3;
+    info.scenarioText = "[scenario]\nname = x\n";
+
+    std::string err;
+    ASSERT_TRUE(writeManifest(dir, info, &err)) << err;
+    const auto back = readManifest(dir, &err);
+    ASSERT_TRUE(back) << err;
+    EXPECT_EQ(back->mode, "sweep");
+    EXPECT_EQ(back->shards, 3u);
+    EXPECT_EQ(back->scenarioText, info.scenarioText);
+
+    // The meta file is the commit point: a second creator loses.
+    EXPECT_FALSE(writeManifest(dir, info, &err));
+    EXPECT_NE(err.find("already exists"), std::string::npos);
+
+    // Reading an absent manifest names the fix.
+    EXPECT_FALSE(readManifest(freshDir("claim_nothing"), &err));
+    EXPECT_NE(err.find("--shards"), std::string::npos);
+}
+
+TEST(ClaimTest, LeaseLifecycleAndStaleTakeover)
+{
+    const std::string dir = freshDir("claim_lease");
+    std::filesystem::create_directories(dir);
+    const ClaimDir claims(dir, 300);
+
+    EXPECT_FALSE(claims.isDone("u0"));
+    EXPECT_TRUE(claims.tryClaim("u0"));
+    EXPECT_TRUE(claims.leaseFresh("u0"));
+    // Held: a second claimant bounces.
+    EXPECT_FALSE(claims.tryClaim("u0"));
+
+    // Age the lease past the timeout; the next claimant takes over.
+    std::filesystem::last_write_time(
+        dir + "/u0.lease",
+        std::filesystem::file_time_type::clock::now() -
+            std::chrono::hours(2));
+    EXPECT_FALSE(claims.leaseFresh("u0"));
+    EXPECT_TRUE(claims.tryClaim("u0"));
+
+    // A heartbeat keeps a lease fresh.
+    std::filesystem::last_write_time(
+        dir + "/u0.lease",
+        std::filesystem::file_time_type::clock::now() -
+            std::chrono::hours(2));
+    claims.heartbeat("u0");
+    EXPECT_TRUE(claims.leaseFresh("u0"));
+
+    // Done units are never claimable again.
+    std::string err;
+    ASSERT_TRUE(claims.markDone("u0", &err)) << err;
+    EXPECT_TRUE(claims.isDone("u0"));
+    EXPECT_FALSE(claims.tryClaim("u0"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/u0.lease"));
+}
+
+TEST(ClaimTest, ClaimSweepPlusMergeMatchesSingleProcess)
+{
+    const ScenarioSpec spec = sweepSpec();
+
+    SweepOptions so;
+    so.outPath = pathIn("claim_ref.csv");
+    so.quiet = true;
+    ASSERT_EQ(runScenarioSweep(spec, so), 0);
+    const std::string reference = slurp(so.outPath);
+
+    const std::string dir = freshDir("claim_sweep_single");
+    ASSERT_EQ(runClaimSweep(spec, workerOpts(dir, 3)), 0);
+    for (unsigned u = 0; u < 3; ++u)
+        EXPECT_TRUE(std::filesystem::exists(
+            dir + "/" + sweepUnitName(u) + ".done"));
+
+    // Manifest-directory merge and explicit-shard merge both
+    // reproduce the unsharded CSV byte for byte.
+    const std::string merged = pathIn("claim_merged.csv");
+    ASSERT_EQ(runSweepMerge({dir}, merged), 0);
+    EXPECT_EQ(slurp(merged), reference);
+
+    std::vector<std::string> shard_csvs;
+    for (unsigned u = 0; u < 3; ++u)
+        shard_csvs.push_back(dir + "/" + sweepUnitName(u) + ".csv");
+    const std::string merged2 = pathIn("claim_merged2.csv");
+    ASSERT_EQ(runSweepMerge(shard_csvs, merged2), 0);
+    EXPECT_EQ(slurp(merged2), reference);
+
+    // Strict cover validation: a duplicated shard and a missing
+    // shard are both hard errors.
+    EXPECT_NE(runSweepMerge({shard_csvs[0], shard_csvs[0],
+                             shard_csvs[1], shard_csvs[2]},
+                            pathIn("claim_dup.csv")),
+              0);
+    EXPECT_NE(runSweepMerge({shard_csvs[0], shard_csvs[2]},
+                            pathIn("claim_gap.csv")),
+              0);
+}
+
+TEST(ClaimTest, TwoWorkersDrainOneManifest)
+{
+    const ScenarioSpec spec = sweepSpec();
+
+    SweepOptions so;
+    so.outPath = pathIn("claim_ref2.csv");
+    so.quiet = true;
+    ASSERT_EQ(runScenarioSweep(spec, so), 0);
+
+    // Both workers race to create the manifest (the loser joins) and
+    // drain units concurrently; each returns 0 only once every unit
+    // is done.
+    const std::string dir = freshDir("claim_sweep_pair");
+    int rc1 = -1, rc2 = -1;
+    std::thread w1(
+        [&] { rc1 = runClaimSweep(spec, workerOpts(dir, 3)); });
+    std::thread w2(
+        [&] { rc2 = runClaimSweep(spec, workerOpts(dir, 3)); });
+    w1.join();
+    w2.join();
+    EXPECT_EQ(rc1, 0);
+    EXPECT_EQ(rc2, 0);
+
+    const std::string merged = pathIn("claim_merged_pair.csv");
+    ASSERT_EQ(runSweepMerge({dir}, merged), 0);
+    EXPECT_EQ(slurp(merged), slurp(pathIn("claim_ref2.csv")));
+}
+
+TEST(ClaimTest, ClaimRejectsMismatchedJoin)
+{
+    const ScenarioSpec spec = sweepSpec();
+    const std::string dir = freshDir("claim_mismatch");
+    ASSERT_EQ(runClaimSweep(spec, workerOpts(dir, 2)), 0);
+
+    // Joining with a different shard count or scenario is refused.
+    EXPECT_NE(runClaimSweep(spec, workerOpts(dir, 3)), 0);
+    ScenarioSpec other = spec;
+    other.insts = 40000;
+    EXPECT_NE(runClaimSweep(other, workerOpts(dir, 2)), 0);
+
+    // Merge refuses a tune manifest.
+    const std::string tdir = freshDir("claim_tune_manifest");
+    TuneOptions topt;
+    topt.quiet = true;
+    topt.emitOutputs = false;
+    topt.claimDir = tdir;
+    topt.shards = 2;
+    ASSERT_EQ(runAdaptiveSearch(tuneSpec(), topt, nullptr), 0);
+    EXPECT_NE(runSweepMerge({tdir}, pathIn("claim_tune_merge.csv")),
+              0);
+}
+
+TEST(ClaimTest, ClaimTuneMatchesLocalTune)
+{
+    const ScenarioSpec spec = tuneSpec();
+
+    TuneOptions local;
+    local.quiet = true;
+    local.outPath = pathIn("claim_tune_local.csv");
+    local.logPath = pathIn("claim_tune_local.log");
+    TuneStats ref;
+    ASSERT_EQ(runAdaptiveSearch(spec, local, &ref), 0);
+
+    // Two claim workers share every round's units; each computes the
+    // same ranking from the committed records, so both logs and both
+    // winner CSVs are byte-identical to the local run's.
+    const std::string dir = freshDir("claim_tune_pair");
+    auto claimed = [&](const std::string &tag) {
+        TuneOptions opt;
+        opt.quiet = true;
+        opt.claimDir = dir;
+        opt.shards = 2;
+        opt.outPath = pathIn("claim_tune_" + tag + ".csv");
+        opt.logPath = pathIn("claim_tune_" + tag + ".log");
+        return opt;
+    };
+    int rc1 = -1, rc2 = -1;
+    TuneStats s1, s2;
+    std::thread w1([&] {
+        rc1 = runAdaptiveSearch(spec, claimed("w1"), &s1);
+    });
+    std::thread w2([&] {
+        rc2 = runAdaptiveSearch(spec, claimed("w2"), &s2);
+    });
+    w1.join();
+    w2.join();
+    ASSERT_EQ(rc1, 0);
+    ASSERT_EQ(rc2, 0);
+
+    EXPECT_EQ(s1.logText, ref.logText);
+    EXPECT_EQ(s2.logText, ref.logText);
+    EXPECT_EQ(slurp(pathIn("claim_tune_w1.csv")),
+              slurp(pathIn("claim_tune_local.csv")));
+    EXPECT_EQ(slurp(pathIn("claim_tune_w2.csv")),
+              slurp(pathIn("claim_tune_local.csv")));
+    EXPECT_EQ(s1.winner.cell, ref.winner.cell);
+}
+
+} // namespace rcache

@@ -6,20 +6,30 @@ Usage: bench_diff.py BASELINE_DIR CURRENT_DIR [--fail-below PCT]
 Each directory holds the machine-readable records written by
 `rcache-sim bench` (one BENCH_<name>.json per benchmark spec). The
 report lists, per spec, the baseline and current throughput and the
-relative delta; specs present on only one side are reported as
-added/missing. Throughput is higher-is-better everywhere.
+relative delta, then a `geomean` summary row: the geometric mean of
+the per-spec throughput ratios over the specs present on both sides
+(the one number to watch — it is immune to one spec's scale dwarfing
+the rest). Specs present on only one side are reported as
+added/missing and do not enter the geomean. Throughput is
+higher-is-better everywhere.
 
 Exit status: 0 on success, 1 when --fail-below PCT is given and any
-common spec regressed by more than PCT percent, 2 on usage/IO errors.
-Without --fail-below the script is report-only (CI uses it that way:
-machine noise makes a hard gate on shared runners too flaky to be the
+common spec (or the geomean) regressed by more than PCT percent, 2 on
+usage/IO errors, 3 when a spec's unit differs between the two sides
+(a unit mismatch means the ratio is meaningless, so it gets its own
+code: CI can tell "got slower" from "not comparable"). Without
+--fail-below the script is report-only (CI uses it that way: machine
+noise makes a hard gate on shared runners too flaky to be the
 default).
 """
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
+
+EXIT_UNIT_MISMATCH = 3
 
 
 def load_records(dirpath):
@@ -59,8 +69,9 @@ def main():
     cur = load_records(args.current)
 
     names = sorted(set(base) | set(cur))
-    width = max(len(n) for n in names)
+    width = max(len(n) for n in names + ["geomean"])
     regressions = []
+    log_ratios = []
 
     print(f"{'benchmark':<{width}} {'baseline':>12} {'current':>12} "
           f"{'delta':>8}")
@@ -76,18 +87,33 @@ def main():
                   f"{'-':>12}  missing")
             continue
         if b["unit"] != c["unit"]:
-            raise SystemExit(
-                f"bench_diff: {name}: unit mismatch "
-                f"({b['unit']} vs {c['unit']})")
+            print(f"bench_diff: {name}: unit mismatch "
+                  f"({b['unit']} vs {c['unit']})", file=sys.stderr)
+            return EXIT_UNIT_MISMATCH
         if b["throughput"] <= 0:
             raise SystemExit(
                 f"bench_diff: {name}: non-positive baseline "
                 f"throughput")
-        delta = 100.0 * (c["throughput"] / b["throughput"] - 1.0)
+        if c["throughput"] <= 0:
+            raise SystemExit(
+                f"bench_diff: {name}: non-positive current "
+                f"throughput")
+        ratio = c["throughput"] / b["throughput"]
+        delta = 100.0 * (ratio - 1.0)
+        log_ratios.append(math.log(ratio))
         print(f"{name:<{width}} {b['throughput']:>12.2f} "
               f"{c['throughput']:>12.2f} {delta:>+7.2f}%")
         if args.fail_below is not None and -delta > args.fail_below:
             regressions.append((name, delta))
+
+    if log_ratios:
+        gm_delta = 100.0 * (
+            math.exp(sum(log_ratios) / len(log_ratios)) - 1.0)
+        print(f"{'geomean':<{width}} {'-':>12} {'-':>12} "
+              f"{gm_delta:>+7.2f}%")
+        if (args.fail_below is not None
+                and -gm_delta > args.fail_below):
+            regressions.append(("geomean", gm_delta))
 
     if regressions:
         for name, delta in regressions:

@@ -7,6 +7,11 @@
  *             the legacy org x strategy x app grid flags, fanned
  *             across a SweepRunner thread pool, shardable (--shard)
  *             and resumable (--resume), reported as CSV/JSON/table
+ *   tune      adaptive design-space search: successive halving over
+ *             the engine fidelity ladder, with a replayable decision
+ *             log and cooperative --claim workers (src/search/)
+ *   merge     re-interleave sweep shard CSVs (or a --claim manifest
+ *             directory) into the byte-identical unsharded report
  *   run       one explicit design point, full run report
  *   replay    drive a recorded trace file through one design point
  *   scenario  check/print scenario files
@@ -36,6 +41,8 @@
 #include "runner/sweep_runner.hh"
 #include "scenario/scenario_spec.hh"
 #include "scenario/scenario_sweep.hh"
+#include "search/adaptive_search.hh"
+#include "search/sweep_merge.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
@@ -59,6 +66,10 @@ usage(std::ostream &os, int code)
           "usage:\n"
           "  rcache-sim sweep [options]     design-space sweep "
           "(--scenario file or grid flags)\n"
+          "  rcache-sim tune [options]      adaptive search: find "
+          "the best cell on a fidelity ladder\n"
+          "  rcache-sim merge [opts] f..    re-interleave shard CSVs "
+          "(or a --claim dir) into one report\n"
           "  rcache-sim run [options]       one explicit design "
           "point\n"
           "  rcache-sim replay [options]    drive a recorded trace "
@@ -142,7 +153,11 @@ knownOptions(const std::string &cmd)
              "--cores", "--mix", "--quantum", "--format", "--out",
              "--progress", "--engine", "--sample", "--sample-detail",
              "--sample-warmup", "--timeline", "--events",
-             "--trace-events", "--timeline-interval"});
+             "--trace-events", "--timeline-interval", "--claim",
+             "--shards", "--lease-timeout"});
+    } else if (cmd == "tune") {
+        add({"--scenario", "--jobs", "--out", "--log", "--resume",
+             "--claim", "--shards", "--lease-timeout"});
     } else if (cmd == "run") {
         add({"--insts", "--assoc", "--app", "--cores", "--mix",
              "--quantum", "--engine", "--sample", "--sample-detail",
@@ -172,6 +187,13 @@ commandPurpose(const std::string &cmd)
 {
     if (cmd == "sweep")
         return "design-space sweep (--scenario file or grid flags)";
+    if (cmd == "tune")
+        return "adaptive design-space search: successive halving "
+               "over the engine fidelity ladder ([search] mode = "
+               "adaptive)";
+    if (cmd == "merge")
+        return "re-interleave sweep shard CSVs (or a --claim "
+               "manifest directory) into the unsharded report";
     if (cmd == "run")
         return "one explicit design point, full run report";
     if (cmd == "replay")
@@ -262,6 +284,19 @@ optionHelp(const std::string &key)
          "timeline sample period in insts (default 10000)"},
         {"--window",
          "oscillation window in controller intervals (default 3)"},
+        {"--claim",
+         "cooperative mode: claim work units from manifest "
+         "directory DIR (create it with --shards N; other workers "
+         "just name the DIR to join)"},
+        {"--shards",
+         "work units when creating a --claim manifest (joining "
+         "workers inherit the manifest's count)"},
+        {"--lease-timeout",
+         "seconds before a claimed unit with no progress counts as "
+         "crashed and may be taken over (default 300)"},
+        {"--log",
+         "write the adaptive search's JSONL decision log to FILE "
+         "(byte-identical across --jobs, workers, and resumes)"},
     };
     auto it = help.find(key);
     if (it != help.end())
@@ -719,9 +754,89 @@ scenarioFromFlags(const Args &args, bool *legacy_used)
     return spec;
 }
 
+/** Whether any sweep grid flag (the --scenario alternatives) is
+ *  present. */
+bool
+hasGridFlags(const Args &args)
+{
+    for (const char *key :
+         {"--apps", "--orgs", "--strategies", "--side", "--insts",
+          "--assoc", "--cores", "--mix", "--quantum", "--engine",
+          "--sample", "--sample-detail", "--sample-warmup"})
+        if (args.has(key))
+            return true;
+    return false;
+}
+
+/** sweep --claim: one cooperative worker over a manifest dir. */
+int
+cmdSweepClaim(const Args &args)
+{
+    // Claim workers publish per-unit CSVs inside the manifest
+    // directory; the single-file output/resume/telemetry options
+    // belong to plain sweeps.
+    for (const char *conflict :
+         {"--shard", "--resume", "--out", "--format", "--timeline",
+          "--events", "--trace-events", "--timeline-interval"}) {
+        if (args.has(conflict)) {
+            std::cerr << "rcache-sim: " << conflict
+                      << " conflicts with --claim (units are "
+                         "committed into the manifest directory; "
+                         "use 'rcache-sim merge')\n";
+            return 2;
+        }
+    }
+    std::optional<ScenarioSpec> spec;
+    bool legacy_sample = false;
+    if (args.has("--scenario")) {
+        if (hasGridFlags(args)) {
+            std::cerr << "rcache-sim: grid flags conflict with "
+                         "--scenario (the scenario file defines "
+                         "the sweep)\n";
+            return 2;
+        }
+        std::string err;
+        spec = ScenarioSpec::parseFile(args.get("--scenario", ""),
+                                       &err);
+        if (!spec) {
+            std::cerr << "rcache-sim: " << err << '\n';
+            return 2;
+        }
+    } else if (hasGridFlags(args)) {
+        spec = scenarioFromFlags(args, &legacy_sample);
+        if (!spec)
+            return 2;
+    } // else: join whatever scenario the manifest holds
+
+    const auto jobs = parseU64(args, "--jobs", 1);
+    const auto shards = parseU64(args, "--shards", 0);
+    const auto lease = parseU64(args, "--lease-timeout", 300);
+    if (!jobs || !shards || !lease)
+        return 2;
+    ClaimSweepOptions opt;
+    opt.dir = args.get("--claim", "");
+    opt.shards = static_cast<unsigned>(*shards);
+    opt.leaseTimeoutSecs = static_cast<unsigned>(*lease);
+    opt.jobs = static_cast<unsigned>(*jobs);
+    opt.progress = args.flags.count("--progress") != 0;
+    if (legacy_sample)
+        warnLegacySampleFlags();
+    return runClaimSweep(spec, opt);
+}
+
 int
 cmdSweep(const Args &args)
 {
+    if (args.has("--claim"))
+        return cmdSweepClaim(args);
+    for (const char *needs_claim : {"--shards", "--lease-timeout"}) {
+        if (args.has(needs_claim)) {
+            std::cerr << "rcache-sim: " << needs_claim
+                      << " needs --claim DIR\n";
+            return 2;
+        }
+    }
+
     // ---- resolve the scenario: a file, or the grid flags
     std::optional<ScenarioSpec> spec;
     bool legacy_sample = false;
@@ -793,6 +908,93 @@ cmdSweep(const Args &args)
     if (legacy_sample)
         warnLegacySampleFlags();
     return runScenarioSweep(*spec, opt);
+}
+
+// ---------------------------------------------------------------- tune
+
+int
+cmdTune(const Args &args)
+{
+    if (!args.has("--scenario")) {
+        std::cerr << "rcache-sim: tune needs --scenario FILE (with "
+                     "'mode = adaptive' in its [search] section)\n";
+        return 2;
+    }
+    std::string err;
+    const auto spec =
+        ScenarioSpec::parseFile(args.get("--scenario", ""), &err);
+    if (!spec) {
+        std::cerr << "rcache-sim: " << err << '\n';
+        return 2;
+    }
+    const auto jobs = parseU64(args, "--jobs", 1);
+    const auto shards = parseU64(args, "--shards", 0);
+    const auto lease = parseU64(args, "--lease-timeout", 300);
+    if (!jobs || !shards || !lease)
+        return 2;
+    if ((args.has("--shards") || args.has("--lease-timeout")) &&
+        !args.has("--claim")) {
+        std::cerr << "rcache-sim: --shards/--lease-timeout need "
+                     "--claim DIR\n";
+        return 2;
+    }
+    TuneOptions opt;
+    opt.jobs = static_cast<unsigned>(*jobs);
+    opt.logPath = args.get("--log", "");
+    opt.outPath = args.get("--out", "");
+    opt.resumePath = args.get("--resume", "");
+    opt.claimDir = args.get("--claim", "");
+    opt.shards = static_cast<unsigned>(*shards);
+    opt.leaseTimeoutSecs = static_cast<unsigned>(*lease);
+    return runAdaptiveSearch(*spec, opt);
+}
+
+// --------------------------------------------------------------- merge
+
+int
+mergeHelp()
+{
+    std::cout
+        << "rcache-sim merge — " << commandPurpose("merge")
+        << "\n\n"
+           "usage: rcache-sim merge [--out FILE] SHARD.csv...\n"
+           "       rcache-sim merge [--out FILE] CLAIM_DIR\n"
+           "\n"
+           "Inputs are shard CSVs of one scenario (any order), or a\n"
+           "single --claim manifest directory whose units are all\n"
+           "done. The merged report is byte-identical to an\n"
+           "unsharded 'rcache-sim sweep' of the same scenario.\n";
+    return 0;
+}
+
+/** merge takes positional inputs, so it parses itself (like
+ *  scenario). */
+int
+cmdMerge(int argc, char **argv)
+{
+    std::string out;
+    std::vector<std::string> inputs;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help")
+            return mergeHelp();
+        if (arg == "--out") {
+            if (i + 1 >= argc) {
+                std::cerr << "rcache-sim: option '--out' needs a "
+                             "value\n";
+                return 2;
+            }
+            out = argv[++i];
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "rcache-sim: unknown option '" << arg
+                      << "' for 'merge' (try 'rcache-sim merge "
+                         "--help')\n";
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    return runSweepMerge(inputs, out);
 }
 
 // ------------------------------------------------------------ scenario
@@ -1202,25 +1404,39 @@ cmdInspect(const Args &args)
         return 2;
     }
 
+    // Missing and empty inputs get the standard one-line
+    // "<path>:<line>:" diagnostic (an empty telemetry file always
+    // means a wiring mistake — a run that wrote nothing — and a
+    // silent empty summary would hide it).
+    const auto openArtifact =
+        [](const std::string &path,
+           std::ifstream &in) {
+            in.open(path, std::ios::binary);
+            if (!in) {
+                std::cerr << "rcache-sim: " << path
+                          << ":1: cannot open\n";
+                return false;
+            }
+            if (in.peek() == std::char_traits<char>::eof()) {
+                std::cerr << "rcache-sim: " << path
+                          << ":1: empty file\n";
+                return false;
+            }
+            return true;
+        };
     try {
         if (args.has("--timeline")) {
             const std::string path = args.get("--timeline", "");
-            std::ifstream in(path, std::ios::binary);
-            if (!in) {
-                std::cerr << "rcache-sim: cannot open '" << path
-                          << "'\n";
+            std::ifstream in;
+            if (!openArtifact(path, in))
                 return 2;
-            }
             printTimelineSummary(std::cout, summarizeTimeline(in));
         }
         if (args.has("--events")) {
             const std::string path = args.get("--events", "");
-            std::ifstream in(path, std::ios::binary);
-            if (!in) {
-                std::cerr << "rcache-sim: cannot open '" << path
-                          << "'\n";
+            std::ifstream in;
+            if (!openArtifact(path, in))
                 return 2;
-            }
             if (args.has("--timeline"))
                 std::cout << '\n';
             printEventsSummary(std::cout,
@@ -1252,7 +1468,8 @@ main(int argc, char **argv)
     if (cmd == "--help" || cmd == "help" || cmd == "-h")
         return usage(std::cout, 0);
 
-    const bool known_cmd = cmd == "sweep" || cmd == "run" ||
+    const bool known_cmd = cmd == "sweep" || cmd == "tune" ||
+                           cmd == "merge" || cmd == "run" ||
                            cmd == "replay" || cmd == "record" ||
                            cmd == "bench" || cmd == "scenario" ||
                            cmd == "inspect" || cmd == "list-apps";
@@ -1262,9 +1479,12 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // scenario takes positional FILE arguments; it parses itself.
+    // scenario and merge take positional FILE arguments; they parse
+    // themselves.
     if (cmd == "scenario")
         return cmdScenario(argc, argv);
+    if (cmd == "merge")
+        return cmdMerge(argc, argv);
 
     auto args = parseArgs(argc, argv, 2, cmd);
     if (!args)
@@ -1274,6 +1494,8 @@ main(int argc, char **argv)
 
     if (cmd == "sweep")
         return cmdSweep(*args);
+    if (cmd == "tune")
+        return cmdTune(*args);
     if (cmd == "run")
         return cmdRun(*args);
     if (cmd == "replay")
