@@ -11,6 +11,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/failpoint.hh"
+#include "util/checked_io.hh"
+#include "util/logging.hh"
 #include "util/numformat.hh"
 
 namespace rcache
@@ -81,6 +84,13 @@ writeManifest(const std::string &dir, const ManifestInfo &info,
     // concurrent creator wins the create.
     if (!atomicWriteFile(join(dir, scnName), info.scenarioText, err))
         return false;
+    if (RC_FAILPOINT("claim.manifest.scn.after") !=
+        fault::Fire::None) {
+        if (err)
+            *err = "cannot create '" + join(dir, metaName) +
+                   "': injected io_error";
+        return false;
+    }
     const int fd = ::open(join(dir, metaName).c_str(),
                           O_CREAT | O_EXCL | O_WRONLY, 0644);
     if (fd < 0) {
@@ -95,9 +105,18 @@ writeManifest(const std::string &dir, const ManifestInfo &info,
     meta << "mode = " << info.mode << "\nshards = " << info.shards
          << "\n";
     const std::string text = meta.str();
+    const fault::Fire meta_fire =
+        RC_FAILPOINT("claim.manifest.meta.write");
+    if (meta_fire == fault::Fire::Torn) {
+        (void)!::write(fd, text.data(), text.size() / 2);
+        ::close(fd);
+        fault::failpointCrash("claim.manifest.meta.write",
+                              "torn write");
+    }
     const bool ok =
+        meta_fire == fault::Fire::None &&
         ::write(fd, text.data(), text.size()) ==
-        static_cast<ssize_t>(text.size());
+            static_cast<ssize_t>(text.size());
     ::close(fd);
     if (!ok && err)
         *err = "cannot write '" + join(dir, metaName) + "'";
@@ -105,12 +124,21 @@ writeManifest(const std::string &dir, const ManifestInfo &info,
 }
 
 std::optional<ManifestInfo>
-readManifest(const std::string &dir, std::string *err)
+readManifest(const std::string &dir, std::string *err, bool *corrupt)
 {
+    if (corrupt)
+        *corrupt = false;
     const auto failWith = [&](const std::string &why) {
         if (err)
             *err = why;
         return std::nullopt;
+    };
+    // Damaged (as opposed to absent) manifests are flagged so the
+    // caller can quarantine + re-create instead of dying.
+    const auto corruptWith = [&](const std::string &why) {
+        if (corrupt)
+            *corrupt = true;
+        return failWith(why);
     };
     const auto meta = readWholeFile(join(dir, metaName));
     if (!meta)
@@ -123,34 +151,49 @@ readManifest(const std::string &dir, std::string *err)
     while (std::getline(is, line)) {
         const std::size_t eq = line.find(" = ");
         if (eq == std::string::npos)
-            return failWith("malformed line in '" +
-                            join(dir, metaName) + "': " + line);
+            return corruptWith("malformed line in '" +
+                               join(dir, metaName) + "': " + line);
         const std::string key = line.substr(0, eq);
         const std::string value = line.substr(eq + 3);
         if (key == "mode") {
             if (value != "sweep" && value != "tune")
-                return failWith("unknown manifest mode '" + value +
-                                "'");
+                return corruptWith("unknown manifest mode '" +
+                                   value + "'");
             info.mode = value;
         } else if (key == "shards") {
             unsigned long long v = 0;
             if (!parseU64Strict(value, v) || v == 0 || v > 4096)
-                return failWith("manifest shards wants 1..4096, "
-                                "got '" + value + "'");
+                return corruptWith("manifest shards wants 1..4096, "
+                                   "got '" + value + "'");
             info.shards = static_cast<unsigned>(v);
         } else {
-            return failWith("unknown manifest key '" + key + "'");
+            return corruptWith("unknown manifest key '" + key + "'");
         }
     }
     if (info.shards == 0)
-        return failWith("manifest in '" + dir +
-                        "' is missing a shard count");
+        return corruptWith("manifest in '" + dir +
+                           "' is missing a shard count");
     const auto scn = readWholeFile(join(dir, scnName));
     if (!scn)
-        return failWith("manifest in '" + dir + "' has no '" +
-                        scnName + "'");
+        return corruptWith("manifest in '" + dir + "' has no '" +
+                           scnName + "'");
     info.scenarioText = *scn;
     return info;
+}
+
+bool
+quarantineManifest(const std::string &dir, std::string *err)
+{
+    const std::string meta = join(dir, metaName);
+    const auto aside = quarantineCorruptFile(meta);
+    if (!aside) {
+        if (err)
+            *err = "cannot move damaged '" + meta + "' aside";
+        return false;
+    }
+    RC_LOG(warn, "damaged manifest '" + meta +
+                     "' moved aside to '" + *aside + "'");
+    return true;
 }
 
 ClaimDir::ClaimDir(std::string dir, unsigned lease_timeout_secs)
@@ -180,7 +223,16 @@ ClaimDir::takeOverIfStale(const std::string &unit) const
     const std::string aside = lease + ".stale." +
                               std::to_string(::getpid()) + "." +
                               std::to_string(*mtime);
-    return ::rename(lease.c_str(), aside.c_str()) == 0;
+    if (::rename(lease.c_str(), aside.c_str()) != 0) {
+        // ENOENT: a rival's takeover won the race — business as
+        // usual. Anything else is a sick filesystem worth a note.
+        if (errno != ENOENT)
+            RC_LOG(warn, "cannot move stale lease '" + lease +
+                             "' aside: " + std::strerror(errno));
+        return false;
+    }
+    (void)RC_FAILPOINT("claim.takeover.aside");
+    return true;
 }
 
 bool
@@ -198,25 +250,67 @@ ClaimDir::tryClaim(const std::string &unit) const
     // Best-effort content; the lease's existence is what matters.
     (void)!::write(fd, text.data(), text.size());
     ::close(fd);
+    (void)RC_FAILPOINT("claim.lease.after_create");
     return true;
 }
 
-void
+bool
 ClaimDir::heartbeat(const std::string &unit) const
 {
+    const std::string lease = path(unit + ".lease");
+    const bool injected =
+        RC_FAILPOINT("claim.heartbeat") != fault::Fire::None;
     // A null times pointer sets both timestamps to now.
-    ::utimensat(AT_FDCWD, path(unit + ".lease").c_str(), nullptr, 0);
+    if (injected ||
+        ::utimensat(AT_FDCWD, lease.c_str(), nullptr, 0) != 0) {
+        ++hbFailures_;
+        RC_LOG(warn,
+               "heartbeat failed for '" + lease + "' (" +
+                   (injected ? "injected io_error"
+                             : std::strerror(errno)) +
+                   "); lease is aging toward takeover");
+        if (hbFailures_ == kDegradedAfter)
+            RC_LOG(error,
+                   "worker degraded: " +
+                       std::to_string(hbFailures_) +
+                       " consecutive heartbeat failures on '" +
+                       lease +
+                       "' — another worker may steal this unit");
+        return false;
+    }
+    hbFailures_ = 0;
+    return true;
+}
+
+bool
+ClaimDir::release(const std::string &unit) const
+{
+    const std::string lease = path(unit + ".lease");
+    const auto content = readWholeFile(lease);
+    if (!content ||
+        *content != std::to_string(::getpid()) + "\n")
+        return false; // not ours (takeover happened, or gone)
+    return ::unlink(lease.c_str()) == 0;
 }
 
 bool
 ClaimDir::markDone(const std::string &unit, std::string *err) const
 {
+    if (RC_FAILPOINT("claim.done.before") != fault::Fire::None) {
+        if (err)
+            *err = "cannot write '" + path(unit + ".done") +
+                   "': injected io_error";
+        return false;
+    }
     if (!writeWholeFile(path(unit + ".done"), "ok\n")) {
         if (err)
             *err = "cannot write '" + path(unit + ".done") + "'";
         return false;
     }
-    ::unlink(path(unit + ".lease").c_str());
+    if (::unlink(path(unit + ".lease").c_str()) != 0 &&
+        errno != ENOENT)
+        RC_LOG(warn, "cannot drop lease '" + path(unit + ".lease") +
+                         "': " + std::strerror(errno));
     return true;
 }
 
@@ -256,6 +350,13 @@ atomicWriteFile(const std::string &path, const std::string &text,
     if (!writeWholeFile(tmp, text)) {
         if (err)
             *err = "cannot write '" + tmp + "'";
+        return false;
+    }
+    if (RC_FAILPOINT("atomic.publish") != fault::Fire::None) {
+        if (err)
+            *err = "cannot publish '" + path +
+                   "': injected io_error";
+        ::unlink(tmp.c_str());
         return false;
     }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {

@@ -59,10 +59,24 @@ struct ManifestInfo
 bool writeManifest(const std::string &dir, const ManifestInfo &info,
                    std::string *err);
 
-/** Read a manifest directory; nullopt with @p err on a missing or
- *  malformed manifest. */
+/**
+ * Read a manifest directory; nullopt with @p err on a missing or
+ * malformed manifest. @p corrupt (optional) distinguishes the two
+ * failures: true means the directory *has* manifest files but they
+ * are damaged (torn meta, garbage, missing scenario text) — a
+ * worker holding the scenario may quarantineManifest() and
+ * re-create; false means there is simply no manifest yet.
+ */
 std::optional<ManifestInfo> readManifest(const std::string &dir,
-                                         std::string *err);
+                                         std::string *err,
+                                         bool *corrupt = nullptr);
+
+/**
+ * Move a damaged MANIFEST.meta aside ("MANIFEST.meta.corrupt.<ts>")
+ * so writeManifest can commit a fresh manifest over the directory.
+ * @return false with @p err when the rename fails.
+ */
+bool quarantineManifest(const std::string &dir, std::string *err);
 
 /**
  * Lease bookkeeping for one manifest directory. All operations are
@@ -87,8 +101,32 @@ class ClaimDir
      */
     bool tryClaim(const std::string &unit) const;
 
-    /** Bump the lease mtime (call per completed chunk). */
-    void heartbeat(const std::string &unit) const;
+    /**
+     * Bump the lease mtime (call per completed chunk). @return false
+     * when the bump failed (logged at warn); kDegradedAfter
+     * consecutive failures log a one-time worker-degraded error —
+     * the lease is silently aging toward takeover.
+     */
+    bool heartbeat(const std::string &unit) const;
+
+    /** Consecutive heartbeat failures before the worker counts as
+     *  degraded. */
+    static constexpr unsigned kDegradedAfter = 3;
+
+    /** heartbeat() has failed kDegradedAfter+ times in a row. */
+    bool heartbeatDegraded() const
+    {
+        return hbFailures_ >= kDegradedAfter;
+    }
+
+    /**
+     * Give @p unit back: unlink our lease (only when its recorded
+     * pid is ours — a takeover may already own the name). The
+     * graceful-interrupt path: a released unit is immediately
+     * claimable instead of aging out.
+     * @return true when the lease was ours and is gone.
+     */
+    bool release(const std::string &unit) const;
 
     /** Commit @p unit: create the done marker, drop the lease.
      *  @return false with @p err when the marker cannot be written. */
@@ -106,6 +144,9 @@ class ClaimDir
 
     std::string dir_;
     unsigned timeoutSecs_;
+    /** Consecutive heartbeat failures (one worker per ClaimDir
+     *  instance, so plain mutable state is race-free). */
+    mutable unsigned hbFailures_ = 0;
 };
 
 /** The sweep work-unit name for shard @p i ("shard_<i>"). */

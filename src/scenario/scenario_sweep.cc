@@ -15,6 +15,8 @@
 #include "telemetry/run_telemetry.hh"
 #include "telemetry/timeline.hh"
 #include "telemetry/trace_events.hh"
+#include "util/checked_io.hh"
+#include "util/interrupt.hh"
 #include "util/logging.hh"
 #include "workload/profiles.hh"
 
@@ -95,38 +97,52 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                 std::istringstream cs(complete);
                 std::string err;
                 auto prior = readSweepCsv(cs, &err);
-                if (!prior)
-                    return fail("--resume " + opt.resumePath + ": " +
-                                err);
-                if (prior->size() > owned.size())
-                    return fail("--resume " + opt.resumePath +
-                                ": holds more rows than this shard "
-                                "owns (wrong scenario or shard?)");
-                // Each kept row must sit exactly where this
-                // enumeration would put it — cell index, app, and
-                // every design-point coordinate. (A changed [system]
-                // or insts value is invisible to the rows and cannot
-                // be caught here.)
-                for (std::size_t i = 0; i < prior->size(); ++i) {
-                    const SweepRecord &r = (*prior)[i];
-                    const std::size_t cell = owned[i];
-                    const DesignPoint p =
-                        space.point(cell % npoints);
-                    const std::string &app =
-                        apps[cell / npoints].name;
-                    if (r.cell != cell || r.app != app ||
-                        r.axes != p.axes ||
-                        r.org != organizationToken(p.org) ||
-                        r.strategy != strategyName(p.strategy) ||
-                        r.side != sweepSideName(p.side))
-                        return fail(
-                            "--resume " + opt.resumePath + ": row " +
-                            std::to_string(i + 1) +
-                            " does not match this scenario/shard "
-                            "enumeration (wrong scenario or shard?)");
+                if (!prior) {
+                    // An unparsable prior CSV is damage, not user
+                    // error: quarantine the evidence and recompute
+                    // from scratch rather than refusing to run.
+                    const auto aside =
+                        quarantineCorruptFile(opt.resumePath);
+                    RC_LOG(warn,
+                           "--resume " + opt.resumePath + ": " +
+                               err + "; " +
+                               (aside ? "moved aside to '" +
+                                            *aside + "'"
+                                      : "could not move it aside") +
+                               ", starting fresh");
+                } else {
+                    if (prior->size() > owned.size())
+                        return fail("--resume " + opt.resumePath +
+                                    ": holds more rows than this "
+                                    "shard owns (wrong scenario or "
+                                    "shard?)");
+                    // Each kept row must sit exactly where this
+                    // enumeration would put it — cell index, app, and
+                    // every design-point coordinate. (A changed
+                    // [system] or insts value is invisible to the
+                    // rows and cannot be caught here.)
+                    for (std::size_t i = 0; i < prior->size(); ++i) {
+                        const SweepRecord &r = (*prior)[i];
+                        const std::size_t cell = owned[i];
+                        const DesignPoint p =
+                            space.point(cell % npoints);
+                        const std::string &app =
+                            apps[cell / npoints].name;
+                        if (r.cell != cell || r.app != app ||
+                            r.axes != p.axes ||
+                            r.org != organizationToken(p.org) ||
+                            r.strategy != strategyName(p.strategy) ||
+                            r.side != sweepSideName(p.side))
+                            return fail(
+                                "--resume " + opt.resumePath +
+                                ": row " + std::to_string(i + 1) +
+                                " does not match this scenario/shard "
+                                "enumeration (wrong scenario or "
+                                "shard?)");
+                    }
+                    skip = prior->size();
+                    kept = complete;
                 }
-                skip = prior->size();
-                kept = complete;
             }
         }
     }
@@ -228,14 +244,12 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
             return fail("cannot write '" + path + "'");
         os = &file;
     }
+    const std::string outName = path.empty() ? "<stdout>" : path;
     const bool stream_csv = opt.format == "csv";
-    if (stream_csv) {
-        if (!kept.empty())
-            *os << kept;
-        else
-            *os << sweepCsvHeader() << '\n';
-        os->flush();
-    }
+    if (stream_csv)
+        checkedAppend(*os,
+                      kept.empty() ? sweepCsvHeader() + "\n" : kept,
+                      outName);
 
     // ---- execute in chunks: within a chunk every cell's baseline
     // (memoized across chunks) and candidate sweeps form one batch,
@@ -341,15 +355,24 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                 for (const RunJob &job : jobs) {
                     if (!job.telemetry)
                         continue;
-                    if (want_timeline)
-                        writeTimelineJsonl(timeline_os,
+                    if (want_timeline) {
+                        std::ostringstream rec;
+                        writeTimelineJsonl(rec,
                                            job.telemetry->timeline,
                                            job.label);
-                    if (want_events)
+                        checkedAppend(timeline_os, rec.str(),
+                                      opt.timelinePath,
+                                      "telemetry.timeline.append");
+                    }
+                    if (want_events) {
+                        std::ostringstream rec;
                         writeResizeEventsJsonl(
-                            events_os,
-                            job.telemetry->events.events(),
+                            rec, job.telemetry->events.events(),
                             job.label);
+                        checkedAppend(events_os, rec.str(),
+                                      opt.eventsPath,
+                                      "telemetry.events.append");
+                    }
                 }
             };
         attachTelemetry(batch);
@@ -434,16 +457,18 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
             plans[i].candidates.shrink_to_fit();
         }
         if (stream_csv) {
-            writeSweepCsvRows(*os, records);
-            os->flush();
+            std::ostringstream rows;
+            writeSweepCsvRows(rows, records);
+            checkedAppend(*os, rows.str(), outName,
+                          "csv.chunk.flush");
         } else {
             buffered.insert(buffered.end(), records.begin(),
                             records.end());
         }
         if (want_timeline)
-            timeline_os.flush();
+            checkedFlush(timeline_os, opt.timelinePath);
         if (want_events)
-            events_os.flush();
+            checkedFlush(events_os, opt.eventsPath);
         if (trace)
             trace->instant(
                 "chunk-flush",
@@ -452,15 +477,25 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
                                          phase2.size())}});
         if (opt.chunkDone)
             opt.chunkDone(skip + next);
+        // The chunk above is committed (written + flushed): the
+        // documented resumable boundary for a polite interrupt.
+        if (interruptRequested() && next < plans.size()) {
+            std::cerr << "rcache-sim: interrupted; "
+                      << (skip + next) << "/" << owned.size()
+                      << " cells committed";
+            if (stream_csv && !path.empty())
+                std::cerr << "; resume with --resume " << path;
+            std::cerr << '\n';
+            return interruptExitCode();
+        }
     }
     const auto t1 = std::chrono::steady_clock::now();
 
     if (trace) {
-        trace->write(trace_os);
-        trace_os.flush();
-        if (!trace_os)
-            return fail("error writing '" + opt.traceEventsPath +
-                        "'");
+        std::ostringstream out;
+        trace->write(out);
+        checkedAppend(trace_os, out.str(), opt.traceEventsPath,
+                      "telemetry.trace.write");
     }
 
     if (!stream_csv) {
@@ -468,6 +503,7 @@ runScenarioSweep(const ParamSpace &space, const SweepOptions &opt)
             writeSweepJson(*os, buffered);
         else
             writeSweepTable(*os, buffered);
+        checkedFlush(*os, outName);
     }
 
     if (!opt.quiet) {

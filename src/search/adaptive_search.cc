@@ -17,6 +17,8 @@
 #include "scenario/cell_eval.hh"
 #include "search/decision_log.hh"
 #include "sim/experiment.hh"
+#include "util/checked_io.hh"
+#include "util/interrupt.hh"
 #include "util/logging.hh"
 #include "util/numformat.hh"
 
@@ -324,8 +326,18 @@ class ClaimExecutor final : public RoundExecutor
             units.push_back(tuneUnitName(round, u));
 
         for (;;) {
+            // Units commit one at a time (publish + done marker), so
+            // between units there is nothing to release — a polite
+            // interrupt just stops claiming.
+            if (interruptRequested()) {
+                if (err)
+                    *err = "interrupted";
+                return std::nullopt;
+            }
             bool progressed = false;
             for (unsigned u = 0; u < shards_; ++u) {
+                if (interruptRequested())
+                    break;
                 if (claims_.isDone(units[u]) ||
                     !claims_.tryClaim(units[u]))
                     continue;
@@ -415,6 +427,21 @@ struct CachedRound
  * parse back to its cell. Returns false with @p err on a log that
  * belongs to a different scenario or is corrupt.
  */
+/** Quarantine a damaged log and report a fresh start. @return true
+ *  always (the resume degrades to "nothing cached"). */
+bool
+freshAfterQuarantine(const std::string &path, const std::string &why,
+                     std::vector<CachedRound> &cached)
+{
+    const auto aside = quarantineCorruptFile(path);
+    RC_LOG(warn, "--resume " + path + ": " + why + "; " +
+                     (aside ? "moved aside to '" + *aside + "'"
+                            : "could not move it aside") +
+                     ", starting fresh");
+    cached.clear();
+    return true;
+}
+
 bool
 loadCachedRounds(const std::string &path, const std::string &planLine,
                  std::vector<CachedRound> &cached, std::string *err)
@@ -422,13 +449,25 @@ loadCachedRounds(const std::string &path, const std::string &planLine,
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return true; // nothing to resume: fresh start
-    std::string read_err;
-    const auto lines = readDecisionLog(in, &read_err);
-    if (!lines) {
-        *err = "--resume " + path + ": " + read_err;
-        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string raw = buf.str();
+    // A torn final line (no trailing newline) is a crashed writer's
+    // last breath, not corruption: drop it, keep the prefix.
+    if (!raw.empty() && raw.back() != '\n') {
+        const std::size_t last_nl = raw.rfind('\n');
+        raw.resize(last_nl == std::string::npos ? 0 : last_nl + 1);
+        RC_LOG(warn, "--resume " + path + ": dropping torn final "
+                                          "line (mid-write crash?)");
     }
-    if (lines->empty() || (*lines)[0].raw != planLine) {
+    std::istringstream text(raw);
+    std::string read_err;
+    const auto lines = readDecisionLog(text, &read_err);
+    if (!lines)
+        return freshAfterQuarantine(path, read_err, cached);
+    if (lines->empty())
+        return true; // empty (or torn-to-empty) log: fresh start
+    if ((*lines)[0].raw != planLine) {
         *err = "--resume " + path +
                ": plan line does not match this scenario";
         return false;
@@ -463,12 +502,12 @@ loadCachedRounds(const std::string &path, const std::string &planLine,
             std::string row_err;
             const auto row = readSweepCsv(row_is, &row_err);
             if (!row || row->size() != 1 ||
-                (*row)[0].cell != cell) {
-                *err = "--resume " + path + ": line " +
-                       std::to_string(i + 1) +
-                       ": corrupt score row";
-                return false;
-            }
+                (*row)[0].cell != cell)
+                return freshAfterQuarantine(
+                    path,
+                    "line " + std::to_string(i + 1) +
+                        ": corrupt score row",
+                    cached);
             cr.cells.push_back(static_cast<std::size_t>(cell));
             cr.records.push_back((*row)[0]);
         }
@@ -591,10 +630,18 @@ runAdaptiveSearch(const ParamSpace &space, const TuneOptions &opt,
     std::unique_ptr<RoundExecutor> exec;
     if (!opt.claimDir.empty()) {
         std::string read_err;
-        auto mf = readManifest(opt.claimDir, &read_err);
+        bool mf_corrupt = false;
+        auto mf = readManifest(opt.claimDir, &read_err, &mf_corrupt);
         if (!mf) {
             if (opt.shards == 0)
                 return fail(read_err);
+            // A worker that carries the full spec (--shards set) can
+            // recover a damaged manifest: move it aside, re-create.
+            if (mf_corrupt) {
+                std::string q_err;
+                if (!quarantineManifest(opt.claimDir, &q_err))
+                    return fail(read_err + "; " + q_err);
+            }
             ManifestInfo info;
             info.mode = "tune";
             info.shards = opt.shards;
@@ -637,21 +684,12 @@ runAdaptiveSearch(const ParamSpace &space, const TuneOptions &opt,
     }
 
     // ---- decision log sink
-    std::string log_text;
-    std::ofstream log_os;
-    if (!opt.logPath.empty() && opt.emitOutputs) {
-        log_os.open(opt.logPath,
-                    std::ios::binary | std::ios::trunc);
-        if (!log_os)
-            return fail("cannot write '" + opt.logPath + "'");
-    }
+    DecisionLogWriter log;
+    if (!opt.logPath.empty() && opt.emitOutputs &&
+        !log.open(opt.logPath))
+        return fail("cannot write '" + opt.logPath + "'");
     const auto emit = [&](const std::string &line) {
-        log_text += line;
-        log_text += '\n';
-        if (log_os.is_open()) {
-            log_os << line << '\n';
-            log_os.flush();
-        }
+        log.append(line);
     };
     emit(plan_line);
 
@@ -672,6 +710,18 @@ runAdaptiveSearch(const ParamSpace &space, const TuneOptions &opt,
     std::string winner_score;
 
     for (std::size_t r = 0; r < rungs.size(); ++r) {
+        // Round boundaries are the tuner's commit points: the log
+        // holds only complete rounds here, so exiting now leaves a
+        // --resume-able state.
+        if (interruptRequested()) {
+            std::cerr << "rcache-sim: interrupted; " << rounds_run
+                      << " complete round(s) in the log";
+            if (!opt.logPath.empty() && opt.emitOutputs)
+                std::cerr << "; resume with --resume "
+                          << opt.logPath;
+            std::cerr << '\n';
+            return interruptExitCode();
+        }
         const EngineSpec &engine = rungs[r];
         emit(tuneRoundLine(r, engineName(ad.ladder[r]),
                            candidates.size()));
@@ -690,8 +740,15 @@ runAdaptiveSearch(const ParamSpace &space, const TuneOptions &opt,
             std::string exec_err;
             auto recs =
                 exec->run(r, engine, candidates, &exec_err);
-            if (!recs)
+            if (!recs) {
+                if (interruptRequested()) {
+                    std::cerr << "rcache-sim: interrupted; claimed "
+                                 "units are committed, rerun to "
+                                 "continue\n";
+                    return interruptExitCode();
+                }
                 return fail(exec_err);
+            }
             records = std::move(*recs);
         }
         ++rounds_run;
@@ -766,17 +823,15 @@ runAdaptiveSearch(const ParamSpace &space, const TuneOptions &opt,
         out << sweepCsvHeader() << '\n';
         writeSweepCsvRows(out, {*winner});
         if (opt.outPath.empty()) {
-            std::cout << out.str();
-            std::cout.flush();
+            checkedAppend(std::cout, out.str(), "<stdout>",
+                          "tune.winner.write");
         } else {
             std::ofstream f(opt.outPath,
                             std::ios::binary | std::ios::trunc);
             if (!f)
                 return fail("cannot write '" + opt.outPath + "'");
-            f << out.str();
-            f.flush();
-            if (!f)
-                return fail("error writing '" + opt.outPath + "'");
+            checkedAppend(f, out.str(), opt.outPath,
+                          "tune.winner.write");
         }
     }
 
@@ -787,7 +842,7 @@ runAdaptiveSearch(const ParamSpace &space, const TuneOptions &opt,
         stats->detailedInsts = detailed_insts;
         stats->exhaustiveDetailedInsts = exhaustive_insts;
         stats->winner = *winner;
-        stats->logText = log_text;
+        stats->logText = log.text();
     }
 
     if (!opt.quiet) {

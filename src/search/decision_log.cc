@@ -3,6 +3,8 @@
 #include <istream>
 #include <sstream>
 
+#include "util/checked_io.hh"
+
 namespace rcache
 {
 
@@ -174,6 +176,25 @@ readDecisionLog(std::istream &in, std::string *err)
         out.push_back(std::move(parsed));
     }
     return out;
+}
+
+bool
+DecisionLogWriter::open(const std::string &path)
+{
+    path_ = path;
+    if (path_.empty())
+        return true;
+    os_.open(path_, std::ios::binary | std::ios::trunc);
+    return static_cast<bool>(os_);
+}
+
+void
+DecisionLogWriter::append(const std::string &line)
+{
+    text_ += line;
+    text_ += '\n';
+    if (os_.is_open())
+        checkedAppend(os_, line + "\n", path_, "log.append");
 }
 
 } // namespace rcache

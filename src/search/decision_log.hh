@@ -32,7 +32,7 @@
 #define RCACHE_SEARCH_DECISION_LOG_HH
 
 #include <cstdint>
-#include <iosfwd>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -101,6 +101,34 @@ struct DecisionLogLine
  */
 std::optional<std::vector<DecisionLogLine>>
 readDecisionLog(std::istream &in, std::string *err);
+
+/**
+ * The log writer: appends builder lines one at a time, each write
+ * checked and flushed (util/checked_io.hh — a failed append exits
+ * kIoErrorExit after a one-line diagnostic), so the on-disk log
+ * always ends at a line boundary except across a mid-write crash,
+ * which --resume detects as a torn tail and drops. Also accumulates
+ * the full text for byte-identity tests. Not opening a file (empty
+ * path) keeps it a pure accumulator.
+ */
+class DecisionLogWriter
+{
+  public:
+    /** Truncate-open @p path ("" = accumulate only). @return false
+     *  when the file cannot be opened. */
+    bool open(const std::string &path);
+
+    /** Append one builder line (newline added here). */
+    void append(const std::string &line);
+
+    /** Everything appended so far, newline-terminated lines. */
+    const std::string &text() const { return text_; }
+
+  private:
+    std::ofstream os_;
+    std::string path_;
+    std::string text_;
+};
 
 } // namespace rcache
 

@@ -11,9 +11,12 @@
 
 #include <unistd.h>
 
+#include "fault/failpoint.hh"
 #include "runner/claim.hh"
 #include "scenario/scenario_sweep.hh"
 #include "sim/report.hh"
+#include "util/checked_io.hh"
+#include "util/interrupt.hh"
 #include "util/numformat.hh"
 
 namespace rcache
@@ -74,13 +77,21 @@ runClaimSweep(const std::optional<ScenarioSpec> &spec,
 {
     // ---- create or join the manifest
     std::string read_err;
-    auto mf = readManifest(opt.dir, &read_err);
+    bool mf_corrupt = false;
+    auto mf = readManifest(opt.dir, &read_err, &mf_corrupt);
     if (!mf) {
         if (!spec)
             return fail(read_err);
         if (opt.shards == 0)
             return fail("creating a manifest in '" + opt.dir +
                         "' needs --shards N");
+        // A worker that carries the full spec can recover a damaged
+        // manifest: move it aside, re-create from the scenario.
+        if (mf_corrupt) {
+            std::string q_err;
+            if (!quarantineManifest(opt.dir, &q_err))
+                return fail(read_err + "; " + q_err);
+        }
         ManifestInfo info;
         info.mode = "sweep";
         info.shards = opt.shards;
@@ -121,9 +132,17 @@ runClaimSweep(const std::optional<ScenarioSpec> &spec,
     const ClaimDir claims(opt.dir, opt.leaseTimeoutSecs);
     const unsigned shards = mf->shards;
     for (;;) {
+        if (interruptRequested()) {
+            std::cerr << "rcache-sim: interrupted; committed units "
+                         "stay done, rerun to continue '"
+                      << opt.dir << "'\n";
+            return interruptExitCode();
+        }
         bool progressed = false;
         for (unsigned u = 0; u < shards; ++u) {
             const std::string unit = sweepUnitName(u);
+            if (interruptRequested())
+                break;
             if (claims.isDone(unit) || !claims.tryClaim(unit))
                 continue;
             SweepOptions so;
@@ -141,12 +160,23 @@ runClaimSweep(const std::optional<ScenarioSpec> &spec,
             };
             const int rc = runScenarioSweep(*space, so);
             if (rc != 0) {
+                std::remove(tmp.c_str());
+                if (interruptRequested()) {
+                    // Give the unit straight back: a released lease
+                    // is immediately claimable, no timeout needed.
+                    claims.release(unit);
+                    std::cerr << "rcache-sim: interrupted; released "
+                                 "'" << unit << "', rerun to "
+                                 "continue '" << opt.dir << "'\n";
+                    return rc;
+                }
                 // Leave the lease: it goes stale and a peer (or a
                 // rerun) takes the unit over.
-                std::remove(tmp.c_str());
                 return rc;
             }
-            if (std::rename(tmp.c_str(),
+            if (RC_FAILPOINT("claim.unit.publish") !=
+                    fault::Fire::None ||
+                std::rename(tmp.c_str(),
                             claims.path(unit + ".csv").c_str()) != 0)
                 return fail("cannot publish '" +
                             claims.path(unit + ".csv") + "'");
@@ -238,11 +268,12 @@ runSweepMerge(const std::vector<std::string> &inputs,
             return fail("cannot write '" + outPath + "'");
         os = &file;
     }
-    *os << sweepCsvHeader() << '\n';
-    writeSweepCsvRows(*os, all);
-    os->flush();
-    if (!*os)
-        return fail("error writing '" + outPath + "'");
+    const std::string outName =
+        outPath.empty() ? "<stdout>" : outPath;
+    std::ostringstream out;
+    out << sweepCsvHeader() << '\n';
+    writeSweepCsvRows(out, all);
+    checkedAppend(*os, out.str(), outName, "merge.out.flush");
     return 0;
 }
 

@@ -1,0 +1,85 @@
+#include "util/checked_io.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <ostream>
+
+#include "fault/failpoint.hh"
+
+namespace rcache
+{
+
+void
+ioFatal(const std::string &path)
+{
+    std::cerr << "rcache-sim: error writing '" << path
+              << "' (disk full or device error?); completed output "
+                 "was flushed before this point\n";
+    std::exit(kIoErrorExit);
+}
+
+namespace
+{
+
+/** Evaluate @p site; returns true when the write must be dropped
+ *  (io_error). Torn never returns. */
+bool
+injectWriteFault(std::ostream &os, std::string_view text,
+                 const char *site)
+{
+    if (site == nullptr)
+        return false;
+    const fault::Fire fire = RC_FAILPOINT(site);
+    if (fire == fault::Fire::None)
+        return false;
+    if (fire == fault::Fire::Torn) {
+        // Half the payload reaches the stream and is flushed, then
+        // the process dies without another byte — a torn write.
+        os.write(text.data(),
+                 static_cast<std::streamsize>(text.size() / 2));
+        os.flush();
+        fault::failpointCrash(site, "torn write");
+    }
+    return true;
+}
+
+} // namespace
+
+void
+checkedAppend(std::ostream &os, std::string_view text,
+              const std::string &path, const char *site)
+{
+    if (injectWriteFault(os, text, site))
+        os.setstate(std::ios::badbit);
+    else
+        os.write(text.data(),
+                 static_cast<std::streamsize>(text.size()));
+    os.flush();
+    if (!os)
+        ioFatal(path);
+}
+
+void
+checkedFlush(std::ostream &os, const std::string &path,
+             const char *site)
+{
+    if (site != nullptr && RC_FAILPOINT(site) != fault::Fire::None)
+        os.setstate(std::ios::badbit);
+    os.flush();
+    if (!os)
+        ioFatal(path);
+}
+
+std::optional<std::string>
+quarantineCorruptFile(const std::string &path)
+{
+    const std::string aside =
+        path + ".corrupt." + std::to_string(std::time(nullptr));
+    if (std::rename(path.c_str(), aside.c_str()) != 0)
+        return std::nullopt;
+    return aside;
+}
+
+} // namespace rcache

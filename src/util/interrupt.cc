@@ -1,0 +1,52 @@
+#include "util/interrupt.hh"
+
+#include <csignal>
+
+#include <unistd.h>
+
+namespace rcache
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onInterrupt(int sig)
+{
+    // Second signal: the user really means it — out, now. Async-
+    // signal-safe by construction (_exit, no locks, no streams).
+    if (g_signal != 0)
+        ::_exit(128 + sig);
+    g_signal = sig;
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onInterrupt;
+    sigemptyset(&sa.sa_mask);
+    // SA_RESTART: interrupted writes must not surface as spurious
+    // EINTR I/O failures — the pollers notice the flag instead.
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return g_signal != 0;
+}
+
+int
+interruptExitCode()
+{
+    return g_signal != 0 ? 128 + static_cast<int>(g_signal) : 0;
+}
+
+} // namespace rcache

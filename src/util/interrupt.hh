@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for the long-running drivers.
+ *
+ * sweep and tune install the handlers once; the engines poll
+ * interruptRequested() at their commit boundaries (sweep: after a
+ * chunk is written and flushed; tune: between rounds; claim workers:
+ * between units). On the first signal the in-flight work finishes
+ * and the driver exits 128+sig after leaving a documented resumable
+ * state — the flushed CSV prefix for --resume, released leases for
+ * --claim. A second signal exits immediately (the escape hatch when
+ * the current chunk itself is the problem).
+ */
+
+#ifndef RCACHE_UTIL_INTERRUPT_HH
+#define RCACHE_UTIL_INTERRUPT_HH
+
+namespace rcache
+{
+
+/** Install the SIGINT/SIGTERM record-and-continue handlers. */
+void installInterruptHandlers();
+
+/** A signal arrived since installInterruptHandlers(). Always false
+ *  when the handlers were never installed (library callers). */
+bool interruptRequested();
+
+/** 128+signal of the recorded signal (130 SIGINT, 143 SIGTERM);
+ *  0 when none arrived. */
+int interruptExitCode();
+
+} // namespace rcache
+
+#endif // RCACHE_UTIL_INTERRUPT_HH

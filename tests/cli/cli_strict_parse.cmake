@@ -315,3 +315,63 @@ file(WRITE ${EMPTY_CSV} "")
 check_exit2_oneline("empty_shard.csv:1: missing header"
                     merge ${EMPTY_CSV})
 file(REMOVE ${EMPTY_ART} ${EMPTY_CSV})
+
+# ---- fault injection: --failpoint / RC_FAILPOINT specs are strict
+check_exit2_oneline("unknown site 'bogus'"
+                    sweep --apps ammp --failpoint bogus=crash)
+check_exit2_oneline("wants SITE=ACTION"
+                    sweep --apps ammp --failpoint csv.chunk.flush)
+check_exit2_oneline("unknown action 'frob'"
+                    run --app ammp --failpoint csv.chunk.flush=frob)
+check_exit2_oneline("positive hit index"
+                    tune --failpoint log.append=crash@0)
+check_rejects_oneline("unknown option '--failpoint' for 'merge'"
+                      merge --failpoint log.append=crash)
+check_prints("claim.lease.after_create" list-failpoints)
+check_prints("csv.chunk.flush" list-failpoints)
+check_prints("--failpoint" sweep --help)
+check_prints("--failpoint" tune --help)
+check_prints("--failpoint" run --help)
+
+# A malformed RC_FAILPOINT environment spec is rejected up front,
+# before any subcommand runs.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "RC_FAILPOINT=bogus=crash"
+          ${RCACHE_SIM} list-apps
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(SEND_ERROR
+          "expected exit 2 for a bad RC_FAILPOINT env spec, got ${rc}")
+endif()
+if(NOT err MATCHES "RC_FAILPOINT.*unknown site 'bogus'")
+  message(SEND_ERROR
+          "missing RC_FAILPOINT diagnostic — stderr was: ${err}")
+endif()
+
+# ---- doctor: strict argument parsing, audit exit codes
+check_exit2_oneline("doctor wants exactly one CLAIM_DIR" doctor)
+check_exit2_oneline("doctor wants exactly one CLAIM_DIR"
+                    doctor dir1 dir2)
+check_exit2_oneline("unknown option '--frob' for 'doctor'"
+                    doctor --frob somewhere)
+check_exit2_oneline("option '--lease-timeout' needs a value"
+                    doctor somewhere --lease-timeout)
+check_exit2_oneline("wants a non-negative integer"
+                    doctor somewhere --lease-timeout abc)
+check_prints("CLAIM_DIR" doctor --help)
+# Auditing a directory with no manifest is an inconsistency (exit 2),
+# reported in the audit itself, not a usage error.
+execute_process(
+  COMMAND ${RCACHE_SIM} doctor ${CMAKE_CURRENT_BINARY_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 2)
+  message(SEND_ERROR
+          "expected exit 2 from doctor on a manifest-less dir, "
+          "got ${rc}")
+endif()
+if(NOT out MATCHES "PROBLEM" OR NOT out MATCHES "INCONSISTENT")
+  message(SEND_ERROR
+          "doctor audit report incomplete — stdout was: ${out}")
+endif()

@@ -1,0 +1,163 @@
+/** @file
+ * Tests for the deterministic failpoint registry: spec parsing, hit
+ * counting with @N indices, the torn/delay/io_error actions, env
+ * arming, disarm semantics, and the closed-registry guarantee the
+ * crash-recovery suite's coverage cross-check relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "fault/failpoint.hh"
+
+namespace rcache::fault
+{
+
+namespace
+{
+
+/** Every test leaves the process disarmed — failpoints are global
+ *  state and the rest of the suite must stay on the fast path. */
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disarmFailpoints(); }
+    void TearDown() override { disarmFailpoints(); }
+};
+
+} // namespace
+
+TEST_F(FailpointTest, RegistryIsClosedUniqueAndDescribed)
+{
+    const auto &sites = knownFailpoints();
+    ASSERT_GE(sites.size(), 15u);
+    std::set<std::string> names;
+    for (const SiteInfo &s : sites) {
+        EXPECT_TRUE(names.insert(s.name).second)
+            << "duplicate site " << s.name;
+        EXPECT_NE(std::string(s.description), "")
+            << s.name << " needs a description";
+    }
+    // The sites the hardening threads through the durability seams.
+    for (const char *must :
+         {"claim.lease.after_create", "claim.heartbeat",
+          "claim.manifest.meta.write", "atomic.publish",
+          "csv.chunk.flush", "log.append", "tune.winner.write",
+          "merge.out.flush"})
+        EXPECT_TRUE(names.count(must)) << must;
+}
+
+TEST_F(FailpointTest, BadSpecsArmNothing)
+{
+    const auto rejects = [](const std::string &spec,
+                            const std::string &needle) {
+        std::string err;
+        EXPECT_FALSE(armFailpoints(spec, &err)) << spec;
+        EXPECT_NE(err.find(needle), std::string::npos)
+            << spec << " -> " << err;
+    };
+    rejects("nosuch.site=crash", "unknown site 'nosuch.site'");
+    rejects("nosuch.site=crash", "list-failpoints");
+    rejects("csv.chunk.flush", "SITE=ACTION");
+    rejects("=crash", "SITE=ACTION");
+    rejects("csv.chunk.flush=frob", "unknown action 'frob'");
+    rejects("csv.chunk.flush=crash@0", "positive hit index");
+    rejects("csv.chunk.flush=crash@x", "positive hit index");
+    rejects("csv.chunk.flush=crash:5", "only delay takes");
+    rejects("csv.chunk.flush=delay:abc", "millisecond count");
+    rejects("", "empty entry");
+    rejects("csv.chunk.flush=crash,,log.append=torn", "empty entry");
+    // A rejected spec must leave the fast path untouched.
+    EXPECT_FALSE(anyFailpointArmed());
+    EXPECT_EQ(RC_FAILPOINT("csv.chunk.flush"), Fire::None);
+}
+
+TEST_F(FailpointTest, FiresExactlyOnTheNthHit)
+{
+    std::string err;
+    ASSERT_TRUE(armFailpoints("csv.chunk.flush=io_error@3", &err))
+        << err;
+    EXPECT_TRUE(anyFailpointArmed());
+    EXPECT_EQ(RC_FAILPOINT("csv.chunk.flush"), Fire::None);
+    EXPECT_EQ(RC_FAILPOINT("csv.chunk.flush"), Fire::None);
+    EXPECT_EQ(RC_FAILPOINT("csv.chunk.flush"), Fire::IoError);
+    // Exactly once: the 4th hit passes clean again.
+    EXPECT_EQ(RC_FAILPOINT("csv.chunk.flush"), Fire::None);
+    EXPECT_EQ(failpointHits("csv.chunk.flush"), 4u);
+    // Unarmed sites never count.
+    EXPECT_EQ(RC_FAILPOINT("log.append"), Fire::None);
+    EXPECT_EQ(failpointHits("log.append"), 0u);
+}
+
+TEST_F(FailpointTest, MultiSiteSpecAndTornAction)
+{
+    std::string err;
+    ASSERT_TRUE(armFailpoints(
+                    "log.append=torn,claim.heartbeat=delay:1", &err))
+        << err;
+    EXPECT_EQ(RC_FAILPOINT("log.append"), Fire::Torn);
+    // delay sleeps and passes through as None.
+    EXPECT_EQ(RC_FAILPOINT("claim.heartbeat"), Fire::None);
+    EXPECT_EQ(failpointHits("claim.heartbeat"), 1u);
+}
+
+TEST_F(FailpointTest, ArmingIsCumulativeUntilDisarm)
+{
+    std::string err;
+    ASSERT_TRUE(armFailpoints("log.append=io_error@2", &err)) << err;
+    ASSERT_TRUE(armFailpoints("merge.out.flush=io_error", &err))
+        << err;
+    EXPECT_EQ(RC_FAILPOINT("merge.out.flush"), Fire::IoError);
+    EXPECT_EQ(RC_FAILPOINT("log.append"), Fire::None);
+    EXPECT_EQ(RC_FAILPOINT("log.append"), Fire::IoError);
+
+    disarmFailpoints();
+    EXPECT_FALSE(anyFailpointArmed());
+    EXPECT_EQ(failpointHits("log.append"), 0u);
+    EXPECT_EQ(RC_FAILPOINT("log.append"), Fire::None);
+}
+
+TEST_F(FailpointTest, EnvArming)
+{
+    // Unset or empty RC_FAILPOINT arms nothing and succeeds.
+    ::unsetenv("RC_FAILPOINT");
+    std::string err;
+    EXPECT_TRUE(armFailpointsFromEnv(&err)) << err;
+    EXPECT_FALSE(anyFailpointArmed());
+    ::setenv("RC_FAILPOINT", "", 1);
+    EXPECT_TRUE(armFailpointsFromEnv(&err)) << err;
+    EXPECT_FALSE(anyFailpointArmed());
+
+    ::setenv("RC_FAILPOINT", "csv.chunk.flush=io_error", 1);
+    EXPECT_TRUE(armFailpointsFromEnv(&err)) << err;
+    EXPECT_EQ(RC_FAILPOINT("csv.chunk.flush"), Fire::IoError);
+
+    ::setenv("RC_FAILPOINT", "bogus=crash", 1);
+    disarmFailpoints();
+    EXPECT_FALSE(armFailpointsFromEnv(&err));
+    EXPECT_NE(err.find("unknown site 'bogus'"), std::string::npos);
+    ::unsetenv("RC_FAILPOINT");
+}
+
+using FailpointDeathTest = FailpointTest;
+
+TEST_F(FailpointDeathTest, CrashActionExits137WithoutFlushing)
+{
+    EXPECT_EXIT(
+        {
+            std::string err;
+            if (!armFailpoints("atomic.publish=crash", &err))
+                ::_exit(99);
+            (void)RC_FAILPOINT("atomic.publish");
+            ::_exit(0); // unreachable: the macro must not return
+        },
+        ::testing::ExitedWithCode(137),
+        "failpoint 'atomic.publish' fired: crash");
+}
+
+} // namespace rcache::fault

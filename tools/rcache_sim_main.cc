@@ -37,11 +37,13 @@
 #include <vector>
 
 #include "bench/harness/perf_harness.hh"
+#include "fault/failpoint.hh"
 #include "runner/shard.hh"
 #include "runner/sweep_runner.hh"
 #include "scenario/scenario_spec.hh"
 #include "scenario/scenario_sweep.hh"
 #include "search/adaptive_search.hh"
+#include "search/doctor.hh"
 #include "search/sweep_merge.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
@@ -49,6 +51,8 @@
 #include "telemetry/inspect.hh"
 #include "telemetry/run_telemetry.hh"
 #include "telemetry/trace_events.hh"
+#include "util/checked_io.hh"
+#include "util/interrupt.hh"
 #include "util/logging.hh"
 #include "workload/profiles.hh"
 #include "workload/trace_io.hh"
@@ -83,8 +87,12 @@ usage(std::ostream &os, int code)
           "canonical form\n"
           "  rcache-sim inspect [options]   summarize telemetry "
           "artifacts\n"
+          "  rcache-sim doctor [opts] DIR   audit a --claim manifest "
+          "directory's consistency\n"
           "  rcache-sim list-apps           print the benchmark "
           "suite\n"
+          "  rcache-sim list-failpoints     print the registered "
+          "fault-injection sites\n"
           "\n"
           "Each subcommand documents its own options: "
           "'rcache-sim <subcommand> --help'.\n"
@@ -154,15 +162,17 @@ knownOptions(const std::string &cmd)
              "--progress", "--engine", "--sample", "--sample-detail",
              "--sample-warmup", "--timeline", "--events",
              "--trace-events", "--timeline-interval", "--claim",
-             "--shards", "--lease-timeout"});
+             "--shards", "--lease-timeout", "--failpoint"});
     } else if (cmd == "tune") {
         add({"--scenario", "--jobs", "--out", "--log", "--resume",
-             "--claim", "--shards", "--lease-timeout"});
+             "--claim", "--shards", "--lease-timeout",
+             "--failpoint"});
     } else if (cmd == "run") {
         add({"--insts", "--assoc", "--app", "--cores", "--mix",
              "--quantum", "--engine", "--sample", "--sample-detail",
              "--sample-warmup", "--timeline", "--events",
-             "--trace-events", "--timeline-interval"});
+             "--trace-events", "--timeline-interval",
+             "--failpoint"});
         for (const auto &k : setupKeys())
             keys.push_back(k);
     } else if (cmd == "inspect") {
@@ -206,8 +216,13 @@ commandPurpose(const std::string &cmd)
     if (cmd == "inspect")
         return "summarize telemetry artifacts: decision counts by "
                "reason, size residency, oscillations";
+    if (cmd == "doctor")
+        return "read-only consistency audit of a --claim manifest "
+               "directory (exit 0 consistent, 2 inconsistent)";
     if (cmd == "list-apps")
         return "print the benchmark suite names";
+    if (cmd == "list-failpoints")
+        return "print the registered fault-injection sites";
     return "";
 }
 
@@ -297,6 +312,11 @@ optionHelp(const std::string &key)
         {"--log",
          "write the adaptive search's JSONL decision log to FILE "
          "(byte-identical across --jobs, workers, and resumes)"},
+        {"--failpoint",
+         "arm deterministic fault injection: SITE=ACTION[@N],... "
+         "with actions crash|io_error|torn|delay[:MS] (see "
+         "'rcache-sim list-failpoints'; RC_FAILPOINT env works "
+         "too)"},
     };
     auto it = help.find(key);
     if (it != help.end())
@@ -754,6 +774,20 @@ scenarioFromFlags(const Args &args, bool *legacy_used)
     return spec;
 }
 
+/** Arm --failpoint's spec; prints the one-line diagnostic itself. */
+bool
+armCliFailpoints(const Args &args)
+{
+    if (!args.has("--failpoint"))
+        return true;
+    std::string err;
+    if (!fault::armFailpoints(args.get("--failpoint", ""), &err)) {
+        std::cerr << "rcache-sim: --failpoint: " << err << '\n';
+        return false;
+    }
+    return true;
+}
+
 /** Whether any sweep grid flag (the --scenario alternatives) is
  *  present. */
 bool
@@ -827,6 +861,9 @@ cmdSweepClaim(const Args &args)
 int
 cmdSweep(const Args &args)
 {
+    if (!armCliFailpoints(args))
+        return 2;
+    installInterruptHandlers();
     if (args.has("--claim"))
         return cmdSweepClaim(args);
     for (const char *needs_claim : {"--shards", "--lease-timeout"}) {
@@ -915,6 +952,9 @@ cmdSweep(const Args &args)
 int
 cmdTune(const Args &args)
 {
+    if (!armCliFailpoints(args))
+        return 2;
+    installInterruptHandlers();
     if (!args.has("--scenario")) {
         std::cerr << "rcache-sim: tune needs --scenario FILE (with "
                      "'mode = adaptive' in its [search] section)\n";
@@ -995,6 +1035,79 @@ cmdMerge(int argc, char **argv)
         }
     }
     return runSweepMerge(inputs, out);
+}
+
+// -------------------------------------------------------------- doctor
+
+int
+doctorHelp()
+{
+    std::cout
+        << "rcache-sim doctor — " << commandPurpose("doctor")
+        << "\n\n"
+           "usage: rcache-sim doctor [--lease-timeout N] "
+           "[--log FILE] CLAIM_DIR\n"
+           "\n"
+           "Reports every work unit's state (done / lease live / "
+           "stale /\nunclaimed), verifies committed unit CSVs still "
+           "parse, and\ninventories crash debris (orphan tmp files, "
+           "renamed-aside\nevidence). --log additionally audits a "
+           "decision log's\nintegrity. Never mutates anything.\n"
+           "\n"
+           "exit codes: 0 consistent (possibly unfinished), 2 "
+           "inconsistent.\n";
+    return 0;
+}
+
+/** doctor takes a positional DIR, so it parses itself (like
+ *  merge). */
+int
+cmdDoctor(int argc, char **argv)
+{
+    DoctorOptions opt;
+    std::vector<std::string> dirs;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help")
+            return doctorHelp();
+        if (arg == "--lease-timeout" || arg == "--log") {
+            if (i + 1 >= argc) {
+                std::cerr << "rcache-sim: option '" << arg
+                          << "' needs a value\n";
+                return 2;
+            }
+            const std::string value = argv[++i];
+            if (arg == "--log") {
+                opt.logPath = value;
+                continue;
+            }
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long v =
+                std::strtoull(value.c_str(), &end, 10);
+            if (value.empty() || *end != '\0' || errno == ERANGE ||
+                value[0] == '-') {
+                std::cerr << "rcache-sim: option '--lease-timeout' "
+                             "wants a non-negative integer, got '"
+                          << value << "'\n";
+                return 2;
+            }
+            opt.leaseTimeoutSecs = static_cast<unsigned>(v);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "rcache-sim: unknown option '" << arg
+                      << "' for 'doctor' (try 'rcache-sim doctor "
+                         "--help')\n";
+            return 2;
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+    if (dirs.size() != 1) {
+        std::cerr << "rcache-sim: doctor wants exactly one "
+                     "CLAIM_DIR\n";
+        return 2;
+    }
+    return runDoctor(dirs[0], opt, std::cout);
 }
 
 // ------------------------------------------------------------ scenario
@@ -1145,6 +1258,8 @@ applyOrgs(const Args &args, SystemConfig &cfg,
 int
 cmdRun(const Args &args)
 {
+    if (!armCliFailpoints(args))
+        return 2;
     if (!args.has("--app") && !args.has("--mix")) {
         std::cerr << "rcache-sim: run needs --app NAME (see "
                      "list-apps) or --mix A+B\n";
@@ -1265,24 +1380,33 @@ cmdRun(const Args &args)
             timeline_path.size() >= 4 &&
             timeline_path.compare(timeline_path.size() - 4, 4,
                                   ".csv") == 0;
+        std::ostringstream rec;
         if (csv) {
-            writeTimelineCsvHeader(os, false);
-            writeTimelineCsv(os, telem.timeline);
+            writeTimelineCsvHeader(rec, false);
+            writeTimelineCsv(rec, telem.timeline);
         } else {
-            writeTimelineJsonl(os, telem.timeline);
+            writeTimelineJsonl(rec, telem.timeline);
         }
+        checkedAppend(os, rec.str(), timeline_path,
+                      "telemetry.timeline.append");
     }
     if (!events_path.empty()) {
         std::ofstream os;
         if (!openOut(events_path, os))
             return 2;
-        writeResizeEventsJsonl(os, telem.events.events());
+        std::ostringstream rec;
+        writeResizeEventsJsonl(rec, telem.events.events());
+        checkedAppend(os, rec.str(), events_path,
+                      "telemetry.events.append");
     }
     if (trace) {
         std::ofstream os;
         if (!openOut(trace_path, os))
             return 2;
-        trace->write(os);
+        std::ostringstream rec;
+        trace->write(rec);
+        checkedAppend(os, rec.str(), trace_path,
+                      "telemetry.trace.write");
     }
     return 0;
 }
@@ -1349,6 +1473,7 @@ cmdRecord(const Args &args)
     }
     SyntheticWorkload wl(*profile);
     writeTrace(out, wl, *count);
+    checkedFlush(out, path);
     std::cerr << "recorded " << *count << " instructions of "
               << wl.name() << " to " << path << '\n';
     return 0;
@@ -1457,6 +1582,22 @@ cmdListApps()
     return 0;
 }
 
+int
+cmdListFailpoints()
+{
+    std::size_t width = 0;
+    for (const auto &site : fault::knownFailpoints())
+        width = std::max(width, std::string(site.name).size());
+    for (const auto &site : fault::knownFailpoints()) {
+        std::cout << site.name;
+        for (std::size_t pad = std::string(site.name).size();
+             pad < width + 2; ++pad)
+            std::cout << ' ';
+        std::cout << site.description << '\n';
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1468,23 +1609,37 @@ main(int argc, char **argv)
     if (cmd == "--help" || cmd == "help" || cmd == "-h")
         return usage(std::cout, 0);
 
-    const bool known_cmd = cmd == "sweep" || cmd == "tune" ||
-                           cmd == "merge" || cmd == "run" ||
-                           cmd == "replay" || cmd == "record" ||
-                           cmd == "bench" || cmd == "scenario" ||
-                           cmd == "inspect" || cmd == "list-apps";
+    // The RC_FAILPOINT environment variable arms fault injection for
+    // any subcommand (the CLI --failpoint option only exists on the
+    // long-running drivers); a bad spec is a usage error.
+    std::string fp_err;
+    if (!fault::armFailpointsFromEnv(&fp_err)) {
+        std::cerr << "rcache-sim: RC_FAILPOINT: " << fp_err << '\n';
+        return 2;
+    }
+
+    const bool known_cmd =
+        cmd == "sweep" || cmd == "tune" || cmd == "merge" ||
+        cmd == "run" || cmd == "replay" || cmd == "record" ||
+        cmd == "bench" || cmd == "scenario" || cmd == "inspect" ||
+        cmd == "doctor" || cmd == "list-apps" ||
+        cmd == "list-failpoints";
     if (!known_cmd) {
         std::cerr << "rcache-sim: unknown subcommand '" << cmd
                   << "' (try 'rcache-sim --help')\n";
         return 2;
     }
 
-    // scenario and merge take positional FILE arguments; they parse
-    // themselves.
+    // scenario, merge, and doctor take positional arguments; they
+    // parse themselves.
     if (cmd == "scenario")
         return cmdScenario(argc, argv);
     if (cmd == "merge")
         return cmdMerge(argc, argv);
+    if (cmd == "doctor")
+        return cmdDoctor(argc, argv);
+    if (cmd == "list-failpoints")
+        return cmdListFailpoints();
 
     auto args = parseArgs(argc, argv, 2, cmd);
     if (!args)
