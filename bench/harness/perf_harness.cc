@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -16,6 +17,8 @@
 #include "util/logging.hh"
 #include "util/numformat.hh"
 #include "workload/profiles.hh"
+#include "workload/streaming_trace.hh"
+#include "workload/trace_format.hh"
 
 namespace rcache::bench
 {
@@ -344,6 +347,61 @@ cacheAccess(const BenchOptions &opts)
          {"accesses", std::to_string(opts.items)}});
 }
 
+BenchResult
+traceStream(const BenchOptions &opts)
+{
+    // Setup (untimed): a packed lcs trace on disk, sized so that
+    // draining opts.items instructions wraps several times — the
+    // timed loop includes the decoder's chunk refills and the
+    // rewind-to-offset-zero path, i.e. what a sweep cell actually
+    // pays per instruction when driven by a real trace file.
+    namespace fs = std::filesystem;
+    constexpr std::uint64_t traceRecords = 1u << 18; // 6 MB on disk
+    const fs::path path = fs::temp_directory_path() /
+                          "rcache_bench_trace_stream.bin";
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        unsigned char rec[24] = {};
+        for (std::uint64_t i = 0; i < traceRecords; ++i) {
+            const std::uint64_t obj = i % 100003;
+            for (int b = 0; b < 4; ++b)
+                rec[b] = static_cast<unsigned char>(i >> (8 * b));
+            for (int b = 0; b < 8; ++b)
+                rec[4 + b] =
+                    static_cast<unsigned char>(obj >> (8 * b));
+            rec[12] = 64; // obj_size (unused by the decoder)
+            os.write(reinterpret_cast<const char *>(rec),
+                     sizeof(rec));
+        }
+    }
+    TraceSpec spec;
+    spec.path = path.string();
+    spec.format = TraceFormat::LcsBin;
+
+    const double best = bestWallSeconds(opts.repetitions, [&] {
+        std::string err;
+        auto wl = StreamingTraceWorkload::open(spec, "bench", &err);
+        if (!wl)
+            rc_fatal("trace_stream bench: " + err);
+        MicroInst buf[workloadBatchSize];
+        std::uint64_t done = 0;
+        Addr sink = 0;
+        while (done < opts.items) {
+            wl->nextBatch(buf, workloadBatchSize);
+            sink += buf[workloadBatchSize - 1].effAddr;
+            done += workloadBatchSize;
+        }
+        consume(sink);
+    });
+    fs::remove(path);
+    return makeResult("trace_stream", "Minst/s", opts.items,
+                      opts.repetitions, best,
+                      {{"format", "lcs"},
+                       {"records", std::to_string(traceRecords)},
+                       {"insts", std::to_string(opts.items)},
+                       {"batch", std::to_string(workloadBatchSize)}});
+}
+
 } // namespace
 
 double
@@ -398,6 +456,10 @@ perfBenches()
         {"cache_access_stream",
          "Cache::access over a sequential block stream",
          [](const BenchOptions &o) { return cacheAccess(o); }},
+        {"trace_stream",
+         "StreamingTraceWorkload::nextBatch over an on-disk lcs "
+         "trace, wrap refills included",
+         [](const BenchOptions &o) { return traceStream(o); }},
     };
     return registry;
 }

@@ -8,6 +8,7 @@
 #include "core/size_schedule.hh"
 #include "cpu/branch_predictor.hh"
 #include "workload/synthetic.hh"
+#include "workload/workload_factory.hh"
 
 namespace rcache
 {
@@ -122,6 +123,9 @@ AnalyticPass::addConfig(const SystemConfig &cfg)
     if (cfg.cores != 1)
         rc_fatal("the analytic engine supports single-core "
                  "configurations only");
+    if (cfg.policy != "lru")
+        rc_fatal("the analytic engine models true-LRU caches only; "
+                 "got replacement policy '" + cfg.policy + "'");
 
     const std::string key =
         streamKey(cfg, profile_.name, insts_);
@@ -194,7 +198,8 @@ AnalyticPass::run()
         dl1Profiles_.emplace_back(sets, ways, dl1BlockBits_);
 
     BranchPredictor bpred(bpred_);
-    SyntheticWorkload wl(profile_);
+    const std::unique_ptr<Workload> wlp = makeWorkload(profile_);
+    Workload &wl = *wlp;
 
     // Fetch replica of cpu/core.cc fetchInst(): one il1 access per
     // fetch-group boundary or block change; taken or mispredicted

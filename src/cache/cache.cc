@@ -87,6 +87,7 @@ Cache::updateAccessConstants()
     rndFast_ = replKind_ == ReplKind::Random
                    ? static_cast<RandomPolicy *>(policy_.get())
                    : nullptr;
+    wantsAccessStream_ = policy_->wantsAccessStream();
 }
 
 unsigned
@@ -142,6 +143,12 @@ Cache::fillOnMiss(Block *row, Addr block_addr, bool is_write)
     if (victim_way == enabledWays_) {
         victim_way = victimWay(row);
         rc_assert(victim_way < enabledWays_);
+        // Admission-gated policies may refuse the exchange: the miss
+        // stands, the victim stays, nothing is written back. Only the
+        // Custom path can gate (the built-ins always admit).
+        if (replKind_ == ReplKind::Custom &&
+            !policy_->admit(block_addr, row[victim_way].blockAddr))
+            return res;
     }
 
     Block &victim = row[victim_way];
@@ -157,7 +164,7 @@ Cache::fillOnMiss(Block *row, Addr block_addr, bool is_write)
     }
 
     victim.blockAddr = block_addr;
-    victim.fill(is_write, touchMeta(victim.replMeta()));
+    victim.fill(is_write, fillMeta(victim.replMeta()));
     return res;
 }
 

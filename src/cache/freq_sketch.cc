@@ -1,0 +1,82 @@
+#include "cache/freq_sketch.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: a cheap, well-mixed 64-bit hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+CountMinSketch::CountMinSketch(std::uint64_t capacity_hint,
+                               std::uint64_t seed)
+    : mask_(nextPow2(std::max<std::uint64_t>(1024, capacity_hint)) -
+            1),
+      window_(16 * (mask_ + 1)),
+      seed_(seed),
+      counters_(rows * (mask_ + 1), 0)
+{
+}
+
+std::uint64_t
+CountMinSketch::rowIndex(unsigned row, std::uint64_t key) const
+{
+    return row * (mask_ + 1) +
+           (mix64(key ^ mix64(seed_ + row)) & mask_);
+}
+
+void
+CountMinSketch::increment(std::uint64_t key)
+{
+    for (unsigned r = 0; r < rows; ++r) {
+        std::uint8_t &c = counters_[rowIndex(r, key)];
+        if (c < 255)
+            ++c;
+    }
+    if (++recorded_ >= window_)
+        halve();
+}
+
+unsigned
+CountMinSketch::estimate(std::uint64_t key) const
+{
+    unsigned est = 255;
+    for (unsigned r = 0; r < rows; ++r)
+        est = std::min<unsigned>(est, counters_[rowIndex(r, key)]);
+    return est;
+}
+
+void
+CountMinSketch::halve()
+{
+    for (std::uint8_t &c : counters_)
+        c = static_cast<std::uint8_t>(c >> 1);
+    // Halving the recorded count too (not zeroing) keeps the window
+    // in step with the surviving counter mass, per the TinyLFU reset.
+    recorded_ >>= 1;
+}
+
+} // namespace rcache

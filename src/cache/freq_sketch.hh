@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CountMin frequency sketch with periodic aging — the admission
+ * frequency estimator behind the W-TinyLFU replacement policy.
+ *
+ * Four rows of saturating 8-bit counters, one row-local hash each;
+ * an item's estimate is the minimum over its four counters (classic
+ * conservative CountMin bound). The width is sized from the cache's
+ * block capacity so collisions stay rare at working-set scale, and
+ * every sampleWindow() recorded accesses all counters are halved,
+ * aging stale popularity out so the sketch tracks the recent access
+ * distribution instead of the all-time one (the TinyLFU "reset"
+ * operation).
+ *
+ * Deterministic: hashes are fixed mixes of (key, row, seed), so equal
+ * seeds and access streams give equal estimates everywhere.
+ */
+
+#ifndef RCACHE_CACHE_FREQ_SKETCH_HH
+#define RCACHE_CACHE_FREQ_SKETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rcache
+{
+
+/** See file comment. */
+class CountMinSketch
+{
+  public:
+    /**
+     * @param capacity_hint items the protected store holds (cache
+     *        blocks); the width is the next power of two >=
+     *        max(1024, capacity_hint)
+     * @param seed hash seed (equal seeds, equal sketches)
+     */
+    explicit CountMinSketch(std::uint64_t capacity_hint,
+                            std::uint64_t seed = 1);
+
+    /** Record one access; ages all counters every sampleWindow(). */
+    void increment(std::uint64_t key);
+
+    /** Frequency estimate (min over rows); never underestimates the
+     *  true in-window count, modulo aging. */
+    unsigned estimate(std::uint64_t key) const;
+
+    /** Halve every counter (the aging step; public for tests). */
+    void halve();
+
+    /** Counters per row (power of two). */
+    std::uint64_t width() const { return mask_ + 1; }
+    /** Recorded accesses between aging steps. */
+    std::uint64_t sampleWindow() const { return window_; }
+    /** Accesses recorded since the last aging step. */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Bytes held (for memory accounting). */
+    std::size_t residentBytes() const { return counters_.size(); }
+
+  private:
+    static constexpr unsigned rows = 4;
+
+    std::uint64_t rowIndex(unsigned row, std::uint64_t key) const;
+
+    std::uint64_t mask_;
+    std::uint64_t window_;
+    std::uint64_t seed_;
+    std::uint64_t recorded_ = 0;
+    /** rows x width, row-major. */
+    std::vector<std::uint8_t> counters_;
+};
+
+} // namespace rcache
+
+#endif // RCACHE_CACHE_FREQ_SKETCH_HH

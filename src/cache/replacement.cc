@@ -1,5 +1,7 @@
 #include "cache/replacement.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace rcache
@@ -40,13 +42,158 @@ RandomPolicy::victim(const ReplChoice *, std::size_t n)
     return pickWay(n);
 }
 
+std::uint64_t
+FifoPolicy::touch(std::uint64_t old_meta)
+{
+    // Hits do not refresh the insertion order.
+    return old_meta;
+}
+
+std::uint64_t
+FifoPolicy::fill(std::uint64_t)
+{
+    return ++stamp_;
+}
+
+unsigned
+FifoPolicy::victim(const ReplChoice *ways, std::size_t n)
+{
+    rc_assert(n != 0);
+    unsigned best = 0;
+    for (unsigned i = 1; i < n; ++i) {
+        if (ways[i].meta < ways[best].meta)
+            best = i;
+    }
+    return best;
+}
+
+std::uint64_t
+SlruPolicy::touch(std::uint64_t)
+{
+    // Any hit promotes into (or refreshes within) the protected
+    // segment.
+    return protectedBit | nextStamp();
+}
+
+std::uint64_t
+SlruPolicy::fill(std::uint64_t)
+{
+    // Fills start probationary.
+    return nextStamp();
+}
+
+unsigned
+SlruPolicy::victim(const ReplChoice *ways, std::size_t n)
+{
+    rc_assert(n != 0);
+    // Oldest probationary way if any exists; otherwise the set is
+    // fully protected and the oldest protected way goes (plain LRU).
+    unsigned best = 0;
+    bool best_prob = false;
+    for (unsigned i = 0; i < n; ++i) {
+        const bool prob = !(ways[i].meta & protectedBit);
+        const std::uint64_t stamp = ways[i].meta & stampMask;
+        if (i == 0 || (prob && !best_prob) ||
+            (prob == best_prob &&
+             stamp < (ways[best].meta & stampMask))) {
+            best = i;
+            best_prob = prob;
+        }
+    }
+    return best;
+}
+
+WTinyLfuPolicy::WTinyLfuPolicy(std::uint64_t capacity_hint,
+                               std::uint64_t seed)
+    : sketch_(capacity_hint, seed)
+{
+}
+
+std::uint64_t
+WTinyLfuPolicy::touch(std::uint64_t)
+{
+    return ++stamp_;
+}
+
+unsigned
+WTinyLfuPolicy::victim(const ReplChoice *ways, std::size_t n)
+{
+    rc_assert(n != 0);
+    unsigned best = 0;
+    for (unsigned i = 1; i < n; ++i) {
+        if (ways[i].meta < ways[best].meta)
+            best = i;
+    }
+    return best;
+}
+
+void
+WTinyLfuPolicy::recordAccess(Addr block_addr)
+{
+    sketch_.increment(block_addr);
+}
+
+bool
+WTinyLfuPolicy::admit(Addr incoming_block, Addr victim_block)
+{
+    // The candidate was just recorded (its access preceded this
+    // admission check), so a brand-new block estimates >= 1 and ties
+    // admit — keeping a pure LRU tie-break for equal frequencies.
+    return sketch_.estimate(incoming_block) >=
+           sketch_.estimate(victim_block);
+}
+
+std::vector<std::string>
+replacementPolicyNames()
+{
+    return {"lru", "random", "fifo", "slru", "wtlfu"};
+}
+
+bool
+isReplacementPolicyName(const std::string &name)
+{
+    const auto names = replacementPolicyNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string
+replacementPolicyList()
+{
+    std::string out;
+    for (const std::string &n : replacementPolicyNames()) {
+        if (!out.empty())
+            out += '|';
+        out += n;
+    }
+    return out;
+}
+
+unsigned
+replacementPolicyStateBits(const std::string &name)
+{
+    if (name == "lru" || name == "random" || name == "fifo")
+        return 0;
+    if (name == "slru")
+        return 1;
+    if (name == "wtlfu")
+        return 32;
+    rc_panic("unknown replacement policy: " + name);
+}
+
 std::unique_ptr<ReplacementPolicy>
-makeReplacementPolicy(const std::string &name, std::uint64_t seed)
+makeReplacementPolicy(const std::string &name, std::uint64_t seed,
+                      std::uint64_t capacity_hint)
 {
     if (name == "lru")
         return std::make_unique<LruPolicy>();
     if (name == "random")
         return std::make_unique<RandomPolicy>(seed);
+    if (name == "fifo")
+        return std::make_unique<FifoPolicy>();
+    if (name == "slru")
+        return std::make_unique<SlruPolicy>();
+    if (name == "wtlfu")
+        return std::make_unique<WTinyLfuPolicy>(capacity_hint, seed);
     rc_panic("unknown replacement policy: " + name);
 }
 

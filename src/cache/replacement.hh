@@ -3,14 +3,24 @@
  * Block replacement policies.
  *
  * Policies operate on an opaque per-block metadata word owned by the
- * cache; the policy decides how to update it on touch/fill and how to
- * pick a victim among the enabled ways of a set.
+ * cache; the policy decides how to update it on touch (hit) and fill
+ * (allocation) and how to pick a victim among the enabled ways of a
+ * set. Policies that need more than per-way metadata hook two extra
+ * seams: an access stream (recordAccess, fed every cache access when
+ * wantsAccessStream() is true) and an admission gate (admit, consulted
+ * before a valid victim is evicted — returning false bypasses the
+ * fill, leaving the victim resident).
  *
  * Metadata contract: the cache stores metadata in 48 bits (its block
  * frames pack valid/dirty into the top bits of the same word), so
  * policies must keep values below 2^48. The built-ins comply by
- * construction — the LRU stamp would need ~2.8e14 touches to
- * overflow, and random ignores metadata entirely.
+ * construction — the LRU/FIFO stamps would need ~2.8e14 events to
+ * overflow, SLRU keeps a 47-bit stamp plus the segment bit, and
+ * random ignores metadata entirely.
+ *
+ * All addresses handed to recordAccess/admit are block addresses
+ * (byte address >> blockBits), the natural key granularity for
+ * frequency tracking.
  */
 
 #ifndef RCACHE_CACHE_REPLACEMENT_HH
@@ -21,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/freq_sketch.hh"
+#include "util/bitops.hh"
 #include "util/random.hh"
 
 namespace rcache
@@ -55,8 +67,18 @@ class ReplacementPolicy
     /** Which inline fast path (if any) implements this policy. */
     virtual ReplKind kind() const { return ReplKind::Custom; }
 
-    /** Metadata for a block just touched (hit) or filled. */
+    /** Metadata for a block just touched (hit). */
     virtual std::uint64_t touch(std::uint64_t old_meta) = 0;
+
+    /**
+     * Metadata for a block just filled (allocation on miss). Defaults
+     * to touch — correct for recency policies; insertion-order and
+     * segmented policies distinguish the two.
+     */
+    virtual std::uint64_t fill(std::uint64_t old_meta)
+    {
+        return touch(old_meta);
+    }
 
     /**
      * Pick a victim way among the @p n @p ways (already restricted to
@@ -70,6 +92,37 @@ class ReplacementPolicy
     {
         return victim(ways.data(), ways.size());
     }
+
+    /**
+     * Should the cache feed every access (hit or miss) through
+     * recordAccess? Sampled once per reconfiguration, so the hot path
+     * pays one cached-bool test, not a virtual call.
+     */
+    virtual bool wantsAccessStream() const { return false; }
+
+    /** One cache access to @p block_addr (see wantsAccessStream). */
+    virtual void recordAccess(Addr block_addr) { (void)block_addr; }
+
+    /**
+     * Admission gate: with every enabled way valid and
+     * @p victim_block chosen for eviction, may @p incoming_block
+     * displace it? Returning false bypasses the fill: the miss still
+     * counts, the victim stays resident, nothing is written back.
+     * Only consulted for Custom-kind policies.
+     */
+    virtual bool admit(Addr incoming_block, Addr victim_block)
+    {
+        (void)incoming_block;
+        (void)victim_block;
+        return true;
+    }
+
+    /**
+     * Per-block state bits this policy needs beyond the baseline LRU
+     * bookkeeping (priced by the energy model like the resizing tag
+     * extension). Must equal replacementPolicyStateBits(name()).
+     */
+    virtual unsigned extraStateBitsPerBlock() const { return 0; }
 
     /** Human-readable policy name. */
     virtual std::string name() const = 0;
@@ -114,9 +167,124 @@ class RandomPolicy final : public ReplacementPolicy
     Rng rng_;
 };
 
-/** Factory by name ("lru" or "random"); panics on unknown name. */
+/**
+ * FIFO: blocks are evicted in insertion order. Hits leave the
+ * insertion stamp alone (the one behavioral difference from LRU), so
+ * the policy needs no recency tracking at all — the classic
+ * low-state baseline the paper-era resizable caches shipped with.
+ */
+class FifoPolicy final : public ReplacementPolicy
+{
+  public:
+    std::uint64_t touch(std::uint64_t old_meta) override;
+    std::uint64_t fill(std::uint64_t old_meta) override;
+    unsigned victim(const ReplChoice *ways, std::size_t n) override;
+    using ReplacementPolicy::victim;
+    std::string name() const override { return "fifo"; }
+
+  private:
+    std::uint64_t stamp_ = 0;
+};
+
+/**
+ * Segmented LRU: fills land in a probationary segment; a hit promotes
+ * to the protected segment. Victims come from the oldest probationary
+ * block when one exists, shielding the protected segment from scans;
+ * with every way protected the set degrades to plain LRU. One extra
+ * metadata bit (the segment flag) rides above a 47-bit stamp.
+ */
+class SlruPolicy final : public ReplacementPolicy
+{
+  public:
+    /** Segment flag: set = protected, clear = probationary. */
+    static constexpr std::uint64_t protectedBit = std::uint64_t{1}
+                                                  << 47;
+    static constexpr std::uint64_t stampMask = protectedBit - 1;
+
+    std::uint64_t touch(std::uint64_t old_meta) override;
+    std::uint64_t fill(std::uint64_t old_meta) override;
+    unsigned victim(const ReplChoice *ways, std::size_t n) override;
+    using ReplacementPolicy::victim;
+    unsigned extraStateBitsPerBlock() const override { return 1; }
+    std::string name() const override { return "slru"; }
+
+  private:
+    std::uint64_t nextStamp() { return ++stamp_ & stampMask; }
+
+    std::uint64_t stamp_ = 0;
+};
+
+/**
+ * W-TinyLFU: LRU ordering inside the set plus a CountMin frequency
+ * sketch (freq_sketch.hh) deciding admission — a candidate only
+ * displaces a valid victim when its estimated access frequency is at
+ * least the victim's, so one-shot scan blocks stop evicting the hot
+ * working set. The sketch sees every access via the access-stream
+ * hook and ages itself periodically.
+ */
+class WTinyLfuPolicy final : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param capacity_hint cache capacity in blocks (sizes the
+     *        sketch)
+     * @param seed sketch hash seed
+     */
+    explicit WTinyLfuPolicy(std::uint64_t capacity_hint,
+                            std::uint64_t seed = 1);
+
+    std::uint64_t touch(std::uint64_t old_meta) override;
+    unsigned victim(const ReplChoice *ways, std::size_t n) override;
+    using ReplacementPolicy::victim;
+    bool wantsAccessStream() const override { return true; }
+    void recordAccess(Addr block_addr) override;
+    bool admit(Addr incoming_block, Addr victim_block) override;
+    unsigned extraStateBitsPerBlock() const override { return 32; }
+    std::string name() const override { return "wtlfu"; }
+
+    const CountMinSketch &sketch() const { return sketch_; }
+
+  private:
+    CountMinSketch sketch_;
+    std::uint64_t stamp_ = 0;
+};
+
+/** @name Policy registry
+ * The selectable policy names ("lru", "random", "fifo", "slru",
+ * "wtlfu") shared by the factory, the [system] policy knob, the
+ * sweep axis, and the CLI.
+ */
+/// @{
+
+/** All selectable policy names, in canonical order. */
+std::vector<std::string> replacementPolicyNames();
+
+/** Is @p name a selectable policy? */
+bool isReplacementPolicyName(const std::string &name);
+
+/** The selectable names '|'-joined, for error messages. */
+std::string replacementPolicyList();
+
+/**
+ * Per-block state bits of a policy beyond the LRU baseline (energy
+ * pricing; 0 for lru/random/fifo, 1 for slru, 32 for wtlfu —
+ * amortized sketch counters). Panics on an unknown name.
+ */
+unsigned replacementPolicyStateBits(const std::string &name);
+
+/**
+ * Factory by name; panics on an unknown name (validate with
+ * isReplacementPolicyName first where the name is user input).
+ * @param seed deterministic identity of this instance (rng streams,
+ *        sketch hashes) — derive it from the owning cache so two
+ *        caches never share a stream
+ * @param capacity_hint cache capacity in blocks (sizes wtlfu's
+ *        sketch; ignored by the others)
+ */
 std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
-    const std::string &name, std::uint64_t seed = 1);
+    const std::string &name, std::uint64_t seed = 1,
+    std::uint64_t capacity_hint = 0);
+/// @}
 
 } // namespace rcache
 

@@ -3,13 +3,61 @@
 namespace rcache
 {
 
+namespace
+{
+
+/** FNV-1a over the cache name: deterministic across platforms and
+ *  library implementations (std::hash is neither). */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Per-cache policy seed: a function of the cache's identity (name +
+ * caller salt), so seeded policies (random's rng, wtlfu's sketch
+ * hashes) never share a stream across caches — the old fixed-constant
+ * seeding made every random-policy cache replay the identical way
+ * sequence.
+ */
+std::uint64_t
+policySeed(const std::string &name, std::uint64_t salt)
+{
+    return fnv1a(name) ^ mix64(salt + 1);
+}
+
+} // namespace
+
 ResizableCache::ResizableCache(const std::string &name,
                                const CacheGeometry &geom,
-                               Organization org)
+                               Organization org,
+                               const std::string &policy,
+                               std::uint64_t seed_salt)
     : org_(org),
       schedule_(buildSchedule(org, geom)),
-      extraTagBits_(rcache::extraTagBits(org, geom)),
-      cache_(name, geom)
+      extraTagBits_(rcache::extraTagBits(org, geom) +
+                    replacementPolicyStateBits(policy)),
+      policy_(policy),
+      cache_(name, geom,
+             makeReplacementPolicy(
+                 policy, policySeed(name, seed_salt),
+                 geom.numSets() * geom.assoc))
 {
     rc_assert(!schedule_.empty());
     rc_assert(schedule_.front().sets == geom.numSets() &&

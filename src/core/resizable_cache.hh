@@ -32,9 +32,15 @@ class ResizableCache
      * @param name cache/stat name (e.g. "dl1")
      * @param geom full-size geometry
      * @param org which organization's schedule to offer
+     * @param policy replacement policy name (replacement.hh registry)
+     * @param seed_salt disambiguates same-named caches (a multi-core
+     *        lane passes its core id): seeded policies derive their
+     *        stream from hash(name) ^ mix(salt), never a shared
+     *        constant
      */
     ResizableCache(const std::string &name, const CacheGeometry &geom,
-                   Organization org);
+                   Organization org, const std::string &policy = "lru",
+                   std::uint64_t seed_salt = 0);
     virtual ~ResizableCache() = default;
 
     /** The wrapped cache (the hierarchy and CPU access through this). */
@@ -72,8 +78,12 @@ class ResizableCache
     bool canUpsize() const { return level_ > 0; }
     bool canDownsize() const { return level_ + 1 < levels(); }
 
-    /** Extra tag bits this organization carries (energy overhead). */
+    /** Extra tag bits this organization carries, plus the
+     *  replacement policy's per-block state bits (energy overhead). */
     unsigned extraTagBits() const { return extraTagBits_; }
+
+    /** The replacement policy name this cache was built with. */
+    const std::string &replacementPolicy() const { return policy_; }
 
     /** Smallest offered size in bytes. */
     std::uint64_t minSizeBytes() const;
@@ -91,6 +101,7 @@ class ResizableCache
     Organization org_;
     std::vector<ResizeConfig> schedule_;
     unsigned extraTagBits_;
+    std::string policy_;
     Cache cache_;
     unsigned level_ = 0;
 };

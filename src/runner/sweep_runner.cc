@@ -5,6 +5,7 @@
 #include "analytic/analytic_engine.hh"
 #include "sim/multi_core_system.hh"
 #include "telemetry/trace_events.hh"
+#include "workload/workload_factory.hh"
 
 namespace rcache
 {
@@ -29,9 +30,9 @@ executeRunJob(const RunJob &job)
                  job.telemetry)
             .aggregate;
     }
-    SyntheticWorkload wl(job.profile);
+    const std::unique_ptr<Workload> wl = makeWorkload(job.profile);
     System sys(job.cfg);
-    return sys.run(wl, job.insts, job.il1, job.dl1, job.engine,
+    return sys.run(*wl, job.insts, job.il1, job.dl1, job.engine,
                    job.telemetry);
 }
 

@@ -117,6 +117,7 @@ cellRecord(std::size_t cell, const std::string &app,
     r.avgIl1Bytes = out.best.avgIl1Bytes;
     r.avgDl1Bytes = out.best.avgDl1Bytes;
     r.engine = out.best.engine;
+    r.policy = p.cfg.policy;
     return r;
 }
 

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "cache/replacement.hh"
 #include "util/logging.hh"
 #include "util/numformat.hh"
 #include "workload/profiles.hh"
@@ -66,6 +67,14 @@ makeApplier(const std::string &name, const std::string &value,
                             err);
         return Applier(
             [m = *m](DesignPoint &p) { p.cfg.coreModel = m; });
+    }
+    if (name == "policy") {
+        if (!isReplacementPolicyName(value))
+            return failAxis(name, "wants " + replacementPolicyList() +
+                                      ", got '" + value + "'",
+                            err);
+        return Applier(
+            [value](DesignPoint &p) { p.cfg.policy = value; });
     }
     if (name == "assoc") {
         unsigned long long v = 0;
@@ -336,6 +345,21 @@ ParamSpace::build(const ScenarioSpec &spec, std::string *err)
                 *err = "a 'sample.interval' axis cannot combine "
                        "with the analytic engine (its values would "
                        "silently switch engines per cell)";
+            return std::nullopt;
+        }
+        // The single-pass stack-distance math is exact for true LRU
+        // and meaningless for any other policy, so reject non-lru
+        // policies up front instead of reporting wrong miss counts.
+        const Axis *policy_axis = findAxis("policy");
+        bool non_lru_reachable = spec.system.policy != "lru";
+        if (policy_axis)
+            for (const std::string &v : policy_axis->values)
+                non_lru_reachable |= v != "lru";
+        if (non_lru_reachable) {
+            if (err)
+                *err = "the analytic engine models true-LRU caches "
+                       "only; drop the [system] policy / policy axis "
+                       "or use the full or sampled engine";
             return std::nullopt;
         }
     }

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "cache/replacement.hh"
 #include "scenario/param_space.hh"
 #include "util/logging.hh"
 #include "util/numformat.hh"
@@ -456,6 +457,13 @@ Parser::keySystem(const std::string &key, const std::string &value)
         if (!m)
             return fail("core wants ooo|inorder, got '" + value + "'");
         spec_.system.coreModel = *m;
+        return true;
+    }
+    if (key == "policy") {
+        if (!isReplacementPolicyName(value))
+            return fail("policy wants " + replacementPolicyList() +
+                        ", got '" + value + "'");
+        spec_.system.policy = value;
         return true;
     }
     for (const auto &k : systemKeysU64()) {
@@ -1001,6 +1009,8 @@ ScenarioSpec::print(std::ostream &os) const
     std::ostringstream sys;
     if (system.coreModel != base.coreModel)
         sys << "core = " << coreModelToken(system.coreModel) << '\n';
+    if (system.policy != base.policy)
+        sys << "policy = " << system.policy << '\n';
     for (const auto &k : systemKeysU64())
         if (k.get(system) != k.get(base))
             sys << k.key << " = " << k.get(system) << '\n';
@@ -1137,6 +1147,7 @@ systemConfigKey(const SystemConfig &cfg)
        << organizationToken(cfg.dl1Org);
     os << '|' << cfg.cores << '|' << cfg.quantumInsts << '|'
        << coreModelListToken(cfg.coreModels);
+    os << '|' << cfg.policy;
     return os.str();
 }
 

@@ -9,6 +9,7 @@
 #include "telemetry/run_telemetry.hh"
 #include "telemetry/timeline.hh"
 #include "workload/synthetic.hh"
+#include "workload/workload_factory.hh"
 
 namespace rcache
 {
@@ -27,14 +28,14 @@ class AddressSpaceWorkload final : public Workload
 {
   public:
     AddressSpaceWorkload(const BenchmarkProfile &profile, Addr base)
-        : inner_(profile), base_(base)
+        : inner_(makeWorkload(profile)), base_(base)
     {
     }
 
     MicroInst
     next() override
     {
-        MicroInst inst = inner_.next();
+        MicroInst inst = inner_->next();
         relocate(inst);
         return inst;
     }
@@ -42,14 +43,14 @@ class AddressSpaceWorkload final : public Workload
     void
     nextBatch(MicroInst *buf, std::size_t n) override
     {
-        inner_.nextBatch(buf, n);
+        inner_->nextBatch(buf, n);
         for (std::size_t k = 0; k < n; ++k)
             relocate(buf[k]);
     }
 
-    void reset() override { inner_.reset(); }
-    void skip(std::uint64_t n) override { inner_.skip(n); }
-    std::string name() const override { return inner_.name(); }
+    void reset() override { inner_->reset(); }
+    void skip(std::uint64_t n) override { inner_->skip(n); }
+    std::string name() const override { return inner_->name(); }
 
   private:
     void
@@ -60,7 +61,7 @@ class AddressSpaceWorkload final : public Workload
         inst.target += base_;
     }
 
-    SyntheticWorkload inner_;
+    std::unique_ptr<Workload> inner_;
     Addr base_;
 };
 
@@ -70,8 +71,8 @@ struct CoreLane
     CoreLane(const SystemConfig &cfg, unsigned id, SharedL2 &l2,
              const BenchmarkProfile &profile)
         : workload(profile, MultiCoreSystem::addressSpaceBase(id)),
-          il1("il1", cfg.il1, cfg.il1Org),
-          dl1("dl1", cfg.dl1, cfg.dl1Org),
+          il1("il1", cfg.il1, cfg.il1Org, cfg.policy, id),
+          dl1("dl1", cfg.dl1, cfg.dl1Org, cfg.policy, id),
           hier(&il1.cache(), &dl1.cache(), l2, id, cfg.lat)
     {
     }

@@ -4,6 +4,7 @@
 #include <locale>
 #include <sstream>
 
+#include "cache/replacement.hh"
 #include "sim/table.hh"
 #include "util/numformat.hh"
 
@@ -147,7 +148,7 @@ sweepCsvHeader()
         "interval_accesses,miss_bound,size_bound_bytes,"
         "ed_reduction_pct,perf_degradation_pct,size_reduction_pct,"
         "baseline_edp,best_edp,baseline_cycles,best_cycles,"
-        "avg_il1_bytes,avg_dl1_bytes,engine";
+        "avg_il1_bytes,avg_dl1_bytes,engine,policy";
     return header;
 }
 
@@ -177,7 +178,7 @@ writeSweepCsvRows(std::ostream &os,
            << ',' << r.baselineCycles << ',' << r.bestCycles << ','
            << numField(r.avgIl1Bytes) << ','
            << numField(r.avgDl1Bytes) << ','
-           << engineName(r.engine) << '\n';
+           << engineName(r.engine) << ',' << r.policy << '\n';
     }
 }
 
@@ -227,9 +228,9 @@ readSweepCsv(std::istream &is, std::string *err)
         if (line.empty())
             return failWith(line_no, "empty row");
         const auto f = splitCsvLine(line);
-        if (f.size() != 20)
+        if (f.size() != 21)
             return failWith(line_no,
-                            "expected 20 fields, got " +
+                            "expected 21 fields, got " +
                                 std::to_string(f.size()));
         SweepRecord r;
         unsigned long long u = 0;
@@ -282,6 +283,9 @@ readSweepCsv(std::istream &is, std::string *err)
             r.engine = *mode;
         else
             return failWith(line_no, "bad engine '" + f[19] + "'");
+        if (!isReplacementPolicyName(f[20]))
+            return failWith(line_no, "bad policy '" + f[20] + "'");
+        r.policy = f[20];
         records.push_back(std::move(r));
     }
     return records;
@@ -317,7 +321,7 @@ writeSweepJson(std::ostream &os,
            << ", \"avg_il1_bytes\": " << numField(r.avgIl1Bytes)
            << ", \"avg_dl1_bytes\": " << numField(r.avgDl1Bytes)
            << ", \"engine\": \"" << engineName(r.engine)
-           << "\"}"
+           << "\", \"policy\": \"" << r.policy << "\"}"
            << (i + 1 < records.size() ? "," : "") << '\n';
     }
     os << "]\n";
@@ -329,7 +333,7 @@ writeSweepTable(std::ostream &os,
 {
     TextTable t({"app", "org", "strategy", "side", "axes", "E*D red",
                  "perf deg", "size red", "avg i-L1", "avg d-L1",
-                 "engine"});
+                 "engine", "policy"});
     for (const auto &r : records) {
         t.addRow({r.app, r.org, r.strategy, r.side,
                   r.axes.empty() ? "-" : r.axes,
@@ -338,7 +342,7 @@ writeSweepTable(std::ostream &os,
                   TextTable::pct(r.sizeReductionPct),
                   TextTable::bytesKb(r.avgIl1Bytes),
                   TextTable::bytesKb(r.avgDl1Bytes),
-                  engineName(r.engine)});
+                  engineName(r.engine), r.policy});
     }
     t.print(os);
 }

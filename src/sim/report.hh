@@ -91,6 +91,14 @@ struct SweepRecord
      * comparison is invalid — see the README's Engines section).
      */
     EngineMode engine = EngineMode::Full;
+    /**
+     * Provenance: the L1 replacement policy the cell ran under
+     * (cache/replacement.hh registry name). A policy axis lands here
+     * too — the axes string already carries it, but the dedicated
+     * column keeps policy comparisons greppable without parsing axis
+     * coordinates.
+     */
+    std::string policy = "lru";
 };
 
 /**

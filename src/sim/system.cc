@@ -25,8 +25,8 @@ coreModelName(CoreModel m)
 
 System::System(const SystemConfig &cfg)
     : cfg_(cfg),
-      il1_("il1", cfg.il1, cfg.il1Org),
-      dl1_("dl1", cfg.dl1, cfg.dl1Org),
+      il1_("il1", cfg.il1, cfg.il1Org, cfg.policy),
+      dl1_("dl1", cfg.dl1, cfg.dl1Org, cfg.policy),
       hier_(&il1_.cache(), &dl1_.cache(), cfg.l2, cfg.lat)
 {
     // Multi-core configs go through MultiCoreSystem; accepting one

@@ -53,6 +53,14 @@ struct SystemConfig
     HierarchyParams lat;
     Organization il1Org = Organization::None;
     Organization dl1Org = Organization::None;
+    /**
+     * L1 replacement policy, by registry name (replacement.hh): both
+     * L1s of every core use it; the shared L2 stays LRU. Seeded
+     * policies derive their streams from each cache's identity, so a
+     * lane's il1 and dl1 (and the same cache on different cores)
+     * never replay one another's decisions.
+     */
+    std::string policy = "lru";
     EnergyParams energy = EnergyParams::defaults018um();
 
     /** @name Multi-core extension (sim/multi_core_system.hh)

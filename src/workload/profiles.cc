@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "workload/trace_format.hh"
+#include "workload/workload_factory.hh"
 
 namespace rcache
 {
@@ -284,6 +286,13 @@ mixByName(const std::string &name, std::string *err)
     const std::vector<BenchmarkProfile> suite = spec2000Suite();
     std::vector<BenchmarkProfile> mix;
     for (const std::string &item : splitPlusList(name)) {
+        if (isTraceSpec(item)) {
+            BenchmarkProfile p;
+            if (!traceProfileFromSpec(item, &p, err))
+                return std::nullopt;
+            mix.push_back(std::move(p));
+            continue;
+        }
         const auto it =
             std::find_if(suite.begin(), suite.end(),
                          [&](const BenchmarkProfile &p) {

@@ -140,6 +140,14 @@ struct BenchmarkProfile
 
     std::uint8_t fpLatency = 4;
     std::uint64_t seed = 1;
+
+    /**
+     * Non-empty: this profile replays an on-disk trace (the full
+     * "trace:PATH[:FORMAT]" spec) instead of generating synthetically,
+     * and every generator field above is unused. Instantiate through
+     * makeWorkload (workload_factory.hh), never SyntheticWorkload.
+     */
+    std::string traceSpec;
 };
 
 /** Deterministic stream generator; see file comment. */

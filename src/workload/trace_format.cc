@@ -1,0 +1,129 @@
+#include "workload/trace_format.hh"
+
+#include "util/logging.hh"
+
+namespace rcache
+{
+
+namespace
+{
+
+constexpr const char *specPrefix = "trace:";
+
+/** Lower-cased extension of @p path ("" if none). */
+std::string
+extensionOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return "";
+    std::string ext = path.substr(dot);
+    for (char &c : ext)
+        c = static_cast<char>(
+            c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+    return ext;
+}
+
+} // namespace
+
+std::string
+traceFormatName(TraceFormat fmt)
+{
+    switch (fmt) {
+      case TraceFormat::Native:
+        return "native";
+      case TraceFormat::Rocksdb:
+        return "rocksdb";
+      case TraceFormat::LcsBin:
+        return "lcs";
+    }
+    rc_panic("bad trace format");
+}
+
+bool
+traceFormatByName(const std::string &name, TraceFormat *out)
+{
+    if (name == "native")
+        *out = TraceFormat::Native;
+    else if (name == "rocksdb")
+        *out = TraceFormat::Rocksdb;
+    else if (name == "lcs")
+        *out = TraceFormat::LcsBin;
+    else
+        return false;
+    return true;
+}
+
+bool
+isTraceSpec(const std::string &name)
+{
+    return name.rfind(specPrefix, 0) == 0;
+}
+
+bool
+parseTraceSpec(const std::string &spec, TraceSpec *out,
+               std::string *err)
+{
+    if (!isTraceSpec(spec)) {
+        if (err)
+            *err = "not a trace spec (want trace:PATH[:FORMAT]): '" +
+                   spec + "'";
+        return false;
+    }
+    std::string rest = spec.substr(sizeof("trace:") - 1);
+
+    // An explicit format rides after the last ':' (paths themselves
+    // rarely contain one; a path that does just needs the explicit
+    // format appended).
+    TraceFormat explicit_fmt{};
+    bool have_explicit = false;
+    const std::size_t colon = rest.find_last_of(':');
+    if (colon != std::string::npos) {
+        const std::string tail = rest.substr(colon + 1);
+        if (!traceFormatByName(tail, &explicit_fmt)) {
+            if (err)
+                *err = "unknown trace format '" + tail +
+                       "' in '" + spec +
+                       "' (want native, rocksdb, or lcs)";
+            return false;
+        }
+        have_explicit = true;
+        rest.resize(colon);
+    }
+    if (rest.empty()) {
+        if (err)
+            *err = "empty path in trace spec '" + spec + "'";
+        return false;
+    }
+
+    TraceSpec ts;
+    ts.path = rest;
+    std::string stem = rest;
+    if (extensionOf(stem) == ".gz") {
+        ts.gzip = true;
+        stem.resize(stem.size() - 3);
+    }
+    if (have_explicit) {
+        ts.format = explicit_fmt;
+    } else {
+        const std::string ext = extensionOf(stem);
+        if (ext == ".txt" || ext == ".trace") {
+            ts.format = TraceFormat::Native;
+        } else if (ext == ".csv") {
+            ts.format = TraceFormat::Rocksdb;
+        } else if (ext == ".bin" || ext == ".lcs") {
+            ts.format = TraceFormat::LcsBin;
+        } else {
+            if (err)
+                *err = "cannot infer trace format from '" + rest +
+                       "'; append :native, :rocksdb, or :lcs";
+            return false;
+        }
+    }
+    *out = ts;
+    return true;
+}
+
+} // namespace rcache

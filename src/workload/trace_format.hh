@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace-format vocabulary and the "trace:PATH[:FORMAT]" workload spec
+ * grammar shared by the CLI, the scenario layer, and the streaming
+ * readers.
+ *
+ * Three on-disk formats are understood:
+ *
+ *  - `native`  — the line-oriented rcache text format (trace_io.hh).
+ *  - `rocksdb` — RocksDB block-cache trace rows: comma-separated
+ *    `access_time,block_id,block_type,block_size,cf_id,cf_name,level,
+ *    fd,caller,no_insert,get_id,key_id,kv_size[,...]` (the
+ *    block_cache_pysim layout). Each row becomes one 64-byte-granular
+ *    Load of `block_id`; the caller enum seeds the pc so the i-side
+ *    stream is deterministic.
+ *  - `lcs` — libCacheSim-style packed binary records, 24 bytes
+ *    little-endian each: u32 timestamp, u64 obj_id, u32 obj_size,
+ *    i64 next_access_vtime. Each record becomes one 64-byte-granular
+ *    Load of `obj_id`.
+ *
+ * A `.gz` suffix selects transparent gzip decompression (available
+ * when the build found zlib; rejected with a clear error otherwise).
+ * When the FORMAT component is omitted it is inferred from the file
+ * extension after stripping `.gz`: `.txt`/`.trace` -> native,
+ * `.csv` -> rocksdb, `.bin`/`.lcs` -> lcs.
+ */
+
+#ifndef RCACHE_WORKLOAD_TRACE_FORMAT_HH
+#define RCACHE_WORKLOAD_TRACE_FORMAT_HH
+
+#include <string>
+
+namespace rcache
+{
+
+/** On-disk trace encodings the streaming readers understand. */
+enum class TraceFormat
+{
+    Native,
+    Rocksdb,
+    LcsBin,
+};
+
+/** Canonical spelling ("native", "rocksdb", "lcs"). */
+std::string traceFormatName(TraceFormat fmt);
+
+/** Inverse of traceFormatName. @return false on an unknown name */
+bool traceFormatByName(const std::string &name, TraceFormat *out);
+
+/** A parsed "trace:PATH[:FORMAT]" workload spec. */
+struct TraceSpec
+{
+    /** File path as written (resolved against the process CWD). */
+    std::string path;
+    TraceFormat format = TraceFormat::Native;
+    /** Whether the file is gzip-compressed (path ends ".gz"). */
+    bool gzip = false;
+};
+
+/** Does @p name use the trace workload-spec grammar? */
+bool isTraceSpec(const std::string &name);
+
+/**
+ * Parse a "trace:PATH[:FORMAT]" spec (grammar in the file comment).
+ * Pure syntax: the file is not opened.
+ * @return false with @p err set on a malformed spec or an
+ *         uninferrable format
+ */
+bool parseTraceSpec(const std::string &spec, TraceSpec *out,
+                    std::string *err);
+
+} // namespace rcache
+
+#endif // RCACHE_WORKLOAD_TRACE_FORMAT_HH

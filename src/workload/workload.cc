@@ -136,6 +136,9 @@ phaseBoundaryAfter(const PhaseSpec &spec, std::uint64_t i)
 SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile)
     : profile_(profile), rng_(profile.seed)
 {
+    // Trace-replay profiles must go through makeWorkload; the
+    // generator fields of such a profile are meaningless.
+    rc_assert(profile_.traceSpec.empty());
     rc_assert(!profile_.regions.empty());
     rc_assert(profile_.branchFrac > 0 && profile_.branchFrac < 1);
     cursors_.assign(profile_.regions.size(), 0);

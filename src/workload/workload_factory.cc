@@ -1,0 +1,48 @@
+#include "workload/workload_factory.hh"
+
+#include "util/logging.hh"
+#include "workload/streaming_trace.hh"
+#include "workload/trace_format.hh"
+
+namespace rcache
+{
+
+bool
+isTraceProfile(const BenchmarkProfile &p)
+{
+    return !p.traceSpec.empty();
+}
+
+bool
+traceProfileFromSpec(const std::string &spec, BenchmarkProfile *out,
+                     std::string *err)
+{
+    TraceSpec ts;
+    if (!parseTraceSpec(spec, &ts, err))
+        return false;
+    BenchmarkProfile p;
+    p.name = spec;
+    p.traceSpec = spec;
+    // regions stays empty: SyntheticWorkload's constructor rejects
+    // trace profiles that bypass this factory.
+    *out = p;
+    return true;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const BenchmarkProfile &p)
+{
+    if (!isTraceProfile(p))
+        return std::make_unique<SyntheticWorkload>(p);
+
+    TraceSpec ts;
+    std::string err;
+    if (!parseTraceSpec(p.traceSpec, &ts, &err))
+        rc_fatal(err);
+    auto wl = StreamingTraceWorkload::open(ts, p.traceSpec, &err);
+    if (!wl)
+        rc_fatal(err);
+    return wl;
+}
+
+} // namespace rcache

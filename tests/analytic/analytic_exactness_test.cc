@@ -195,8 +195,8 @@ side = dcache
     const std::string serial = sweep("an-j1.csv", 1);
     const std::string parallel = sweep("an-j4.csv", 4);
     EXPECT_EQ(serial, parallel);
-    EXPECT_NE(serial.find(",analytic\n"), std::string::npos);
-    EXPECT_NE(serial.find(",engine\n"), std::string::npos);
+    EXPECT_NE(serial.find(",analytic,lru\n"), std::string::npos);
+    EXPECT_NE(serial.find(",engine,policy\n"), std::string::npos);
 
     // Shard union: re-interleave the two shard CSVs by row order and
     // compare against the unsharded run line by line.

@@ -1,0 +1,86 @@
+/** @file Unit tests for the CountMin frequency sketch. */
+
+#include <gtest/gtest.h>
+
+#include "cache/freq_sketch.hh"
+
+namespace rcache
+{
+
+TEST(FreqSketchTest, WidthIsPowerOfTwoFloor)
+{
+    CountMinSketch small(0);
+    EXPECT_EQ(small.width(), 1024u);
+    CountMinSketch mid(1024);
+    EXPECT_EQ(mid.width(), 1024u);
+    CountMinSketch big(1025);
+    EXPECT_EQ(big.width(), 2048u);
+    EXPECT_EQ(big.sampleWindow(), 16 * big.width());
+}
+
+TEST(FreqSketchTest, EstimateNeverUnderestimates)
+{
+    CountMinSketch s(1024);
+    for (unsigned n = 1; n <= 40; ++n) {
+        s.increment(0xdead);
+        EXPECT_GE(s.estimate(0xdead), n);
+    }
+    // An untouched key estimates at most collision noise — with 40
+    // recorded accesses over 4 rows of 1024 counters, zero.
+    EXPECT_EQ(s.estimate(0xbeef), 0u);
+}
+
+TEST(FreqSketchTest, CountersSaturateAt255)
+{
+    CountMinSketch s(1024);
+    for (int i = 0; i < 1000; ++i)
+        s.increment(42);
+    EXPECT_EQ(s.estimate(42), 255u);
+}
+
+TEST(FreqSketchTest, HalveAgesEveryCounter)
+{
+    CountMinSketch s(1024);
+    for (int i = 0; i < 9; ++i)
+        s.increment(1);
+    s.increment(2);
+    s.halve();
+    EXPECT_EQ(s.estimate(1), 4u); // 9 / 2, integer
+    EXPECT_EQ(s.estimate(2), 0u);
+}
+
+TEST(FreqSketchTest, AgingTriggersAtSampleWindow)
+{
+    CountMinSketch s(1024);
+    const std::uint64_t window = s.sampleWindow();
+    // One shy of the window: nothing aged yet.
+    for (std::uint64_t i = 0; i < window - 1; ++i)
+        s.increment(7);
+    EXPECT_EQ(s.recorded(), window - 1);
+    EXPECT_EQ(s.estimate(7), 255u);
+    // The window-closing access halves everything, including the
+    // recorded count (the TinyLFU reset keeps it in step with the
+    // surviving counter mass).
+    s.increment(7);
+    EXPECT_EQ(s.recorded(), window / 2);
+    EXPECT_LE(s.estimate(7), 128u);
+}
+
+TEST(FreqSketchTest, EqualSeedsGiveEqualEstimates)
+{
+    CountMinSketch a(2048, 5), b(2048, 5);
+    for (std::uint64_t k = 0; k < 500; ++k) {
+        a.increment(k * 977);
+        b.increment(k * 977);
+    }
+    for (std::uint64_t k = 0; k < 500; ++k)
+        ASSERT_EQ(a.estimate(k * 977), b.estimate(k * 977));
+}
+
+TEST(FreqSketchTest, ResidentBytesIsCounterArray)
+{
+    CountMinSketch s(4096);
+    EXPECT_EQ(s.residentBytes(), 4 * s.width());
+}
+
+} // namespace rcache

@@ -56,10 +56,123 @@ TEST(RandomPolicyTest, CoversAllWays)
         EXPECT_GT(h, 100);
 }
 
+TEST(FifoPolicyTest, HitsDoNotRefreshInsertionOrder)
+{
+    FifoPolicy p;
+    const auto first = p.fill(0);
+    const auto second = p.fill(0);
+    EXPECT_LT(first, second);
+    // Touching the first block leaves its insertion stamp alone, so
+    // it is still the FIFO victim.
+    EXPECT_EQ(p.touch(first), first);
+    std::vector<ReplChoice> ways = {{true, first}, {true, second}};
+    EXPECT_EQ(p.victim(ways), 0u);
+}
+
+TEST(SlruPolicyTest, FillsAreProbationaryHitsPromote)
+{
+    SlruPolicy p;
+    const auto filled = p.fill(0);
+    EXPECT_EQ(filled & SlruPolicy::protectedBit, 0u);
+    const auto touched = p.touch(filled);
+    EXPECT_NE(touched & SlruPolicy::protectedBit, 0u);
+}
+
+TEST(SlruPolicyTest, VictimPrefersOldestProbationary)
+{
+    SlruPolicy p;
+    // Way 0: protected, ancient. Ways 1-2: probationary. The oldest
+    // probationary way goes, shielding the protected segment.
+    std::vector<ReplChoice> ways = {
+        {true, SlruPolicy::protectedBit | 1},
+        {true, 7},
+        {true, 3},
+    };
+    EXPECT_EQ(p.victim(ways), 2u);
+}
+
+TEST(SlruPolicyTest, FullyProtectedSetDegradesToLru)
+{
+    SlruPolicy p;
+    std::vector<ReplChoice> ways = {
+        {true, SlruPolicy::protectedBit | 9},
+        {true, SlruPolicy::protectedBit | 4},
+        {true, SlruPolicy::protectedBit | 6},
+    };
+    EXPECT_EQ(p.victim(ways), 1u);
+}
+
+TEST(SlruPolicyTest, StampsStayBelowTheSegmentBit)
+{
+    SlruPolicy p;
+    for (int i = 0; i < 1000; ++i) {
+        const auto meta = p.fill(0);
+        EXPECT_LT(meta, SlruPolicy::protectedBit);
+    }
+}
+
+TEST(WTinyLfuPolicyTest, ColdCandidateDoesNotDisplaceHotVictim)
+{
+    WTinyLfuPolicy p(1024, 1);
+    ASSERT_TRUE(p.wantsAccessStream());
+    const Addr hot = 100, cold = 7000;
+    for (int i = 0; i < 10; ++i)
+        p.recordAccess(hot);
+    // The candidate's own access is recorded before admission is
+    // consulted, mirroring the cache's order of operations.
+    p.recordAccess(cold);
+    EXPECT_FALSE(p.admit(cold, hot));
+    EXPECT_TRUE(p.admit(hot, cold));
+}
+
+TEST(WTinyLfuPolicyTest, EqualFrequenciesAdmit)
+{
+    WTinyLfuPolicy p(1024, 1);
+    const Addr a = 1, b = 2;
+    p.recordAccess(a);
+    p.recordAccess(b);
+    // Ties admit, preserving the LRU tie-break.
+    EXPECT_TRUE(p.admit(a, b));
+    EXPECT_TRUE(p.admit(b, a));
+}
+
+TEST(WTinyLfuPolicyTest, VictimIsLruWithinTheSet)
+{
+    WTinyLfuPolicy p(1024, 1);
+    std::vector<ReplChoice> ways = {{true, 5}, {true, 2}, {true, 9}};
+    EXPECT_EQ(p.victim(ways), 1u);
+}
+
 TEST(ReplacementFactoryTest, ByName)
 {
     EXPECT_EQ(makeReplacementPolicy("lru")->name(), "lru");
     EXPECT_EQ(makeReplacementPolicy("random")->name(), "random");
+    EXPECT_EQ(makeReplacementPolicy("fifo")->name(), "fifo");
+    EXPECT_EQ(makeReplacementPolicy("slru")->name(), "slru");
+    EXPECT_EQ(makeReplacementPolicy("wtlfu", 1, 1024)->name(),
+              "wtlfu");
+}
+
+TEST(ReplacementFactoryTest, RegistryIsConsistent)
+{
+    const auto names = replacementPolicyNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(replacementPolicyList(), "lru|random|fifo|slru|wtlfu");
+    for (const std::string &n : names) {
+        SCOPED_TRACE(n);
+        EXPECT_TRUE(isReplacementPolicyName(n));
+        auto p = makeReplacementPolicy(n, 3, 1024);
+        ASSERT_TRUE(p);
+        EXPECT_EQ(p->name(), n);
+        // The instance's extra-state claim must agree with the
+        // registry's energy pricing.
+        EXPECT_EQ(p->extraStateBitsPerBlock(),
+                  replacementPolicyStateBits(n));
+        // Only wtlfu taps the access stream.
+        EXPECT_EQ(p->wantsAccessStream(), n == "wtlfu");
+    }
+    EXPECT_FALSE(isReplacementPolicyName("plru"));
+    EXPECT_FALSE(isReplacementPolicyName(""));
 }
 
 TEST(ReplacementFactoryDeathTest, UnknownName)

@@ -349,6 +349,86 @@ if(NOT err MATCHES "RC_FAILPOINT.*unknown site 'bogus'")
           "missing RC_FAILPOINT diagnostic — stderr was: ${err}")
 endif()
 
+# ---- replacement policy flag: strict value, exit 2, one line
+check_exit2_oneline("--policy wants lru\\|random\\|fifo\\|slru\\|wtlfu"
+                    run --app ammp --policy plru --insts 1000)
+check_exit2_oneline("--policy wants lru\\|random\\|fifo\\|slru\\|wtlfu"
+                    sweep --apps ammp --policy clock --insts 1000)
+set(POL_TRACE "${CMAKE_CURRENT_BINARY_DIR}/policy_cli.trace")
+file(WRITE ${POL_TRACE} "L 400000 0 1 0 0 0\n")
+check_exit2_oneline("--policy wants lru\\|random\\|fifo\\|slru\\|wtlfu"
+                    replay --trace ${POL_TRACE} --policy mru)
+file(REMOVE ${POL_TRACE})
+# The analytic engine's true-LRU envelope covers the policy knob too.
+check_exit2_oneline("models true-LRU"
+                    run --app ammp --engine analytic --policy fifo
+                    --insts 1000)
+check_prints("--policy" run --help)
+check_prints("--policy" sweep --help)
+check_prints("--policy" replay --help)
+
+# ---- trace: app specs are preflighted: every rejection is one line,
+# exit 2, before any simulation starts
+check_exit2_oneline("cannot open trace file"
+                    run --app trace:no-such-trace.csv --insts 1000)
+check_exit2_oneline("cannot open trace file"
+                    sweep --apps trace:no-such-trace.csv --insts 1000)
+check_exit2_oneline("unknown trace format 'frob'"
+                    run --app trace:whatever.csv:frob --insts 1000)
+check_exit2_oneline("cannot infer trace format"
+                    run --app trace:mystery.dat --insts 1000)
+check_exit2_oneline("empty path" run --app trace: --insts 1000)
+
+# A malformed leading record surfaces as file:line at preflight.
+set(BAD_TRACE "${CMAKE_CURRENT_BINARY_DIR}/bad_rows_cli.csv")
+file(WRITE ${BAD_TRACE} "1,notanumber,1,4096,0,cf,0,1,3,0,5,7,100\n")
+check_exit2_oneline("bad_rows_cli.csv:1:"
+                    run --app trace:${BAD_TRACE} --insts 1000)
+file(REMOVE ${BAD_TRACE})
+
+# ---- replay: malformed native traces get one file:line diagnostic
+set(BAD_NATIVE "${CMAKE_CURRENT_BINARY_DIR}/bad_native_cli.trace")
+file(WRITE ${BAD_NATIVE} "L 400000 0 1 0 0 0\ngarbage here\n")
+check_exit2_oneline("bad_native_cli.trace:2:"
+                    replay --trace ${BAD_NATIVE})
+file(REMOVE ${BAD_NATIVE})
+check_exit2_oneline("cannot open trace 'no-such.trace'"
+                    replay --trace no-such.trace)
+
+# ---- convert: strict flags, spec errors exit 2, happy path streams
+check_rejects_oneline("unknown option '--bogus' for 'convert'"
+                      convert --bogus 1)
+check_exit2_oneline("convert needs --in" convert)
+check_exit2_oneline("cannot open trace file"
+                    convert --in no-such-trace.csv)
+check_exit2_oneline("unknown trace format 'frob'"
+                    convert --in trace:whatever.csv:frob)
+check_exit2_oneline("cannot infer trace format"
+                    convert --in mystery.dat)
+check_exit2_oneline("non-negative integer"
+                    convert --in x.csv --limit abc)
+check_prints("--limit" convert --help)
+
+# Round trip: a rocksdb row converts to one native load line on
+# stdout (block 7 -> effAddr 7*64 = 0x1c0), and --limit truncates.
+set(CONV_IN "${CMAKE_CURRENT_BINARY_DIR}/convert_cli_in.csv")
+file(WRITE ${CONV_IN}
+     "1,7,1,4096,0,cf,0,1,3,0,5,7,100\n"
+     "1,9,1,4096,0,cf,0,1,3,0,5,7,100\n")
+check_prints("L 40000c 1c0 1 0 0 0" convert --in ${CONV_IN})
+execute_process(COMMAND ${RCACHE_SIM} convert --in ${CONV_IN}
+                        --limit 1
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+string(REGEX MATCHALL "\nL " loads "\n${out}")
+list(LENGTH loads nloads)
+if(NOT rc EQUAL 0 OR NOT nloads EQUAL 1)
+  message(SEND_ERROR
+          "convert --limit 1 should emit exactly one load, got "
+          "${nloads} (exit ${rc}): ${out}")
+endif()
+file(REMOVE ${CONV_IN})
+
 # ---- doctor: strict argument parsing, audit exit codes
 check_exit2_oneline("doctor wants exactly one CLAIM_DIR" doctor)
 check_exit2_oneline("doctor wants exactly one CLAIM_DIR"

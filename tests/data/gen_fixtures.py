@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in trace fixtures in this directory.
+
+The fixtures are committed (tests and golden files pin their bytes);
+this script only exists so they can be rebuilt after a reviewed format
+change:
+
+    python3 tests/data/gen_fixtures.py
+
+Files:
+  mini.trace         small native-format load trace
+  mini_rocksdb.csv   the same access pattern as RocksDB block-cache rows
+  mini_lcs.bin       the same pattern as 24-byte packed lcs records
+  mini_rocksdb.csv.gz  gzip of mini_rocksdb.csv (mtime 0: stable bytes)
+  skewed_scan.trace  hot-set + conflicting-scan trace where admission
+                     filtering (wtlfu) clearly beats LRU
+
+skewed_scan.trace layout: 8 hot blocks living in sets 0..7 of the
+default 32 KB / 2-way / 32 B-block dcache (1024 sets), accessed every
+4th instruction; in between, a scan of one-shot blocks deliberately
+mapped into those same 8 sets. Between two touches of a hot block, 3
+scan fills land in its set (> 2 ways), so plain LRU evicts the hot
+block every round while a frequency-gated policy keeps it resident.
+The trace is one scan lap long and relies on the reader's modulo
+looping; scan blocks recur once per lap versus 20 hot touches per lap,
+so the frequency gap survives sketch aging.
+"""
+
+import gzip
+import os
+import struct
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+BLOCK = 32        # dcache block size (set indexing in the comment)
+SETS = 1024
+PC = 0x400000
+
+
+def native_line(addr):
+    return "L %x %x 1 0 0 0\n" % (PC, addr)
+
+
+def mini_pattern():
+    """Block-id stream the replacement policies disagree on.
+
+    With 64-byte ids over 32-byte cache blocks, ids 0/512/1024/1536
+    all land in set 0 of the 1024-set 2-way dcache (set = 2*id mod
+    1024), so four blocks compete for two ways with skewed reuse:
+    A is hot, B warm, C/D one-shot scans. A second lightly-loaded
+    set (ids 1/513/1025) adds non-conflict traffic. Recency, insertion
+    order, segmentation, admission, and random victims each resolve
+    the conflicts differently, so every policy pins a distinct golden
+    miss ratio.
+    """
+    a, b, c, d = 0, 512, 1024, 1536
+    e, f, g = 1, 513, 1025
+    round_ = [a, b, a, c, a, d, a, b, e, f, g, e]
+    return round_ * 4
+
+
+def write_mini():
+    ids = mini_pattern()
+    with open(os.path.join(HERE, "mini.trace"), "w") as f:
+        for b in ids:
+            f.write(native_line(b * 64))
+    rows = []
+    for i, b in enumerate(ids):
+        caller = i % 16
+        rows.append("1,%d,1,4096,0,cf,0,1,%d,0,5,7,100\n" % (b, caller))
+    csv = "".join(rows)
+    with open(os.path.join(HERE, "mini_rocksdb.csv"), "w") as f:
+        f.write(csv)
+    with open(os.path.join(HERE, "mini_lcs.bin"), "wb") as f:
+        for i, b in enumerate(ids):
+            f.write(struct.pack("<IQIq", i + 1, b, 64, -1))
+    with open(os.path.join(HERE, "mini_rocksdb.csv.gz"), "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+            gz.write(csv.encode())
+
+
+def write_skewed():
+    lines = []
+    scan = 0
+    for k in range(640):
+        if k % 4 == 0:
+            hot_set = (k // 4) % 8
+            addr = hot_set * BLOCK
+        else:
+            s = scan % 8
+            lap = scan // 8
+            addr = ((lap + 1) * SETS + s) * BLOCK
+            scan += 1
+        lines.append(native_line(addr))
+    with open(os.path.join(HERE, "skewed_scan.trace"), "w") as f:
+        f.writelines(lines)
+
+
+def main():
+    write_mini()
+    write_skewed()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+# Trace-backed golden sweep, run as a ctest against the real binary:
+#
+#   cmake -DRCACHE_SIM=<rcache-sim> -DSCENARIO=<trace_policy_micro.scn>
+#         -DDATA_DIR=<tests/data> -DGOLDEN=<golden.csv>
+#         -DWORK_DIR=<scratch> -P golden_trace_sweep.cmake
+#
+# The scenario's apps are trace:data/... specs with relative paths, so
+# every invocation runs from WORK_DIR with tests/data copied to
+# ./data — the golden CSV never contains machine-specific paths.
+#
+# One golden file pins four execution shapes of the same sweep:
+#   1. --jobs 2 (the parallel path)
+#   2. --jobs 1 (serial must be byte-identical to parallel)
+#   3. --shard 0/2 + --shard 1/2, merged by sorting on the cell column
+#   4. --resume from a truncated prefix of the golden
+# Any divergence between them — or any drift in the streaming trace
+# decode, the replacement policies, or the policy CSV column — fails
+# loudly. Regenerate after a reviewed contract change per the .scn
+# header.
+
+foreach(var RCACHE_SIM SCENARIO DATA_DIR GOLDEN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_trace_sweep.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+file(COPY ${DATA_DIR}/ DESTINATION ${WORK_DIR}/data)
+
+macro(sweep out)
+  execute_process(
+    COMMAND ${RCACHE_SIM} sweep --scenario ${SCENARIO} ${ARGN}
+            --out ${out}
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep ${ARGN} failed (exit ${rc}): ${stderr}")
+  endif()
+endmacro()
+
+macro(same a label)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${GOLDEN}
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "golden mismatch (${label}): ${a} differs from ${GOLDEN} "
+            "— the trace/replacement contract drifted. If intentional "
+            "and reviewed, regenerate per the .scn header.")
+  endif()
+endmacro()
+
+# 1. Parallel reference.
+sweep(${WORK_DIR}/jobs2.csv --jobs 2)
+same(${WORK_DIR}/jobs2.csv "--jobs 2")
+
+# 2. Serial must match byte for byte.
+sweep(${WORK_DIR}/jobs1.csv --jobs 1)
+same(${WORK_DIR}/jobs1.csv "--jobs 1")
+
+# 3. Shard union, merged by sorting rows on the leading cell index.
+sweep(${WORK_DIR}/shard0.csv --jobs 2 --shard 0/2)
+sweep(${WORK_DIR}/shard1.csv --jobs 2 --shard 1/2)
+file(STRINGS ${WORK_DIR}/shard0.csv rows0)
+file(STRINGS ${WORK_DIR}/shard1.csv rows1)
+list(GET rows0 0 header)
+list(REMOVE_AT rows0 0)
+list(REMOVE_AT rows1 0)
+set(rows ${rows0} ${rows1})
+list(SORT rows COMPARE NATURAL)
+string(JOIN "\n" merged ${header} ${rows})
+file(WRITE ${WORK_DIR}/shards_merged.csv "${merged}\n")
+same(${WORK_DIR}/shards_merged.csv "shard 0/2 + 1/2 merged")
+
+# 4. Resume from a truncated prefix (header + first three rows).
+file(STRINGS ${GOLDEN} golden_rows)
+list(SUBLIST golden_rows 0 4 prefix)
+string(JOIN "\n" prefix_text ${prefix})
+file(WRITE ${WORK_DIR}/resume.csv "${prefix_text}\n")
+execute_process(
+  COMMAND ${RCACHE_SIM} sweep --scenario ${SCENARIO} --jobs 2
+          --resume ${WORK_DIR}/resume.csv
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sweep --resume failed (exit ${rc}): ${stderr}")
+endif()
+same(${WORK_DIR}/resume.csv "--resume from truncated prefix")

@@ -108,6 +108,23 @@ TEST(ParamSpaceTest, RejectsInvalidCombinations)
     EXPECT_FALSE(validateAxis(Axis{"assoc", {"potato"}}, &err));
 }
 
+TEST(ParamSpaceTest, PolicyAxisPerturbsTheSystemConfig)
+{
+    const ParamSpace space = buildOk(specWithAxes(
+        {Axis{"policy", {"lru", "fifo", "wtlfu"}}}));
+    ASSERT_EQ(space.numPoints(), 3u);
+    EXPECT_EQ(space.point(0).cfg.policy, "lru");
+    EXPECT_EQ(space.point(1).cfg.policy, "fifo");
+    EXPECT_EQ(space.point(2).cfg.policy, "wtlfu");
+    EXPECT_EQ(space.point(1).axes, "policy=fifo");
+
+    std::string err;
+    EXPECT_FALSE(
+        validateAxis(Axis{"policy", {"lru", "plru"}}, &err));
+    EXPECT_NE(err.find("lru|random|fifo|slru|wtlfu"),
+              std::string::npos);
+}
+
 TEST(ParamSpaceTest, AnalyticEngineRejectsIncompatibleSpaces)
 {
     std::string err;
@@ -132,6 +149,26 @@ TEST(ParamSpaceTest, AnalyticEngineRejectsIncompatibleSpaces)
     sax.engine = EngineSpec::makeAnalytic();
     EXPECT_FALSE(ParamSpace::build(sax, &err));
     EXPECT_NE(err.find("sample.interval"), std::string::npos);
+
+    // Non-LRU replacement is outside the stack-distance model's
+    // validity, whether set system-wide or merely axis-reachable.
+    ScenarioSpec pol = specWithAxes({});
+    pol.engine = EngineSpec::makeAnalytic();
+    pol.system.policy = "fifo";
+    EXPECT_FALSE(ParamSpace::build(pol, &err));
+    EXPECT_NE(err.find("true-LRU"), std::string::npos);
+
+    ScenarioSpec pax =
+        specWithAxes({Axis{"policy", {"lru", "wtlfu"}}});
+    pax.engine = EngineSpec::makeAnalytic();
+    EXPECT_FALSE(ParamSpace::build(pax, &err));
+    EXPECT_NE(err.find("policy"), std::string::npos);
+
+    // An all-lru policy axis is fine.
+    ScenarioSpec lru_only =
+        specWithAxes({Axis{"policy", {"lru"}}});
+    lru_only.engine = EngineSpec::makeAnalytic();
+    EXPECT_TRUE(ParamSpace::build(lru_only, &err)) << err;
 
     // The static single-core shape the engine exists for builds, and
     // every enumerated point carries the analytic engine.

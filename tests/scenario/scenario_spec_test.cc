@@ -38,6 +38,7 @@ insts = 123456
 
 [system]
 core = inorder
+policy = slru
 il1.size = 16384
 dl1.assoc = 4
 l2.size = 1048576
@@ -77,6 +78,7 @@ TEST(ScenarioSpecTest, ParseReadsEverySection)
     EXPECT_EQ(spec.system.dl1.assoc, 4u);
     EXPECT_EQ(spec.system.l2.size, 1048576u);
     EXPECT_EQ(spec.system.lat.l2Latency, 16u);
+    EXPECT_EQ(spec.system.policy, "slru");
     EXPECT_DOUBLE_EQ(spec.system.energy.clockPerCycle, 12.5);
     EXPECT_EQ(spec.apps,
               (std::vector<std::string>{"ammp", "gcc", "swim"}));
@@ -210,6 +212,26 @@ TEST(ScenarioSpecTest, RejectsMalformedInput)
                        "[sampling]\ninterval = 10\n")
                   .find("not both"),
               std::string::npos);
+    EXPECT_NE(parseErr("[system]\npolicy = plru\n")
+                  .find("lru|random|fifo|slru|wtlfu"),
+              std::string::npos);
+}
+
+TEST(ScenarioSpecTest, PolicyKeySelectsAndPrintsCanonically)
+{
+    // Default stays lru and is not printed; a non-default policy
+    // round-trips through the canonical printer.
+    const ScenarioSpec plain = parseOk("[scenario]\nname = p\n");
+    EXPECT_EQ(plain.system.policy, "lru");
+    EXPECT_EQ(plain.printToString().find("policy"),
+              std::string::npos);
+
+    const ScenarioSpec wt =
+        parseOk("[system]\npolicy = wtlfu\n");
+    EXPECT_EQ(wt.system.policy, "wtlfu");
+    EXPECT_NE(wt.printToString().find("policy = wtlfu"),
+              std::string::npos);
+    EXPECT_EQ(parseOk(wt.printToString()), wt);
 }
 
 TEST(ScenarioSpecTest, CheckedInScenariosValidate)

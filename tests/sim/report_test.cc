@@ -129,6 +129,7 @@ TEST(ReportTest, SweepCsvRoundTripsExactly)
     empty_axes.cell = 8;
     empty_axes.axes.clear();
     empty_axes.engine = EngineMode::Sampled;
+    empty_axes.policy = "wtlfu";
     std::ostringstream first;
     writeSweepCsv(first, {plain, empty_axes});
 
@@ -142,6 +143,7 @@ TEST(ReportTest, SweepCsvRoundTripsExactly)
     EXPECT_DOUBLE_EQ(records->front().perfDegradationPct,
                      0.5722431103582171);
     EXPECT_EQ(records->back().engine, EngineMode::Sampled);
+    EXPECT_EQ(records->back().policy, "wtlfu");
 
     std::ostringstream second;
     writeSweepCsv(second, *records);
@@ -158,7 +160,7 @@ TEST(ReportTest, SweepCsvReaderIsStrict)
 
     std::istringstream short_row(sweepCsvHeader() + "\n1,ammp\n");
     EXPECT_FALSE(readSweepCsv(short_row, &err));
-    EXPECT_NE(err.find("20 fields"), std::string::npos);
+    EXPECT_NE(err.find("21 fields"), std::string::npos);
 
     std::ostringstream good;
     writeSweepCsv(good, {sampleRecord()});
@@ -202,10 +204,10 @@ TEST(ReportTest, SweepWritersCarryEngineProvenance)
 
     std::ostringstream csv;
     writeSweepCsv(csv, {full, sampled, analytic});
-    EXPECT_NE(csv.str().find(",engine\n"), std::string::npos);
-    EXPECT_NE(csv.str().find(",full\n"), std::string::npos);
-    EXPECT_NE(csv.str().find(",sampled\n"), std::string::npos);
-    EXPECT_NE(csv.str().find(",analytic\n"), std::string::npos);
+    EXPECT_NE(csv.str().find(",engine,policy\n"), std::string::npos);
+    EXPECT_NE(csv.str().find(",full,lru\n"), std::string::npos);
+    EXPECT_NE(csv.str().find(",sampled,lru\n"), std::string::npos);
+    EXPECT_NE(csv.str().find(",analytic,lru\n"), std::string::npos);
 
     std::ostringstream json;
     writeSweepJson(json, {analytic});

@@ -133,6 +133,39 @@ TEST(BatchIdentityTest, TraceWorkloadBatchWrapsAround)
         ASSERT_EQ(a[i], b[i]) << "divergence at " << i;
 }
 
+TEST(BatchIdentityTest, TraceWorkloadSkipEqualsDrainAndDiscard)
+{
+    // Property: skip(n) followed by a read lands exactly where n
+    // discarded next() calls would, for skips below, at, and beyond
+    // the trace length (multi-lap wraparound included), interleaved
+    // with batched reads.
+    std::vector<MicroInst> insts(17);
+    for (unsigned i = 0; i < insts.size(); ++i) {
+        insts[i].pc = 0x5000 + 4 * i;
+        insts[i].effAddr = 64 * i;
+    }
+    TraceWorkload ref(insts);
+    const auto expect = drainSingly(ref, 40 * insts.size());
+
+    TraceWorkload wl(insts);
+    std::size_t pos = 0;
+    const std::size_t skips[] = {0,  1,  16, 17, 18,
+                                 35, 170, 3, 17 * 7 + 5};
+    MicroInst buf[8];
+    for (std::size_t s : skips) {
+        wl.skip(s);
+        pos += s;
+        // One single read, then a batch, both position-exact.
+        ASSERT_EQ(wl.next(), expect[pos]) << "after skip " << s;
+        ++pos;
+        wl.nextBatch(buf, 8);
+        for (unsigned k = 0; k < 8; ++k)
+            ASSERT_EQ(buf[k], expect[pos + k])
+                << "after skip " << s << " batch index " << k;
+        pos += 8;
+    }
+}
+
 TEST(BatchIdentityTest, DefaultNextBatchMatchesNext)
 {
     CountingWorkload singly, batched;

@@ -1,0 +1,109 @@
+/** @file Tests for the "trace:PATH[:FORMAT]" spec grammar. */
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_format.hh"
+
+namespace rcache
+{
+
+TEST(TraceFormatTest, NamesRoundTrip)
+{
+    for (TraceFormat fmt : {TraceFormat::Native, TraceFormat::Rocksdb,
+                            TraceFormat::LcsBin}) {
+        TraceFormat back{};
+        ASSERT_TRUE(traceFormatByName(traceFormatName(fmt), &back));
+        EXPECT_EQ(static_cast<int>(back), static_cast<int>(fmt));
+    }
+    TraceFormat out{};
+    EXPECT_FALSE(traceFormatByName("csv", &out));
+    EXPECT_FALSE(traceFormatByName("", &out));
+}
+
+TEST(TraceFormatTest, IsTraceSpec)
+{
+    EXPECT_TRUE(isTraceSpec("trace:foo.txt"));
+    EXPECT_TRUE(isTraceSpec("trace:"));
+    EXPECT_FALSE(isTraceSpec("gcc"));
+    EXPECT_FALSE(isTraceSpec("traces/foo.txt"));
+}
+
+TEST(TraceFormatTest, ExplicitFormatWins)
+{
+    TraceSpec ts;
+    std::string err;
+    ASSERT_TRUE(parseTraceSpec("trace:blocks.csv:lcs", &ts, &err));
+    EXPECT_EQ(ts.path, "blocks.csv");
+    EXPECT_EQ(static_cast<int>(ts.format),
+              static_cast<int>(TraceFormat::LcsBin));
+    EXPECT_FALSE(ts.gzip);
+}
+
+TEST(TraceFormatTest, FormatInferredFromExtension)
+{
+    struct Case
+    {
+        const char *spec;
+        TraceFormat fmt;
+        bool gzip;
+    };
+    const Case cases[] = {
+        {"trace:a.txt", TraceFormat::Native, false},
+        {"trace:a.trace", TraceFormat::Native, false},
+        {"trace:dir.v2/a.csv", TraceFormat::Rocksdb, false},
+        {"trace:a.bin", TraceFormat::LcsBin, false},
+        {"trace:a.lcs", TraceFormat::LcsBin, false},
+        {"trace:a.TXT", TraceFormat::Native, false},
+        {"trace:a.trace.gz", TraceFormat::Native, true},
+        {"trace:a.csv.gz", TraceFormat::Rocksdb, true},
+        {"trace:a.bin.gz", TraceFormat::LcsBin, true},
+    };
+    for (const Case &c : cases) {
+        TraceSpec ts;
+        std::string err;
+        ASSERT_TRUE(parseTraceSpec(c.spec, &ts, &err))
+            << c.spec << ": " << err;
+        EXPECT_EQ(static_cast<int>(ts.format),
+                  static_cast<int>(c.fmt))
+            << c.spec;
+        EXPECT_EQ(ts.gzip, c.gzip) << c.spec;
+    }
+}
+
+TEST(TraceFormatTest, GzWithExplicitFormat)
+{
+    TraceSpec ts;
+    std::string err;
+    ASSERT_TRUE(parseTraceSpec("trace:weird.dat.gz:rocksdb", &ts,
+                               &err));
+    EXPECT_EQ(ts.path, "weird.dat.gz");
+    EXPECT_TRUE(ts.gzip);
+    EXPECT_EQ(static_cast<int>(ts.format),
+              static_cast<int>(TraceFormat::Rocksdb));
+}
+
+TEST(TraceFormatTest, MalformedSpecsRejectedWithDiagnostic)
+{
+    TraceSpec ts;
+    std::string err;
+
+    EXPECT_FALSE(parseTraceSpec("gcc", &ts, &err));
+    EXPECT_NE(err.find("not a trace spec"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceSpec("trace:", &ts, &err));
+    EXPECT_NE(err.find("empty path"), std::string::npos);
+
+    EXPECT_FALSE(parseTraceSpec("trace:a.txt:pdf", &ts, &err));
+    EXPECT_NE(err.find("unknown trace format 'pdf'"),
+              std::string::npos);
+
+    EXPECT_FALSE(parseTraceSpec("trace:a.dat", &ts, &err));
+    EXPECT_NE(err.find("cannot infer trace format"),
+              std::string::npos);
+
+    // A .gz over an uninferrable stem still needs a format.
+    EXPECT_FALSE(parseTraceSpec("trace:a.dat.gz", &ts, &err));
+    EXPECT_NE(err.find("cannot infer"), std::string::npos);
+}
+
+} // namespace rcache

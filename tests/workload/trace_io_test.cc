@@ -82,7 +82,7 @@ TEST(TraceIoDeathTest, MalformedLineFatal)
     std::stringstream buf;
     buf << "L not-a-number\n";
     EXPECT_EXIT(readTrace(buf), testing::ExitedWithCode(1),
-                "malformed trace line 1");
+                "malformed trace line: trace:1:");
 }
 
 TEST(TraceIoDeathTest, MissingFileFatal)

@@ -14,6 +14,7 @@
  *             directory) into the byte-identical unsharded report
  *   run       one explicit design point, full run report
  *   replay    drive a recorded trace file through one design point
+ *   convert   rewrite a rocksdb/lcs/native[.gz] trace as native text
  *   scenario  check/print scenario files
  *   inspect   summarize telemetry artifacts (timelines, event traces)
  *   list-apps print the benchmark suite names
@@ -54,8 +55,12 @@
 #include "util/checked_io.hh"
 #include "util/interrupt.hh"
 #include "util/logging.hh"
+#include "cache/replacement.hh"
 #include "workload/profiles.hh"
+#include "workload/streaming_trace.hh"
+#include "workload/trace_format.hh"
 #include "workload/trace_io.hh"
+#include "workload/workload_factory.hh"
 
 namespace
 {
@@ -80,6 +85,8 @@ usage(std::ostream &os, int code)
           "file\n"
           "  rcache-sim record [options]    record a profile's "
           "stream to a trace file\n"
+          "  rcache-sim convert [options]   rewrite a rocksdb/lcs/"
+          "native[.gz] trace as native text\n"
           "  rcache-sim bench [options]     time the simulator's hot "
           "paths, write BENCH_*.json\n"
           "  rcache-sim scenario check f..  validate scenario files\n"
@@ -158,31 +165,34 @@ knownOptions(const std::string &cmd)
     if (cmd == "sweep") {
         add({"--scenario", "--shard", "--resume", "--insts", "--jobs",
              "--assoc", "--apps", "--orgs", "--strategies", "--side",
-             "--cores", "--mix", "--quantum", "--format", "--out",
-             "--progress", "--engine", "--sample", "--sample-detail",
-             "--sample-warmup", "--timeline", "--events",
-             "--trace-events", "--timeline-interval", "--claim",
-             "--shards", "--lease-timeout", "--failpoint"});
+             "--cores", "--mix", "--quantum", "--policy", "--format",
+             "--out", "--progress", "--engine", "--sample",
+             "--sample-detail", "--sample-warmup", "--timeline",
+             "--events", "--trace-events", "--timeline-interval",
+             "--claim", "--shards", "--lease-timeout",
+             "--failpoint"});
     } else if (cmd == "tune") {
         add({"--scenario", "--jobs", "--out", "--log", "--resume",
              "--claim", "--shards", "--lease-timeout",
              "--failpoint"});
     } else if (cmd == "run") {
         add({"--insts", "--assoc", "--app", "--cores", "--mix",
-             "--quantum", "--engine", "--sample", "--sample-detail",
-             "--sample-warmup", "--timeline", "--events",
-             "--trace-events", "--timeline-interval",
+             "--quantum", "--policy", "--engine", "--sample",
+             "--sample-detail", "--sample-warmup", "--timeline",
+             "--events", "--trace-events", "--timeline-interval",
              "--failpoint"});
         for (const auto &k : setupKeys())
             keys.push_back(k);
     } else if (cmd == "inspect") {
         add({"--timeline", "--events", "--window"});
     } else if (cmd == "replay") {
-        add({"--insts", "--assoc", "--trace", "--name"});
+        add({"--insts", "--assoc", "--trace", "--name", "--policy"});
         for (const auto &k : setupKeys())
             keys.push_back(k);
     } else if (cmd == "record") {
         add({"--insts", "--app", "--out"});
+    } else if (cmd == "convert") {
+        add({"--in", "--out", "--limit"});
     } else if (cmd == "bench") {
         add({"--quick", "--list", "--insts", "--reps", "--filter",
              "--out-dir"});
@@ -210,6 +220,9 @@ commandPurpose(const std::string &cmd)
         return "drive a recorded trace file through a design point";
     if (cmd == "record")
         return "record a profile's stream to a trace file";
+    if (cmd == "convert")
+        return "rewrite a rocksdb/lcs/native[.gz] trace as the "
+               "native text format (streamed, bounded memory)";
     if (cmd == "bench")
         return "time the simulator's hot paths and write "
                "machine-readable BENCH_*.json perf records";
@@ -268,7 +281,16 @@ optionHelp(const std::string &key)
          "deprecated: sampled-engine measured insts (default N/10)"},
         {"--sample-warmup",
          "deprecated: sampled-engine warmup insts (default N/5)"},
-        {"--app", "profile to run (see list-apps)"},
+        {"--app",
+         "profile to run (see list-apps), or trace:PATH[:FORMAT] to "
+         "stream an on-disk trace"},
+        {"--policy",
+         "L1 replacement policy: lru|random|fifo|slru|wtlfu "
+         "(default lru)"},
+        {"--in",
+         "input trace: PATH or trace:PATH[:FORMAT] (formats "
+         "native|rocksdb|lcs; '.gz' for gzip)"},
+        {"--limit", "convert at most N records (default 0 = all)"},
         {"--cores",
          "simulate N cores with private L1s over one shared L2 "
          "(default 1; with --mix, the mix size)"},
@@ -436,11 +458,23 @@ parseU64(const Args &args, const std::string &key,
     return v;
 }
 
-/** Profile lookup with a one-line diagnostic (profileByName is
- *  rc_fatal on unknown names, which is too blunt for a CLI). */
+/**
+ * Profile lookup with a one-line diagnostic (profileByName is
+ * rc_fatal on unknown names, which is too blunt for a CLI). Accepts
+ * trace:PATH[:FORMAT] specs alongside the built-in suite names.
+ */
 std::optional<BenchmarkProfile>
 lookupProfile(const std::string &name)
 {
+    if (isTraceSpec(name)) {
+        BenchmarkProfile p;
+        std::string err;
+        if (!traceProfileFromSpec(name, &p, &err)) {
+            std::cerr << "rcache-sim: " << err << '\n';
+            return std::nullopt;
+        }
+        return p;
+    }
     const auto names = suiteNames();
     if (std::find(names.begin(), names.end(), name) == names.end()) {
         std::cerr << "rcache-sim: unknown app '" << name
@@ -448,6 +482,60 @@ lookupProfile(const std::string &name)
         return std::nullopt;
     }
     return profileByName(name);
+}
+
+/** Apply --policy to @p cfg with a one-line diagnostic. */
+bool
+applyPolicy(const Args &args, SystemConfig &cfg)
+{
+    if (!args.has("--policy"))
+        return true;
+    const std::string name = args.get("--policy", "");
+    if (!isReplacementPolicyName(name)) {
+        std::cerr << "rcache-sim: --policy wants "
+                  << replacementPolicyList() << ", got '" << name
+                  << "'\n";
+        return false;
+    }
+    cfg.policy = name;
+    return true;
+}
+
+/**
+ * Eagerly open every trace-spec component of @p names so unreadable
+ * files and malformed leading records surface as one-line CLI
+ * diagnostics (exit 2), not a mid-run rc_fatal out of a worker
+ * thread. @p names may be app names, '+'-joined mixes, or specs.
+ */
+bool
+preflightTraceSpecs(const std::vector<std::string> &names)
+{
+    for (const std::string &name : names) {
+        for (const std::string &item : splitPlusList(name)) {
+            if (!isTraceSpec(item))
+                continue;
+            TraceSpec spec;
+            std::string err;
+            if (!parseTraceSpec(item, &spec, &err) ||
+                !StreamingTraceWorkload::open(spec, item, &err)) {
+                std::cerr << "rcache-sim: " << err << '\n';
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** A scenario's trace-spec surface: apps plus any 'mix' axis. */
+bool
+preflightScenarioTraces(const ScenarioSpec &spec)
+{
+    std::vector<std::string> names = spec.apps;
+    for (const Axis &ax : spec.axes)
+        if (ax.name == "mix")
+            names.insert(names.end(), ax.values.begin(),
+                         ax.values.end());
+    return preflightTraceSpecs(names);
 }
 
 /**
@@ -662,6 +750,12 @@ checkAnalyticCompatible(const EngineSpec &engine,
                      "full or sampled engine\n";
         return false;
     }
+    if (cfg.policy != "lru") {
+        std::cerr << "rcache-sim: --engine analytic models true-LRU "
+                     "caches only; --policy " << cfg.policy
+                  << " needs the full or sampled engine\n";
+        return false;
+    }
     return true;
 }
 
@@ -766,6 +860,8 @@ scenarioFromFlags(const Args &args, bool *legacy_used)
             : 1;
     if (!applyCores(args, *cfg, default_cores))
         return std::nullopt;
+    if (!applyPolicy(args, *cfg))
+        return std::nullopt;
     if (!checkQuantumEffective(args, *cfg, *engine))
         return std::nullopt;
     spec.insts = *insts;
@@ -795,8 +891,9 @@ hasGridFlags(const Args &args)
 {
     for (const char *key :
          {"--apps", "--orgs", "--strategies", "--side", "--insts",
-          "--assoc", "--cores", "--mix", "--quantum", "--engine",
-          "--sample", "--sample-detail", "--sample-warmup"})
+          "--assoc", "--cores", "--mix", "--quantum", "--policy",
+          "--engine", "--sample", "--sample-detail",
+          "--sample-warmup"})
         if (args.has(key))
             return true;
     return false;
@@ -841,6 +938,8 @@ cmdSweepClaim(const Args &args)
         if (!spec)
             return 2;
     } // else: join whatever scenario the manifest holds
+    if (spec && !preflightScenarioTraces(*spec))
+        return 2;
 
     const auto jobs = parseU64(args, "--jobs", 1);
     const auto shards = parseU64(args, "--shards", 0);
@@ -882,8 +981,9 @@ cmdSweep(const Args &args)
         // would make two sources of truth.
         for (const char *conflict :
              {"--apps", "--orgs", "--strategies", "--side", "--insts",
-              "--assoc", "--cores", "--mix", "--quantum", "--engine",
-              "--sample", "--sample-detail", "--sample-warmup"}) {
+              "--assoc", "--cores", "--mix", "--quantum", "--policy",
+              "--engine", "--sample", "--sample-detail",
+              "--sample-warmup"}) {
             if (args.has(conflict)) {
                 std::cerr << "rcache-sim: " << conflict
                           << " conflicts with --scenario (the "
@@ -903,6 +1003,8 @@ cmdSweep(const Args &args)
         if (!spec)
             return 2;
     }
+    if (!preflightScenarioTraces(*spec))
+        return 2;
 
     const auto jobs_opt = parseU64(args, "--jobs", 1);
     if (!jobs_opt)
@@ -967,6 +1069,8 @@ cmdTune(const Args &args)
         std::cerr << "rcache-sim: " << err << '\n';
         return 2;
     }
+    if (!preflightScenarioTraces(*spec))
+        return 2;
     const auto jobs = parseU64(args, "--jobs", 1);
     const auto shards = parseU64(args, "--shards", 0);
     const auto lease = parseU64(args, "--lease-timeout", 300);
@@ -1283,6 +1387,12 @@ cmdRun(const Args &args)
             return 2;
         mix = {*profile};
     }
+    std::vector<std::string> trace_specs;
+    for (const BenchmarkProfile &p : mix)
+        if (!p.traceSpec.empty())
+            trace_specs.push_back(p.traceSpec);
+    if (!preflightTraceSpecs(trace_specs))
+        return 2;
 
     const auto il1 = parseSetup(args, "il1");
     const auto dl1 = parseSetup(args, "dl1");
@@ -1293,6 +1403,8 @@ cmdRun(const Args &args)
     if (!il1 || !dl1 || !cfg || !insts || !engine)
         return 2;
     if (!applyCores(args, *cfg, mix.size()))
+        return 2;
+    if (!applyPolicy(args, *cfg))
         return 2;
     if (!applyOrgs(args, *cfg, *il1, *dl1))
         return 2;
@@ -1425,7 +1537,12 @@ cmdReplay(const Args &args)
                   << "'\n";
         return 2;
     }
-    std::vector<MicroInst> insts = readTrace(in);
+    std::vector<MicroInst> insts;
+    std::string trace_err;
+    if (!readTraceStrict(in, path, insts, &trace_err)) {
+        std::cerr << "rcache-sim: " << trace_err << '\n';
+        return 2;
+    }
     if (insts.empty()) {
         std::cerr << "rcache-sim: trace '" << path
                   << "' holds no instructions\n";
@@ -1447,6 +1564,8 @@ cmdReplay(const Args &args)
     }
     if (!applyOrgs(args, *cfg, *il1, *dl1))
         return 2;
+    if (!applyPolicy(args, *cfg))
+        return 2;
 
     System sys(*cfg);
     writeRunReport(std::cout, sys.run(wl, *num_insts, *il1, *dl1));
@@ -1465,17 +1584,67 @@ cmdRecord(const Args &args)
     const auto count = parseInsts(args);
     if (!profile || !count)
         return 2;
+    if (!profile->traceSpec.empty() &&
+        !preflightTraceSpecs({profile->traceSpec}))
+        return 2;
     const std::string path = args.get("--out", "");
     std::ofstream out(path);
     if (!out) {
         std::cerr << "rcache-sim: cannot write '" << path << "'\n";
         return 2;
     }
-    SyntheticWorkload wl(*profile);
-    writeTrace(out, wl, *count);
+    const std::unique_ptr<Workload> wl = makeWorkload(*profile);
+    writeTrace(out, *wl, *count);
     checkedFlush(out, path);
     std::cerr << "recorded " << *count << " instructions of "
-              << wl.name() << " to " << path << '\n';
+              << wl->name() << " to " << path << '\n';
+    return 0;
+}
+
+// ------------------------------------------------------------- convert
+
+int
+cmdConvert(const Args &args)
+{
+    if (!args.has("--in")) {
+        std::cerr << "rcache-sim: convert needs --in "
+                     "PATH|trace:PATH[:FORMAT]\n";
+        return 2;
+    }
+    std::string in = args.get("--in", "");
+    if (!isTraceSpec(in))
+        in = "trace:" + in;
+    TraceSpec spec;
+    std::string err;
+    if (!parseTraceSpec(in, &spec, &err)) {
+        std::cerr << "rcache-sim: " << err << '\n';
+        return 2;
+    }
+    const auto limit = parseU64(args, "--limit", 0);
+    if (!limit)
+        return 2;
+
+    const std::string out_path = args.get("--out", "");
+    std::ofstream file;
+    if (!out_path.empty()) {
+        file.open(out_path, std::ios::binary | std::ios::trunc);
+        if (!file) {
+            std::cerr << "rcache-sim: cannot write '" << out_path
+                      << "'\n";
+            return 2;
+        }
+    }
+    std::ostream &os = out_path.empty() ? std::cout : file;
+    if (!convertTraceToNative(spec, os, *limit, &err)) {
+        std::cerr << "rcache-sim: " << err << '\n';
+        return 2;
+    }
+    if (!out_path.empty()) {
+        checkedFlush(file, out_path);
+        std::cerr << "converted " << spec.path << " ("
+                  << traceFormatName(spec.format) << ") to "
+                  << out_path << '\n';
+    }
     return 0;
 }
 
@@ -1579,6 +1748,11 @@ cmdListApps()
 {
     for (const auto &name : suiteNames())
         std::cout << name << '\n';
+    std::cout << "\nAny app slot (run --app, sweep --apps, mixes) "
+                 "also accepts trace:PATH[:FORMAT]\nto stream an "
+                 "on-disk trace: formats native|rocksdb|lcs, '.gz' "
+                 "for gzip\n(inferred from the extension when "
+                 "FORMAT is omitted).\n";
     return 0;
 }
 
@@ -1621,8 +1795,8 @@ main(int argc, char **argv)
     const bool known_cmd =
         cmd == "sweep" || cmd == "tune" || cmd == "merge" ||
         cmd == "run" || cmd == "replay" || cmd == "record" ||
-        cmd == "bench" || cmd == "scenario" || cmd == "inspect" ||
-        cmd == "doctor" || cmd == "list-apps" ||
+        cmd == "convert" || cmd == "bench" || cmd == "scenario" ||
+        cmd == "inspect" || cmd == "doctor" || cmd == "list-apps" ||
         cmd == "list-failpoints";
     if (!known_cmd) {
         std::cerr << "rcache-sim: unknown subcommand '" << cmd
@@ -1657,6 +1831,8 @@ main(int argc, char **argv)
         return cmdReplay(*args);
     if (cmd == "record")
         return cmdRecord(*args);
+    if (cmd == "convert")
+        return cmdConvert(*args);
     if (cmd == "bench")
         return cmdBench(*args);
     if (cmd == "inspect")
